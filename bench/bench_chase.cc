@@ -1,0 +1,124 @@
+// Experiment B4 (DESIGN.md): cost of the decision machinery itself --
+// uniform containment (always terminating), the combined [P,T] chase, the
+// Fig. 3 preservation procedure, and the full Section X recipe.
+
+#include "benchmark/benchmark.h"
+#include "bench_util.h"
+#include "workload/program_gen.h"
+
+namespace datalog {
+namespace bench {
+namespace {
+
+void BM_UniformContainment_Tc(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Program p1 = MustParseProgram(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  Program p2 = MustParseProgram(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n");
+  for (auto _ : state) {
+    bool contained = MustOk(UniformlyContains(p1, p2));
+    benchmark::DoNotOptimize(contained);
+  }
+}
+BENCHMARK(BM_UniformContainment_Tc);
+
+void BM_UniformContainment_GeneratedPrograms(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = 21;
+  options.chain_rules = static_cast<std::size_t>(state.range(0));
+  options.planted_atoms = 0;
+  options.planted_rules = 0;
+  Program program = MustOk(MakePlantedProgram(symbols, options)).program;
+  for (auto _ : state) {
+    bool contained = MustOk(UniformlyContains(program, program));
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["rules"] = static_cast<double>(program.NumRules());
+}
+BENCHMARK(BM_UniformContainment_GeneratedPrograms)->DenseRange(1, 7, 2);
+
+void BM_Chase_Example11(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Program p1 = MustParseProgram(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = MustParseTgds(symbols, "g(x, z) -> a(x, w).");
+  Parser parser(symbols);
+  Database frozen = MustOk(ParseDatabase(symbols, "g(101, 102). g(102, 103)."));
+  for (auto _ : state) {
+    Database db(symbols);
+    db.UnionWith(frozen);
+    ChaseResult r = MustOk(Chase(p1, tgds, &db));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Chase_Example11);
+
+void BM_Chase_NonTerminatingBudget(benchmark::State& state) {
+  // Cost of hitting the budget on a chase that never terminates (the
+  // Section VIII caveat): the price of a kUnknown verdict.
+  auto symbols = MakeSymbols();
+  Program empty(symbols);
+  std::vector<Tgd> tgds = MustParseTgds(symbols, "g(x, y) -> g(y, w).");
+  ChaseBudget budget;
+  budget.max_rounds = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Database db = MustOk(ParseDatabase(symbols, "g(1, 2)."));
+    ChaseResult r = MustOk(Chase(empty, tgds, &db, budget));
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rounds"] = static_cast<double>(budget.max_rounds);
+}
+BENCHMARK(BM_Chase_NonTerminatingBudget)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Preservation_Example14(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Program p1 = MustParseProgram(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = MustParseTgds(symbols, "g(x, z) -> a(x, w).");
+  for (auto _ : state) {
+    ProofOutcome outcome = MustOk(PreservesNonRecursively(p1, tgds));
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_Preservation_Example14);
+
+void BM_Preservation_MultiAtomLhs(benchmark::State& state) {
+  // Example 15: combination count grows with the number of intentional
+  // LHS atoms (rules + trivial per atom).
+  auto symbols = MakeSymbols();
+  Program p = MustParseProgram(symbols,
+                               "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds =
+      MustParseTgds(symbols, "g(x, y), g(y, z) -> a(y, w).");
+  for (auto _ : state) {
+    ProofOutcome outcome = MustOk(PreservesNonRecursively(p, tgds));
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_Preservation_MultiAtomLhs);
+
+void BM_FullRecipe_Example18(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Program p1 = MustParseProgram(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  Program p2 = MustParseProgram(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  std::vector<Tgd> tgds = MustParseTgds(symbols, "g(x, z) -> a(x, w).");
+  for (auto _ : state) {
+    EquivalenceProof proof = MustOk(ProveEquivalentWithTgds(p1, p2, tgds));
+    benchmark::DoNotOptimize(proof);
+  }
+}
+BENCHMARK(BM_FullRecipe_Example18);
+
+}  // namespace
+}  // namespace bench
+}  // namespace datalog

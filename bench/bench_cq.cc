@@ -1,0 +1,99 @@
+// Experiment B6 (DESIGN.md): the non-recursive baseline. On non-recursive
+// rules Fig. 1 (chase-based) and Chandra-Merlin core computation
+// (homomorphism-based) must produce the same-size bodies; this bench
+// compares their costs, and shows the chase's extra power (and price) on
+// the recursive Example 7 rule.
+
+#include <random>
+
+#include "benchmark/benchmark.h"
+#include "bench_util.h"
+
+namespace datalog {
+namespace bench {
+namespace {
+
+/// A non-recursive rule with n chain atoms plus n folded duplicates, all
+/// removable by both minimizers.
+Rule MakeFoldableRule(const std::shared_ptr<SymbolTable>& symbols, int n) {
+  PredicateId a = MustOk(symbols->InternPredicate("a", 2));
+  PredicateId head = MustOk(symbols->InternPredicate("p", 2));
+  auto var = [&](const std::string& name) {
+    return Term::Variable(symbols->InternVariable(name));
+  };
+  std::vector<Atom> body;
+  for (int i = 0; i < n; ++i) {
+    body.push_back(
+        Atom(a, {var("x" + std::to_string(i)), var("x" + std::to_string(i + 1))}));
+  }
+  for (int i = 0; i < n; ++i) {
+    // A folded copy: a(xi, yi) with yi fresh, subsumed by a(xi, xi+1).
+    body.push_back(
+        Atom(a, {var("x" + std::to_string(i)), var("y" + std::to_string(i))}));
+  }
+  return Rule::Positive(Atom(head, {var("x0"), var("x" + std::to_string(n))}),
+                        std::move(body));
+}
+
+void BM_MinimizeCq_Foldable(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Rule rule = MakeFoldableRule(symbols, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Rule core = MustOk(MinimizeCq(rule, symbols));
+    benchmark::DoNotOptimize(core);
+  }
+  state.counters["body_atoms"] = static_cast<double>(rule.body().size());
+}
+BENCHMARK(BM_MinimizeCq_Foldable)->DenseRange(2, 8, 2);
+
+void BM_MinimizeRuleFig1_Foldable(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Rule rule = MakeFoldableRule(symbols, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Rule minimized = MustOk(MinimizeRule(rule, symbols));
+    benchmark::DoNotOptimize(minimized);
+  }
+  state.counters["body_atoms"] = static_cast<double>(rule.body().size());
+}
+BENCHMARK(BM_MinimizeRuleFig1_Foldable)->DenseRange(2, 8, 2);
+
+void BM_CqContainment_Foldable(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Rule q1 = MakeFoldableRule(symbols, static_cast<int>(state.range(0)));
+  Rule q2 = MustOk(MinimizeCq(q1, symbols));
+  for (auto _ : state) {
+    bool hom = MustOk(HasContainmentMapping(q1, q2));
+    benchmark::DoNotOptimize(hom);
+  }
+}
+BENCHMARK(BM_CqContainment_Foldable)->DenseRange(2, 8, 2);
+
+void BM_Fig1OnRecursiveExample7(benchmark::State& state) {
+  // Recursive rule: Fig. 1 removes a(w,y) (two chase steps); MinimizeCq
+  // cannot. The pair of benches shows the cost of that extra power.
+  auto symbols = MakeSymbols();
+  Rule rule = MustParseRule(
+      symbols,
+      "g(x, y, z) :- g(x, w, z), a(w, y), a(w, z), a(z, z), a(z, y).");
+  for (auto _ : state) {
+    Rule minimized = MustOk(MinimizeRule(rule, symbols));
+    benchmark::DoNotOptimize(minimized);
+  }
+}
+BENCHMARK(BM_Fig1OnRecursiveExample7);
+
+void BM_CqOnRecursiveExample7(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Rule rule = MustParseRule(
+      symbols,
+      "g(x, y, z) :- g(x, w, z), a(w, y), a(w, z), a(z, z), a(z, y).");
+  for (auto _ : state) {
+    Rule core = MustOk(MinimizeCq(rule, symbols));
+    benchmark::DoNotOptimize(core);
+  }
+}
+BENCHMARK(BM_CqOnRecursiveExample7);
+
+}  // namespace
+}  // namespace bench
+}  // namespace datalog

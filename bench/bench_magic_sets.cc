@@ -1,0 +1,182 @@
+// Experiment B3 (DESIGN.md): Section I's claim that minimization composes
+// with the magic-set method -- "removing redundant parts can only speed up
+// the computation". Bound queries over original vs minimized programs,
+// both evaluated with the magic-sets rewrite.
+
+#include "benchmark/benchmark.h"
+#include "bench_util.h"
+#include "workload/graph_gen.h"
+
+namespace datalog {
+namespace bench {
+namespace {
+
+constexpr const char* kGuardedLinearTc =
+    "g(x, z) :- a(x, z).\n"
+    "g(x, z) :- a(x, y), g(y, z), a(y, q).\n";  // a(y,q) redundant
+
+void RunMagic(benchmark::State& state, bool optimize, GraphShape shape) {
+  auto symbols = MakeSymbols();
+  Program program = MustParseProgram(symbols, kGuardedLinearTc);
+  if (optimize) {
+    program = MustOk(MinimizeProgram(program));
+    program = MustOk(OptimizeUnderEquivalence(program)).program;
+  }
+  PredicateId a = MustOk(symbols->LookupPredicate("a"));
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Database edb(symbols);
+  AddGraphFacts({shape, n, 2 * n, 17}, a, &edb);
+  Atom query = MustParseQuery(symbols, "?- g(0, x).");
+
+  std::uint64_t substitutions = 0;
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    EvalStats stats;
+    std::vector<Tuple> result = MustOk(
+        AnswerQuery(program, edb, query, EvalMethod::kMagicSemiNaive, &stats));
+    substitutions = stats.match.substitutions;
+    answers = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["joins"] = static_cast<double>(substitutions);
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void BM_MagicChain_Original(benchmark::State& state) {
+  RunMagic(state, /*optimize=*/false, GraphShape::kChain);
+}
+void BM_MagicChain_Optimized(benchmark::State& state) {
+  RunMagic(state, /*optimize=*/true, GraphShape::kChain);
+}
+BENCHMARK(BM_MagicChain_Original)->RangeMultiplier(2)->Range(64, 1024);
+BENCHMARK(BM_MagicChain_Optimized)->RangeMultiplier(2)->Range(64, 1024);
+
+void BM_MagicRandom_Original(benchmark::State& state) {
+  RunMagic(state, /*optimize=*/false, GraphShape::kRandom);
+}
+void BM_MagicRandom_Optimized(benchmark::State& state) {
+  RunMagic(state, /*optimize=*/true, GraphShape::kRandom);
+}
+BENCHMARK(BM_MagicRandom_Original)->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK(BM_MagicRandom_Optimized)->RangeMultiplier(2)->Range(64, 512);
+
+/// Magic vs plain semi-naive on the minimized program: the substrate's own
+/// sanity series (bound queries should profit from magic).
+void RunMethodComparison(benchmark::State& state, EvalMethod method) {
+  auto symbols = MakeSymbols();
+  Program program = MustParseProgram(symbols,
+                                     "g(x, z) :- a(x, z).\n"
+                                     "g(x, z) :- a(x, y), g(y, z).\n");
+  PredicateId a = MustOk(symbols->LookupPredicate("a"));
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Database edb(symbols);
+  // Many disjoint chains: a bound query touches only one.
+  for (std::size_t chain = 0; chain < 16; ++chain) {
+    for (std::size_t i = 0; i + 1 < n / 16; ++i) {
+      std::size_t base = chain * (n / 16);
+      edb.AddFact(a, {Value::Int(static_cast<std::int64_t>(base + i)),
+                      Value::Int(static_cast<std::int64_t>(base + i + 1))});
+    }
+  }
+  Atom query = MustParseQuery(symbols, "?- g(0, x).");
+  for (auto _ : state) {
+    std::vector<Tuple> result =
+        MustOk(AnswerQuery(program, edb, query, method));
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_BoundQuery_SemiNaive(benchmark::State& state) {
+  RunMethodComparison(state, EvalMethod::kSemiNaive);
+}
+void BM_BoundQuery_Magic(benchmark::State& state) {
+  RunMethodComparison(state, EvalMethod::kMagicSemiNaive);
+}
+void BM_BoundQuery_TabledTopDown(benchmark::State& state) {
+  RunMethodComparison(state, EvalMethod::kTabledTopDown);
+}
+BENCHMARK(BM_BoundQuery_SemiNaive)->RangeMultiplier(2)->Range(128, 1024);
+BENCHMARK(BM_BoundQuery_Magic)->RangeMultiplier(2)->Range(128, 1024);
+BENCHMARK(BM_BoundQuery_TabledTopDown)->RangeMultiplier(2)->Range(128, 1024);
+
+/// Supplementary vs classic magic on a rule with two intentional body
+/// atoms (the case the supplementary chain exists for: the classic
+/// rewrite's second magic rule re-joins the prefix).
+void RunSupplementary(benchmark::State& state, bool supplementary) {
+  auto symbols = MakeSymbols();
+  Program program = MustParseProgram(
+      symbols,
+      "g(x, z) :- a(x, z).\n"
+      "g(x, z) :- a(x, y), g(y, w), g(w, z).\n");
+  PredicateId a = MustOk(symbols->LookupPredicate("a"));
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Database edb(symbols);
+  AddGraphFacts({GraphShape::kRandom, n, 2 * n, 29}, a, &edb);
+  Atom query = MustParseQuery(symbols, "?- g(0, z).");
+  MagicOptions options;
+  options.supplementary = supplementary;
+  MagicProgram magic = MustOk(MagicSetsTransform(program, query, options));
+
+  std::uint64_t joins = 0;
+  for (auto _ : state) {
+    Database work(symbols);
+    work.UnionWith(edb);
+    EvalStats stats = MustOk(EvaluateSemiNaive(magic.program, &work));
+    joins = stats.match.substitutions;
+    benchmark::DoNotOptimize(work);
+  }
+  state.counters["joins"] = static_cast<double>(joins);
+  state.counters["rules"] = static_cast<double>(magic.program.NumRules());
+}
+
+void BM_Magic_Classic(benchmark::State& state) {
+  RunSupplementary(state, /*supplementary=*/false);
+}
+void BM_Magic_Supplementary(benchmark::State& state) {
+  RunSupplementary(state, /*supplementary=*/true);
+}
+BENCHMARK(BM_Magic_Classic)->RangeMultiplier(2)->Range(32, 128);
+BENCHMARK(BM_Magic_Supplementary)->RangeMultiplier(2)->Range(32, 128);
+
+/// Same-generation over a complete binary tree: the canonical bound-query
+/// separation between the three methods.
+void RunSameGeneration(benchmark::State& state, EvalMethod method) {
+  auto symbols = MakeSymbols();
+  Program program = MustParseProgram(
+      symbols,
+      "sg(x, y) :- flat(x, y).\n"
+      "sg(x, y) :- up(x, u), sg(u, v), down(v, y).\n");
+  PredicateId up = MustOk(symbols->LookupPredicate("up"));
+  PredicateId flat = MustOk(symbols->LookupPredicate("flat"));
+  PredicateId down = MustOk(symbols->LookupPredicate("down"));
+  SameGenerationOptions options;
+  options.depth = static_cast<std::size_t>(state.range(0));
+  Database edb(symbols);
+  std::size_t nodes = AddSameGenerationFacts(options, up, flat, down, &edb);
+  // Query a leaf.
+  Atom query = MustParseQuery(
+      symbols, "?- sg(" + std::to_string(nodes - 1) + ", y).");
+  for (auto _ : state) {
+    std::vector<Tuple> result =
+        MustOk(AnswerQuery(program, edb, query, method));
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+void BM_SameGen_SemiNaive(benchmark::State& state) {
+  RunSameGeneration(state, EvalMethod::kSemiNaive);
+}
+void BM_SameGen_Magic(benchmark::State& state) {
+  RunSameGeneration(state, EvalMethod::kMagicSemiNaive);
+}
+void BM_SameGen_TabledTopDown(benchmark::State& state) {
+  RunSameGeneration(state, EvalMethod::kTabledTopDown);
+}
+BENCHMARK(BM_SameGen_SemiNaive)->DenseRange(4, 8, 2);
+BENCHMARK(BM_SameGen_Magic)->DenseRange(4, 8, 2);
+BENCHMARK(BM_SameGen_TabledTopDown)->DenseRange(4, 8, 2);
+
+}  // namespace
+}  // namespace bench
+}  // namespace datalog

@@ -1,0 +1,137 @@
+// Experiment B2 (DESIGN.md): the cost of minimization itself. The paper:
+// "the algorithm has an exponential running time in the worst case, but
+// the time is exponential only in the size of the program, which is
+// typically much smaller than the size of the database." The series sweep
+// program size (rules, atoms per rule) and never touch a database.
+
+#include "benchmark/benchmark.h"
+#include "bench_util.h"
+#include "workload/program_gen.h"
+
+namespace datalog {
+namespace bench {
+namespace {
+
+void BM_MinimizeRule_Example7(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Rule rule = MustParseRule(
+      symbols,
+      "g(x, y, z) :- g(x, w, z), a(w, y), a(w, z), a(z, z), a(z, y).");
+  for (auto _ : state) {
+    Rule minimized = MustOk(MinimizeRule(rule, symbols));
+    benchmark::DoNotOptimize(minimized);
+  }
+}
+BENCHMARK(BM_MinimizeRule_Example7);
+
+/// Fig. 2 runtime vs number of rules (atoms per rule fixed).
+void BM_MinimizeProgram_Rules(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = 13;
+  options.num_intentional = 2;
+  options.chain_rules = static_cast<std::size_t>(state.range(0));
+  options.planted_atoms = 2;
+  options.planted_rules = 1;
+  Program program = MustOk(MakePlantedProgram(symbols, options)).program;
+
+  MinimizeReport report;
+  for (auto _ : state) {
+    report = MinimizeReport();
+    Program minimized = MustOk(MinimizeProgram(program, &report));
+    benchmark::DoNotOptimize(minimized);
+  }
+  state.counters["rules"] = static_cast<double>(program.NumRules());
+  state.counters["containment_tests"] =
+      static_cast<double>(report.containment_tests);
+  state.counters["removed"] =
+      static_cast<double>(report.atoms_removed + report.rules_removed);
+}
+BENCHMARK(BM_MinimizeProgram_Rules)->DenseRange(1, 9, 2);
+
+/// Fig. 2 runtime vs body size (rule count fixed).
+void BM_MinimizeProgram_BodyAtoms(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = 29;
+  options.chain_rules = 2;
+  options.chain_length = static_cast<std::size_t>(state.range(0));
+  options.planted_atoms = 2;
+  Program program = MustOk(MakePlantedProgram(symbols, options)).program;
+
+  for (auto _ : state) {
+    Program minimized = MustOk(MinimizeProgram(program));
+    benchmark::DoNotOptimize(minimized);
+  }
+  state.counters["body_literals"] =
+      static_cast<double>(program.TotalBodyLiterals());
+}
+BENCHMARK(BM_MinimizeProgram_BodyAtoms)->DenseRange(2, 8, 2);
+
+/// The program-size-vs-database-size argument: minimization cost is
+/// independent of the EDB, so amortizing it over one evaluation of a
+/// modest database already pays off. This benchmark reports the two
+/// costs side by side.
+void BM_MinimizeVsEvaluateCost(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = 3;
+  options.planted_atoms = 2;
+  Program program = MustOk(MakePlantedProgram(symbols, options)).program;
+  for (auto _ : state) {
+    Program minimized = MustOk(MinimizeProgram(program));
+    benchmark::DoNotOptimize(minimized);
+  }
+}
+BENCHMARK(BM_MinimizeVsEvaluateCost);
+
+/// Shuffled consideration order (the result may differ, Section VII); the
+/// cost profile should not.
+void BM_MinimizeProgram_ShuffledOrder(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions gen;
+  gen.seed = 13;
+  gen.planted_atoms = 2;
+  gen.planted_rules = 1;
+  Program program = MustOk(MakePlantedProgram(symbols, gen)).program;
+  MinimizeOptions options;
+  options.shuffle_seed = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Program minimized = MustOk(MinimizeProgram(program, nullptr, options));
+    benchmark::DoNotOptimize(minimized);
+  }
+}
+BENCHMARK(BM_MinimizeProgram_ShuffledOrder)->Arg(0)->Arg(1)->Arg(2);
+
+/// The equivalence optimizer (Section XI) on Example 18/19 shapes.
+void BM_OptimizeUnderEquivalence_Example18(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Program program = MustParseProgram(
+      symbols,
+      "g(x, z) :- a(x, z).\n"
+      "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  for (auto _ : state) {
+    EquivalenceOptimizeResult result =
+        MustOk(OptimizeUnderEquivalence(program));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimizeUnderEquivalence_Example18);
+
+void BM_OptimizeUnderEquivalence_Example19(benchmark::State& state) {
+  auto symbols = MakeSymbols();
+  Program program = MustParseProgram(
+      symbols,
+      "g(x, z) :- a(x, z), c(z).\n"
+      "g(x, z) :- a(x, y), g(y, z), g(y, w), c(w).\n");
+  for (auto _ : state) {
+    EquivalenceOptimizeResult result =
+        MustOk(OptimizeUnderEquivalence(program));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimizeUnderEquivalence_Example19);
+
+}  // namespace
+}  // namespace bench
+}  // namespace datalog

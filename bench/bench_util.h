@@ -1,0 +1,81 @@
+#ifndef DATALOG_BENCH_BENCH_UTIL_H_
+#define DATALOG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
+#include "datalog.h"
+
+namespace datalog {
+namespace bench {
+
+inline std::shared_ptr<SymbolTable> MakeSymbols() {
+  return std::make_shared<SymbolTable>();
+}
+
+/// Parses or aborts (benchmark setup code; failures are programming
+/// errors, not measurements).
+inline Program MustParseProgram(const std::shared_ptr<SymbolTable>& symbols,
+                                std::string_view text) {
+  Parser parser(symbols);
+  Result<Program> p = parser.ParseProgram(text);
+  if (!p.ok()) {
+    std::fprintf(stderr, "bench setup parse error: %s\n",
+                 p.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(p).value();
+}
+
+inline Rule MustParseRule(const std::shared_ptr<SymbolTable>& symbols,
+                          std::string_view text) {
+  Parser parser(symbols);
+  Result<Rule> r = parser.ParseRule(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench setup parse error: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+inline std::vector<Tgd> MustParseTgds(
+    const std::shared_ptr<SymbolTable>& symbols, std::string_view text) {
+  Parser parser(symbols);
+  Result<std::vector<Tgd>> t = parser.ParseTgds(text);
+  if (!t.ok()) {
+    std::fprintf(stderr, "bench setup parse error: %s\n",
+                 t.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(t).value();
+}
+
+inline Atom MustParseQuery(const std::shared_ptr<SymbolTable>& symbols,
+                           std::string_view text) {
+  Parser parser(symbols);
+  Result<Atom> a = parser.ParseQuery(text);
+  if (!a.ok()) {
+    std::fprintf(stderr, "bench setup parse error: %s\n",
+                 a.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(a).value();
+}
+
+template <typename T>
+inline T MustOk(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench setup error: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace bench
+}  // namespace datalog
+
+#endif  // DATALOG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// The Section X/XI pipeline on the paper's Examples 18 and 19: heuristic
+// tgd discovery, the three-part proof (model containment, preservation,
+// preliminary DB), and the resulting atom removals -- removals that are
+// sound under equivalence but NOT under uniform equivalence.
+//
+//   $ ./equivalence_optimizer
+
+#include <cstdio>
+#include <memory>
+
+#include "datalog.h"
+
+namespace {
+
+void Optimize(const char* title, const char* text) {
+  using namespace datalog;
+  auto symbols = std::make_shared<SymbolTable>();
+  Parser parser(symbols);
+  Program program = parser.ParseProgram(text).value();
+  std::printf("=== %s ===\n%s", title, ToString(program).c_str());
+
+  // First pass: uniform-equivalence minimization (Fig. 2) finds nothing
+  // here -- these atoms are only redundant under ordinary equivalence.
+  MinimizeReport report;
+  Program uniform = MinimizeProgram(program, &report).value();
+  std::printf("Fig. 2 removes: %zu atoms, %zu rules\n", report.atoms_removed,
+              report.rules_removed);
+
+  // Second pass: the Section XI heuristic.
+  Result<EquivalenceOptimizeResult> result = OptimizeUnderEquivalence(uniform);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("Section XI tries %zu candidate tgds and removes:\n",
+              result->candidates_tried);
+  for (const EquivalenceRemoval& removal : result->removals) {
+    std::printf("  from rule %zu:", removal.rule_index);
+    for (const Atom& atom : removal.removed) {
+      std::printf(" %s", ToString(atom, *symbols).c_str());
+    }
+    std::printf("   (witness tgd: %s)\n",
+                ToString(removal.witness, *symbols).c_str());
+  }
+  std::printf("optimized program:\n%s\n", ToString(result->program).c_str());
+}
+
+}  // namespace
+
+int main() {
+  Optimize("Example 18: guarded transitive closure",
+           "g(x, z) :- a(x, z).\n"
+           "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  Optimize("Example 19: guarded reachability with a C-filter",
+           "g(x, z) :- a(x, z), c(z).\n"
+           "g(x, z) :- a(x, y), g(y, z), g(y, w), c(w).\n");
+  return 0;
+}

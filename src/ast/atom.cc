@@ -1,0 +1,43 @@
+#include "ast/atom.h"
+
+#include "util/hash.h"
+
+namespace datalog {
+
+bool Atom::IsGround() const {
+  for (const Term& t : args_) {
+    if (t.is_variable()) return false;
+  }
+  return true;
+}
+
+void Atom::AppendVariables(std::vector<VariableId>* out) const {
+  for (const Term& t : args_) {
+    if (t.is_variable()) out->push_back(t.var());
+  }
+}
+
+std::set<VariableId> Atom::Variables() const {
+  std::set<VariableId> vars;
+  for (const Term& t : args_) {
+    if (t.is_variable()) vars.insert(t.var());
+  }
+  return vars;
+}
+
+bool Atom::ContainsVariable(VariableId v) const {
+  for (const Term& t : args_) {
+    if (t.is_variable() && t.var() == v) return true;
+  }
+  return false;
+}
+
+std::size_t Atom::Hash() const {
+  std::size_t seed = std::hash<PredicateId>{}(predicate_);
+  for (const Term& t : args_) {
+    HashCombine(seed, t.Hash());
+  }
+  return seed;
+}
+
+}  // namespace datalog

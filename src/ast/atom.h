@@ -1,0 +1,79 @@
+#ifndef DATALOG_AST_ATOM_H_
+#define DATALOG_AST_ATOM_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "ast/symbol_table.h"
+#include "ast/term.h"
+
+namespace datalog {
+
+/// An atomic formula: a predicate applied to terms, e.g. Q(x, y, 3, 10)
+/// (Section II). Value type; cheap to copy for the small arities typical of
+/// Datalog programs.
+class Atom {
+ public:
+  Atom() : predicate_(-1) {}
+  Atom(PredicateId predicate, std::vector<Term> args)
+      : predicate_(predicate), args_(std::move(args)) {}
+
+  PredicateId predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  std::vector<Term>& mutable_args() { return args_; }
+  int arity() const { return static_cast<int>(args_.size()); }
+
+  /// True if every argument is a constant (the atom is a ground atom /
+  /// fact, Section III).
+  bool IsGround() const;
+
+  /// Appends this atom's variables to `out` (with duplicates, in argument
+  /// order).
+  void AppendVariables(std::vector<VariableId>* out) const;
+
+  /// The set of variables appearing in this atom.
+  std::set<VariableId> Variables() const;
+
+  /// True if variable `v` appears in some argument.
+  bool ContainsVariable(VariableId v) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate_ == b.predicate_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.predicate_ != b.predicate_) return a.predicate_ < b.predicate_;
+    return a.args_ < b.args_;
+  }
+
+  std::size_t Hash() const;
+
+ private:
+  PredicateId predicate_;
+  std::vector<Term> args_;
+};
+
+struct AtomHash {
+  std::size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+/// A body literal: an atom, possibly negated. The optimization algorithms
+/// of the paper handle positive programs only; negation is supported by the
+/// evaluation engine via stratification (the extension announced in
+/// Section XII).
+struct Literal {
+  Atom atom;
+  bool negated = false;
+
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.negated == b.negated && a.atom == b.atom;
+  }
+  friend bool operator!=(const Literal& a, const Literal& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_ATOM_H_

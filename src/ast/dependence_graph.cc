@@ -1,0 +1,217 @@
+#include "ast/dependence_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace datalog {
+namespace {
+
+/// Iterative Tarjan SCC. Returns the number of components and fills
+/// `scc_out` with component indices in reverse topological order
+/// (a component's index is >= the indices of the components it reaches...
+/// Tarjan numbers components so that callees get smaller indices).
+int TarjanScc(const std::vector<std::vector<int>>& adj,
+              std::vector<int>* scc_out) {
+  int n = static_cast<int>(adj.size());
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int num_sccs = 0;
+  scc_out->assign(n, -1);
+
+  struct Frame {
+    int node;
+    std::size_t child;
+  };
+  std::vector<Frame> call_stack;
+
+  for (int start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    call_stack.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      int v = frame.node;
+      if (frame.child < adj[v].size()) {
+        int w = adj[v][frame.child++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            (*scc_out)[w] = num_sccs;
+            if (w == v) break;
+          }
+          ++num_sccs;
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          int parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return num_sccs;
+}
+
+}  // namespace
+
+DependenceGraph::DependenceGraph(const Program& program) {
+  num_preds_ = program.symbols()->NumPredicates();
+  adjacency_.assign(static_cast<std::size_t>(num_preds_), {});
+  negative_edges_.assign(static_cast<std::size_t>(num_preds_), {});
+  self_loop_.assign(static_cast<std::size_t>(num_preds_), false);
+
+  std::set<std::pair<int, int>> seen;
+  for (const Rule& rule : program.rules()) {
+    int head = rule.head().predicate();
+    for (const Literal& lit : rule.body()) {
+      int body = lit.atom.predicate();
+      if (seen.insert({body, head}).second) {
+        adjacency_[static_cast<std::size_t>(body)].push_back(head);
+      }
+      if (lit.negated) {
+        negative_edges_[static_cast<std::size_t>(body)].push_back(head);
+      }
+      if (body == head) self_loop_[static_cast<std::size_t>(body)] = true;
+    }
+  }
+  num_sccs_ = TarjanScc(adjacency_, &scc_);
+}
+
+bool DependenceGraph::IsRecursive() const {
+  for (int p = 0; p < num_preds_; ++p) {
+    if (IsPredicateRecursive(p)) return true;
+  }
+  return false;
+}
+
+bool DependenceGraph::IsPredicateRecursive(PredicateId pred) const {
+  if (self_loop_[static_cast<std::size_t>(pred)]) return true;
+  // pred lies on a cycle iff its SCC contains another node.
+  for (int q = 0; q < num_preds_; ++q) {
+    if (q != pred && scc_[static_cast<std::size_t>(q)] ==
+                         scc_[static_cast<std::size_t>(pred)]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DependenceGraph::IsRuleRecursive(const Rule& rule) const {
+  PredicateId head = rule.head().predicate();
+  for (const Literal& lit : rule.body()) {
+    if (MutuallyRecursive(head, lit.atom.predicate())) return true;
+  }
+  return false;
+}
+
+bool DependenceGraph::IsLinear(const Program& program) const {
+  for (const Rule& rule : program.rules()) {
+    PredicateId head = rule.head().predicate();
+    int recursive_atoms = 0;
+    for (const Literal& lit : rule.body()) {
+      if (MutuallyRecursive(head, lit.atom.predicate())) ++recursive_atoms;
+    }
+    if (recursive_atoms > 1) return false;
+  }
+  return true;
+}
+
+bool DependenceGraph::Reaches(PredicateId from, PredicateId to) const {
+  std::vector<bool> visited(static_cast<std::size_t>(num_preds_), false);
+  std::vector<int> worklist;
+  for (int w : adjacency_[static_cast<std::size_t>(from)]) {
+    if (!visited[static_cast<std::size_t>(w)]) {
+      visited[static_cast<std::size_t>(w)] = true;
+      worklist.push_back(w);
+    }
+  }
+  while (!worklist.empty()) {
+    int v = worklist.back();
+    worklist.pop_back();
+    if (v == to) return true;
+    for (int w : adjacency_[static_cast<std::size_t>(v)]) {
+      if (!visited[static_cast<std::size_t>(w)]) {
+        visited[static_cast<std::size_t>(w)] = true;
+        worklist.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+int DependenceGraph::SccIndex(PredicateId pred) const {
+  return scc_[static_cast<std::size_t>(pred)];
+}
+
+bool DependenceGraph::MutuallyRecursive(PredicateId a, PredicateId b) const {
+  if (a == b) {
+    return self_loop_[static_cast<std::size_t>(a)] || IsPredicateRecursive(a);
+  }
+  return scc_[static_cast<std::size_t>(a)] == scc_[static_cast<std::size_t>(b)];
+}
+
+Result<std::vector<std::vector<PredicateId>>> DependenceGraph::Stratify()
+    const {
+  // A program is stratifiable iff no negative edge stays inside an SCC.
+  for (int p = 0; p < num_preds_; ++p) {
+    for (int q : negative_edges_[static_cast<std::size_t>(p)]) {
+      if (scc_[static_cast<std::size_t>(p)] == scc_[static_cast<std::size_t>(q)]) {
+        return Status::InvalidArgument(
+            "program is not stratifiable: negation through recursion");
+      }
+    }
+  }
+  // Compute stratum numbers: stratum(R) >= stratum(Q) for positive edges
+  // Q -> R, and stratum(R) >= stratum(Q) + 1 for negative edges. Iterate to
+  // fixpoint (terminates because the program is stratifiable).
+  std::vector<int> stratum(static_cast<std::size_t>(num_preds_), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int p = 0; p < num_preds_; ++p) {
+      for (int q : adjacency_[static_cast<std::size_t>(p)]) {
+        if (stratum[static_cast<std::size_t>(q)] <
+            stratum[static_cast<std::size_t>(p)]) {
+          stratum[static_cast<std::size_t>(q)] =
+              stratum[static_cast<std::size_t>(p)];
+          changed = true;
+        }
+      }
+      for (int q : negative_edges_[static_cast<std::size_t>(p)]) {
+        if (stratum[static_cast<std::size_t>(q)] <
+            stratum[static_cast<std::size_t>(p)] + 1) {
+          stratum[static_cast<std::size_t>(q)] =
+              stratum[static_cast<std::size_t>(p)] + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  int max_stratum = 0;
+  for (int s : stratum) max_stratum = std::max(max_stratum, s);
+  std::vector<std::vector<PredicateId>> strata(
+      static_cast<std::size_t>(max_stratum + 1));
+  for (int p = 0; p < num_preds_; ++p) {
+    strata[static_cast<std::size_t>(stratum[static_cast<std::size_t>(p)])]
+        .push_back(p);
+  }
+  return strata;
+}
+
+}  // namespace datalog

@@ -1,0 +1,64 @@
+#ifndef DATALOG_AST_DEPENDENCE_GRAPH_H_
+#define DATALOG_AST_DEPENDENCE_GRAPH_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// The dependence graph of a program (Section III): a node per predicate
+/// and an edge from Q to R whenever Q appears in the body of a rule whose
+/// head is R. Edges through negated literals are marked negative, which is
+/// what stratification (Section XII extension) needs.
+class DependenceGraph {
+ public:
+  explicit DependenceGraph(const Program& program);
+
+  /// True if the graph has a cycle, i.e. the program is recursive.
+  bool IsRecursive() const;
+
+  /// True if there is a path (of length >= 1) from `pred` to itself.
+  bool IsPredicateRecursive(PredicateId pred) const;
+
+  /// True if `rule` is recursive in the program: its head predicate lies on
+  /// a cycle through some predicate of its body. In particular a rule whose
+  /// head predicate appears in its own body is recursive.
+  bool IsRuleRecursive(const Rule& rule) const;
+
+  /// True if every rule body has at most one predicate mutually recursive
+  /// with the rule head (the class for which Section V's undecidability
+  /// results already hold).
+  bool IsLinear(const Program& program) const;
+
+  /// True if `from` can reach `to` by a path of length >= 1.
+  bool Reaches(PredicateId from, PredicateId to) const;
+
+  /// The strongly connected component index of `pred` (components are
+  /// numbered in reverse topological order: callees before callers).
+  int SccIndex(PredicateId pred) const;
+  int NumSccs() const { return num_sccs_; }
+
+  /// True if `a` and `b` are mutually recursive (same nontrivial SCC, or
+  /// a == b with a self-loop).
+  bool MutuallyRecursive(PredicateId a, PredicateId b) const;
+
+  /// Computes a stratification: predicates grouped into strata such that
+  /// every positive edge stays within or climbs strata, and every negative
+  /// edge strictly climbs. Fails with InvalidArgument if a negative edge
+  /// lies inside an SCC (the program is not stratifiable).
+  Result<std::vector<std::vector<PredicateId>>> Stratify() const;
+
+ private:
+  int num_preds_;
+  int num_sccs_ = 0;
+  std::vector<std::vector<int>> adjacency_;       // positive + negative edges
+  std::vector<std::vector<int>> negative_edges_;  // negative edges only
+  std::vector<int> scc_;                          // pred -> SCC index
+  std::vector<bool> self_loop_;                   // pred has an edge to itself
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_DEPENDENCE_GRAPH_H_

@@ -1,0 +1,398 @@
+#include "ast/parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+namespace datalog {
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kInteger,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kColonDash,  // ":-"
+  kArrow,      // "->"
+  kAmp,        // "&" or "&&"
+  kBang,       // "!"
+  kQueryDash,  // "?-"
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier or string payload
+  std::int64_t value = 0;  // integer payload
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        DATALOG_ASSIGN_OR_RETURN(Token t, LexInteger(/*negative=*/false));
+        tokens.push_back(t);
+      } else if (c == '\'' || c == '"') {
+        DATALOG_ASSIGN_OR_RETURN(Token t, LexString(c));
+        tokens.push_back(t);
+      } else if (c == '(') {
+        tokens.push_back(Simple(TokenKind::kLParen));
+      } else if (c == ')') {
+        tokens.push_back(Simple(TokenKind::kRParen));
+      } else if (c == ',') {
+        tokens.push_back(Simple(TokenKind::kComma));
+      } else if (c == '.') {
+        tokens.push_back(Simple(TokenKind::kPeriod));
+      } else if (c == '!') {
+        tokens.push_back(Simple(TokenKind::kBang));
+      } else if (c == '&') {
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '&') ++pos_;
+        tokens.push_back(Token{TokenKind::kAmp, "", 0, line_});
+      } else if (c == ':') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+          pos_ += 2;
+          tokens.push_back(Token{TokenKind::kColonDash, "", 0, line_});
+        } else {
+          return Error("expected ':-'");
+        }
+      } else if (c == '?') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+          pos_ += 2;
+          tokens.push_back(Token{TokenKind::kQueryDash, "", 0, line_});
+        } else {
+          return Error("expected '?-'");
+        }
+      } else if (c == '-') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          pos_ += 2;
+          tokens.push_back(Token{TokenKind::kArrow, "", 0, line_});
+        } else if (pos_ + 1 < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+          ++pos_;
+          DATALOG_ASSIGN_OR_RETURN(Token t, LexInteger(/*negative=*/true));
+          tokens.push_back(t);
+        } else {
+          return Error("unexpected '-'");
+        }
+      } else {
+        return Error(std::string("unexpected character '") + c + "'");
+      }
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", 0, line_});
+    return tokens;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' ||
+                 (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Simple(TokenKind kind) {
+    ++pos_;
+    return Token{kind, "", 0, line_};
+  }
+
+  Token LexIdent() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return Token{TokenKind::kIdent, std::string(text_.substr(start, pos_ - start)),
+                 0, line_};
+  }
+
+  Result<Token> LexInteger(bool negative) {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    std::string digits(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(digits.c_str(), &end, 10);
+    if (errno != 0 || end != digits.c_str() + digits.size()) {
+      return Error("integer literal out of range: " + digits);
+    }
+    return Token{TokenKind::kInteger, "", negative ? -v : v, line_};
+  }
+
+  Result<Token> LexString(char quote) {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      if (text_[pos_] == '\n') return Error("unterminated string literal");
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string literal");
+    ++pos_;  // closing quote
+    return Token{TokenKind::kString, std::move(out), 0, line_};
+  }
+
+  Status Error(std::string message) const {
+    return Status::InvalidArgument("line " + std::to_string(line_) + ": " +
+                                   std::move(message));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Recursive-descent parser over the token stream.
+class TokenParser {
+ public:
+  TokenParser(std::vector<Token> tokens, SymbolTable* symbols)
+      : tokens_(std::move(tokens)), symbols_(symbols) {}
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  Result<Rule> ParseRuleOrFact() {
+    DATALOG_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+    if (Peek().kind == TokenKind::kPeriod) {
+      Advance();
+      return Rule(std::move(head), {});
+    }
+    DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kColonDash, "':-' or '.'"));
+    std::vector<Literal> body;
+    while (true) {
+      DATALOG_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      body.push_back(std::move(lit));
+      if (Peek().kind == TokenKind::kComma || Peek().kind == TokenKind::kAmp) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+    return Rule(std::move(head), std::move(body));
+  }
+
+  Result<Tgd> ParseTgd() {
+    DATALOG_ASSIGN_OR_RETURN(std::vector<Atom> lhs, ParseAtomConjunction());
+    DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'->'"));
+    DATALOG_ASSIGN_OR_RETURN(std::vector<Atom> rhs, ParseAtomConjunction());
+    DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+    return Tgd(std::move(lhs), std::move(rhs));
+  }
+
+  Result<Atom> ParseGroundAtomStatement() {
+    DATALOG_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    if (!atom.IsGround()) {
+      return ErrorHere("fact must be ground");
+    }
+    DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+    return atom;
+  }
+
+  Result<Atom> ParseQueryStatement() {
+    DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kQueryDash, "'?-'"));
+    DATALOG_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+    return atom;
+  }
+
+  Status ExpectEnd() {
+    if (!AtEnd()) return ErrorHere("trailing input");
+    return Status::OK();
+  }
+
+ private:
+  Result<std::vector<Atom>> ParseAtomConjunction() {
+    std::vector<Atom> atoms;
+    while (true) {
+      DATALOG_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      atoms.push_back(std::move(atom));
+      if (Peek().kind == TokenKind::kComma || Peek().kind == TokenKind::kAmp) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return atoms;
+  }
+
+  Result<Literal> ParseLiteral() {
+    bool negated = false;
+    if (Peek().kind == TokenKind::kBang) {
+      negated = true;
+      Advance();
+    } else if (Peek().kind == TokenKind::kIdent && Peek().text == "not") {
+      // "not" followed by an atom is a negated literal; a bare ident "not"
+      // followed by anything else would be a 0-ary predicate named "not",
+      // which we reject for clarity.
+      negated = true;
+      Advance();
+    }
+    DATALOG_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    return Literal{std::move(atom), negated};
+  }
+
+  Result<Atom> ParseAtom() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return ErrorHere("expected predicate name");
+    }
+    std::string name = Peek().text;
+    Advance();
+    std::vector<Term> args;
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      if (Peek().kind != TokenKind::kRParen) {
+        while (true) {
+          DATALOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+          args.push_back(t);
+          if (Peek().kind == TokenKind::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    }
+    DATALOG_ASSIGN_OR_RETURN(
+        PredicateId pred,
+        symbols_->InternPredicate(name, static_cast<int>(args.size())));
+    return Atom(pred, std::move(args));
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInteger: {
+        Term t = Term::Int(tok.value);
+        Advance();
+        return t;
+      }
+      case TokenKind::kString: {
+        Term t = Term::Constant(Value::Symbol(symbols_->InternSymbol(tok.text)));
+        Advance();
+        return t;
+      }
+      case TokenKind::kIdent: {
+        Term t = Term::Variable(symbols_->InternVariable(tok.text));
+        Advance();
+        return t;
+      }
+      default:
+        return ErrorHere("expected term");
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return ErrorHere("expected " + std::string(what));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ErrorHere(std::string message) const {
+    return Status::InvalidArgument("line " + std::to_string(Peek().line) +
+                                   ": " + std::move(message));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  SymbolTable* symbols_;
+};
+
+Result<TokenParser> MakeTokenParser(std::string_view text,
+                                    SymbolTable* symbols) {
+  Lexer lexer(text);
+  DATALOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  return TokenParser(std::move(tokens), symbols);
+}
+
+}  // namespace
+
+Result<Program> Parser::ParseProgram(std::string_view text) {
+  DATALOG_ASSIGN_OR_RETURN(TokenParser parser,
+                           MakeTokenParser(text, symbols_.get()));
+  Program program(symbols_);
+  while (!parser.AtEnd()) {
+    DATALOG_ASSIGN_OR_RETURN(Rule rule, parser.ParseRuleOrFact());
+    program.AddRule(std::move(rule));
+  }
+  return program;
+}
+
+Result<Rule> Parser::ParseRule(std::string_view text) {
+  DATALOG_ASSIGN_OR_RETURN(TokenParser parser,
+                           MakeTokenParser(text, symbols_.get()));
+  DATALOG_ASSIGN_OR_RETURN(Rule rule, parser.ParseRuleOrFact());
+  DATALOG_RETURN_IF_ERROR(parser.ExpectEnd());
+  return rule;
+}
+
+Result<Tgd> Parser::ParseTgd(std::string_view text) {
+  DATALOG_ASSIGN_OR_RETURN(TokenParser parser,
+                           MakeTokenParser(text, symbols_.get()));
+  DATALOG_ASSIGN_OR_RETURN(Tgd tgd, parser.ParseTgd());
+  DATALOG_RETURN_IF_ERROR(parser.ExpectEnd());
+  return tgd;
+}
+
+Result<std::vector<Tgd>> Parser::ParseTgds(std::string_view text) {
+  DATALOG_ASSIGN_OR_RETURN(TokenParser parser,
+                           MakeTokenParser(text, symbols_.get()));
+  std::vector<Tgd> tgds;
+  while (!parser.AtEnd()) {
+    DATALOG_ASSIGN_OR_RETURN(Tgd tgd, parser.ParseTgd());
+    tgds.push_back(std::move(tgd));
+  }
+  return tgds;
+}
+
+Result<std::vector<Atom>> Parser::ParseGroundAtoms(std::string_view text) {
+  DATALOG_ASSIGN_OR_RETURN(TokenParser parser,
+                           MakeTokenParser(text, symbols_.get()));
+  std::vector<Atom> atoms;
+  while (!parser.AtEnd()) {
+    DATALOG_ASSIGN_OR_RETURN(Atom atom, parser.ParseGroundAtomStatement());
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+Result<Atom> Parser::ParseQuery(std::string_view text) {
+  DATALOG_ASSIGN_OR_RETURN(TokenParser parser,
+                           MakeTokenParser(text, symbols_.get()));
+  DATALOG_ASSIGN_OR_RETURN(Atom atom, parser.ParseQueryStatement());
+  DATALOG_RETURN_IF_ERROR(parser.ExpectEnd());
+  return atom;
+}
+
+}  // namespace datalog

@@ -1,0 +1,68 @@
+#ifndef DATALOG_AST_PARSER_H_
+#define DATALOG_AST_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "ast/tgd.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Parses the textual Datalog syntax used throughout this library.
+///
+/// Grammar (comments run from '%' or '//' to end of line):
+///
+///   program  :=  { rule | fact }
+///   rule     :=  atom ":-" atom { "," atom | "," "not" atom } "."
+///   fact     :=  atom "."                      (head must be ground)
+///   tgd      :=  atoms "->" atoms "."          (atoms separated by "," or "&")
+///   query    :=  "?-" atom "."
+///   atom     :=  ident [ "(" term { "," term } ")" ]
+///   term     :=  integer | quoted string | ident
+///
+/// Bare identifiers in argument positions are variables; integers and
+/// quoted strings ('...' or "...") are constants. This matches the paper's
+/// notation, where G(x, y, 3, 10) has variables x, y and constants 3, 10.
+/// Negated body atoms are written `not A(x)` or `!A(x)` and are accepted by
+/// the evaluation engine only (stratified negation).
+class Parser {
+ public:
+  /// The parser interns names into `symbols`; callers that parse several
+  /// related artifacts (a program, its tgds, its EDB) should reuse one
+  /// table.
+  explicit Parser(std::shared_ptr<SymbolTable> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  /// Parses a whole program (sequence of rules and facts). Facts are
+  /// represented as rules with empty bodies.
+  Result<Program> ParseProgram(std::string_view text);
+
+  /// Parses a single rule or fact (with trailing '.').
+  Result<Rule> ParseRule(std::string_view text);
+
+  /// Parses a single tgd (with trailing '.').
+  Result<Tgd> ParseTgd(std::string_view text);
+
+  /// Parses a sequence of tgds.
+  Result<std::vector<Tgd>> ParseTgds(std::string_view text);
+
+  /// Parses a sequence of ground atoms (facts), each ending with '.'.
+  Result<std::vector<Atom>> ParseGroundAtoms(std::string_view text);
+
+  /// Parses a query `?- atom.` and returns the atom.
+  Result<Atom> ParseQuery(std::string_view text);
+
+  const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_PARSER_H_

@@ -1,0 +1,88 @@
+#include "ast/pretty_print.h"
+
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace datalog {
+
+std::string ToString(const Value& value, const SymbolTable& symbols) {
+  switch (value.kind()) {
+    case ValueKind::kInt:
+      return std::to_string(value.payload());
+    case ValueKind::kSymbol: {
+      const std::string& text =
+          symbols.SymbolText(static_cast<std::int32_t>(value.payload()));
+      // Pick a quote character the text does not contain (the lexer has
+      // no escape sequences). A text containing both quote kinds cannot
+      // round-trip; single quotes are emitted as the lesser evil.
+      if (text.find('\'') == std::string::npos) return "'" + text + "'";
+      return "\"" + text + "\"";
+    }
+    case ValueKind::kFrozen:
+      return "$c" + std::to_string(value.payload());
+    case ValueKind::kNull:
+      return "~n" + std::to_string(value.payload());
+  }
+  return "?";
+}
+
+std::string ToString(const Term& term, const SymbolTable& symbols) {
+  if (term.is_variable()) return symbols.VariableName(term.var());
+  return ToString(term.value(), symbols);
+}
+
+std::string ToString(const Atom& atom, const SymbolTable& symbols) {
+  std::string out = symbols.PredicateName(atom.predicate());
+  if (atom.args().empty()) return out;
+  std::vector<std::string> args;
+  args.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    args.push_back(ToString(t, symbols));
+  }
+  out += "(";
+  out += Join(args, ", ");
+  out += ")";
+  return out;
+}
+
+std::string ToString(const Literal& literal, const SymbolTable& symbols) {
+  std::string out = literal.negated ? "not " : "";
+  return out + ToString(literal.atom, symbols);
+}
+
+std::string ToString(const Rule& rule, const SymbolTable& symbols) {
+  std::string out = ToString(rule.head(), symbols);
+  if (!rule.IsFact()) {
+    std::vector<std::string> body;
+    body.reserve(rule.body().size());
+    for (const Literal& lit : rule.body()) {
+      body.push_back(ToString(lit, symbols));
+    }
+    out += " :- " + Join(body, ", ");
+  }
+  out += ".";
+  return out;
+}
+
+std::string ToString(const Program& program) {
+  std::string out;
+  for (const Rule& rule : program.rules()) {
+    out += ToString(rule, *program.symbols());
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ToString(const Tgd& tgd, const SymbolTable& symbols) {
+  std::vector<std::string> lhs;
+  lhs.reserve(tgd.lhs().size());
+  for (const Atom& atom : tgd.lhs()) lhs.push_back(ToString(atom, symbols));
+  std::vector<std::string> rhs;
+  rhs.reserve(tgd.rhs().size());
+  for (const Atom& atom : tgd.rhs()) rhs.push_back(ToString(atom, symbols));
+  return Join(lhs, ", ") + " -> " + Join(rhs, ", ") + ".";
+}
+
+}  // namespace datalog

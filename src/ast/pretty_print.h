@@ -1,0 +1,37 @@
+#ifndef DATALOG_AST_PRETTY_PRINT_H_
+#define DATALOG_AST_PRETTY_PRINT_H_
+
+#include <string>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "ast/symbol_table.h"
+#include "ast/tgd.h"
+
+namespace datalog {
+
+/// Renders a value, e.g. `42`, `'paris'`, `$c3` (frozen), `~n7` (null).
+std::string ToString(const Value& value, const SymbolTable& symbols);
+
+/// Renders a term: a constant or a variable name.
+std::string ToString(const Term& term, const SymbolTable& symbols);
+
+/// Renders an atom, e.g. `G(x, z)`.
+std::string ToString(const Atom& atom, const SymbolTable& symbols);
+
+/// Renders a literal, e.g. `not A(x, y)`.
+std::string ToString(const Literal& literal, const SymbolTable& symbols);
+
+/// Renders a rule, e.g. `G(x, z) :- A(x, z).`, or `G(1, 2).` for a fact.
+std::string ToString(const Rule& rule, const SymbolTable& symbols);
+
+/// Renders a program, one rule per line.
+std::string ToString(const Program& program);
+
+/// Renders a tgd, e.g. `G(x, z) -> A(x, w).`.
+std::string ToString(const Tgd& tgd, const SymbolTable& symbols);
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_PRETTY_PRINT_H_

@@ -1,0 +1,64 @@
+#include "ast/program.h"
+
+namespace datalog {
+
+Program Program::WithoutRule(std::size_t index) const {
+  Program copy = *this;
+  copy.rules_.erase(copy.rules_.begin() + static_cast<std::ptrdiff_t>(index));
+  return copy;
+}
+
+Program Program::WithRuleReplaced(std::size_t index, Rule rule) const {
+  Program copy = *this;
+  copy.rules_[index] = std::move(rule);
+  return copy;
+}
+
+std::set<PredicateId> Program::IntentionalPredicates() const {
+  std::set<PredicateId> intentional;
+  for (const Rule& rule : rules_) {
+    intentional.insert(rule.head().predicate());
+  }
+  return intentional;
+}
+
+std::set<PredicateId> Program::ExtensionalPredicates() const {
+  std::set<PredicateId> intentional = IntentionalPredicates();
+  std::set<PredicateId> extensional;
+  for (const Rule& rule : rules_) {
+    for (const Literal& lit : rule.body()) {
+      if (!intentional.contains(lit.atom.predicate())) {
+        extensional.insert(lit.atom.predicate());
+      }
+    }
+  }
+  return extensional;
+}
+
+std::set<PredicateId> Program::AllPredicates() const {
+  std::set<PredicateId> all;
+  for (const Rule& rule : rules_) {
+    all.insert(rule.head().predicate());
+    for (const Literal& lit : rule.body()) {
+      all.insert(lit.atom.predicate());
+    }
+  }
+  return all;
+}
+
+bool Program::IsIntentional(PredicateId pred) const {
+  for (const Rule& rule : rules_) {
+    if (rule.head().predicate() == pred) return true;
+  }
+  return false;
+}
+
+std::size_t Program::TotalBodyLiterals() const {
+  std::size_t n = 0;
+  for (const Rule& rule : rules_) {
+    n += rule.body().size();
+  }
+  return n;
+}
+
+}  // namespace datalog

@@ -1,0 +1,74 @@
+#ifndef DATALOG_AST_PROGRAM_H_
+#define DATALOG_AST_PROGRAM_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ast/rule.h"
+#include "ast/symbol_table.h"
+
+namespace datalog {
+
+/// A Datalog program: a set of rules over a shared symbol table
+/// (Section II). Rules are kept in insertion order; the minimization
+/// algorithms consider atoms and rules in this order unless told otherwise.
+class Program {
+ public:
+  /// Creates an empty program with a fresh symbol table.
+  Program() : symbols_(std::make_shared<SymbolTable>()) {}
+
+  /// Creates an empty program sharing an existing symbol table.
+  explicit Program(std::shared_ptr<SymbolTable> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
+  SymbolTable* mutable_symbols() { return symbols_.get(); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& mutable_rules() { return rules_; }
+  std::size_t NumRules() const { return rules_.size(); }
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Returns a copy of this program with the rule at `index` removed.
+  Program WithoutRule(std::size_t index) const;
+
+  /// Returns a copy of this program with the rule at `index` replaced.
+  Program WithRuleReplaced(std::size_t index, Rule rule) const;
+
+  /// The intentional predicates: those appearing as the head of some rule
+  /// (Section III).
+  std::set<PredicateId> IntentionalPredicates() const;
+
+  /// The extensional predicates: those appearing in the program but never
+  /// as a rule head (Section III).
+  std::set<PredicateId> ExtensionalPredicates() const;
+
+  /// All predicates mentioned anywhere in the program.
+  std::set<PredicateId> AllPredicates() const;
+
+  /// True if `pred` is the head predicate of some rule.
+  bool IsIntentional(PredicateId pred) const;
+
+  /// Total number of body literals across all rules (the join-count proxy
+  /// used when reporting minimization benefit).
+  std::size_t TotalBodyLiterals() const;
+
+  /// Structural equality (same rules in the same order). Assumes both
+  /// programs share a symbol table; ids are compared directly.
+  friend bool operator==(const Program& a, const Program& b) {
+    return a.rules_ == b.rules_;
+  }
+  friend bool operator!=(const Program& a, const Program& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_PROGRAM_H_

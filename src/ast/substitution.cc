@@ -1,0 +1,32 @@
+#include "ast/substitution.h"
+
+namespace datalog {
+
+Term Substitution::Resolve(Term t) const {
+  while (t.is_variable()) {
+    auto it = map_.find(t.var());
+    if (it == map_.end()) return t;
+    t = it->second;
+  }
+  return t;
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    args.push_back(Resolve(t));
+  }
+  return Atom(atom.predicate(), std::move(args));
+}
+
+Rule Substitution::Apply(const Rule& rule) const {
+  std::vector<Literal> body;
+  body.reserve(rule.body().size());
+  for (const Literal& lit : rule.body()) {
+    body.push_back(Literal{Apply(lit.atom), lit.negated});
+  }
+  return Rule(Apply(rule.head()), std::move(body));
+}
+
+}  // namespace datalog

@@ -1,0 +1,44 @@
+#ifndef DATALOG_AST_SUBSTITUTION_H_
+#define DATALOG_AST_SUBSTITUTION_H_
+
+#include <unordered_map>
+
+#include "ast/atom.h"
+#include "ast/rule.h"
+#include "ast/term.h"
+
+namespace datalog {
+
+/// A mapping from variables to terms, used for rule instantiation
+/// (Section III) and unification. Bindings form chains (x -> y, y -> c);
+/// Resolve() follows them to a fixpoint.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds variable `v` to `t`. `v` must be unbound. Callers must ensure
+  /// `t` does not (transitively) resolve back to `v`; Unify* maintain this
+  /// by always binding fully resolved variables.
+  void Bind(VariableId v, Term t) { map_.emplace(v, t); }
+
+  bool IsBound(VariableId v) const { return map_.contains(v); }
+  bool empty() const { return map_.empty(); }
+  std::size_t size() const { return map_.size(); }
+
+  /// Follows binding chains: returns the final term `t` resolves to. The
+  /// result is either a constant or an unbound variable.
+  Term Resolve(Term t) const;
+
+  /// Applies the substitution to an atom, resolving every argument.
+  Atom Apply(const Atom& atom) const;
+
+  /// Applies the substitution to every atom of a rule.
+  Rule Apply(const Rule& rule) const;
+
+ private:
+  std::unordered_map<VariableId, Term> map_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_SUBSTITUTION_H_

@@ -1,0 +1,50 @@
+#include "ast/symbol_table.h"
+
+#include <string>
+
+namespace datalog {
+
+Result<PredicateId> SymbolTable::InternPredicate(std::string_view name,
+                                                 int arity) {
+  std::int32_t existing = predicates_.Lookup(name);
+  if (existing >= 0) {
+    if (arities_[static_cast<std::size_t>(existing)] != arity) {
+      return Status::InvalidArgument(
+          "predicate '" + std::string(name) + "' used with arity " +
+          std::to_string(arity) + " but previously declared with arity " +
+          std::to_string(arities_[static_cast<std::size_t>(existing)]));
+    }
+    return existing;
+  }
+  PredicateId id = predicates_.Intern(name);
+  arities_.push_back(arity);
+  return id;
+}
+
+Result<PredicateId> SymbolTable::LookupPredicate(std::string_view name) const {
+  std::int32_t id = predicates_.Lookup(name);
+  if (id < 0) {
+    return Status::NotFound("unknown predicate '" + std::string(name) + "'");
+  }
+  return id;
+}
+
+PredicateId SymbolTable::FreshPredicate(std::string_view hint, int arity) {
+  std::string candidate(hint);
+  while (predicates_.Lookup(candidate) >= 0) {
+    candidate = std::string(hint) + "_" + std::to_string(fresh_counter_++);
+  }
+  PredicateId id = predicates_.Intern(candidate);
+  arities_.push_back(arity);
+  return id;
+}
+
+std::int32_t SymbolTable::FreshVariable(std::string_view hint) {
+  std::string candidate(hint);
+  while (variables_.Lookup(candidate) >= 0) {
+    candidate = std::string(hint) + "_" + std::to_string(fresh_counter_++);
+  }
+  return variables_.Intern(candidate);
+}
+
+}  // namespace datalog

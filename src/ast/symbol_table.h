@@ -1,0 +1,86 @@
+#ifndef DATALOG_AST_SYMBOL_TABLE_H_
+#define DATALOG_AST_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/interning.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace datalog {
+
+/// A predicate id, dense per SymbolTable. In traditional database
+/// terminology a predicate is a relation scheme (Section II).
+using PredicateId = std::int32_t;
+
+/// Interns predicate names (with fixed arities), variable names, and
+/// symbolic constants. A SymbolTable is shared (via std::shared_ptr) by all
+/// Programs and Databases that must agree on ids.
+///
+/// Not thread-safe.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // --- Predicates -----------------------------------------------------
+
+  /// Interns predicate `name` with the given arity. Fails with
+  /// InvalidArgument if `name` was already interned with a different arity
+  /// (a predicate's arity is fixed, Section II).
+  Result<PredicateId> InternPredicate(std::string_view name, int arity);
+
+  /// Returns the id for `name` or NotFound.
+  Result<PredicateId> LookupPredicate(std::string_view name) const;
+
+  const std::string& PredicateName(PredicateId id) const {
+    return predicates_.ToString(id);
+  }
+  int PredicateArity(PredicateId id) const {
+    return arities_[static_cast<std::size_t>(id)];
+  }
+  std::int32_t NumPredicates() const { return predicates_.size(); }
+
+  /// Interns a predicate whose name is guaranteed fresh (used by the
+  /// magic-sets transformation). The returned predicate's name starts with
+  /// `hint` and does not collide with any existing predicate.
+  PredicateId FreshPredicate(std::string_view hint, int arity);
+
+  // --- Variables ------------------------------------------------------
+
+  /// Interns variable `name` (scoped globally; rules that reuse a name
+  /// share an id, which is harmless because rules are renamed apart when
+  /// it matters).
+  std::int32_t InternVariable(std::string_view name) {
+    return variables_.Intern(name);
+  }
+  const std::string& VariableName(std::int32_t id) const {
+    return variables_.ToString(id);
+  }
+  std::int32_t NumVariables() const { return variables_.size(); }
+
+  /// Creates a fresh variable whose name starts with `hint`.
+  std::int32_t FreshVariable(std::string_view hint);
+
+  // --- Symbolic constants ----------------------------------------------
+
+  std::int32_t InternSymbol(std::string_view text) {
+    return symbols_.Intern(text);
+  }
+  const std::string& SymbolText(std::int32_t id) const {
+    return symbols_.ToString(id);
+  }
+
+ private:
+  StringInterner predicates_;
+  std::vector<int> arities_;  // parallel to predicates_
+  StringInterner variables_;
+  StringInterner symbols_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_SYMBOL_TABLE_H_

@@ -1,0 +1,75 @@
+#ifndef DATALOG_AST_TERM_H_
+#define DATALOG_AST_TERM_H_
+
+#include <cstdint>
+
+#include "ast/value.h"
+#include "util/hash.h"
+
+namespace datalog {
+
+/// A variable id, interned in a SymbolTable.
+using VariableId = std::int32_t;
+
+/// An argument of an atom: either a variable or a constant. Datalog has no
+/// function symbols, so terms are flat (Section II).
+class Term {
+ public:
+  /// Default-constructs the constant 0. Required for container use.
+  Term() : is_variable_(false), var_(0), value_() {}
+
+  static Term Variable(VariableId v) {
+    Term t;
+    t.is_variable_ = true;
+    t.var_ = v;
+    return t;
+  }
+  static Term Constant(Value v) {
+    Term t;
+    t.is_variable_ = false;
+    t.value_ = v;
+    return t;
+  }
+  static Term Int(std::int64_t v) { return Constant(Value::Int(v)); }
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+
+  /// Requires is_variable().
+  VariableId var() const { return var_; }
+  /// Requires is_constant().
+  const Value& value() const { return value_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_variable_ != b.is_variable_) return false;
+    return a.is_variable_ ? a.var_ == b.var_ : a.value_ == b.value_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.is_variable_ != b.is_variable_) return a.is_variable_ < b.is_variable_;
+    if (a.is_variable_) return a.var_ < b.var_;
+    return a.value_ < b.value_;
+  }
+
+  std::size_t Hash() const {
+    std::size_t seed = is_variable_ ? 0x517cc1b727220a95ULL : 0;
+    HashCombine(seed, is_variable_ ? std::hash<VariableId>{}(var_) : value_.Hash());
+    return seed;
+  }
+
+ private:
+  bool is_variable_;
+  VariableId var_;
+  Value value_;
+};
+
+}  // namespace datalog
+
+namespace std {
+template <>
+struct hash<datalog::Term> {
+  size_t operator()(const datalog::Term& t) const { return t.Hash(); }
+};
+}  // namespace std
+
+#endif  // DATALOG_AST_TERM_H_

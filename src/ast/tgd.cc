@@ -1,0 +1,25 @@
+#include "ast/tgd.h"
+
+namespace datalog {
+
+std::set<VariableId> Tgd::UniversalVariables() const {
+  std::set<VariableId> vars;
+  for (const Atom& atom : lhs_) {
+    std::set<VariableId> atom_vars = atom.Variables();
+    vars.insert(atom_vars.begin(), atom_vars.end());
+  }
+  return vars;
+}
+
+std::set<VariableId> Tgd::ExistentialVariables() const {
+  std::set<VariableId> universal = UniversalVariables();
+  std::set<VariableId> existential;
+  for (const Atom& atom : rhs_) {
+    for (VariableId v : atom.Variables()) {
+      if (!universal.contains(v)) existential.insert(v);
+    }
+  }
+  return existential;
+}
+
+}  // namespace datalog

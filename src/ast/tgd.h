@@ -1,0 +1,52 @@
+#ifndef DATALOG_AST_TGD_H_
+#define DATALOG_AST_TGD_H_
+
+#include <set>
+#include <vector>
+
+#include "ast/atom.h"
+
+namespace datalog {
+
+/// A tuple-generating dependency (Section VIII):
+///
+///   forall x [ lhs(x)  ->  exists y  rhs(x, y) ]
+///
+/// written without quantifiers, e.g. G(y,z) -> G(y,w) & C(w). Universally
+/// quantified variables are those appearing in the left-hand side;
+/// existentially quantified variables appear only in the right-hand side.
+/// Tgds here are untyped, as in the paper.
+class Tgd {
+ public:
+  Tgd() = default;
+  Tgd(std::vector<Atom> lhs, std::vector<Atom> rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  const std::vector<Atom>& lhs() const { return lhs_; }
+  const std::vector<Atom>& rhs() const { return rhs_; }
+
+  /// Universally quantified variables: those in the left-hand side.
+  std::set<VariableId> UniversalVariables() const;
+
+  /// Existentially quantified variables: those appearing only in the
+  /// right-hand side.
+  std::set<VariableId> ExistentialVariables() const;
+
+  /// A tgd is full if it has no existentially quantified variables;
+  /// applying a full tgd is the same as applying rules (Example 10).
+  /// Otherwise it is embedded and its application introduces nulls.
+  bool IsFull() const { return ExistentialVariables().empty(); }
+
+  friend bool operator==(const Tgd& a, const Tgd& b) {
+    return a.lhs_ == b.lhs_ && a.rhs_ == b.rhs_;
+  }
+  friend bool operator!=(const Tgd& a, const Tgd& b) { return !(a == b); }
+
+ private:
+  std::vector<Atom> lhs_;
+  std::vector<Atom> rhs_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_TGD_H_

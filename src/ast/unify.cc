@@ -1,0 +1,61 @@
+#include "ast/unify.h"
+
+#include <unordered_map>
+
+namespace datalog {
+
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
+  Term ra = subst->Resolve(a);
+  Term rb = subst->Resolve(b);
+  if (ra == rb) return true;
+  if (ra.is_variable()) {
+    subst->Bind(ra.var(), rb);
+    return true;
+  }
+  if (rb.is_variable()) {
+    subst->Bind(rb.var(), ra);
+    return true;
+  }
+  return false;  // Two distinct constants.
+}
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst) {
+  if (a.predicate() != b.predicate()) return false;
+  if (a.args().size() != b.args().size()) return false;
+  for (std::size_t i = 0; i < a.args().size(); ++i) {
+    if (!UnifyTerms(a.args()[i], b.args()[i], subst)) return false;
+  }
+  return true;
+}
+
+Rule RenameApart(const Rule& rule, SymbolTable* symbols) {
+  std::unordered_map<VariableId, VariableId> renaming;
+  auto rename_atom = [&](const Atom& atom) {
+    std::vector<Term> args;
+    args.reserve(atom.args().size());
+    for (const Term& t : atom.args()) {
+      if (t.is_constant()) {
+        args.push_back(t);
+        continue;
+      }
+      auto it = renaming.find(t.var());
+      if (it == renaming.end()) {
+        VariableId fresh =
+            symbols->FreshVariable(symbols->VariableName(t.var()));
+        it = renaming.emplace(t.var(), fresh).first;
+      }
+      args.push_back(Term::Variable(it->second));
+    }
+    return Atom(atom.predicate(), std::move(args));
+  };
+
+  std::vector<Literal> body;
+  body.reserve(rule.body().size());
+  Atom head = rename_atom(rule.head());
+  for (const Literal& lit : rule.body()) {
+    body.push_back(Literal{rename_atom(lit.atom), lit.negated});
+  }
+  return Rule(std::move(head), std::move(body));
+}
+
+}  // namespace datalog

@@ -1,0 +1,28 @@
+#ifndef DATALOG_AST_UNIFY_H_
+#define DATALOG_AST_UNIFY_H_
+
+#include "ast/atom.h"
+#include "ast/rule.h"
+#include "ast/substitution.h"
+#include "ast/symbol_table.h"
+
+namespace datalog {
+
+/// Extends `subst` to a most general unifier of `a` and `b`. Returns false
+/// (leaving `subst` in an unspecified but valid state) if the terms do not
+/// unify. Terms are flat (no function symbols), so no occurs check is
+/// needed.
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst);
+
+/// Extends `subst` to a most general unifier of atoms `a` and `b`
+/// (same predicate, argument-wise term unification).
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst);
+
+/// Returns a copy of `rule` in which every variable has been replaced by a
+/// fresh variable from `symbols`. Used to rename rules apart before
+/// unification (Fig. 3 and the magic-sets transformation).
+Rule RenameApart(const Rule& rule, SymbolTable* symbols);
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_UNIFY_H_

@@ -1,0 +1,42 @@
+#include "ast/validate.h"
+
+#include "ast/pretty_print.h"
+
+namespace datalog {
+
+Status ValidateRule(const Rule& rule, const SymbolTable& symbols) {
+  if (rule.IsFact() && !rule.head().IsGround()) {
+    return Status::InvalidArgument(
+        "rule with empty body must have a ground head: " +
+        ToString(rule, symbols));
+  }
+  if (!rule.IsSafe()) {
+    return Status::InvalidArgument(
+        "unsafe rule (a head variable or a variable of a negated literal "
+        "does not appear in a positive body literal): " +
+        ToString(rule, symbols));
+  }
+  return Status::OK();
+}
+
+Status ValidateProgram(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    DATALOG_RETURN_IF_ERROR(ValidateRule(rule, *program.symbols()));
+  }
+  return Status::OK();
+}
+
+Status ValidatePositiveProgram(const Program& program) {
+  DATALOG_RETURN_IF_ERROR(ValidateProgram(program));
+  for (const Rule& rule : program.rules()) {
+    if (!rule.IsPositive()) {
+      return Status::InvalidArgument(
+          "negation is not supported here (the optimization algorithms "
+          "require positive programs): " +
+          ToString(rule, *program.symbols()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace datalog

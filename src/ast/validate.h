@@ -1,0 +1,24 @@
+#ifndef DATALOG_AST_VALIDATE_H_
+#define DATALOG_AST_VALIDATE_H_
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace datalog {
+
+/// Checks the paper's well-formedness assumptions for a single rule
+/// (Section II): every head variable appears in the (positive) body, and a
+/// rule with an empty body has a ground head. With negation, every variable
+/// of a negated literal must appear in a positive literal.
+Status ValidateRule(const Rule& rule, const SymbolTable& symbols);
+
+/// Validates every rule of the program.
+Status ValidateProgram(const Program& program);
+
+/// Additionally requires the program to be negation-free, which the
+/// optimization algorithms of Sections VI-XI assume.
+Status ValidatePositiveProgram(const Program& program);
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_VALIDATE_H_

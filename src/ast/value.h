@@ -1,0 +1,90 @@
+#ifndef DATALOG_AST_VALUE_H_
+#define DATALOG_AST_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/hash.h"
+
+namespace datalog {
+
+/// Discriminates the four kinds of constants that can appear in a database.
+///
+/// The paper assumes constants are integers; we additionally support interned
+/// symbolic constants (strings), *frozen* constants (the distinct constants
+/// substituted for variables when a rule body is turned into a canonical
+/// database, Section VI), and labeled *nulls* (the Skolem values introduced
+/// by applying embedded tgds, Section VIII).
+enum class ValueKind : std::uint8_t {
+  kInt = 0,
+  kSymbol = 1,
+  kFrozen = 2,
+  kNull = 3,
+};
+
+/// A single database constant. Trivially copyable, 16 bytes.
+///
+/// Frozen constants and nulls are ordinary constants as far as rule and tgd
+/// application is concerned (the paper: "once an atom with nulls is added to
+/// the DB, ... nulls are viewed as constants"); the distinct kinds exist so
+/// that freshly generated values can never collide with program constants.
+class Value {
+ public:
+  /// Default-constructs the integer 0. Required for container use.
+  Value() : kind_(ValueKind::kInt), payload_(0) {}
+
+  static Value Int(std::int64_t v) { return Value(ValueKind::kInt, v); }
+  /// `id` is an interned-string id from a SymbolTable.
+  static Value Symbol(std::int32_t id) { return Value(ValueKind::kSymbol, id); }
+  /// A frozen constant with a per-operation sequence number.
+  static Value Frozen(std::int32_t id) { return Value(ValueKind::kFrozen, id); }
+  /// A labeled null with a per-operation sequence number.
+  static Value Null(std::int32_t id) { return Value(ValueKind::kNull, id); }
+
+  ValueKind kind() const { return kind_; }
+  bool is_int() const { return kind_ == ValueKind::kInt; }
+  bool is_symbol() const { return kind_ == ValueKind::kSymbol; }
+  bool is_frozen() const { return kind_ == ValueKind::kFrozen; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+
+  /// The integer payload: the int value, the symbol id, or the frozen/null
+  /// sequence number, depending on kind().
+  std::int64_t payload() const { return payload_; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.kind_ == b.kind_ && a.payload_ == b.payload_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  /// Arbitrary-but-total order (kind-major), for canonical sorting.
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.payload_ < b.payload_;
+  }
+
+  std::size_t Hash() const {
+    std::size_t seed = static_cast<std::size_t>(kind_);
+    HashCombine(seed, std::hash<std::int64_t>{}(payload_));
+    return seed;
+  }
+
+ private:
+  Value(ValueKind kind, std::int64_t payload) : kind_(kind), payload_(payload) {}
+
+  ValueKind kind_;
+  std::int64_t payload_;
+};
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace datalog
+
+namespace std {
+template <>
+struct hash<datalog::Value> {
+  size_t operator()(const datalog::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // DATALOG_AST_VALUE_H_

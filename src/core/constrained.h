@@ -1,0 +1,50 @@
+#ifndef DATALOG_CORE_CONSTRAINED_H_
+#define DATALOG_CORE_CONSTRAINED_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "core/chase.h"
+#include "core/minimize.h"
+#include "core/proof_outcome.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Uniform containment and minimization relative to a set of constraints
+/// (the abstract's "procedure for testing uniform equivalence ... for the
+/// case in which the database satisfies some constraints", Section VIII).
+/// All containments below quantify over databases in SAT(T) only.
+
+/// Attempts to prove p2 ⊆ᵘ_SAT(T) p1 via Corollary 1: it suffices that
+/// (a) p1 preserves T (shown non-recursively by the Fig. 3 procedure) and
+/// (b) SAT(T) ∩ M(p1) ⊆ M(p2) (shown by the [p1, T] chase).
+/// Returns kProved when both succeed; kDisproved when (b) is refuted
+/// while (a) is proved (Corollary 1 is an equivalence in that case);
+/// otherwise kUnknown. With empty `tgds` this coincides with the
+/// decidable UniformlyContains.
+Result<ProofOutcome> UniformContainmentUnderConstraints(
+    const Program& p1, const Program& p2, const std::vector<Tgd>& tgds,
+    const ChaseBudget& budget = {});
+
+/// Both directions of the above.
+Result<ProofOutcome> UniformEquivalenceUnderConstraints(
+    const Program& p1, const Program& p2, const std::vector<Tgd>& tgds,
+    const ChaseBudget& budget = {});
+
+/// Fig. 2 relativized to SAT(T): an atom or rule is deleted when the
+/// smaller program is provably SAT(T)-uniformly equivalent to the current
+/// one. Each candidate deletion requires (re-)proving that the *current*
+/// program preserves T, since deletions can break preservation; a
+/// deletion is committed only on kProved, so the result is always
+/// SAT(T)-uniformly equivalent to the input. Removes at least everything
+/// MinimizeProgram removes (T = {} reduces to it) and possibly more
+/// (constraints make more atoms redundant, the Chakravarthy-et-al. use
+/// case cited in Section VIII).
+Result<Program> MinimizeProgramUnderConstraints(
+    const Program& program, const std::vector<Tgd>& tgds,
+    const ChaseBudget& budget = {}, MinimizeReport* report = nullptr);
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_CONSTRAINED_H_

@@ -1,0 +1,240 @@
+#include "core/cq.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/dependence_graph.h"
+#include "ast/validate.h"
+#include "core/unfold.h"
+
+namespace datalog {
+namespace {
+
+/// A candidate homomorphism: q1 variables to q2 terms (constants are fixed
+/// points by definition).
+using Mapping = std::unordered_map<VariableId, Term>;
+
+/// Extends `mapping` so that hom(from) == to, argument-wise. Returns false
+/// on conflict; on false, `mapping` may contain partial additions, so
+/// callers backtrack on a copy.
+bool MapAtom(const Atom& from, const Atom& to, Mapping* mapping) {
+  if (from.predicate() != to.predicate()) return false;
+  if (from.args().size() != to.args().size()) return false;
+  for (std::size_t i = 0; i < from.args().size(); ++i) {
+    const Term& s = from.args()[i];
+    const Term& t = to.args()[i];
+    if (s.is_constant()) {
+      if (!(t.is_constant() && t.value() == s.value())) return false;
+      continue;
+    }
+    auto [it, inserted] = mapping->emplace(s.var(), t);
+    if (!inserted && it->second != t) return false;
+  }
+  return true;
+}
+
+bool SearchHom(const std::vector<Atom>& from_body,
+               const std::vector<Atom>& to_body, std::size_t depth,
+               const Mapping& mapping) {
+  if (depth == from_body.size()) return true;
+  for (const Atom& target : to_body) {
+    Mapping extended = mapping;
+    if (MapAtom(from_body[depth], target, &extended) &&
+        SearchHom(from_body, to_body, depth + 1, extended)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> HasContainmentMapping(const Rule& q1, const Rule& q2) {
+  if (!q1.IsPositive() || !q2.IsPositive()) {
+    return Status::InvalidArgument(
+        "containment mappings are defined for positive rules");
+  }
+  if (q1.head().predicate() != q2.head().predicate()) {
+    return Status::InvalidArgument(
+        "containment mapping requires identical head predicates");
+  }
+  Mapping mapping;
+  if (!MapAtom(q1.head(), q2.head(), &mapping)) return false;
+  return SearchHom(q1.PositiveBodyAtoms(), q2.PositiveBodyAtoms(), 0, mapping);
+}
+
+Result<Rule> MinimizeCq(const Rule& q, std::shared_ptr<SymbolTable> symbols) {
+  DATALOG_RETURN_IF_ERROR(ValidateRule(q, *symbols));
+  if (!q.IsPositive()) {
+    return Status::InvalidArgument("MinimizeCq requires a positive rule");
+  }
+  Rule current = q;
+  // Consider each atom once (as in Fig. 1; the same once-suffices argument
+  // applies to cores of conjunctive queries).
+  std::size_t pos = 0;
+  while (pos < current.body().size()) {
+    Rule candidate = current.WithoutBodyLiteral(pos);
+    if (!candidate.IsSafe()) {
+      ++pos;
+      continue;
+    }
+    // current ⊆ candidate holds trivially (fewer atoms restrict less);
+    // the deletion is sound iff also candidate ⊆ current, witnessed by a
+    // containment mapping from current to candidate.
+    DATALOG_ASSIGN_OR_RETURN(bool hom,
+                             HasContainmentMapping(current, candidate));
+    if (hom) {
+      current = std::move(candidate);  // pos now points at the next atom
+    } else {
+      ++pos;
+    }
+  }
+  return current;
+}
+
+Result<bool> CqUnionContains(const std::vector<Rule>& q1,
+                             const std::vector<Rule>& q2) {
+  for (const Rule& member : q2) {
+    bool covered = false;
+    for (const Rule& candidate : q1) {
+      if (candidate.head().predicate() != member.head().predicate()) {
+        return Status::InvalidArgument(
+            "union containment requires a single head predicate");
+      }
+      DATALOG_ASSIGN_OR_RETURN(bool hom,
+                               HasContainmentMapping(candidate, member));
+      if (hom) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Rule>> MinimizeCqUnion(
+    const std::vector<Rule>& queries, std::shared_ptr<SymbolTable> symbols) {
+  // Drop members subsumed by another member (each considered once; a
+  // member may be subsumed by one that is itself dropped later only if a
+  // survivor also subsumes it -- subsumption is transitive through the
+  // homomorphism composition, so checking against the CURRENT union is
+  // sound and complete).
+  std::vector<Rule> survivors = queries;
+  std::size_t pos = 0;
+  while (pos < survivors.size()) {
+    bool subsumed = false;
+    for (std::size_t j = 0; j < survivors.size() && !subsumed; ++j) {
+      if (j == pos) continue;
+      DATALOG_ASSIGN_OR_RETURN(
+          bool hom, HasContainmentMapping(survivors[j], survivors[pos]));
+      if (hom) subsumed = true;
+    }
+    if (subsumed) {
+      survivors.erase(survivors.begin() + static_cast<std::ptrdiff_t>(pos));
+    } else {
+      ++pos;
+    }
+  }
+  for (Rule& rule : survivors) {
+    DATALOG_ASSIGN_OR_RETURN(rule, MinimizeCq(rule, symbols));
+  }
+  return survivors;
+}
+
+Result<bool> InitializationProgramsEquivalent(const Program& p1,
+                                              const Program& p2) {
+  auto init_by_head = [](const Program& p) {
+    std::set<PredicateId> intentional = p.IntentionalPredicates();
+    std::map<PredicateId, std::vector<Rule>> groups;
+    for (const Rule& rule : p.rules()) {
+      bool all_extensional = true;
+      for (const Literal& lit : rule.body()) {
+        if (intentional.contains(lit.atom.predicate())) {
+          all_extensional = false;
+          break;
+        }
+      }
+      if (all_extensional) groups[rule.head().predicate()].push_back(rule);
+    }
+    return groups;
+  };
+
+  std::map<PredicateId, std::vector<Rule>> g1 = init_by_head(p1);
+  std::map<PredicateId, std::vector<Rule>> g2 = init_by_head(p2);
+  std::set<PredicateId> heads;
+  for (const auto& [pred, rules] : g1) heads.insert(pred);
+  for (const auto& [pred, rules] : g2) heads.insert(pred);
+
+  for (PredicateId pred : heads) {
+    const std::vector<Rule>& u1 = g1[pred];
+    const std::vector<Rule>& u2 = g2[pred];
+    if (u1.empty() != u2.empty()) return false;
+    DATALOG_ASSIGN_OR_RETURN(bool forward, CqUnionContains(u1, u2));
+    if (!forward) return false;
+    DATALOG_ASSIGN_OR_RETURN(bool backward, CqUnionContains(u2, u1));
+    if (!backward) return false;
+  }
+  return true;
+}
+
+Result<bool> NonRecursiveProgramsEquivalent(const Program& p1,
+                                            const Program& p2) {
+  DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(p1));
+  DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(p2));
+  DependenceGraph g1(p1), g2(p2);
+  if (g1.IsRecursive() || g2.IsRecursive()) {
+    return Status::InvalidArgument(
+        "NonRecursiveProgramsEquivalent requires non-recursive programs");
+  }
+
+  // Completely unfold both programs: a non-recursive program with k
+  // intentional predicates flattens within k rounds.
+  auto flatten = [](const Program& p) -> Result<std::vector<Rule>> {
+    ExpandLimits limits;
+    limits.max_depth = p.IntentionalPredicates().size() + 1;
+    limits.max_rules = 4096;
+    bool truncated = false;
+    std::vector<Rule> flat = ExpandRules(p, limits, &truncated);
+    if (truncated) {
+      return Status::ResourceExhausted(
+          "non-recursive unfolding exceeded the expansion cap");
+    }
+    return flat;
+  };
+  DATALOG_ASSIGN_OR_RETURN(std::vector<Rule> flat1, flatten(p1));
+  DATALOG_ASSIGN_OR_RETURN(std::vector<Rule> flat2, flatten(p2));
+
+  auto group = [](const std::vector<Rule>& rules) {
+    std::map<PredicateId, std::vector<Rule>> groups;
+    for (const Rule& rule : rules) {
+      groups[rule.head().predicate()].push_back(rule);
+    }
+    return groups;
+  };
+  std::map<PredicateId, std::vector<Rule>> u1 = group(flat1);
+  std::map<PredicateId, std::vector<Rule>> u2 = group(flat2);
+
+  std::set<PredicateId> heads;
+  for (const auto& [pred, rules] : u1) heads.insert(pred);
+  for (const auto& [pred, rules] : u2) heads.insert(pred);
+  // Every intentional predicate of either program must be compared, even
+  // one with no flattened definition (it computes the empty relation).
+  for (PredicateId pred : p1.IntentionalPredicates()) heads.insert(pred);
+  for (PredicateId pred : p2.IntentionalPredicates()) heads.insert(pred);
+
+  for (PredicateId pred : heads) {
+    const std::vector<Rule>& q1 = u1[pred];
+    const std::vector<Rule>& q2 = u2[pred];
+    if (q1.empty() != q2.empty()) return false;
+    DATALOG_ASSIGN_OR_RETURN(bool forward, CqUnionContains(q1, q2));
+    if (!forward) return false;
+    DATALOG_ASSIGN_OR_RETURN(bool backward, CqUnionContains(q2, q1));
+    if (!backward) return false;
+  }
+  return true;
+}
+
+}  // namespace datalog

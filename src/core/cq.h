@@ -1,0 +1,79 @@
+#ifndef DATALOG_CORE_CQ_H_
+#define DATALOG_CORE_CQ_H_
+
+#include <memory>
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "ast/symbol_table.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Conjunctive-query machinery: the solved non-recursive case the paper
+/// builds on (Section V, citing Chandra and Merlin [1976] and Aho, Sagiv
+/// and Ullman [1979]). A single positive rule is read as a conjunctive
+/// query; containment is a containment mapping (homomorphism), and
+/// minimization computes the core.
+///
+/// For non-recursive rules these agree with the chase-based uniform
+/// containment test; for recursive rules the homomorphism test is strictly
+/// weaker (it corresponds to a single rule application, whereas the chase
+/// may apply the rule repeatedly, as in Example 7). Tests and benchmarks
+/// exploit both facts.
+
+/// True if there is a containment mapping from `q1` to `q2`: a mapping of
+/// q1's variables to q2's terms that sends q1's head to q2's head and each
+/// body atom of q1 to a body atom of q2. This witnesses Q2 ⊆ Q1 as
+/// conjunctive queries. Both rules must be positive with the same head
+/// predicate.
+Result<bool> HasContainmentMapping(const Rule& q1, const Rule& q2);
+
+/// Minimizes `q` as a conjunctive query (computes its core): body atoms
+/// are considered once each and dropped when a containment mapping from
+/// the original to the smaller query exists. The result is the unique
+/// minimal equivalent conjunctive query, up to renaming (Chandra-Merlin).
+Result<Rule> MinimizeCq(const Rule& q, std::shared_ptr<SymbolTable> symbols);
+
+/// Containment of unions of conjunctive queries (Sagiv and Yannakakis
+/// [1980], cited in Sections V and X): union(q2) ⊆ union(q1) iff every
+/// member of q2 has a containment mapping from some member of q1. All
+/// rules must be positive and share one head predicate; `q1` must be
+/// non-empty unless `q2` is.
+Result<bool> CqUnionContains(const std::vector<Rule>& q1,
+                             const std::vector<Rule>& q2);
+
+/// Minimizes a union of conjunctive queries: members subsumed by another
+/// member are dropped (each considered once), and every survivor is
+/// replaced by its core. The result is the unique minimal equivalent
+/// union, up to renaming and order.
+Result<std::vector<Rule>> MinimizeCqUnion(
+    const std::vector<Rule>& queries, std::shared_ptr<SymbolTable> symbols);
+
+/// Decides condition (3) of Section X directly: the initialization
+/// programs P1^i and P2^i are equivalent, checked per head predicate as
+/// equivalence of unions of conjunctive queries (the paper: "equivalence
+/// of non-recursive programs is the same as ... equivalence of unions of
+/// tableaux"). Only initialization rules (all-extensional bodies)
+/// participate.
+Result<bool> InitializationProgramsEquivalent(const Program& p1,
+                                              const Program& p2);
+
+/// Decides ordinary equivalence of two NON-RECURSIVE programs — the case
+/// Section V calls solved (Sagiv and Yannakakis [1980]): each program is
+/// completely unfolded into unions of conjunctive queries over the
+/// extensional vocabulary (terminates because nothing is recursive), and
+/// the unions are compared per intentional predicate. Note that this is
+/// genuinely ordinary equivalence, which on multi-layer non-recursive
+/// programs is strictly weaker than uniform equivalence: the gap shows on
+/// databases that assign initial relations to intentional predicates,
+/// which ordinary equivalence ignores (see the
+/// NonRecursiveEquivalenceBeyondUniform test). Fails with InvalidArgument
+/// when a program is recursive.
+Result<bool> NonRecursiveProgramsEquivalent(const Program& p1,
+                                            const Program& p2);
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_CQ_H_

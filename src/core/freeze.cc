@@ -1,0 +1,46 @@
+#include "core/freeze.h"
+
+namespace datalog {
+
+Value FrozenConstantPool::For(VariableId v) {
+  auto it = assigned_.find(v);
+  if (it != assigned_.end()) return it->second;
+  Value value = Value::Frozen(next_++);
+  assigned_.emplace(v, value);
+  return value;
+}
+
+Tuple FreezeAtom(const Atom& atom, FrozenConstantPool* pool) {
+  Tuple tuple;
+  tuple.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    tuple.push_back(t.is_constant() ? t.value() : pool->For(t.var()));
+  }
+  return tuple;
+}
+
+Result<Database> FreezeAtoms(const std::vector<Atom>& atoms,
+                             std::shared_ptr<SymbolTable> symbols,
+                             FrozenConstantPool* pool) {
+  Database db(std::move(symbols));
+  for (const Atom& atom : atoms) {
+    db.AddFact(atom.predicate(), FreezeAtom(atom, pool));
+  }
+  return db;
+}
+
+Result<FrozenRule> FreezeRule(const Rule& rule,
+                              std::shared_ptr<SymbolTable> symbols) {
+  if (!rule.IsPositive()) {
+    return Status::InvalidArgument(
+        "cannot freeze a rule with negated literals");
+  }
+  FrozenConstantPool pool;
+  DATALOG_ASSIGN_OR_RETURN(
+      Database body, FreezeAtoms(rule.PositiveBodyAtoms(), symbols, &pool));
+  FrozenRule frozen{std::move(body), rule.head().predicate(),
+                    FreezeAtom(rule.head(), &pool)};
+  return frozen;
+}
+
+}  // namespace datalog

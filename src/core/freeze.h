@@ -1,0 +1,61 @@
+#ifndef DATALOG_CORE_FREEZE_H_
+#define DATALOG_CORE_FREEZE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/rule.h"
+#include "eval/database.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Allocates frozen constants — the "distinct constants that are not
+/// already in r" of Section VI. Each FrozenConstantPool hands out globally
+/// unique frozen values within one operation; frozen values can never
+/// collide with program constants because they have their own ValueKind.
+class FrozenConstantPool {
+ public:
+  FrozenConstantPool() = default;
+
+  /// The frozen constant for variable `v` (allocated on first request).
+  Value For(VariableId v);
+
+  /// A fresh frozen constant not tied to any variable.
+  Value Fresh() { return Value::Frozen(next_++); }
+
+ private:
+  std::unordered_map<VariableId, Value> assigned_;
+  std::int32_t next_ = 0;
+};
+
+/// The result of freezing a rule: its body as a canonical database and its
+/// head as a ground fact, under the same one-to-one substitution theta.
+struct FrozenRule {
+  Database body;         // b theta (Section VI)
+  PredicateId head_pred;
+  Tuple head_tuple;      // h theta
+};
+
+/// Applies a one-to-one substitution of fresh frozen constants for the
+/// variables of `rule` and returns the instantiated body and head
+/// (Section VI). The rule must be positive; negated literals cannot occur
+/// in the uniform-containment machinery.
+Result<FrozenRule> FreezeRule(const Rule& rule,
+                              std::shared_ptr<SymbolTable> symbols);
+
+/// Freezes a conjunction of atoms (used for tgd left-hand sides in Fig. 3),
+/// sharing one pool so that shared variables freeze consistently.
+Result<Database> FreezeAtoms(const std::vector<Atom>& atoms,
+                             std::shared_ptr<SymbolTable> symbols,
+                             FrozenConstantPool* pool);
+
+/// Instantiates a single atom under `pool` (every variable becomes its
+/// frozen constant). Requires the atom's variables to be registered or
+/// registers them on the fly.
+Tuple FreezeAtom(const Atom& atom, FrozenConstantPool* pool);
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_FREEZE_H_

@@ -1,0 +1,100 @@
+#ifndef DATALOG_CORE_MINIMIZE_H_
+#define DATALOG_CORE_MINIMIZE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Options for the minimization algorithms.
+struct MinimizeOptions {
+  /// When set, atoms (and, for programs, rules) are considered for
+  /// deletion in a pseudo-random order seeded here instead of textual
+  /// order. The paper notes the final result may depend on this order
+  /// (Section VII); the option exists to demonstrate that.
+  std::optional<std::uint64_t> shuffle_seed;
+};
+
+/// What the minimizer removed. `removed_atoms`/`removed_rules` record the
+/// deletions in the order they were committed; `rule_index` refers to the
+/// rule's position in the program at the moment of deletion (phase 1
+/// never reorders rules; phase 2 shifts later indices down as rules go).
+struct MinimizeReport {
+  struct RemovedAtom {
+    std::size_t rule_index;
+    Atom atom;
+  };
+
+  std::size_t atoms_removed = 0;
+  std::size_t rules_removed = 0;
+  std::size_t containment_tests = 0;
+  std::vector<RemovedAtom> removed_atoms;
+  std::vector<Rule> removed_rules;
+
+  void Add(const MinimizeReport& other) {
+    atoms_removed += other.atoms_removed;
+    rules_removed += other.rules_removed;
+    containment_tests += other.containment_tests;
+    removed_atoms.insert(removed_atoms.end(), other.removed_atoms.begin(),
+                         other.removed_atoms.end());
+    removed_rules.insert(removed_rules.end(), other.removed_rules.begin(),
+                         other.removed_rules.end());
+  }
+};
+
+/// The algorithm of Fig. 1: repeatedly deletes a body atom from `rule` and
+/// keeps the deletion when the smaller rule is uniformly contained in the
+/// current one. Each atom is considered exactly once (Theorem 2 shows more
+/// passes cannot help). Returns a rule uniformly equivalent to `rule` with
+/// no atom deletable under uniform equivalence.
+Result<Rule> MinimizeRule(const Rule& rule,
+                          std::shared_ptr<SymbolTable> symbols,
+                          MinimizeReport* report = nullptr,
+                          const MinimizeOptions& options = {});
+
+/// The algorithm of Fig. 2: first minimizes every rule against the whole
+/// program (an atom may be redundant w.r.t. P without being redundant
+/// w.r.t. its own rule alone), then deletes redundant rules. The result
+/// has neither a redundant atom nor a redundant rule under uniform
+/// equivalence; it is uniformly equivalent to the input but not
+/// necessarily unique.
+Result<Program> MinimizeProgram(const Program& program,
+                                MinimizeReport* report = nullptr,
+                                const MinimizeOptions& options = {});
+
+/// Minimization for programs WITH stratified negation: the positive rules
+/// are minimized (Fig. 2) against the set of all positive rules; rules
+/// containing negated literals are left untouched. Sound for the
+/// stratified (perfect-model) semantics: a deleted atom/rule was
+/// uniformly redundant w.r.t. the positive subset, and a minimal
+/// re-derivation only routes through predicates at or below the deleted
+/// rule's stratum (every premise of an intermediate rule lies strictly
+/// lower), so it replays inside the stratum-by-stratum evaluation. The
+/// result preserves EvaluateStratified's output on every input; the
+/// output lists the minimized positive rules first, then the untouched
+/// negation rules. This is a first step in the §XII extension direction
+/// ("the results on uniform containment and minimization can be extended
+/// to Datalog programs with stratified negation"); minimizing the
+/// negation rules themselves needs the forthcoming-paper theory.
+Result<Program> MinimizeStratifiedProgram(const Program& program,
+                                          MinimizeReport* report = nullptr,
+                                          const MinimizeOptions& options = {});
+
+/// The opposite optimization direction sketched in Section I: some
+/// optimizers ADD conjuncts (e.g. a third relation known to contain an
+/// intersection) to give the planner more choices. Adding `atom` to the
+/// body of rule `rule_index` is sound under uniform equivalence iff the
+/// original rule is uniformly contained in the program with the
+/// strengthened rule (the added atom can then always be satisfied).
+/// Decidable, like atom removal.
+Result<bool> AtomAdditionIsSound(const Program& program,
+                                 std::size_t rule_index, const Atom& atom);
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_MINIMIZE_H_

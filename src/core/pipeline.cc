@@ -1,0 +1,31 @@
+#include "core/pipeline.h"
+
+#include "core/equivalence_optimizer.h"
+#include "core/relevance.h"
+
+namespace datalog {
+
+Result<QueryPlan> PlanQuery(const Program& program, const Atom& query,
+                            const PlanOptions& options) {
+  QueryPlan plan;
+  DATALOG_ASSIGN_OR_RETURN(plan.restricted,
+                           RestrictToQuery(program, query.predicate()));
+  DATALOG_ASSIGN_OR_RETURN(plan.optimized,
+                           MinimizeProgram(plan.restricted, &plan.report));
+  if (options.equivalence_pass) {
+    EquivalenceOptimizerOptions eq_options;
+    eq_options.budget = options.budget;
+    DATALOG_ASSIGN_OR_RETURN(EquivalenceOptimizeResult result,
+                             OptimizeUnderEquivalence(plan.optimized,
+                                                      eq_options));
+    for (const EquivalenceRemoval& removal : result.removals) {
+      plan.report.atoms_removed += removal.removed.size();
+    }
+    plan.optimized = std::move(result.program);
+  }
+  DATALOG_ASSIGN_OR_RETURN(
+      plan.magic, MagicSetsTransform(plan.optimized, query, options.magic));
+  return plan;
+}
+
+}  // namespace datalog

@@ -1,0 +1,44 @@
+#ifndef DATALOG_CORE_PIPELINE_H_
+#define DATALOG_CORE_PIPELINE_H_
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "core/chase.h"
+#include "core/minimize.h"
+#include "eval/magic_sets.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Options for the end-to-end query-optimization pipeline.
+struct PlanOptions {
+  /// Run the Section XI equivalence optimizer after Fig. 2. Off by
+  /// default: it is a heuristic search and costs more than the rest of
+  /// the pipeline combined.
+  bool equivalence_pass = false;
+  ChaseBudget budget;
+  MagicOptions magic;
+};
+
+/// The artifacts of planning one query, in pipeline order.
+struct QueryPlan {
+  /// Rules irrelevant to the query predicate removed (graph-based).
+  Program restricted;
+  /// ... then minimized under uniform equivalence (Fig. 2), optionally
+  /// followed by the Section XI equivalence pass.
+  Program optimized;
+  /// ... then rewritten with magic sets for the query's binding pattern.
+  MagicProgram magic;
+  MinimizeReport report;
+};
+
+/// The full optimization pipeline the paper's introduction sketches:
+/// remove redundant parts first (they "can only speed up" the magic-set
+/// computation), then rewrite for the query. Compose as
+///   relevance -> Fig. 2 [-> Section XI] -> magic sets.
+Result<QueryPlan> PlanQuery(const Program& program, const Atom& query,
+                            const PlanOptions& options = {});
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_PIPELINE_H_

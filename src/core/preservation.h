@@ -1,0 +1,65 @@
+#ifndef DATALOG_CORE_PRESERVATION_H_
+#define DATALOG_CORE_PRESERVATION_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "core/chase.h"
+#include "core/proof_outcome.h"
+#include "core/unfold.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Tests whether `program` preserves the tgds `tgds` non-recursively
+/// (Section IX, Fig. 3): for every DB d in SAT(T), the DB <d, P^n(d)> also
+/// satisfies T, where P^n applies the rules once, non-recursively.
+/// Non-recursive preservation implies preservation (P(d) in SAT(T) for all
+/// d in SAT(T)), which is condition (2) of the Section X equivalence
+/// recipe.
+///
+/// For each tgd tau and each way of producing the atoms of tau's left-hand
+/// side (each intentional atom is unified with the head of a program rule
+/// or of the implicit trivial rule Q(x..) :- Q(x..); extensional atoms are
+/// assumed in d), the procedure builds the canonical database, chases it
+/// with T (interleaved with the violation check, since the chase may not
+/// terminate), and checks that the instantiated left-hand side does not
+/// exhibit a violation in <d, P^n(d)>. Unification is performed before
+/// freezing, so rule heads with constants or repeated variables are
+/// handled by the most general unifier (the canonical-DB construction of
+/// Appendix II).
+///
+/// Returns kProved / kDisproved / kUnknown (budget exhausted; possible
+/// only with embedded tgds, whose chase "may loop forever" per the paper).
+Result<ProofOutcome> PreservesNonRecursively(const Program& program,
+                                             const std::vector<Tgd>& tgds,
+                                             const ChaseBudget& budget = {});
+
+/// Tests condition (3') of Section X: for every EDB d, the preliminary DB
+/// <d, P^i(d)> of `program` satisfies `tgds`, where P^i consists of the
+/// initialization rules (rules whose bodies have only extensional
+/// predicates). Per the paper's modified procedure: d is NOT assumed to
+/// satisfy T (no tgds are applied to it), and no trivial rules are added
+/// (an input EDB has no intentional facts).
+Result<ProofOutcome> PreliminaryDbSatisfies(const Program& program,
+                                            const std::vector<Tgd>& tgds,
+                                            const ChaseBudget& budget = {});
+
+/// The generalization in Section X's final paragraph: the preliminary DB
+/// may be produced by applying any set of rules a fixed number of times,
+/// expressed as non-recursive rules. This variant uses the bounded
+/// unfolding ExpandRules(program, limits) as the preliminary operator;
+/// with limits.max_depth == 1 it coincides with PreliminaryDbSatisfies.
+/// Deeper expansions prove strictly more (e.g. a tgd whose witness only
+/// appears after two derivation rounds).
+Result<ProofOutcome> PreliminaryDbSatisfiesUnfolded(
+    const Program& program, const std::vector<Tgd>& tgds,
+    const ExpandLimits& limits, const ChaseBudget& budget = {});
+
+/// The initialization rules P^i of a program: those whose body predicates
+/// are all extensional (facts included), Section X.
+std::vector<Rule> InitializationRules(const Program& program);
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_PRESERVATION_H_

@@ -1,0 +1,33 @@
+#ifndef DATALOG_CORE_PROOF_OUTCOME_H_
+#define DATALOG_CORE_PROOF_OUTCOME_H_
+
+#include <string_view>
+
+namespace datalog {
+
+/// Three-valued outcome of the semi-decidable procedures (Sections
+/// VIII-X): with embedded tgds the chase may run forever, so a bounded run
+/// can end without a verdict. kUnknown is always safe to report; an
+/// optimizer simply keeps the program unchanged.
+enum class ProofOutcome {
+  kProved,
+  kDisproved,
+  /// The step/null budget ran out before a verdict was reached.
+  kUnknown,
+};
+
+inline std::string_view ToString(ProofOutcome outcome) {
+  switch (outcome) {
+    case ProofOutcome::kProved:
+      return "proved";
+    case ProofOutcome::kDisproved:
+      return "disproved";
+    case ProofOutcome::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_PROOF_OUTCOME_H_

@@ -1,0 +1,41 @@
+#include "core/relevance.h"
+
+#include <vector>
+
+namespace datalog {
+
+std::set<PredicateId> RelevantPredicates(const Program& program,
+                                         PredicateId query_pred) {
+  // Reverse reachability over rule dependencies: start from the query
+  // predicate and pull in every predicate appearing in the body of a rule
+  // whose head is already relevant.
+  std::set<PredicateId> relevant{query_pred};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules()) {
+      if (!relevant.contains(rule.head().predicate())) continue;
+      for (const Literal& lit : rule.body()) {
+        if (relevant.insert(lit.atom.predicate()).second) changed = true;
+      }
+    }
+  }
+  return relevant;
+}
+
+Result<Program> RestrictToQuery(const Program& program,
+                                PredicateId query_pred) {
+  if (query_pred < 0 || query_pred >= program.symbols()->NumPredicates()) {
+    return Status::InvalidArgument("unknown query predicate id");
+  }
+  std::set<PredicateId> relevant = RelevantPredicates(program, query_pred);
+  Program out(program.symbols());
+  for (const Rule& rule : program.rules()) {
+    if (relevant.contains(rule.head().predicate())) {
+      out.AddRule(rule);
+    }
+  }
+  return out;
+}
+
+}  // namespace datalog

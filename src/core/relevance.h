@@ -1,0 +1,31 @@
+#ifndef DATALOG_CORE_RELEVANCE_H_
+#define DATALOG_CORE_RELEVANCE_H_
+
+#include <set>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Removes rules that cannot contribute to `query_pred`: a rule is kept
+/// iff its head predicate is `query_pred` or reaches it in the dependence
+/// graph. This is the classic relevance (dead-code) pass run before the
+/// magic-sets rewrite; unlike the minimization of Section VII it uses only
+/// the graph, so it is linear-time and complements (never subsumes) the
+/// semantic minimizer.
+///
+/// The returned program is equivalent to the input *with respect to the
+/// query predicate*: for every EDB, both compute the same relation for
+/// `query_pred` (they may differ on other intentional predicates).
+Result<Program> RestrictToQuery(const Program& program,
+                                PredicateId query_pred);
+
+/// The predicates on which `query_pred` (transitively) depends, including
+/// itself.
+std::set<PredicateId> RelevantPredicates(const Program& program,
+                                         PredicateId query_pred);
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_RELEVANCE_H_

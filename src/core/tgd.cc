@@ -1,0 +1,99 @@
+#include "core/tgd.h"
+
+namespace datalog {
+namespace {
+
+/// Replaces bound variables by their constants; unbound (existential)
+/// variables stay variables.
+Atom BindAtom(const Atom& atom, const Binding& binding) {
+  std::vector<Term> args;
+  args.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    if (t.is_variable()) {
+      auto it = binding.find(t.var());
+      args.push_back(it == binding.end() ? t : Term::Constant(it->second));
+    } else {
+      args.push_back(t);
+    }
+  }
+  return Atom(atom.predicate(), std::move(args));
+}
+
+std::vector<PlannedAtom> AsPlanned(const std::vector<Atom>& atoms,
+                                   const Binding& binding) {
+  std::vector<PlannedAtom> planned;
+  planned.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    planned.push_back(PlannedAtom{BindAtom(atom, binding), AtomSource::kFull});
+  }
+  return planned;
+}
+
+}  // namespace
+
+bool LhsInstantiationSatisfied(const Database& db, const Tgd& tgd,
+                               const Binding& lhs_binding) {
+  bool found = false;
+  MatchAtoms(db, /*delta=*/nullptr, AsPlanned(tgd.rhs(), lhs_binding),
+             [&found](const Binding&) {
+               found = true;
+               return false;  // stop at the first witness
+             },
+             /*stats=*/nullptr);
+  return found;
+}
+
+bool SatisfiesTgd(const Database& db, const Tgd& tgd) {
+  bool satisfied = true;
+  MatchAtoms(db, /*delta=*/nullptr, AsPlanned(tgd.lhs(), /*binding=*/{}),
+             [&](const Binding& binding) {
+               if (!LhsInstantiationSatisfied(db, tgd, binding)) {
+                 satisfied = false;
+                 return false;  // found a violation; stop
+               }
+               return true;
+             },
+             /*stats=*/nullptr);
+  return satisfied;
+}
+
+bool SatisfiesAll(const Database& db, const std::vector<Tgd>& tgds) {
+  for (const Tgd& tgd : tgds) {
+    if (!SatisfiesTgd(db, tgd)) return false;
+  }
+  return true;
+}
+
+std::size_t ApplyTgdRound(const Tgd& tgd, Database* db, NullPool* pool) {
+  // Collect the violating instantiations first: the database must not be
+  // mutated while the matcher iterates it.
+  std::vector<Binding> violations;
+  MatchAtoms(*db, /*delta=*/nullptr, AsPlanned(tgd.lhs(), /*binding=*/{}),
+             [&](const Binding& binding) {
+               if (!LhsInstantiationSatisfied(*db, tgd, binding)) {
+                 violations.push_back(binding);
+               }
+               return true;
+             },
+             /*stats=*/nullptr);
+
+  std::size_t added = 0;
+  for (const Binding& binding : violations) {
+    // An atom added for an earlier violation in this round may have
+    // repaired this one; the paper's chase only fires when no extension
+    // exists ("provided the DB contains neither ... nor a pair of atoms of
+    // the form ...", Section VIII).
+    if (LhsInstantiationSatisfied(*db, tgd, binding)) continue;
+    Binding extended = binding;
+    for (VariableId v : tgd.ExistentialVariables()) {
+      extended.emplace(v, pool->Fresh());
+    }
+    for (const Atom& atom : tgd.rhs()) {
+      Tuple tuple = InstantiateHead(atom, extended);
+      if (db->AddFact(atom.predicate(), std::move(tuple))) ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace datalog

@@ -1,0 +1,51 @@
+#ifndef DATALOG_CORE_TGD_H_
+#define DATALOG_CORE_TGD_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ast/tgd.h"
+#include "eval/database.h"
+#include "eval/rule_matcher.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Allocates the labeled nulls introduced when embedded tgds are applied
+/// (Section VIII). One counter per chase so nulls are "not already in the
+/// DB".
+class NullPool {
+ public:
+  Value Fresh() { return Value::Null(next_++); }
+  std::int32_t allocated() const { return next_; }
+
+ private:
+  std::int32_t next_ = 0;
+};
+
+/// True if `db` satisfies `tgd`: every instantiation of the universally
+/// quantified variables that grounds the left-hand side in `db` extends to
+/// one grounding the right-hand side in `db` (Section VIII).
+bool SatisfiesTgd(const Database& db, const Tgd& tgd);
+
+/// True if `db` satisfies every tgd of `tgds`.
+bool SatisfiesAll(const Database& db, const std::vector<Tgd>& tgds);
+
+/// Given a binding of the tgd's universal variables that grounds its
+/// left-hand side in `db`, returns true when the binding extends to ground
+/// the right-hand side in `db` (i.e. this instantiation does NOT exhibit a
+/// violation).
+bool LhsInstantiationSatisfied(const Database& db, const Tgd& tgd,
+                               const Binding& lhs_binding);
+
+/// Applies `tgd` to `db` once per violating instantiation found in the
+/// current state: for each violation, existential variables are
+/// instantiated with fresh nulls from `pool` and the right-hand side atoms
+/// are added (Section VIII). Returns the number of facts added. One round
+/// of a fair chase; iterate for the full chase.
+std::size_t ApplyTgdRound(const Tgd& tgd, Database* db, NullPool* pool);
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_TGD_H_

@@ -1,0 +1,177 @@
+#include "core/unfold.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ast/unify.h"
+
+namespace datalog {
+namespace {
+
+/// A renaming-invariant key: variables are numbered by first occurrence,
+/// so alpha-equivalent expansions deduplicate.
+std::string RuleKey(const Rule& rule) {
+  std::map<VariableId, int> numbering;
+  std::string key;
+  auto append_atom = [&](const Atom& atom) {
+    key += std::to_string(atom.predicate());
+    key += '(';
+    for (const Term& t : atom.args()) {
+      if (t.is_variable()) {
+        auto [it, inserted] =
+            numbering.emplace(t.var(), static_cast<int>(numbering.size()));
+        key += 'v';
+        key += std::to_string(it->second);
+      } else {
+        key += 'c';
+        key += std::to_string(static_cast<int>(t.value().kind()));
+        key += ':';
+        key += std::to_string(t.value().payload());
+      }
+      key += ',';
+    }
+    key += ')';
+  };
+  append_atom(rule.head());
+  key += ":-";
+  for (const Literal& lit : rule.body()) {
+    if (lit.negated) key += '!';
+    append_atom(lit.atom);
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<Rule> UnfoldAtom(const Rule& rule, std::size_t position,
+                        const Rule& definition, SymbolTable* symbols) {
+  if (position >= rule.body().size()) {
+    return Status::InvalidArgument("unfold position out of range");
+  }
+  const Literal& target = rule.body()[position];
+  if (target.negated) {
+    return Status::InvalidArgument("cannot unfold a negated literal");
+  }
+  Rule renamed = RenameApart(definition, symbols);
+  Substitution subst;
+  if (!UnifyAtoms(target.atom, renamed.head(), &subst)) {
+    return Status::NotFound("body atom does not unify with definition head");
+  }
+  std::vector<Literal> body;
+  body.reserve(rule.body().size() - 1 + renamed.body().size());
+  for (std::size_t i = 0; i < rule.body().size(); ++i) {
+    if (i == position) {
+      for (const Literal& lit : renamed.body()) {
+        body.push_back(Literal{subst.Apply(lit.atom), lit.negated});
+      }
+    } else {
+      body.push_back(
+          Literal{subst.Apply(rule.body()[i].atom), rule.body()[i].negated});
+    }
+  }
+  return Rule(subst.Apply(rule.head()), std::move(body));
+}
+
+std::vector<Rule> ExpandRules(const Program& program,
+                              const ExpandLimits& limits, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  std::set<PredicateId> intentional = program.IntentionalPredicates();
+  SymbolTable* symbols = program.symbols().get();
+
+  auto is_flat = [&intentional](const Rule& rule) {
+    for (const Literal& lit : rule.body()) {
+      if (intentional.contains(lit.atom.predicate())) return false;
+    }
+    return true;
+  };
+
+  // Depth 1: rules whose bodies are already all-extensional.
+  std::vector<Rule> flat;
+  std::set<std::string> seen;
+  auto add_flat = [&flat, &seen](Rule rule) {
+    if (seen.insert(RuleKey(rule)).second) {
+      flat.push_back(std::move(rule));
+      return true;
+    }
+    return false;
+  };
+  for (const Rule& rule : program.rules()) {
+    if (is_flat(rule)) add_flat(rule);
+  }
+
+  std::vector<Rule> frontier = flat;  // expansions usable as definitions
+  for (std::size_t depth = 1; depth < limits.max_depth; ++depth) {
+    std::vector<Rule> next;
+    for (const Rule& rule : program.rules()) {
+      if (is_flat(rule)) continue;
+      // Resolve every intentional body atom against a previously produced
+      // flat expansion; enumerate all combinations, depth-first,
+      // right-to-left so positions of pending atoms stay stable.
+      std::vector<Rule> partial{rule};
+      bool done = false;
+      while (!done) {
+        std::vector<Rule> progressed;
+        done = true;
+        for (const Rule& current : partial) {
+          // Find the rightmost intentional atom still present.
+          std::ptrdiff_t pos = -1;
+          for (std::ptrdiff_t i =
+                   static_cast<std::ptrdiff_t>(current.body().size()) - 1;
+               i >= 0; --i) {
+            if (intentional.contains(
+                    current.body()[static_cast<std::size_t>(i)]
+                        .atom.predicate())) {
+              pos = i;
+              break;
+            }
+          }
+          if (pos < 0) {
+            progressed.push_back(current);
+            continue;
+          }
+          done = false;
+          for (const Rule& definition : frontier) {
+            if (definition.head().predicate() !=
+                current.body()[static_cast<std::size_t>(pos)]
+                    .atom.predicate()) {
+              continue;
+            }
+            Result<Rule> unfolded = UnfoldAtom(
+                current, static_cast<std::size_t>(pos), definition, symbols);
+            if (unfolded.ok()) {
+              progressed.push_back(std::move(unfolded).value());
+            }
+            if (progressed.size() + flat.size() > limits.max_rules) break;
+          }
+          if (progressed.size() + flat.size() > limits.max_rules) {
+            if (truncated != nullptr) *truncated = true;
+            break;
+          }
+        }
+        partial = std::move(progressed);
+        if (partial.size() + flat.size() > limits.max_rules) {
+          if (truncated != nullptr) *truncated = true;
+          partial.resize(limits.max_rules > flat.size()
+                             ? limits.max_rules - flat.size()
+                             : 0);
+        }
+      }
+      for (Rule& r : partial) next.push_back(std::move(r));
+    }
+    // The new expansions join the pool of usable definitions; frontier
+    // for the next depth is everything flat produced so far.
+    for (Rule& r : next) {
+      if (flat.size() >= limits.max_rules) {
+        if (truncated != nullptr) *truncated = true;
+        break;
+      }
+      add_flat(std::move(r));
+    }
+    frontier = flat;
+  }
+  return flat;
+}
+
+}  // namespace datalog

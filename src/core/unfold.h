@@ -1,0 +1,46 @@
+#ifndef DATALOG_CORE_UNFOLD_H_
+#define DATALOG_CORE_UNFOLD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Resolves the body atom of `rule` at `position` (which must be positive)
+/// against the head of `definition`: the definition is renamed apart, its
+/// head unified with the atom, and the atom replaced by the instantiated
+/// definition body. Returns NotFound when the two do not unify. This is
+/// standard unfolding (partial evaluation) of Datalog rules.
+Result<Rule> UnfoldAtom(const Rule& rule, std::size_t position,
+                        const Rule& definition, SymbolTable* symbols);
+
+/// Limits for ExpandRules: the expansion can be exponential in depth.
+struct ExpandLimits {
+  std::size_t max_depth = 2;
+  std::size_t max_rules = 256;
+};
+
+/// Expresses "apply the rules of `program` at most `limits.max_depth`
+/// times, starting from an EDB" as a set of NON-recursive rules whose
+/// bodies contain only extensional predicates: depth-1 expansions are the
+/// rules with all-extensional bodies; deeper ones resolve each intentional
+/// body atom against a shallower expansion. This is the construction the
+/// final paragraph of Section X appeals to ("applying a given set of
+/// rules a fixed number of times, even if the rules are recursive, can be
+/// expressed in terms of non-recursive rules").
+///
+/// The result may be truncated at `limits.max_rules`; `truncated` (when
+/// non-null) reports whether it was. A truncated expansion is still sound
+/// for the preliminary-DB use (a smaller rule set describes a smaller
+/// preliminary DB, and any preliminary DB works for the Section X
+/// argument) but proves less.
+std::vector<Rule> ExpandRules(const Program& program,
+                              const ExpandLimits& limits,
+                              bool* truncated = nullptr);
+
+}  // namespace datalog
+
+#endif  // DATALOG_CORE_UNFOLD_H_

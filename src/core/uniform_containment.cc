@@ -1,0 +1,59 @@
+#include "core/uniform_containment.h"
+
+#include "ast/validate.h"
+#include "core/freeze.h"
+#include "eval/seminaive.h"
+
+namespace datalog {
+
+Result<bool> UniformlyContainsRule(const Program& p, const Rule& r) {
+  DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(p));
+  DATALOG_RETURN_IF_ERROR(ValidateRule(r, *p.symbols()));
+  if (!r.IsPositive()) {
+    return Status::InvalidArgument(
+        "uniform containment requires positive rules");
+  }
+
+  DATALOG_ASSIGN_OR_RETURN(FrozenRule frozen, FreezeRule(r, p.symbols()));
+  // Compute P(b theta). The fixpoint is finite: rule application introduces
+  // no constants beyond those of b theta and of P's rules.
+  DATALOG_ASSIGN_OR_RETURN(EvalStats stats,
+                           EvaluateSemiNaive(p, &frozen.body));
+  (void)stats;
+  return frozen.body.Contains(frozen.head_pred, frozen.head_tuple);
+}
+
+Result<std::optional<UniformContainmentWitness>>
+RefuteUniformContainment(const Program& p, const Rule& r) {
+  DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(p));
+  DATALOG_RETURN_IF_ERROR(ValidateRule(r, *p.symbols()));
+  if (!r.IsPositive()) {
+    return Status::InvalidArgument(
+        "uniform containment requires positive rules");
+  }
+  DATALOG_ASSIGN_OR_RETURN(FrozenRule frozen, FreezeRule(r, p.symbols()));
+  Database input(p.symbols());
+  input.UnionWith(frozen.body);
+  DATALOG_RETURN_IF_ERROR(EvaluateSemiNaive(p, &frozen.body).status());
+  if (frozen.body.Contains(frozen.head_pred, frozen.head_tuple)) {
+    return std::optional<UniformContainmentWitness>();  // containment holds
+  }
+  return std::optional<UniformContainmentWitness>(UniformContainmentWitness{
+      std::move(input), frozen.head_pred, frozen.head_tuple});
+}
+
+Result<bool> UniformlyContains(const Program& p1, const Program& p2) {
+  for (const Rule& rule : p2.rules()) {
+    DATALOG_ASSIGN_OR_RETURN(bool contained, UniformlyContainsRule(p1, rule));
+    if (!contained) return false;
+  }
+  return true;
+}
+
+Result<bool> UniformlyEquivalent(const Program& p1, const Program& p2) {
+  DATALOG_ASSIGN_OR_RETURN(bool forward, UniformlyContains(p1, p2));
+  if (!forward) return false;
+  return UniformlyContains(p2, p1);
+}
+
+}  // namespace datalog

@@ -1,0 +1,123 @@
+#include "eval/database.h"
+
+#include <algorithm>
+
+#include "ast/parser.h"
+#include "ast/pretty_print.h"
+
+namespace datalog {
+
+bool Database::AddFact(PredicateId pred, Tuple tuple) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) {
+    it = relations_
+             .emplace(pred, Relation(symbols_->PredicateArity(pred)))
+             .first;
+  }
+  return it->second.Insert(std::move(tuple));
+}
+
+Status Database::AddAtom(const Atom& atom) {
+  Tuple tuple;
+  tuple.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    if (t.is_variable()) {
+      return Status::InvalidArgument("cannot add non-ground atom to database");
+    }
+    tuple.push_back(t.value());
+  }
+  AddFact(atom.predicate(), std::move(tuple));
+  return Status::OK();
+}
+
+bool Database::Contains(PredicateId pred, const Tuple& tuple) const {
+  auto it = relations_.find(pred);
+  return it != relations_.end() && it->second.Contains(tuple);
+}
+
+const Relation& Database::relation(PredicateId pred) const {
+  static const Relation* const kEmpty = new Relation(0);
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? *kEmpty : it->second;
+}
+
+std::vector<PredicateId> Database::NonEmptyPredicates() const {
+  std::vector<PredicateId> preds;
+  for (const auto& [pred, rel] : relations_) {
+    if (!rel.empty()) preds.push_back(pred);
+  }
+  std::sort(preds.begin(), preds.end());
+  return preds;
+}
+
+std::size_t Database::NumFacts() const {
+  std::size_t n = 0;
+  for (const auto& [pred, rel] : relations_) {
+    n += rel.size();
+  }
+  return n;
+}
+
+std::size_t Database::UnionWith(const Database& other) {
+  std::size_t added = 0;
+  for (const auto& [pred, rel] : other.relations_) {
+    for (const Tuple& row : rel.rows()) {
+      if (AddFact(pred, row)) ++added;
+    }
+  }
+  return added;
+}
+
+bool Database::IsSubsetOf(const Database& other) const {
+  for (const auto& [pred, rel] : relations_) {
+    for (const Tuple& row : rel.rows()) {
+      if (!other.Contains(pred, row)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Database::ToString() const {
+  std::vector<std::string> lines;
+  for (const auto& [pred, rel] : relations_) {
+    for (const Tuple& row : rel.rows()) {
+      std::string line = symbols_->PredicateName(pred);
+      if (!row.empty()) {
+        line += "(";
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          if (i != 0) line += ", ";
+          line += datalog::ToString(row[i], *symbols_);
+        }
+        line += ")";
+      }
+      line += ".";
+      lines.push_back(std::move(line));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Database> DatabaseFromAtoms(std::shared_ptr<SymbolTable> symbols,
+                                   const std::vector<Atom>& atoms) {
+  Database db(std::move(symbols));
+  for (const Atom& atom : atoms) {
+    DATALOG_RETURN_IF_ERROR(db.AddAtom(atom));
+  }
+  return db;
+}
+
+Result<Database> ParseDatabase(std::shared_ptr<SymbolTable> symbols,
+                               std::string_view text) {
+  Parser parser(symbols);
+  DATALOG_ASSIGN_OR_RETURN(std::vector<Atom> atoms,
+                           parser.ParseGroundAtoms(text));
+  return DatabaseFromAtoms(std::move(symbols), atoms);
+}
+
+}  // namespace datalog

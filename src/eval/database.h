@@ -1,0 +1,79 @@
+#ifndef DATALOG_EVAL_DATABASE_H_
+#define DATALOG_EVAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/symbol_table.h"
+#include "eval/relation.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// A database: a relation per predicate, viewed as a single set of ground
+/// atoms (Section III). The same type represents EDBs, IDBs, and their
+/// union; nothing distinguishes extensional from intentional facts except
+/// the program they are used with.
+class Database {
+ public:
+  /// Creates an empty database over `symbols` (shared with the programs
+  /// that will be evaluated against it).
+  explicit Database(std::shared_ptr<SymbolTable> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
+
+  /// Adds the fact `pred(tuple)`; returns true if it is new.
+  bool AddFact(PredicateId pred, Tuple tuple);
+
+  /// Adds a ground atom. Returns InvalidArgument when `atom` is not ground.
+  Status AddAtom(const Atom& atom);
+
+  bool Contains(PredicateId pred, const Tuple& tuple) const;
+
+  /// The relation for `pred` (an empty relation if no fact was added).
+  const Relation& relation(PredicateId pred) const;
+
+  /// All predicates that currently have at least one tuple.
+  std::vector<PredicateId> NonEmptyPredicates() const;
+
+  /// Total number of ground atoms.
+  std::size_t NumFacts() const;
+  bool empty() const { return NumFacts() == 0; }
+
+  /// Adds every fact of `other`; returns the number of new facts.
+  std::size_t UnionWith(const Database& other);
+
+  /// True if every fact of this database is in `other`.
+  bool IsSubsetOf(const Database& other) const;
+
+  /// Set equality of the ground-atom sets.
+  friend bool operator==(const Database& a, const Database& b) {
+    return a.NumFacts() == b.NumFacts() && a.IsSubsetOf(b);
+  }
+  friend bool operator!=(const Database& a, const Database& b) {
+    return !(a == b);
+  }
+
+  /// Renders all facts, sorted, one per line (for tests and debugging).
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  std::unordered_map<PredicateId, Relation> relations_;
+};
+
+/// Builds a database from ground atoms (e.g. from Parser::ParseGroundAtoms).
+Result<Database> DatabaseFromAtoms(std::shared_ptr<SymbolTable> symbols,
+                                   const std::vector<Atom>& atoms);
+
+/// Parses a fact list ("A(1,2). A(2,3).") into a database.
+Result<Database> ParseDatabase(std::shared_ptr<SymbolTable> symbols,
+                               std::string_view text);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_DATABASE_H_

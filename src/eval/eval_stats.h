@@ -1,0 +1,49 @@
+#ifndef DATALOG_EVAL_EVAL_STATS_H_
+#define DATALOG_EVAL_EVAL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/rule_matcher.h"
+
+namespace datalog {
+
+/// Per-rule breakdown of fixpoint work, indexed like Program::rules().
+/// Lets optimizer reports point at the rules that dominate evaluation.
+struct RuleStats {
+  std::uint64_t applications = 0;   // times the rule was matched
+  std::uint64_t facts = 0;          // new facts it contributed
+  std::uint64_t substitutions = 0;  // complete body matches it found
+
+  void Add(const RuleStats& other) {
+    applications += other.applications;
+    facts += other.facts;
+    substitutions += other.substitutions;
+  }
+};
+
+/// Work counters for a bottom-up fixpoint computation.
+struct EvalStats {
+  int iterations = 0;                 // fixpoint rounds
+  std::uint64_t facts_derived = 0;    // new facts added to the database
+  std::uint64_t rule_applications = 0;  // (rule, round[, delta position]) pairs
+  MatchStats match;                   // join work
+  std::vector<RuleStats> per_rule;    // indexed by rule position
+
+  void Add(const EvalStats& other) {
+    iterations += other.iterations;
+    facts_derived += other.facts_derived;
+    rule_applications += other.rule_applications;
+    match.Add(other.match);
+    if (per_rule.size() < other.per_rule.size()) {
+      per_rule.resize(other.per_rule.size());
+    }
+    for (std::size_t i = 0; i < other.per_rule.size(); ++i) {
+      per_rule[i].Add(other.per_rule[i]);
+    }
+  }
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_EVAL_STATS_H_

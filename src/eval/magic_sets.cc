@@ -1,0 +1,260 @@
+#include "eval/magic_sets.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/validate.h"
+
+namespace datalog {
+namespace {
+
+/// An intentional predicate together with a binding pattern.
+using AdornedPred = std::pair<PredicateId, std::string>;
+
+struct AdornedIds {
+  PredicateId adorned;  // e.g. g_bf, same arity as the original
+  PredicateId magic;    // e.g. m_g_bf, arity = number of 'b's
+};
+
+std::string AdornmentFor(const Atom& atom,
+                         const std::set<VariableId>& bound) {
+  std::string adornment;
+  adornment.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    bool is_bound = t.is_constant() || bound.contains(t.var());
+    adornment.push_back(is_bound ? 'b' : 'f');
+  }
+  return adornment;
+}
+
+/// The terms of `atom` at the 'b' positions of `adornment`.
+std::vector<Term> BoundArgs(const Atom& atom, const std::string& adornment) {
+  std::vector<Term> args;
+  for (std::size_t i = 0; i < adornment.size(); ++i) {
+    if (adornment[i] == 'b') args.push_back(atom.args()[i]);
+  }
+  return args;
+}
+
+}  // namespace
+
+namespace {
+
+/// The order in which a rule's body atoms are visited for adornment.
+std::vector<std::size_t> SipOrder(const Rule& rule,
+                                  const std::set<VariableId>& initially_bound,
+                                  SipStrategy strategy) {
+  const std::size_t n = rule.body().size();
+  std::vector<std::size_t> order(n);
+  if (strategy == SipStrategy::kLeftToRight) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    return order;
+  }
+  // kBoundFirst: greedily pick the unvisited atom with the most bound
+  // arguments; ties go to the textually earlier atom.
+  std::set<VariableId> bound = initially_bound;
+  std::vector<bool> used(n, false);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    int best_score = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      for (const Term& t : rule.body()[i].atom.args()) {
+        if (t.is_constant() || (t.is_variable() && bound.contains(t.var()))) {
+          ++score;
+        }
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    used[best] = true;
+    order[step] = best;
+    for (VariableId v : rule.body()[best].atom.Variables()) bound.insert(v);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string QueryAdornment(const Atom& query) {
+  return AdornmentFor(query, /*bound=*/{});
+}
+
+Result<MagicProgram> MagicSetsTransform(const Program& program,
+                                        const Atom& query,
+                                        const MagicOptions& options) {
+  DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
+  SymbolTable* symbols = program.symbols().get();
+  std::set<PredicateId> intentional = program.IntentionalPredicates();
+
+  if (!intentional.contains(query.predicate())) {
+    return Status::InvalidArgument(
+        "magic-sets query predicate must be intentional: " +
+        symbols->PredicateName(query.predicate()));
+  }
+
+  Program out(program.symbols());
+
+  std::map<AdornedPred, AdornedIds> registry;
+  std::deque<AdornedPred> worklist;
+
+  auto register_adorned = [&](PredicateId pred,
+                              const std::string& adornment) -> AdornedIds {
+    AdornedPred key{pred, adornment};
+    auto it = registry.find(key);
+    if (it != registry.end()) return it->second;
+    // Copy: FreshPredicate below appends to the interner and may
+    // invalidate references into it.
+    const std::string name = symbols->PredicateName(pred);
+    int arity = symbols->PredicateArity(pred);
+    int bound_count =
+        static_cast<int>(std::count(adornment.begin(), adornment.end(), 'b'));
+    AdornedIds ids;
+    ids.adorned = symbols->FreshPredicate(name + "_" + adornment, arity);
+    ids.magic = symbols->FreshPredicate("m_" + name + "_" + adornment,
+                                        bound_count);
+    registry.emplace(key, ids);
+    worklist.push_back(key);
+    return ids;
+  };
+
+  const std::string query_adornment = QueryAdornment(query);
+  AdornedIds query_ids = register_adorned(query.predicate(), query_adornment);
+
+  // Seed: the magic fact for the query's bound arguments (all constants).
+  out.AddRule(Rule(Atom(query_ids.magic, BoundArgs(query, query_adornment)),
+                   {}));
+
+  while (!worklist.empty()) {
+    auto [head_pred, head_adornment] = worklist.front();
+    worklist.pop_front();
+    AdornedIds head_ids = registry.at({head_pred, head_adornment});
+
+    for (const Rule& rule : program.rules()) {
+      if (rule.head().predicate() != head_pred) continue;
+
+      // Variables bound on entry: head variables at 'b' positions.
+      std::set<VariableId> bound;
+      for (std::size_t i = 0; i < head_adornment.size(); ++i) {
+        const Term& t = rule.head().args()[i];
+        if (head_adornment[i] == 'b' && t.is_variable()) {
+          bound.insert(t.var());
+        }
+      }
+
+      Atom magic_head(head_ids.magic, BoundArgs(rule.head(), head_adornment));
+      std::vector<std::size_t> order = SipOrder(rule, bound, options.sip);
+
+      // Transforms one body atom: registers the adornment of an
+      // intentional atom (given the currently bound variables) and
+      // returns the rewritten atom plus, for intentional atoms, the
+      // magic head its demand rule must populate.
+      auto transform_atom =
+          [&](const Atom& atom) -> std::pair<Atom, std::optional<Atom>> {
+        if (!intentional.contains(atom.predicate())) {
+          return {atom, std::nullopt};
+        }
+        std::string adornment = AdornmentFor(atom, bound);
+        AdornedIds ids = register_adorned(atom.predicate(), adornment);
+        return {Atom(ids.adorned, atom.args()),
+                Atom(ids.magic, BoundArgs(atom, adornment))};
+      };
+
+      if (!options.supplementary) {
+        // Classic rewrite: each magic rule re-joins the prefix.
+        std::vector<Atom> transformed_prefix;
+        for (std::size_t position : order) {
+          const Atom& atom = rule.body()[position].atom;
+          auto [rewritten, magic_atom] = transform_atom(atom);
+          if (magic_atom.has_value()) {
+            // Magic rule: m_B_a(bound args of B) :- m_H_a(...), prefix.
+            std::vector<Atom> magic_body;
+            magic_body.push_back(magic_head);
+            for (const Atom& prev : transformed_prefix) {
+              magic_body.push_back(prev);
+            }
+            out.AddRule(Rule::Positive(*magic_atom, magic_body));
+          }
+          transformed_prefix.push_back(rewritten);
+          for (VariableId v : atom.Variables()) bound.insert(v);
+        }
+        // Modified rule: H_a(args) :- m_H_a(bound args), transformed body.
+        std::vector<Atom> new_body;
+        new_body.push_back(magic_head);
+        for (const Atom& atom : transformed_prefix) new_body.push_back(atom);
+        out.AddRule(Rule::Positive(Atom(head_ids.adorned, rule.head().args()),
+                                   new_body));
+        continue;
+      }
+
+      // Supplementary rewrite (Beeri-Ramakrishnan): the prefix join is
+      // materialized once, in a chain of sup_i predicates, and each
+      // magic rule reads sup_{i-1} instead of re-joining the prefix.
+      //
+      // Variables still needed after visiting the atom at order step i:
+      // head variables plus variables of later atoms.
+      std::vector<std::set<VariableId>> needed_after(order.size() + 1);
+      needed_after[order.size()] = rule.head().Variables();
+      for (std::size_t i = order.size(); i > 0; --i) {
+        needed_after[i - 1] = needed_after[i];
+        std::set<VariableId> vars =
+            rule.body()[order[i - 1]].atom.Variables();
+        needed_after[i - 1].insert(vars.begin(), vars.end());
+      }
+      // needed_after[i] is what must survive AFTER step i-1's atom, i.e.
+      // before step i: shift so index i means "after visiting step i".
+      // (needed_after[i] currently includes step i's own atom; what sup_i
+      // must carry is needed_after[i + 1] intersected with bound vars.)
+
+      Atom current_sup = magic_head;  // sup_0 is the magic predicate itself
+      if (order.empty()) {
+        out.AddRule(Rule::Positive(Atom(head_ids.adorned, rule.head().args()),
+                                   {current_sup}));
+        continue;
+      }
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const Atom& atom = rule.body()[order[i]].atom;
+        auto [rewritten, magic_atom] = transform_atom(atom);
+        if (magic_atom.has_value()) {
+          // Magic rule reads only the materialized prefix.
+          out.AddRule(Rule::Positive(*magic_atom, {current_sup}));
+        }
+        for (VariableId v : atom.Variables()) bound.insert(v);
+
+        if (i + 1 == order.size()) {
+          out.AddRule(Rule::Positive(
+              Atom(head_ids.adorned, rule.head().args()),
+              {current_sup, rewritten}));
+          break;
+        }
+        // sup_{i+1}(V) :- sup_i(...), rewritten-atom, where V = bound
+        // variables still needed by later atoms or the head.
+        std::vector<Term> sup_args;
+        for (VariableId v : needed_after[i + 1]) {
+          if (bound.contains(v)) sup_args.push_back(Term::Variable(v));
+        }
+        PredicateId sup_pred = symbols->FreshPredicate(
+            "sup_" + symbols->PredicateName(head_pred) + "_" +
+                head_adornment + "_" + std::to_string(i + 1),
+            static_cast<int>(sup_args.size()));
+        Atom sup_head(sup_pred, sup_args);
+        out.AddRule(Rule::Positive(sup_head, {current_sup, rewritten}));
+        current_sup = std::move(sup_head);
+      }
+    }
+  }
+
+  MagicProgram result{std::move(out), query_ids.adorned};
+  return result;
+}
+
+}  // namespace datalog

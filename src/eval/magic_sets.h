@@ -1,0 +1,62 @@
+#ifndef DATALOG_EVAL_MAGIC_SETS_H_
+#define DATALOG_EVAL_MAGIC_SETS_H_
+
+#include <string>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Sideways-information-passing strategy: the order in which body atoms
+/// are visited when adorning a rule, which determines how bindings
+/// propagate into magic predicates.
+enum class SipStrategy {
+  /// The textual body order (the classic presentation).
+  kLeftToRight,
+  /// Greedy: repeatedly pick the not-yet-visited atom with the most bound
+  /// arguments (ties broken textually). Often yields more selective
+  /// magic predicates when the rule author did not order the body well.
+  kBoundFirst,
+};
+
+struct MagicOptions {
+  SipStrategy sip = SipStrategy::kLeftToRight;
+  /// Generate supplementary predicates (Beeri-Ramakrishnan): each rule's
+  /// partial body join is materialized once in a chain of sup_i
+  /// predicates that both the magic rules and the modified rule read,
+  /// instead of every magic rule re-joining the prefix. Pays off when a
+  /// rule has several intentional body atoms.
+  bool supplementary = false;
+};
+
+/// Output of the magic-sets transformation.
+struct MagicProgram {
+  /// The rewritten program: adorned rules guarded by magic predicates,
+  /// magic rules, and the magic seed fact for the query.
+  Program program;
+  /// The adorned predicate holding the query answers (same arity as the
+  /// query predicate).
+  PredicateId answer_predicate;
+};
+
+/// The magic-sets transformation of Bancilhon, Maier, Sagiv and Ullman
+/// (1986) — the query-evaluation method the paper's introduction positions
+/// its optimization as complementary to ("if the query is going to be
+/// computed [by] the magic set method, then removing redundant parts can
+/// only speed up the computation").
+///
+/// `query` is an atom over an intentional predicate of `program`; its
+/// constant arguments are bound ('b'), its variables free ('f'). Uses the
+/// standard left-to-right sideways-information-passing strategy. The input
+/// program must be positive and safe.
+Result<MagicProgram> MagicSetsTransform(const Program& program,
+                                        const Atom& query,
+                                        const MagicOptions& options = {});
+
+/// The 'b'/'f' adornment string the transformation derives for `query`.
+std::string QueryAdornment(const Atom& query);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_MAGIC_SETS_H_

@@ -1,0 +1,44 @@
+#include "eval/naive.h"
+
+#include "ast/validate.h"
+
+namespace datalog {
+
+Result<EvalStats> EvaluateNaive(const Program& program, Database* db) {
+  DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
+  EvalStats stats;
+  stats.per_rule.resize(program.NumRules());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++stats.iterations;
+    for (std::size_t ri = 0; ri < program.NumRules(); ++ri) {
+      const Rule& rule = program.rules()[ri];
+      ++stats.rule_applications;
+      ++stats.per_rule[ri].applications;
+      MatchStats local;
+      std::size_t added = ApplyRule(rule, *db, db, &local);
+      stats.match.Add(local);
+      stats.facts_derived += added;
+      stats.per_rule[ri].facts += added;
+      stats.per_rule[ri].substitutions += local.substitutions;
+      if (added > 0) changed = true;
+    }
+  }
+  return stats;
+}
+
+Result<std::size_t> ApplyOnce(const Program& program, const Database& db,
+                              Database* out, EvalStats* stats) {
+  DATALOG_RETURN_IF_ERROR(ValidateProgram(program));
+  std::size_t added = 0;
+  for (const Rule& rule : program.rules()) {
+    if (stats != nullptr) ++stats->rule_applications;
+    added += ApplyRule(rule, db, out,
+                       stats != nullptr ? &stats->match : nullptr);
+  }
+  if (stats != nullptr) stats->facts_derived += added;
+  return added;
+}
+
+}  // namespace datalog

@@ -1,0 +1,46 @@
+#ifndef DATALOG_EVAL_PROVENANCE_H_
+#define DATALOG_EVAL_PROVENANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/database.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// One node of a derivation tree: a fact, and -- when the fact was derived
+/// rather than given -- the rule and the premise subtrees that produced it
+/// (one instantiation; a fact may have many derivations, the tracer keeps
+/// the first).
+struct Derivation {
+  PredicateId predicate;
+  Tuple fact;
+  /// -1 for input facts; otherwise an index into the program's rules.
+  int rule_index = -1;
+  std::vector<std::shared_ptr<const Derivation>> premises;
+
+  bool IsInputFact() const { return rule_index < 0; }
+};
+
+/// Evaluates `program` over `db` (naive-style, positive programs only)
+/// while recording why-provenance, then returns the derivation tree of
+/// `fact`. NotFound when the fact is not derivable from `db`.
+///
+/// Intended for explaining optimizer transcripts and debugging programs;
+/// provenance tracking roughly doubles evaluation cost and memory.
+Result<Derivation> ExplainFact(const Program& program, const Database& db,
+                               PredicateId predicate, const Tuple& fact);
+
+/// Renders the tree, one fact per line, indented by depth:
+///   g(1, 3)                        [rule 1]
+///     g(1, 2)                      [rule 0]
+///       a(1, 2)                    [input]
+///     ...
+std::string ToString(const Derivation& derivation, const SymbolTable& symbols);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_PROVENANCE_H_

@@ -1,0 +1,66 @@
+#include "eval/query.h"
+
+#include "eval/magic_sets.h"
+#include "eval/naive.h"
+#include "eval/rule_matcher.h"
+#include "eval/seminaive.h"
+#include "eval/stratified.h"
+#include "eval/topdown.h"
+
+namespace datalog {
+namespace {
+
+/// Selects the tuples of `pred` in `db` that match the (possibly
+/// non-ground) query atom: constant positions must agree, repeated
+/// variables must agree.
+std::vector<Tuple> SelectMatching(const Database& db, PredicateId pred,
+                                  const Atom& query) {
+  std::vector<Tuple> out;
+  std::vector<PlannedAtom> atoms{
+      PlannedAtom{Atom(pred, query.args()), AtomSource::kFull}};
+  MatchAtoms(db, /*delta=*/nullptr, atoms,
+             [&](const Binding& binding) {
+               out.push_back(InstantiateHead(Atom(pred, query.args()), binding));
+               return true;
+             },
+             /*stats=*/nullptr);
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> AnswerQuery(const Program& program,
+                                       const Database& db, const Atom& query,
+                                       EvalMethod method, EvalStats* stats) {
+  Database work(db.symbols());
+  work.UnionWith(db);
+
+  switch (method) {
+    case EvalMethod::kNaive: {
+      DATALOG_ASSIGN_OR_RETURN(EvalStats s, EvaluateNaive(program, &work));
+      if (stats != nullptr) stats->Add(s);
+      return SelectMatching(work, query.predicate(), query);
+    }
+    case EvalMethod::kSemiNaive: {
+      // Stratified evaluation coincides with plain semi-naive on positive
+      // programs and additionally accepts stratified negation, so queries
+      // work uniformly for both.
+      DATALOG_ASSIGN_OR_RETURN(EvalStats s, EvaluateStratified(program, &work));
+      if (stats != nullptr) stats->Add(s);
+      return SelectMatching(work, query.predicate(), query);
+    }
+    case EvalMethod::kMagicSemiNaive: {
+      DATALOG_ASSIGN_OR_RETURN(MagicProgram magic,
+                               MagicSetsTransform(program, query));
+      DATALOG_ASSIGN_OR_RETURN(EvalStats s,
+                               EvaluateSemiNaive(magic.program, &work));
+      if (stats != nullptr) stats->Add(s);
+      return SelectMatching(work, magic.answer_predicate, query);
+    }
+    case EvalMethod::kTabledTopDown:
+      return SolveTopDown(program, db, query);
+  }
+  return Status::Internal("unknown evaluation method");
+}
+
+}  // namespace datalog

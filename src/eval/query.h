@@ -1,0 +1,46 @@
+#ifndef DATALOG_EVAL_QUERY_H_
+#define DATALOG_EVAL_QUERY_H_
+
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "eval/database.h"
+#include "eval/eval_stats.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// How a query is evaluated.
+enum class EvalMethod {
+  /// Naive fixpoint. Positive programs only.
+  kNaive,
+  /// Semi-naive fixpoint, evaluated stratum by stratum: also accepts
+  /// programs with stratified negation.
+  kSemiNaive,
+  /// Magic-sets rewrite, then semi-naive on the rewritten program. Uses
+  /// the query's constants to restrict intermediate results (the approach
+  /// the paper's optimization is complementary to, Section I). Assumes
+  /// the input database holds extensional facts only: the rewrite renames
+  /// intentional predicates, so initial IDB facts (the uniform-semantics
+  /// inputs of Section IV) are not visible to it -- use kSemiNaive or
+  /// kTabledTopDown for those.
+  kMagicSemiNaive,
+  /// Tabled top-down resolution (QSQ/OLDT family): demand-driven like
+  /// magic sets, but without a program rewrite. See eval/topdown.h.
+  kTabledTopDown,
+};
+
+/// Evaluates `query` (an atom, e.g. G(1, x)) over program + database and
+/// returns the matching tuples of the query predicate, each with the same
+/// arity as the query. `db` is the input EDB (plus any initial IDB facts);
+/// it is not modified. `stats`, when non-null, accumulates the evaluation
+/// work, which is how the benchmarks compare join counts.
+Result<std::vector<Tuple>> AnswerQuery(const Program& program,
+                                       const Database& db, const Atom& query,
+                                       EvalMethod method,
+                                       EvalStats* stats = nullptr);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_QUERY_H_

@@ -1,0 +1,36 @@
+#include "eval/relation.h"
+
+namespace datalog {
+
+bool Relation::Insert(Tuple tuple) {
+  auto [it, inserted] = set_.insert(std::move(tuple));
+  if (inserted) {
+    rows_.push_back(*it);
+  }
+  return inserted;
+}
+
+const std::vector<std::uint32_t>& Relation::Lookup(
+    const std::vector<int>& columns, const Tuple& key) const {
+  static const std::vector<std::uint32_t>* const kEmpty =
+      new std::vector<std::uint32_t>();
+  ColumnIndex& index = indexes_[columns];
+  ExtendIndex(columns, &index);
+  auto it = index.map.find(key);
+  return it == index.map.end() ? *kEmpty : it->second;
+}
+
+void Relation::ExtendIndex(const std::vector<int>& columns,
+                           ColumnIndex* index) const {
+  for (std::size_t i = index->built_up_to; i < rows_.size(); ++i) {
+    Tuple key;
+    key.reserve(columns.size());
+    for (int c : columns) {
+      key.push_back(rows_[i][static_cast<std::size_t>(c)]);
+    }
+    index->map[std::move(key)].push_back(static_cast<std::uint32_t>(i));
+  }
+  index->built_up_to = rows_.size();
+}
+
+}  // namespace datalog

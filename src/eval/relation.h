@@ -1,0 +1,58 @@
+#ifndef DATALOG_EVAL_RELATION_H_
+#define DATALOG_EVAL_RELATION_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "eval/tuple.h"
+
+namespace datalog {
+
+/// A set of tuples of fixed arity with insertion-order iteration and lazy
+/// hash indexes on column subsets. Rows are append-only, which lets indexes
+/// extend incrementally and lets callers treat a row-count watermark as a
+/// stable snapshot boundary (used by semi-naive evaluation).
+class Relation {
+ public:
+  explicit Relation(int arity = 0) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts `tuple`; returns true if it was not already present.
+  bool Insert(Tuple tuple);
+
+  bool Contains(const Tuple& tuple) const { return set_.contains(tuple); }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+  const Tuple& row(std::size_t i) const { return rows_[i]; }
+
+  /// Returns the row indices whose projection onto `columns` equals `key`
+  /// (`key[i]` corresponds to `columns[i]`). `columns` must be strictly
+  /// increasing and non-empty. Builds/extends the index on first use.
+  const std::vector<std::uint32_t>& Lookup(const std::vector<int>& columns,
+                                           const Tuple& key) const;
+
+ private:
+  struct ColumnIndex {
+    std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> map;
+    std::size_t built_up_to = 0;  // rows_[0, built_up_to) are indexed
+  };
+
+  void ExtendIndex(const std::vector<int>& columns, ColumnIndex* index) const;
+
+  int arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> set_;
+  // Ordered map keyed by column list; indexes are created lazily by Lookup
+  // and extended incrementally as rows are appended.
+  mutable std::map<std::vector<int>, ColumnIndex> indexes_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_RELATION_H_

@@ -1,0 +1,313 @@
+#include "eval/rule_matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace datalog {
+
+namespace {
+bool greedy_join_ordering_enabled = true;
+bool index_lookups_enabled = true;
+}  // namespace
+
+void SetGreedyJoinOrdering(bool enabled) {
+  greedy_join_ordering_enabled = enabled;
+}
+bool GreedyJoinOrderingEnabled() { return greedy_join_ordering_enabled; }
+void SetIndexLookups(bool enabled) { index_lookups_enabled = enabled; }
+bool IndexLookupsEnabled() { return index_lookups_enabled; }
+
+namespace {
+
+/// Recursive backtracking join over the planned atoms.
+class Matcher {
+ public:
+  Matcher(const Database& full, const Database* delta,
+          const std::vector<PlannedAtom>& atoms,
+          const std::function<bool(const Binding&)>& callback,
+          MatchStats* stats, const OldLimits* old_limits = nullptr)
+      : full_(full),
+        delta_(delta),
+        callback_(callback),
+        stats_(stats),
+        old_limits_(old_limits) {
+    order_ = PlanOrder(atoms);
+  }
+
+  void Run() {
+    if (order_.empty()) {
+      // Empty body: exactly one (empty) match.
+      if (stats_ != nullptr) ++stats_->substitutions;
+      callback_(binding_);
+      return;
+    }
+    Enumerate(0);
+  }
+
+ private:
+  const Database& SourceDb(AtomSource source) const {
+    return source == AtomSource::kDelta ? *delta_ : full_;
+  }
+
+  /// Rows [0, OldLimit(pred)) of the full relation form the old snapshot.
+  std::size_t OldLimit(PredicateId pred) const {
+    if (old_limits_ == nullptr) return 0;
+    auto it = old_limits_->find(pred);
+    return it == old_limits_->end() ? 0 : it->second;
+  }
+
+  /// Greedy join order: repeatedly pick the atom with the cheapest
+  /// estimated probe given the variables bound so far (more bound columns
+  /// and smaller relations first).
+  std::vector<PlannedAtom> PlanOrder(const std::vector<PlannedAtom>& atoms) {
+    if (!GreedyJoinOrderingEnabled()) return atoms;
+    std::vector<PlannedAtom> order;
+    std::vector<bool> used(atoms.size(), false);
+    std::vector<bool> bound_vars;  // indexed by variable id, grown on demand
+    auto is_bound = [&bound_vars](VariableId v) {
+      return static_cast<std::size_t>(v) < bound_vars.size() &&
+             bound_vars[static_cast<std::size_t>(v)];
+    };
+    auto mark_bound = [&bound_vars](VariableId v) {
+      if (static_cast<std::size_t>(v) >= bound_vars.size()) {
+        bound_vars.resize(static_cast<std::size_t>(v) + 1, false);
+      }
+      bound_vars[static_cast<std::size_t>(v)] = true;
+    };
+
+    for (std::size_t step = 0; step < atoms.size(); ++step) {
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::size_t best = atoms.size();
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        if (used[i]) continue;
+        const Atom& atom = atoms[i].atom;
+        int bound = 0;
+        for (const Term& t : atom.args()) {
+          if (t.is_constant() || (t.is_variable() && is_bound(t.var()))) {
+            ++bound;
+          }
+        }
+        double rel_size = static_cast<double>(
+            SourceDb(atoms[i].source).relation(atom.predicate()).size());
+        double cost = rel_size;
+        for (int b = 0; b < bound; ++b) cost /= 4.0;  // crude selectivity
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+        }
+      }
+      used[best] = true;
+      order.push_back(atoms[best]);
+      for (const Term& t : atoms[best].atom.args()) {
+        if (t.is_variable()) mark_bound(t.var());
+      }
+    }
+    return order;
+  }
+
+  bool Enumerate(std::size_t depth) {
+    if (depth == order_.size()) {
+      if (stats_ != nullptr) ++stats_->substitutions;
+      return callback_(binding_);
+    }
+    const PlannedAtom& planned = order_[depth];
+    const Atom& atom = planned.atom;
+    const Relation& rel = SourceDb(planned.source).relation(atom.predicate());
+    if (rel.arity() != atom.arity() && !rel.empty()) {
+      return true;  // arity mismatch cannot match (defensive; validated earlier)
+    }
+    const bool old_only = planned.source == AtomSource::kOld;
+    const std::size_t old_limit =
+        old_only ? OldLimit(atom.predicate()) : rel.size();
+    if (old_only && old_limit == 0) return true;  // no old rows at all
+
+    // Split argument positions into bound (constant / bound variable) and
+    // free.
+    std::vector<int> bound_cols;
+    Tuple key;
+    for (int i = 0; i < atom.arity(); ++i) {
+      const Term& t = atom.args()[static_cast<std::size_t>(i)];
+      if (t.is_constant()) {
+        bound_cols.push_back(i);
+        key.push_back(t.value());
+      } else {
+        auto it = binding_.find(t.var());
+        if (it != binding_.end()) {
+          bound_cols.push_back(i);
+          key.push_back(it->second);
+        }
+      }
+    }
+
+    if (stats_ != nullptr) ++stats_->index_lookups;
+
+    if (static_cast<int>(bound_cols.size()) == atom.arity()) {
+      // Fully bound: membership test. The old snapshot additionally needs
+      // the matching row to predate the limit.
+      if (stats_ != nullptr) ++stats_->tuples_scanned;
+      if (old_only) {
+        for (std::uint32_t row_id : rel.Lookup(bound_cols, key)) {
+          if (row_id < old_limit) return Enumerate(depth + 1);
+        }
+        return true;
+      }
+      if (rel.Contains(key)) {
+        return Enumerate(depth + 1);
+      }
+      return true;
+    }
+
+    auto try_row = [&](const Tuple& row) {
+      std::vector<VariableId> newly_bound;
+      bool ok = true;
+      for (int i = 0; i < atom.arity() && ok; ++i) {
+        const Term& t = atom.args()[static_cast<std::size_t>(i)];
+        if (t.is_constant()) continue;
+        auto [it, inserted] =
+            binding_.emplace(t.var(), row[static_cast<std::size_t>(i)]);
+        if (inserted) {
+          newly_bound.push_back(t.var());
+        } else if (it->second != row[static_cast<std::size_t>(i)]) {
+          ok = false;  // repeated variable with conflicting values
+        }
+      }
+      bool keep_going = true;
+      if (ok) keep_going = Enumerate(depth + 1);
+      for (VariableId v : newly_bound) binding_.erase(v);
+      return keep_going;
+    };
+
+    if (bound_cols.empty()) {
+      for (std::size_t i = 0; i < old_limit; ++i) {
+        if (stats_ != nullptr) ++stats_->tuples_scanned;
+        if (!try_row(rel.row(i))) return false;
+      }
+      return true;
+    }
+
+    if (!IndexLookupsEnabled()) {
+      for (std::size_t i = 0; i < old_limit; ++i) {
+        const Tuple& row = rel.row(i);
+        if (stats_ != nullptr) ++stats_->tuples_scanned;
+        bool matches = true;
+        for (std::size_t k = 0; k < bound_cols.size(); ++k) {
+          if (row[static_cast<std::size_t>(bound_cols[k])] != key[k]) {
+            matches = false;
+            break;
+          }
+        }
+        if (matches && !try_row(row)) return false;
+      }
+      return true;
+    }
+
+    for (std::uint32_t row_id : rel.Lookup(bound_cols, key)) {
+      if (old_only && row_id >= old_limit) continue;
+      if (stats_ != nullptr) ++stats_->tuples_scanned;
+      if (!try_row(rel.row(row_id))) return false;
+    }
+    return true;
+  }
+
+  const Database& full_;
+  const Database* delta_;
+  // Stored by value: callers commonly pass a temporary std::function
+  // constructed from a lambda at the call site.
+  std::function<bool(const Binding&)> callback_;
+  MatchStats* stats_;
+  const OldLimits* old_limits_;
+  std::vector<PlannedAtom> order_;
+  Binding binding_;
+};
+
+/// True if every negated literal of `rule` is absent from `full` under
+/// `binding` (safety guarantees the literal is fully bound).
+bool NegationHolds(const Rule& rule, const Database& full,
+                   const Binding& binding) {
+  for (const Literal& lit : rule.body()) {
+    if (!lit.negated) continue;
+    Tuple tuple = InstantiateHead(lit.atom, binding);
+    if (full.Contains(lit.atom.predicate(), tuple)) return false;
+  }
+  return true;
+}
+
+std::size_t ApplyRuleImpl(const Rule& rule, const Database& full,
+                          const Database* delta,
+                          std::size_t delta_pos,  // or npos
+                          Database* out, MatchStats* stats,
+                          const OldLimits* old_limits) {
+  std::vector<PlannedAtom> atoms;
+  for (std::size_t i = 0; i < rule.body().size(); ++i) {
+    const Literal& lit = rule.body()[i];
+    if (lit.negated) continue;
+    AtomSource source;
+    if (i == delta_pos) {
+      source = AtomSource::kDelta;
+    } else if (i < delta_pos && old_limits != nullptr) {
+      source = AtomSource::kOld;
+    } else {
+      source = AtomSource::kFull;
+    }
+    atoms.push_back(PlannedAtom{lit.atom, source});
+  }
+
+  // Derived tuples are buffered and inserted only after the enumeration
+  // finishes: `out` may alias `full`, and inserting while the matcher is
+  // iterating rows/indexes of the same relation would invalidate them.
+  std::vector<Tuple> derived;
+  auto on_match = [&](const Binding& binding) {
+    if (!NegationHolds(rule, full, binding)) return true;
+    derived.push_back(InstantiateHead(rule.head(), binding));
+    return true;
+  };
+  Matcher matcher(full, delta, atoms, on_match, stats, old_limits);
+  matcher.Run();
+
+  std::size_t new_facts = 0;
+  for (Tuple& tuple : derived) {
+    if (out->AddFact(rule.head().predicate(), std::move(tuple))) {
+      ++new_facts;
+    }
+  }
+  return new_facts;
+}
+
+}  // namespace
+
+void MatchAtoms(const Database& full, const Database* delta,
+                const std::vector<PlannedAtom>& atoms,
+                const std::function<bool(const Binding&)>& callback,
+                MatchStats* stats) {
+  Matcher matcher(full, delta, atoms, callback, stats);
+  matcher.Run();
+}
+
+Tuple InstantiateHead(const Atom& atom, const Binding& binding) {
+  Tuple tuple;
+  tuple.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    if (t.is_constant()) {
+      tuple.push_back(t.value());
+    } else {
+      tuple.push_back(binding.at(t.var()));
+    }
+  }
+  return tuple;
+}
+
+std::size_t ApplyRule(const Rule& rule, const Database& full, Database* out,
+                      MatchStats* stats) {
+  return ApplyRuleImpl(rule, full, /*delta=*/nullptr,
+                       /*delta_pos=*/std::numeric_limits<std::size_t>::max(),
+                       out, stats, /*old_limits=*/nullptr);
+}
+
+std::size_t ApplyRuleWithDelta(const Rule& rule, const Database& full,
+                               const Database& delta, std::size_t delta_pos,
+                               Database* out, MatchStats* stats,
+                               const OldLimits* old_limits) {
+  return ApplyRuleImpl(rule, full, &delta, delta_pos, out, stats, old_limits);
+}
+
+}  // namespace datalog

@@ -1,0 +1,98 @@
+#ifndef DATALOG_EVAL_RULE_MATCHER_H_
+#define DATALOG_EVAL_RULE_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/rule.h"
+#include "eval/database.h"
+
+namespace datalog {
+
+/// Counters describing the work done while matching rule bodies. The
+/// number of substitutions found is the library's proxy for "number of
+/// joins", the cost the paper's optimization reduces.
+struct MatchStats {
+  std::uint64_t substitutions = 0;   // complete body matches found
+  std::uint64_t index_lookups = 0;   // per-atom index probes / scans
+  std::uint64_t tuples_scanned = 0;  // candidate tuples inspected
+
+  void Add(const MatchStats& other) {
+    substitutions += other.substitutions;
+    index_lookups += other.index_lookups;
+    tuples_scanned += other.tuples_scanned;
+  }
+};
+
+/// Which database a body atom is matched against during semi-naive
+/// evaluation: the full database, the last round's delta, or the "old"
+/// prefix of the full database (rows that existed before the delta was
+/// born -- expressible as a per-predicate row-count bound because
+/// relations are append-only).
+enum class AtomSource { kFull, kDelta, kOld };
+
+/// Per-predicate row-count bounds defining the "old" snapshot; predicates
+/// absent from the map have no old rows.
+using OldLimits = std::unordered_map<PredicateId, std::size_t>;
+
+/// A body atom together with its source.
+struct PlannedAtom {
+  Atom atom;
+  AtomSource source = AtomSource::kFull;
+};
+
+/// A substitution from variables to constants, built up during matching
+/// (the instantiation of Section III).
+using Binding = std::unordered_map<VariableId, Value>;
+
+/// Process-wide ablation switches used by bench_ablation to quantify two
+/// engine design choices. Not thread-safe; intended for benchmarks only.
+/// When greedy join ordering is off, body atoms are matched in their
+/// given (textual) order. When index lookups are off, every atom match
+/// scans the whole relation and filters.
+void SetGreedyJoinOrdering(bool enabled);
+bool GreedyJoinOrderingEnabled();
+void SetIndexLookups(bool enabled);
+bool IndexLookupsEnabled();
+
+/// Enumerates every binding that instantiates all `atoms` to facts of the
+/// indicated sources. Atoms are matched in a greedily chosen order
+/// (most-bound / smallest-relation first). The callback returns false to
+/// stop the enumeration early.
+///
+/// `delta` may be null when no atom uses AtomSource::kDelta.
+void MatchAtoms(const Database& full, const Database* delta,
+                const std::vector<PlannedAtom>& atoms,
+                const std::function<bool(const Binding&)>& callback,
+                MatchStats* stats);
+
+/// Instantiates `atom` under `binding`; every variable must be bound.
+Tuple InstantiateHead(const Atom& atom, const Binding& binding);
+
+/// Applies `rule` once, non-recursively, against `full` (Section IX's
+/// P^n-style single application): enumerates body matches (negated
+/// literals are tested against `full` after the positive part is bound)
+/// and inserts head facts into `out`. Returns the number of facts that
+/// were new in `out`. `out` may alias `full`'s storage only if the caller
+/// accepts immediate visibility of new facts (naive evaluation does).
+std::size_t ApplyRule(const Rule& rule, const Database& full, Database* out,
+                      MatchStats* stats);
+
+/// Semi-naive variant: like ApplyRule but the body atom at position
+/// `delta_pos` (an index into rule.body(), which must be positive there)
+/// is matched against `delta` instead of `full`. When `old_limits` is
+/// non-null, positive positions BEFORE delta_pos are matched against the
+/// old snapshot only (the classic old/delta/full scheme, which covers
+/// every derivation that uses a delta fact exactly once instead of once
+/// per delta position); with a null `old_limits` those positions fall
+/// back to the full database.
+std::size_t ApplyRuleWithDelta(const Rule& rule, const Database& full,
+                               const Database& delta, std::size_t delta_pos,
+                               Database* out, MatchStats* stats,
+                               const OldLimits* old_limits = nullptr);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_RULE_MATCHER_H_

@@ -1,0 +1,43 @@
+#include "eval/stratified.h"
+
+#include <set>
+
+#include "ast/dependence_graph.h"
+#include "ast/validate.h"
+#include "eval/seminaive.h"
+
+namespace datalog {
+
+Result<EvalStats> EvaluateStratified(const Program& program, Database* db) {
+  DATALOG_RETURN_IF_ERROR(ValidateProgram(program));
+  DependenceGraph graph(program);
+  DATALOG_ASSIGN_OR_RETURN(std::vector<std::vector<PredicateId>> strata,
+                           graph.Stratify());
+
+  EvalStats total;
+  total.per_rule.resize(program.NumRules());
+  for (const std::vector<PredicateId>& stratum : strata) {
+    std::set<PredicateId> preds(stratum.begin(), stratum.end());
+    std::vector<Rule> rules;
+    std::vector<std::size_t> original_index;  // stratum-local -> program
+    for (std::size_t i = 0; i < program.NumRules(); ++i) {
+      if (preds.contains(program.rules()[i].head().predicate())) {
+        rules.push_back(program.rules()[i]);
+        original_index.push_back(i);
+      }
+    }
+    if (rules.empty()) continue;
+    EvalStats stratum_stats = RunSemiNaiveFixpoint(rules, db);
+    // Remap the stratum-local per-rule rows onto program rule positions
+    // before merging, so EvalStats::per_rule stays program-indexed.
+    std::vector<RuleStats> remapped(program.NumRules());
+    for (std::size_t i = 0; i < stratum_stats.per_rule.size(); ++i) {
+      remapped[original_index[i]] = stratum_stats.per_rule[i];
+    }
+    stratum_stats.per_rule = std::move(remapped);
+    total.Add(stratum_stats);
+  }
+  return total;
+}
+
+}  // namespace datalog

@@ -1,0 +1,23 @@
+#ifndef DATALOG_EVAL_STRATIFIED_H_
+#define DATALOG_EVAL_STRATIFIED_H_
+
+#include "ast/program.h"
+#include "eval/database.h"
+#include "eval/eval_stats.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Evaluates a program with stratified negation (the extension the paper
+/// announces in Section XII): predicates are grouped into strata so that
+/// negation never crosses into the same or a higher stratum, and each
+/// stratum is computed to a semi-naive fixpoint before any stratum that
+/// negates it. Fails with InvalidArgument when the program is unsafe or
+/// not stratifiable.
+///
+/// For positive programs this computes exactly EvaluateSemiNaive.
+Result<EvalStats> EvaluateStratified(const Program& program, Database* db);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_STRATIFIED_H_

@@ -1,0 +1,38 @@
+#ifndef DATALOG_EVAL_TOPDOWN_H_
+#define DATALOG_EVAL_TOPDOWN_H_
+
+#include <cstdint>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "eval/database.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Work counters for the tabled top-down evaluator.
+struct TopDownStats {
+  std::size_t subgoals = 0;        // distinct (predicate, binding) goals
+  std::size_t iterations = 0;      // outer fixpoint rounds
+  std::uint64_t answers = 0;       // table entries produced
+  std::uint64_t body_matches = 0;  // complete rule-body matches
+};
+
+/// Tabled top-down evaluation (in the QSQ / OLDT family the paper's
+/// introduction cites alongside magic sets): starting from the query
+/// goal, rules are resolved top-down, intentional subgoals are memoized
+/// in per-(predicate, binding-pattern) answer tables, and the tables are
+/// iterated to a fixpoint. Like magic sets, only the part of the IDB
+/// relevant to the query is computed; unlike magic sets there is no
+/// program rewrite -- demand propagation happens at evaluation time.
+///
+/// `query` may mix constants and variables; returns the matching tuples
+/// of the query predicate (same arity). The program must be positive and
+/// safe. The EDB is read-only.
+Result<std::vector<Tuple>> SolveTopDown(const Program& program,
+                                        const Database& edb, const Atom& query,
+                                        TopDownStats* stats = nullptr);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_TOPDOWN_H_

@@ -1,0 +1,27 @@
+#ifndef DATALOG_EVAL_TUPLE_H_
+#define DATALOG_EVAL_TUPLE_H_
+
+#include <vector>
+
+#include "ast/value.h"
+#include "util/hash.h"
+
+namespace datalog {
+
+/// A row of constants. A relation for predicate Q is a set of tuples, each
+/// standing for a ground atom of Q (Section III).
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    std::size_t seed = t.size();
+    for (const Value& v : t) {
+      HashCombine(seed, v.Hash());
+    }
+    return seed;
+  }
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_TUPLE_H_

@@ -1,0 +1,27 @@
+#ifndef DATALOG_UTIL_HASH_H_
+#define DATALOG_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace datalog {
+
+/// Mixes `value` into a running hash seed (boost::hash_combine recipe with a
+/// 64-bit golden-ratio constant).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a contiguous range of hashable elements into one seed.
+template <typename Iter>
+std::size_t HashRange(Iter begin, Iter end, std::size_t seed = 0) {
+  for (Iter it = begin; it != end; ++it) {
+    HashCombine(seed, std::hash<typename std::iterator_traits<Iter>::value_type>{}(*it));
+  }
+  return seed;
+}
+
+}  // namespace datalog
+
+#endif  // DATALOG_UTIL_HASH_H_

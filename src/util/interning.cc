@@ -1,0 +1,19 @@
+#include "util/interning.h"
+
+namespace datalog {
+
+int32_t StringInterner::Intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+int32_t StringInterner::Lookup(std::string_view text) const {
+  auto it = index_.find(std::string(text));
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace datalog

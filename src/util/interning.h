@@ -1,0 +1,44 @@
+#ifndef DATALOG_UTIL_INTERNING_H_
+#define DATALOG_UTIL_INTERNING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace datalog {
+
+/// Maps strings to dense non-negative integer ids and back. Used for
+/// predicate names, variable names and symbolic constants so the rest of
+/// the library can work with small integers.
+///
+/// Not thread-safe; each SymbolTable/Program owns its interner.
+class StringInterner {
+ public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = default;
+  StringInterner& operator=(const StringInterner&) = default;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  /// Returns the id for `text`, interning it on first use.
+  int32_t Intern(std::string_view text);
+
+  /// Returns the id for `text`, or -1 if it has never been interned.
+  int32_t Lookup(std::string_view text) const;
+
+  /// Returns the string for a valid id. Ids come from Intern().
+  const std::string& ToString(int32_t id) const { return strings_[id]; }
+
+  /// Number of distinct interned strings.
+  int32_t size() const { return static_cast<int32_t>(strings_.size()); }
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_UTIL_INTERNING_H_

@@ -1,0 +1,84 @@
+#ifndef DATALOG_UTIL_RESULT_H_
+#define DATALOG_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace datalog {
+
+/// Holds either a value of type T or an error Status (never both, never
+/// neither). Modeled on arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (the common error path). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace datalog
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which it declares).
+#define DATALOG_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  DATALOG_ASSIGN_OR_RETURN_IMPL_(                       \
+      DATALOG_MACRO_CONCAT_(result_, __LINE__), lhs, rexpr)
+
+#define DATALOG_MACRO_CONCAT_INNER_(x, y) x##y
+#define DATALOG_MACRO_CONCAT_(x, y) DATALOG_MACRO_CONCAT_INNER_(x, y)
+
+#define DATALOG_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                   \
+  if (!result.ok()) {                                      \
+    return result.status();                                \
+  }                                                        \
+  lhs = std::move(result).value()
+
+#endif  // DATALOG_UTIL_RESULT_H_

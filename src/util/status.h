@@ -1,0 +1,99 @@
+#ifndef DATALOG_UTIL_STATUS_H_
+#define DATALOG_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace datalog {
+
+/// Error codes used throughout the library. The library does not throw
+/// exceptions; every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input: parse errors, arity mismatches, unsafe rules.
+  kInvalidArgument,
+  /// A named entity (predicate, rule index, ...) does not exist.
+  kNotFound,
+  /// A bounded procedure (e.g. the chase with embedded tgds) exhausted its
+  /// step or null budget before reaching a conclusion.
+  kResourceExhausted,
+  /// Internal invariant violation; indicates a bug in the library.
+  kInternal,
+};
+
+/// Returns a short human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// An Arrow/RocksDB-style status object: either OK (cheap, no allocation)
+/// or an error code with a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string* const kEmpty = new std::string();
+    return rep_ ? rep_->message : *kEmpty;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeToString(code()));
+    out += ": ";
+    out += message();
+    return out;
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps Status copyable and cheap to pass around; the error
+  // path is cold so the allocation is acceptable.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace datalog
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// Status or Result<T>.
+#define DATALOG_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::datalog::Status status_macro_internal_ = (expr);  \
+    if (!status_macro_internal_.ok()) {                 \
+      return status_macro_internal_;                    \
+    }                                                   \
+  } while (false)
+
+#endif  // DATALOG_UTIL_STATUS_H_

@@ -1,0 +1,19 @@
+#ifndef DATALOG_UTIL_STRING_UTIL_H_
+#define DATALOG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datalog {
+
+/// Joins `parts` with `separator`: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace datalog
+
+#endif  // DATALOG_UTIL_STRING_UTIL_H_

@@ -1,0 +1,17 @@
+#ifndef DATALOG_VERSION_H_
+#define DATALOG_VERSION_H_
+
+/// Library version, kept in sync with the CMake project() declaration.
+#define DATALOG_OPT_VERSION_MAJOR 1
+#define DATALOG_OPT_VERSION_MINOR 0
+#define DATALOG_OPT_VERSION_PATCH 0
+#define DATALOG_OPT_VERSION "1.0.0"
+
+namespace datalog {
+
+/// Returns the library version string ("1.0.0").
+inline const char* Version() { return DATALOG_OPT_VERSION; }
+
+}  // namespace datalog
+
+#endif  // DATALOG_VERSION_H_

@@ -1,0 +1,99 @@
+#include "workload/graph_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace datalog {
+namespace {
+
+void AddEdge(Database* db, PredicateId pred, std::size_t a, std::size_t b) {
+  db->AddFact(pred, {Value::Int(static_cast<std::int64_t>(a)),
+                     Value::Int(static_cast<std::int64_t>(b))});
+}
+
+}  // namespace
+
+void AddGraphFacts(const GraphOptions& options, PredicateId edge_pred,
+                   Database* db) {
+  const std::size_t n = options.num_nodes;
+  switch (options.shape) {
+    case GraphShape::kChain:
+      for (std::size_t i = 0; i + 1 < n; ++i) AddEdge(db, edge_pred, i, i + 1);
+      break;
+    case GraphShape::kCycle:
+      for (std::size_t i = 0; i + 1 < n; ++i) AddEdge(db, edge_pred, i, i + 1);
+      if (n > 1) AddEdge(db, edge_pred, n - 1, 0);
+      break;
+    case GraphShape::kBinaryTree:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (2 * i + 1 < n) AddEdge(db, edge_pred, i, 2 * i + 1);
+        if (2 * i + 2 < n) AddEdge(db, edge_pred, i, 2 * i + 2);
+      }
+      break;
+    case GraphShape::kGrid: {
+      std::size_t side = static_cast<std::size_t>(
+          std::max(1.0, std::floor(std::sqrt(static_cast<double>(n)))));
+      for (std::size_t r = 0; r < side; ++r) {
+        for (std::size_t c = 0; c < side; ++c) {
+          std::size_t id = r * side + c;
+          if (c + 1 < side) AddEdge(db, edge_pred, id, id + 1);
+          if (r + 1 < side) AddEdge(db, edge_pred, id, id + side);
+        }
+      }
+      break;
+    }
+    case GraphShape::kRandom: {
+      std::mt19937_64 rng(options.seed);
+      std::uniform_int_distribution<std::size_t> node(0, n > 0 ? n - 1 : 0);
+      for (std::size_t e = 0; e < options.num_edges; ++e) {
+        AddEdge(db, edge_pred, node(rng), node(rng));
+      }
+      break;
+    }
+  }
+}
+
+std::size_t AddSameGenerationFacts(const SameGenerationOptions& options,
+                                   PredicateId up, PredicateId flat,
+                                   PredicateId down, Database* db) {
+  // Nodes are numbered level by level: level L holds fanout^L nodes.
+  std::size_t level_start = 0;
+  std::size_t level_size = 1;
+  std::size_t total = 1;
+  for (std::size_t level = 0; level + 1 < options.depth; ++level) {
+    std::size_t next_start = level_start + level_size;
+    std::size_t next_size = level_size * options.fanout;
+    for (std::size_t i = 0; i < level_size; ++i) {
+      std::size_t parent = level_start + i;
+      for (std::size_t f = 0; f < options.fanout; ++f) {
+        std::size_t child = next_start + i * options.fanout + f;
+        AddEdge(db, up, child, parent);
+        AddEdge(db, down, parent, child);
+      }
+    }
+    // flat: consecutive siblings within the next level.
+    for (std::size_t i = 0; i + 1 < next_size; ++i) {
+      AddEdge(db, flat, next_start + i, next_start + i + 1);
+    }
+    level_start = next_start;
+    level_size = next_size;
+    total += next_size;
+  }
+  return total;
+}
+
+void AddUnaryFacts(std::size_t num_nodes, std::size_t count,
+                   std::uint64_t seed, PredicateId pred, Database* db) {
+  std::vector<std::size_t> nodes(num_nodes);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(nodes.begin(), nodes.end(), rng);
+  for (std::size_t i = 0; i < std::min(count, num_nodes); ++i) {
+    db->AddFact(pred, {Value::Int(static_cast<std::int64_t>(nodes[i]))});
+  }
+}
+
+}  // namespace datalog

@@ -1,0 +1,56 @@
+#ifndef DATALOG_WORKLOAD_GRAPH_GEN_H_
+#define DATALOG_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "eval/database.h"
+
+namespace datalog {
+
+/// Shapes of synthetic binary-relation EDBs used by the benchmarks. Nodes
+/// are the integers 0..num_nodes-1.
+enum class GraphShape {
+  kChain,       // i -> i+1
+  kCycle,       // chain plus closing edge
+  kBinaryTree,  // i -> 2i+1, i -> 2i+2
+  kGrid,        // sqrt(n) x sqrt(n) grid, right and down edges
+  kRandom,      // num_edges uniform random pairs (with replacement)
+};
+
+struct GraphOptions {
+  GraphShape shape = GraphShape::kChain;
+  std::size_t num_nodes = 64;
+  /// Only used by kRandom.
+  std::size_t num_edges = 128;
+  std::uint64_t seed = 42;
+};
+
+/// Adds the edge facts of the generated graph to `db` under the binary
+/// predicate `edge_pred`.
+void AddGraphFacts(const GraphOptions& options, PredicateId edge_pred,
+                   Database* db);
+
+/// Adds `count` unary facts `pred(i)` for nodes sampled without
+/// replacement from 0..num_nodes-1 (used for guard predicates like C in
+/// Example 19).
+void AddUnaryFacts(std::size_t num_nodes, std::size_t count,
+                   std::uint64_t seed, PredicateId pred, Database* db);
+
+/// Parameters of the same-generation EDB: a complete `fanout`-ary tree of
+/// `depth` levels. up(child, parent) edges go toward the root,
+/// down(parent, child) away from it, and flat connects each node to its
+/// next sibling. The classic bound-query benchmark for magic sets.
+struct SameGenerationOptions {
+  std::size_t depth = 4;
+  std::size_t fanout = 2;
+};
+
+/// Adds the up/flat/down facts; returns the number of nodes.
+std::size_t AddSameGenerationFacts(const SameGenerationOptions& options,
+                                   PredicateId up, PredicateId flat,
+                                   PredicateId down, Database* db);
+
+}  // namespace datalog
+
+#endif  // DATALOG_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,126 @@
+#include "workload/program_gen.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ast/unify.h"
+
+namespace datalog {
+namespace {
+
+/// A fresh chain variable v<k> (shared names across rules are harmless:
+/// variable scope is per rule).
+Term ChainVar(SymbolTable* symbols, std::size_t k) {
+  return Term::Variable(symbols->InternVariable("v" + std::to_string(k)));
+}
+
+}  // namespace
+
+Result<PlantedProgram> MakePlantedProgram(
+    std::shared_ptr<SymbolTable> symbols,
+    const PlantedProgramOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  SymbolTable* table = symbols.get();
+
+  std::vector<PredicateId> edb;
+  for (std::size_t i = 0; i < options.num_extensional; ++i) {
+    DATALOG_ASSIGN_OR_RETURN(
+        PredicateId pred,
+        table->InternPredicate("e" + std::to_string(i), 2));
+    edb.push_back(pred);
+  }
+  std::vector<PredicateId> idb;
+  for (std::size_t i = 0; i < options.num_intentional; ++i) {
+    DATALOG_ASSIGN_OR_RETURN(
+        PredicateId pred,
+        table->InternPredicate("i" + std::to_string(i), 2));
+    idb.push_back(pred);
+  }
+
+  Program program(symbols);
+  auto pick = [&rng](const std::vector<PredicateId>& preds) {
+    std::uniform_int_distribution<std::size_t> dist(0, preds.size() - 1);
+    return preds[dist(rng)];
+  };
+
+  for (std::size_t k = 0; k < idb.size(); ++k) {
+    // Base rule: i_k(x, z) :- e_j(x, z).
+    Term x = ChainVar(table, 0);
+    Term z = ChainVar(table, 1);
+    program.AddRule(Rule::Positive(Atom(idb[k], {x, z}),
+                                   {Atom(pick(edb), {x, z})}));
+
+    for (std::size_t r = 0; r < options.chain_rules; ++r) {
+      // Chain rule: i_k(v0, vn) :- p1(v0, v1), ..., pn(v(n-1), vn).
+      std::vector<Atom> body;
+      std::uniform_int_distribution<int> percent(0, 99);
+      for (std::size_t a = 0; a < options.chain_length; ++a) {
+        bool recurse = percent(rng) < options.recursion_percent;
+        // Recursion only into predicates up to i_k keeps the dependency
+        // structure varied without every predicate depending on every
+        // other.
+        PredicateId pred =
+            recurse ? idb[std::uniform_int_distribution<std::size_t>(
+                          0, k)(rng)]
+                    : pick(edb);
+        body.push_back(
+            Atom(pred, {ChainVar(table, a), ChainVar(table, a + 1)}));
+      }
+      program.AddRule(Rule::Positive(
+          Atom(idb[k],
+               {ChainVar(table, 0), ChainVar(table, options.chain_length)}),
+          std::move(body)));
+    }
+  }
+
+  // Plant redundant atoms: a copy of an existing body atom with one
+  // variable replaced by a fresh one. Deleting the copy is sound under
+  // uniform equivalence (the frozen body of the smaller rule matches the
+  // copy by instantiating the fresh variable to the original's constant).
+  std::size_t planted_atoms = 0;
+  for (std::size_t p = 0; p < options.planted_atoms; ++p) {
+    std::uniform_int_distribution<std::size_t> rule_dist(
+        0, program.NumRules() - 1);
+    Rule& rule = program.mutable_rules()[rule_dist(rng)];
+    if (rule.body().empty()) continue;
+    std::uniform_int_distribution<std::size_t> atom_dist(
+        0, rule.body().size() - 1);
+    Atom copy = rule.body()[atom_dist(rng)].atom;
+    std::vector<VariableId> vars;
+    copy.AppendVariables(&vars);
+    if (vars.empty()) continue;
+    std::uniform_int_distribution<std::size_t> var_dist(0, vars.size() - 1);
+    VariableId victim = vars[var_dist(rng)];
+    VariableId fresh = table->FreshVariable("w");
+    for (Term& t : copy.mutable_args()) {
+      if (t.is_variable() && t.var() == victim) t = Term::Variable(fresh);
+    }
+    rule.mutable_body().push_back(Literal{std::move(copy), false});
+    ++planted_atoms;
+  }
+
+  // Plant redundant rules: renamed duplicates and specializations.
+  std::size_t planted_rules = 0;
+  for (std::size_t p = 0; p < options.planted_rules; ++p) {
+    std::uniform_int_distribution<std::size_t> rule_dist(
+        0, program.NumRules() - 1);
+    const Rule& original = program.rules()[rule_dist(rng)];
+    if (original.IsFact()) continue;
+    Rule clone = RenameApart(original, table);
+    if (p % 2 == 1) {
+      // Specialization: one extra (satisfiable) atom makes the rule
+      // strictly weaker, hence redundant next to the original.
+      std::uniform_int_distribution<std::size_t> atom_dist(
+          0, clone.body().size() - 1);
+      clone.mutable_body().push_back(clone.body()[atom_dist(rng)]);
+    }
+    program.AddRule(std::move(clone));
+    ++planted_rules;
+  }
+
+  PlantedProgram result{std::move(program), planted_atoms, planted_rules};
+  return result;
+}
+
+}  // namespace datalog

@@ -1,0 +1,49 @@
+#ifndef DATALOG_WORKLOAD_PROGRAM_GEN_H_
+#define DATALOG_WORKLOAD_PROGRAM_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Options for the planted-redundancy program generator used by the
+/// minimization tests and benchmarks.
+struct PlantedProgramOptions {
+  std::size_t num_extensional = 2;   // binary predicates e0, e1, ...
+  std::size_t num_intentional = 2;   // binary predicates i0, i1, ...
+  std::size_t chain_rules = 3;       // random chain rules per intentional pred
+  std::size_t chain_length = 3;      // body atoms per chain rule
+  /// Probability (percent) that a chain atom recurses into an intentional
+  /// predicate rather than an extensional one.
+  int recursion_percent = 40;
+  /// Redundant atoms planted across rules. Each is a copy of an existing
+  /// body atom with one variable renamed fresh, which is provably
+  /// redundant under uniform equivalence.
+  std::size_t planted_atoms = 2;
+  /// Redundant rules planted: variable-renamed duplicates and
+  /// specializations (an existing rule with one extra atom), both provably
+  /// redundant under uniform equivalence.
+  std::size_t planted_rules = 1;
+  std::uint64_t seed = 1;
+};
+
+struct PlantedProgram {
+  Program program;
+  /// Lower bounds on what MinimizeProgram must remove (it may remove more:
+  /// random chain rules occasionally subsume each other).
+  std::size_t planted_atoms = 0;
+  std::size_t planted_rules = 0;
+};
+
+/// Generates a safe positive program with known-redundant parts. Every
+/// intentional predicate gets a base rule i_k(x,z) :- e_j(x,z), then
+/// `chain_rules` random chain rules; redundancy is planted on top.
+Result<PlantedProgram> MakePlantedProgram(
+    std::shared_ptr<SymbolTable> symbols, const PlantedProgramOptions& options);
+
+}  // namespace datalog
+
+#endif  // DATALOG_WORKLOAD_PROGRAM_GEN_H_

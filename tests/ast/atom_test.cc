@@ -1,0 +1,68 @@
+#include "ast/atom.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseRuleOrDie;
+
+TEST(AtomTest, GroundDetection) {
+  Atom ground(0, {Term::Int(1), Term::Int(2)});
+  Atom open(0, {Term::Int(1), Term::Variable(0)});
+  EXPECT_TRUE(ground.IsGround());
+  EXPECT_FALSE(open.IsGround());
+}
+
+TEST(AtomTest, ZeroArityIsGround) {
+  Atom nullary(0, {});
+  EXPECT_TRUE(nullary.IsGround());
+  EXPECT_EQ(nullary.arity(), 0);
+}
+
+TEST(AtomTest, VariablesCollectsSet) {
+  // G(x, y, x) has variables {x, y}, each once.
+  Atom atom(0, {Term::Variable(1), Term::Variable(2), Term::Variable(1)});
+  std::set<VariableId> vars = atom.Variables();
+  EXPECT_EQ(vars, (std::set<VariableId>{1, 2}));
+}
+
+TEST(AtomTest, AppendVariablesKeepsDuplicatesInOrder) {
+  Atom atom(0, {Term::Variable(2), Term::Int(5), Term::Variable(2)});
+  std::vector<VariableId> vars;
+  atom.AppendVariables(&vars);
+  EXPECT_EQ(vars, (std::vector<VariableId>{2, 2}));
+}
+
+TEST(AtomTest, ContainsVariable) {
+  Atom atom(0, {Term::Variable(3), Term::Int(1)});
+  EXPECT_TRUE(atom.ContainsVariable(3));
+  EXPECT_FALSE(atom.ContainsVariable(1));
+}
+
+TEST(AtomTest, EqualityIncludesPredicate) {
+  Atom a(0, {Term::Int(1)});
+  Atom b(1, {Term::Int(1)});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Atom(0, {Term::Int(1)}));
+}
+
+TEST(AtomTest, HashAgreesWithEquality) {
+  Atom a(0, {Term::Variable(1), Term::Int(2)});
+  Atom b(0, {Term::Variable(1), Term::Int(2)});
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(LiteralTest, NegationDistinguishes) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "p(x) :- q(x), not r(x).");
+  ASSERT_EQ(rule.body().size(), 2u);
+  EXPECT_FALSE(rule.body()[0].negated);
+  EXPECT_TRUE(rule.body()[1].negated);
+  EXPECT_NE(rule.body()[0], rule.body()[1]);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,126 @@
+#include "ast/dependence_graph.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+
+TEST(DependenceGraphTest, TransitiveClosureIsRecursive) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  DependenceGraph graph(p);
+  EXPECT_TRUE(graph.IsRecursive());
+  PredicateId g = symbols->LookupPredicate("g").value();
+  PredicateId a = symbols->LookupPredicate("a").value();
+  EXPECT_TRUE(graph.IsPredicateRecursive(g));
+  EXPECT_FALSE(graph.IsPredicateRecursive(a));
+  EXPECT_FALSE(graph.IsRuleRecursive(p.rules()[0]));
+  EXPECT_TRUE(graph.IsRuleRecursive(p.rules()[1]));
+}
+
+TEST(DependenceGraphTest, NonRecursiveProgram) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "s(x, z) :- a(x, y), b(y, z).\n"
+                                "t(x) :- s(x, x).\n");
+  DependenceGraph graph(p);
+  EXPECT_FALSE(graph.IsRecursive());
+  EXPECT_FALSE(graph.IsRuleRecursive(p.rules()[0]));
+}
+
+TEST(DependenceGraphTest, MutualRecursionDetected) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "even(x) :- zero(x).\n"
+                                "even(x) :- succ(y, x), odd(y).\n"
+                                "odd(x) :- succ(y, x), even(y).\n");
+  DependenceGraph graph(p);
+  PredicateId even = symbols->LookupPredicate("even").value();
+  PredicateId odd = symbols->LookupPredicate("odd").value();
+  EXPECT_TRUE(graph.MutuallyRecursive(even, odd));
+  EXPECT_TRUE(graph.IsPredicateRecursive(even));
+  EXPECT_TRUE(graph.IsRuleRecursive(p.rules()[1]));
+  EXPECT_FALSE(graph.IsRuleRecursive(p.rules()[0]));
+}
+
+TEST(DependenceGraphTest, Reaches) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "b(x) :- a(x).\n"
+                                "c(x) :- b(x).\n");
+  DependenceGraph graph(p);
+  PredicateId a = symbols->LookupPredicate("a").value();
+  PredicateId b = symbols->LookupPredicate("b").value();
+  PredicateId c = symbols->LookupPredicate("c").value();
+  EXPECT_TRUE(graph.Reaches(a, c));
+  EXPECT_TRUE(graph.Reaches(a, b));
+  EXPECT_FALSE(graph.Reaches(c, a));
+  EXPECT_FALSE(graph.Reaches(a, a));
+}
+
+TEST(DependenceGraphTest, LinearVsNonLinear) {
+  auto symbols = MakeSymbols();
+  Program nonlinear = ParseProgramOrDie(symbols,
+                                        "g(x, z) :- a(x, z).\n"
+                                        "g(x, z) :- g(x, y), g(y, z).\n");
+  DependenceGraph g1(nonlinear);
+  EXPECT_FALSE(g1.IsLinear(nonlinear));
+
+  auto symbols2 = MakeSymbols();
+  Program linear = ParseProgramOrDie(symbols2,
+                                     "g(x, z) :- a(x, z).\n"
+                                     "g(x, z) :- a(x, y), g(y, z).\n");
+  DependenceGraph g2(linear);
+  EXPECT_TRUE(g2.IsLinear(linear));
+}
+
+TEST(DependenceGraphTest, StratifiesNegationThroughBase) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "reach(x) :- source(x).\n"
+                                "reach(y) :- reach(x), edge(x, y).\n"
+                                "unreached(x) :- node(x), not reach(x).\n");
+  DependenceGraph graph(p);
+  auto strata = graph.Stratify();
+  ASSERT_TRUE(strata.ok());
+  PredicateId reach = symbols->LookupPredicate("reach").value();
+  PredicateId unreached = symbols->LookupPredicate("unreached").value();
+  // unreached must live in a strictly higher stratum than reach.
+  int reach_stratum = -1, unreached_stratum = -1;
+  for (std::size_t s = 0; s < strata->size(); ++s) {
+    for (PredicateId pred : (*strata)[s]) {
+      if (pred == reach) reach_stratum = static_cast<int>(s);
+      if (pred == unreached) unreached_stratum = static_cast<int>(s);
+    }
+  }
+  EXPECT_GE(reach_stratum, 0);
+  EXPECT_GT(unreached_stratum, reach_stratum);
+}
+
+TEST(DependenceGraphTest, NegationThroughRecursionRejected) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "win(x) :- move(x, y), not win(y).\n");
+  DependenceGraph graph(p);
+  auto strata = graph.Stratify();
+  EXPECT_FALSE(strata.ok());
+  EXPECT_EQ(strata.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DependenceGraphTest, SelfLoopRule) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- p(x).\n");
+  DependenceGraph graph(p);
+  PredicateId pred = symbols->LookupPredicate("p").value();
+  EXPECT_TRUE(graph.IsPredicateRecursive(pred));
+  EXPECT_TRUE(graph.IsRuleRecursive(p.rules()[0]));
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,153 @@
+// Adversarial parser inputs beyond the happy paths of parser_test.cc.
+
+#include "ast/parser.h"
+
+#include "ast/pretty_print.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/program_gen.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+
+TEST(ParserEdgeTest, EmptyInputIsEmptyProgram) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  Result<Program> p = parser.ParseProgram("");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->NumRules(), 0u);
+}
+
+TEST(ParserEdgeTest, OnlyCommentsAndWhitespace) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  Result<Program> p = parser.ParseProgram(
+      "  % nothing here\n\t// nor here\n\n   ");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->NumRules(), 0u);
+}
+
+TEST(ParserEdgeTest, CommentAtEndOfFileWithoutNewline) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  Result<Program> p = parser.ParseProgram("a(1). % trailing");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->NumRules(), 1u);
+}
+
+TEST(ParserEdgeTest, Int64Boundaries) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  Result<Rule> max =
+      parser.ParseRule("p(9223372036854775807) :- q(9223372036854775807).");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->head().args()[0], Term::Int(9223372036854775807LL));
+  // Out of range must be a clean error, not UB.
+  Result<Rule> over = parser.ParseRule("p(9223372036854775808) :- q(1).");
+  EXPECT_FALSE(over.ok());
+}
+
+TEST(ParserEdgeTest, DanglingMinusIsError) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseRule("p(x) :- q(x), - .").ok());
+}
+
+TEST(ParserEdgeTest, ColonWithoutDashIsError) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseRule("p(x) : q(x).").ok());
+}
+
+TEST(ParserEdgeTest, QuestionWithoutDashIsError) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseQuery("? g(1, x).").ok());
+}
+
+TEST(ParserEdgeTest, MissingClosingParen) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseRule("p(x :- q(x).").ok());
+}
+
+TEST(ParserEdgeTest, EmptyBodyAfterColonDashIsError) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseRule("p(1) :- .").ok());
+}
+
+TEST(ParserEdgeTest, TgdWithoutArrowIsError) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseTgd("g(x, z), a(x, w).").ok());
+}
+
+TEST(ParserEdgeTest, TgdMissingRhsIsError) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseTgd("g(x, z) -> .").ok());
+}
+
+TEST(ParserEdgeTest, SingleQuoteInsideDoubleQuotedString) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  Result<Rule> r = parser.ParseRule("p(\"ann's\") :- q(\"ann's\").");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->head().args()[0].value().is_symbol());
+}
+
+TEST(ParserEdgeTest, IdentifiersWithUnderscoresAndDigits) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  Result<Rule> r = parser.ParseRule("p_1(x_2) :- q_3(x_2).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(symbols->PredicateName(r->head().predicate()), "p_1");
+}
+
+TEST(ParserEdgeTest, NotAsBarePredicateNameRejected) {
+  // `not` is reserved for negation; `not(x)` in a body would be
+  // ambiguous. The parser treats it as a negation of the following atom,
+  // so a lone trailing `not` fails.
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseRule("p(x) :- q(x), not .").ok());
+}
+
+TEST(ParserEdgeTest, DeepNestingOfConjunctions) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  std::string body;
+  for (int i = 0; i < 200; ++i) {
+    if (i != 0) body += ", ";
+    body += "e(x" + std::to_string(i) + ", x" + std::to_string(i + 1) + ")";
+  }
+  Result<Rule> r = parser.ParseRule("p(x0, x200) :- " + body + ".");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->body().size(), 200u);
+  EXPECT_TRUE(r->IsSafe());
+}
+
+TEST(ParserEdgeTest, GeneratedProgramsRoundTripThroughPrinter) {
+  // Property: printing and reparsing a generated program yields a
+  // structurally different-but-equal program (same ids, same structure).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto symbols = MakeSymbols();
+    PlantedProgramOptions options;
+    options.seed = seed;
+    options.planted_atoms = 2;
+    options.planted_rules = 1;
+    Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+    ASSERT_TRUE(planted.ok());
+    std::string printed = ToString(planted->program);
+    Parser parser(symbols);
+    Result<Program> reparsed = parser.ParseProgram(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(reparsed.value(), planted->program) << printed;
+  }
+}
+
+}  // namespace
+}  // namespace datalog

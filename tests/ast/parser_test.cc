@@ -1,0 +1,179 @@
+#include "ast/parser.h"
+
+#include "ast/pretty_print.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+using testing::ParseRuleOrDie;
+using testing::ParseTgdOrDie;
+
+TEST(ParserTest, SimpleRule) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "g(x, z) :- a(x, z).");
+  EXPECT_EQ(rule.body().size(), 1u);
+  EXPECT_EQ(symbols->PredicateName(rule.head().predicate()), "g");
+  EXPECT_TRUE(rule.head().args()[0].is_variable());
+}
+
+TEST(ParserTest, IntegersAndStringsAreConstants) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "q(x, 3, 'ann', \"bob\") :- p(x).");
+  const auto& args = rule.head().args();
+  EXPECT_TRUE(args[0].is_variable());
+  EXPECT_EQ(args[1], Term::Int(3));
+  ASSERT_TRUE(args[2].is_constant());
+  EXPECT_TRUE(args[2].value().is_symbol());
+  EXPECT_TRUE(args[3].value().is_symbol());
+  EXPECT_NE(args[2].value(), args[3].value());
+}
+
+TEST(ParserTest, NegativeIntegers) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "q(-5) :- p(-5).");
+  EXPECT_EQ(rule.head().args()[0], Term::Int(-5));
+}
+
+TEST(ParserTest, RepeatedVariableSharesId) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "g(x, x) :- a(x, x).");
+  EXPECT_EQ(rule.head().args()[0], rule.head().args()[1]);
+}
+
+TEST(ParserTest, Fact) {
+  auto symbols = MakeSymbols();
+  Rule fact = ParseRuleOrDie(symbols, "a(1, 2).");
+  EXPECT_TRUE(fact.IsFact());
+  EXPECT_TRUE(fact.head().IsGround());
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "ready :- init.");
+  EXPECT_EQ(rule.head().arity(), 0);
+  Rule with_parens = ParseRuleOrDie(symbols, "ready() :- init().");
+  EXPECT_EQ(with_parens.head(), rule.head());
+}
+
+TEST(ParserTest, NegatedLiterals) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "p(x) :- q(x), not r(x), !s(x).");
+  ASSERT_EQ(rule.body().size(), 3u);
+  EXPECT_FALSE(rule.body()[0].negated);
+  EXPECT_TRUE(rule.body()[1].negated);
+  EXPECT_TRUE(rule.body()[2].negated);
+}
+
+TEST(ParserTest, Comments) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "% transitive closure\n"
+                                "g(x, z) :- a(x, z).  // base case\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  EXPECT_EQ(p.NumRules(), 2u);
+}
+
+TEST(ParserTest, MultiRuleProgram) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z). g(x, z) :- g(x, y), "
+                                "g(y, z). a(1, 2).");
+  EXPECT_EQ(p.NumRules(), 3u);
+  EXPECT_TRUE(p.rules()[2].IsFact());
+}
+
+TEST(ParserTest, Tgd) {
+  auto symbols = MakeSymbols();
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, z) -> a(x, w).");
+  EXPECT_EQ(tgd.lhs().size(), 1u);
+  EXPECT_EQ(tgd.rhs().size(), 1u);
+  EXPECT_FALSE(tgd.IsFull());
+}
+
+TEST(ParserTest, TgdWithAmpersandConjunction) {
+  auto symbols = MakeSymbols();
+  Tgd tgd = ParseTgdOrDie(symbols, "g(y, z) -> g(y, w) & c(w).");
+  EXPECT_EQ(tgd.rhs().size(), 2u);
+  Tgd tgd2 = ParseTgdOrDie(symbols, "g(x, y) && g(y, z) -> a(y, w).");
+  EXPECT_EQ(tgd2.lhs().size(), 2u);
+}
+
+TEST(ParserTest, MultipleTgds) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  auto tgds = parser.ParseTgds("g(x,z) -> a(x,w). a(x,y) -> b(y).");
+  ASSERT_TRUE(tgds.ok());
+  EXPECT_EQ(tgds->size(), 2u);
+}
+
+TEST(ParserTest, GroundAtoms) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  auto atoms = parser.ParseGroundAtoms("a(1, 2). a(1, 4). a(4, 1).");
+  ASSERT_TRUE(atoms.ok());
+  EXPECT_EQ(atoms->size(), 3u);
+}
+
+TEST(ParserTest, GroundAtomsRejectVariables) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  auto atoms = parser.ParseGroundAtoms("a(1, x).");
+  EXPECT_FALSE(atoms.ok());
+  EXPECT_EQ(atoms.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, Query) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  auto query = parser.ParseQuery("?- g(1, x).");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->args()[0], Term::Int(1));
+  EXPECT_TRUE(query->args()[1].is_variable());
+}
+
+TEST(ParserTest, ArityMismatchIsError) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  auto p = parser.ParseProgram("g(x, z) :- a(x, z). g(x) :- a(x, x).");
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, SyntaxErrorsCarryLineNumbers) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  auto p = parser.ParseProgram("g(x, z) :- a(x, z).\ng(x, z) :- (x).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 2"), std::string::npos)
+      << p.status().ToString();
+}
+
+TEST(ParserTest, MissingPeriodIsError) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseRule("g(x, z) :- a(x, z)").ok());
+}
+
+TEST(ParserTest, UnterminatedStringIsError) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  EXPECT_FALSE(parser.ParseRule("g('abc) :- a(1).").ok());
+}
+
+TEST(ParserTest, PaperSyntaxExample) {
+  // The paper's Example 1 program, verbatim modulo capitalization.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "G(x, z) :- A(x, z).\n"
+                                "G(x, z) :- G(x, y), G(y, z).\n");
+  EXPECT_EQ(p.NumRules(), 2u);
+  EXPECT_EQ(ToString(p.rules()[1], *symbols),
+            "G(x, z) :- G(x, y), G(y, z).");
+}
+
+}  // namespace
+}  // namespace datalog

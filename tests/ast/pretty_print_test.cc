@@ -1,0 +1,78 @@
+#include "ast/pretty_print.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+using testing::ParseRuleOrDie;
+using testing::ParseTgdOrDie;
+
+TEST(PrettyPrintTest, Values) {
+  auto symbols = MakeSymbols();
+  std::int32_t ann = symbols->InternSymbol("ann");
+  EXPECT_EQ(ToString(Value::Int(42), *symbols), "42");
+  EXPECT_EQ(ToString(Value::Int(-3), *symbols), "-3");
+  EXPECT_EQ(ToString(Value::Symbol(ann), *symbols), "'ann'");
+  EXPECT_EQ(ToString(Value::Frozen(3), *symbols), "$c3");
+  EXPECT_EQ(ToString(Value::Null(7), *symbols), "~n7");
+}
+
+TEST(PrettyPrintTest, SymbolQuoteSelectionRoundTrips) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "p(\"ann's\") :- q('plain').");
+  std::string printed = ToString(rule, *symbols);
+  EXPECT_EQ(printed, "p(\"ann's\") :- q('plain').");
+  EXPECT_EQ(ParseRuleOrDie(symbols, printed), rule);
+}
+
+TEST(PrettyPrintTest, RuleRoundTrip) {
+  auto symbols = MakeSymbols();
+  const std::string text = "g(x, z) :- g(x, y), g(y, z).";
+  Rule rule = ParseRuleOrDie(symbols, text);
+  EXPECT_EQ(ToString(rule, *symbols), text);
+  // Reparsing the printed form yields the same rule.
+  EXPECT_EQ(ParseRuleOrDie(symbols, ToString(rule, *symbols)), rule);
+}
+
+TEST(PrettyPrintTest, FactRoundTrip) {
+  auto symbols = MakeSymbols();
+  Rule fact = ParseRuleOrDie(symbols, "a(1, 2).");
+  EXPECT_EQ(ToString(fact, *symbols), "a(1, 2).");
+}
+
+TEST(PrettyPrintTest, NegatedLiteral) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "p(x) :- q(x), not r(x).");
+  EXPECT_EQ(ToString(rule, *symbols), "p(x) :- q(x), not r(x).");
+}
+
+TEST(PrettyPrintTest, ZeroArityAtom) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "ready :- init.");
+  EXPECT_EQ(ToString(rule, *symbols), "ready :- init.");
+}
+
+TEST(PrettyPrintTest, Program) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  EXPECT_EQ(ToString(p),
+            "g(x, z) :- a(x, z).\n"
+            "g(x, z) :- g(x, y), g(y, z).\n");
+}
+
+TEST(PrettyPrintTest, TgdRoundTrip) {
+  auto symbols = MakeSymbols();
+  const std::string text = "g(y, z) -> g(y, w), c(w).";
+  Tgd tgd = ParseTgdOrDie(symbols, text);
+  EXPECT_EQ(ToString(tgd, *symbols), text);
+  EXPECT_EQ(ParseTgdOrDie(symbols, ToString(tgd, *symbols)), tgd);
+}
+
+}  // namespace
+}  // namespace datalog

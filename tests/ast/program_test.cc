@@ -1,0 +1,78 @@
+#include "ast/program.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+
+constexpr const char* kTransitiveClosure =
+    "g(x, z) :- a(x, z).\n"
+    "g(x, z) :- g(x, y), g(y, z).\n";
+
+TEST(ProgramTest, IntentionalAndExtensional) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  auto g = symbols->LookupPredicate("g");
+  auto a = symbols->LookupPredicate("a");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(p.IntentionalPredicates(), std::set<PredicateId>{g.value()});
+  EXPECT_EQ(p.ExtensionalPredicates(), std::set<PredicateId>{a.value()});
+  EXPECT_TRUE(p.IsIntentional(g.value()));
+  EXPECT_FALSE(p.IsIntentional(a.value()));
+}
+
+TEST(ProgramTest, AllPredicates) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  EXPECT_EQ(p.AllPredicates().size(), 2u);
+}
+
+TEST(ProgramTest, Example5AllIntentional) {
+  // Example 5: adding a(x,z) :- a(x,y), g(y,z) makes every predicate
+  // intentional.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n"
+                                "a(x, z) :- a(x, y), g(y, z).\n");
+  EXPECT_EQ(p.IntentionalPredicates().size(), 2u);
+  EXPECT_TRUE(p.ExtensionalPredicates().empty());
+}
+
+TEST(ProgramTest, WithoutRule) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  Program smaller = p.WithoutRule(1);
+  EXPECT_EQ(smaller.NumRules(), 1u);
+  EXPECT_EQ(p.NumRules(), 2u);
+  EXPECT_EQ(smaller.rules()[0], p.rules()[0]);
+}
+
+TEST(ProgramTest, WithRuleReplaced) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  Rule replacement = testing::ParseRuleOrDie(symbols, "g(x, z) :- a(z, x).");
+  Program q = p.WithRuleReplaced(0, replacement);
+  EXPECT_EQ(q.rules()[0], replacement);
+  EXPECT_NE(p, q);
+}
+
+TEST(ProgramTest, TotalBodyLiterals) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  EXPECT_EQ(p.TotalBodyLiterals(), 3u);
+}
+
+TEST(ProgramTest, SharedSymbolTable) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  EXPECT_EQ(p.symbols().get(), symbols.get());
+}
+
+}  // namespace
+}  // namespace datalog

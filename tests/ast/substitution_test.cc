@@ -1,0 +1,60 @@
+#include "ast/substitution.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseRuleOrDie;
+
+TEST(SubstitutionTest, ResolveUnboundVariable) {
+  Substitution subst;
+  Term x = Term::Variable(0);
+  EXPECT_EQ(subst.Resolve(x), x);
+}
+
+TEST(SubstitutionTest, ResolveConstantIsIdentity) {
+  Substitution subst;
+  EXPECT_EQ(subst.Resolve(Term::Int(5)), Term::Int(5));
+}
+
+TEST(SubstitutionTest, ResolveFollowsChains) {
+  // x -> y, y -> 7: Resolve(x) must reach 7.
+  Substitution subst;
+  subst.Bind(0, Term::Variable(1));
+  subst.Bind(1, Term::Int(7));
+  EXPECT_EQ(subst.Resolve(Term::Variable(0)), Term::Int(7));
+}
+
+TEST(SubstitutionTest, ApplyAtom) {
+  Substitution subst;
+  subst.Bind(0, Term::Int(1));
+  Atom atom(0, {Term::Variable(0), Term::Variable(1)});
+  Atom applied = subst.Apply(atom);
+  EXPECT_EQ(applied.args()[0], Term::Int(1));
+  EXPECT_EQ(applied.args()[1], Term::Variable(1));  // unbound stays
+}
+
+TEST(SubstitutionTest, ApplyRule) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "g(x, z) :- a(x, z).");
+  VariableId x = symbols->InternVariable("x");
+  Substitution subst;
+  subst.Bind(x, Term::Int(9));
+  Rule applied = subst.Apply(rule);
+  EXPECT_EQ(applied.head().args()[0], Term::Int(9));
+  EXPECT_EQ(applied.body()[0].atom.args()[0], Term::Int(9));
+}
+
+TEST(SubstitutionTest, IsBound) {
+  Substitution subst;
+  EXPECT_FALSE(subst.IsBound(3));
+  subst.Bind(3, Term::Int(0));
+  EXPECT_TRUE(subst.IsBound(3));
+  EXPECT_EQ(subst.size(), 1u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,88 @@
+#include "ast/symbol_table.h"
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+TEST(SymbolTableTest, PredicateInterningIsStable) {
+  SymbolTable table;
+  Result<PredicateId> g1 = table.InternPredicate("g", 2);
+  Result<PredicateId> g2 = table.InternPredicate("g", 2);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1.value(), g2.value());
+  EXPECT_EQ(table.PredicateName(g1.value()), "g");
+  EXPECT_EQ(table.PredicateArity(g1.value()), 2);
+}
+
+TEST(SymbolTableTest, ArityConflictRejected) {
+  SymbolTable table;
+  ASSERT_TRUE(table.InternPredicate("g", 2).ok());
+  Result<PredicateId> conflict = table.InternPredicate("g", 3);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kInvalidArgument);
+  // The original registration is untouched.
+  EXPECT_EQ(table.PredicateArity(table.LookupPredicate("g").value()), 2);
+}
+
+TEST(SymbolTableTest, LookupMissingPredicate) {
+  SymbolTable table;
+  Result<PredicateId> missing = table.LookupPredicate("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SymbolTableTest, FreshPredicateAvoidsCollisions) {
+  SymbolTable table;
+  ASSERT_TRUE(table.InternPredicate("m_g_bf", 1).ok());
+  PredicateId fresh = table.FreshPredicate("m_g_bf", 1);
+  EXPECT_NE(table.PredicateName(fresh), "m_g_bf");
+  EXPECT_EQ(table.PredicateArity(fresh), 1);
+  // A hint with no collision is used verbatim.
+  PredicateId clean = table.FreshPredicate("m_h_bf", 2);
+  EXPECT_EQ(table.PredicateName(clean), "m_h_bf");
+}
+
+TEST(SymbolTableTest, FreshPredicatesNeverCollideWithEachOther) {
+  SymbolTable table;
+  PredicateId a = table.FreshPredicate("p", 1);
+  PredicateId b = table.FreshPredicate("p", 1);
+  PredicateId c = table.FreshPredicate("p", 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(table.PredicateName(a), table.PredicateName(b));
+  EXPECT_NE(table.PredicateName(b), table.PredicateName(c));
+}
+
+TEST(SymbolTableTest, FreshVariableAvoidsCollisions) {
+  SymbolTable table;
+  std::int32_t x = table.InternVariable("x");
+  std::int32_t fresh = table.FreshVariable("x");
+  EXPECT_NE(x, fresh);
+  EXPECT_NE(table.VariableName(fresh), "x");
+}
+
+TEST(SymbolTableTest, SymbolsAndVariablesAreSeparateNamespaces) {
+  SymbolTable table;
+  std::int32_t var = table.InternVariable("paris");
+  std::int32_t sym = table.InternSymbol("paris");
+  // Separate interners: ids may coincide numerically but refer to
+  // different tables; both round-trip independently.
+  EXPECT_EQ(table.VariableName(var), "paris");
+  EXPECT_EQ(table.SymbolText(sym), "paris");
+}
+
+TEST(SymbolTableTest, CountsTrackInterning) {
+  SymbolTable table;
+  EXPECT_EQ(table.NumPredicates(), 0);
+  table.InternPredicate("a", 1).value();
+  table.InternPredicate("b", 2).value();
+  EXPECT_EQ(table.NumPredicates(), 2);
+  EXPECT_EQ(table.NumVariables(), 0);
+  table.InternVariable("x");
+  EXPECT_EQ(table.NumVariables(), 1);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,52 @@
+#include "ast/term.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+TEST(TermTest, VariableAccessors) {
+  Term t = Term::Variable(4);
+  EXPECT_TRUE(t.is_variable());
+  EXPECT_FALSE(t.is_constant());
+  EXPECT_EQ(t.var(), 4);
+}
+
+TEST(TermTest, ConstantAccessors) {
+  Term t = Term::Constant(Value::Int(9));
+  EXPECT_TRUE(t.is_constant());
+  EXPECT_EQ(t.value(), Value::Int(9));
+}
+
+TEST(TermTest, IntShorthand) {
+  EXPECT_EQ(Term::Int(12), Term::Constant(Value::Int(12)));
+}
+
+TEST(TermTest, VariableAndConstantNeverEqual) {
+  // Variable 3 vs the integer constant 3.
+  EXPECT_NE(Term::Variable(3), Term::Int(3));
+}
+
+TEST(TermTest, Equality) {
+  EXPECT_EQ(Term::Variable(1), Term::Variable(1));
+  EXPECT_NE(Term::Variable(1), Term::Variable(2));
+  EXPECT_EQ(Term::Int(1), Term::Int(1));
+}
+
+TEST(TermTest, Hashable) {
+  std::unordered_set<Term> set;
+  set.insert(Term::Variable(0));
+  set.insert(Term::Int(0));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TermTest, DefaultIsConstantZero) {
+  Term t;
+  EXPECT_TRUE(t.is_constant());
+  EXPECT_EQ(t.value(), Value::Int(0));
+}
+
+}  // namespace
+}  // namespace datalog

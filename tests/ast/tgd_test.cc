@@ -1,0 +1,58 @@
+#include "ast/tgd.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseTgdOrDie;
+
+TEST(TgdTest, VariableClassification) {
+  // G(y, z) -> G(y, w) & C(w): universal {y, z}, existential {w}.
+  auto symbols = MakeSymbols();
+  Tgd tgd = ParseTgdOrDie(symbols, "g(y, z) -> g(y, w), c(w).");
+  VariableId y = symbols->InternVariable("y");
+  VariableId z = symbols->InternVariable("z");
+  VariableId w = symbols->InternVariable("w");
+  EXPECT_EQ(tgd.UniversalVariables(), (std::set<VariableId>{y, z}));
+  EXPECT_EQ(tgd.ExistentialVariables(), (std::set<VariableId>{w}));
+}
+
+TEST(TgdTest, FullTgdHasNoExistentials) {
+  // Example 10's tgd is full.
+  auto symbols = MakeSymbols();
+  Tgd tgd = ParseTgdOrDie(
+      symbols, "a(x, y, z), b(w, y, v) -> a(x, y, v), t(w, y, z).");
+  EXPECT_TRUE(tgd.IsFull());
+  EXPECT_TRUE(tgd.ExistentialVariables().empty());
+}
+
+TEST(TgdTest, EmbeddedTgd) {
+  auto symbols = MakeSymbols();
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, z) -> a(x, w).");
+  EXPECT_FALSE(tgd.IsFull());
+  EXPECT_EQ(tgd.ExistentialVariables().size(), 1u);
+}
+
+TEST(TgdTest, UniversalVariableAppearingOnBothSides) {
+  auto symbols = MakeSymbols();
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, y) -> a(x, w), g(w, y).");
+  VariableId x = symbols->InternVariable("x");
+  VariableId y = symbols->InternVariable("y");
+  EXPECT_EQ(tgd.UniversalVariables(), (std::set<VariableId>{x, y}));
+  EXPECT_EQ(tgd.ExistentialVariables().size(), 1u);
+}
+
+TEST(TgdTest, Equality) {
+  auto symbols = MakeSymbols();
+  Tgd a = ParseTgdOrDie(symbols, "g(x, z) -> a(x, w).");
+  Tgd b = ParseTgdOrDie(symbols, "g(x, z) -> a(x, w).");
+  Tgd c = ParseTgdOrDie(symbols, "g(x, z) -> a(z, w).");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,99 @@
+#include "ast/unify.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseRuleOrDie;
+
+TEST(UnifyTest, VariableWithConstant) {
+  Substitution subst;
+  EXPECT_TRUE(UnifyTerms(Term::Variable(0), Term::Int(5), &subst));
+  EXPECT_EQ(subst.Resolve(Term::Variable(0)), Term::Int(5));
+}
+
+TEST(UnifyTest, ConstantsMustMatch) {
+  Substitution subst;
+  EXPECT_TRUE(UnifyTerms(Term::Int(5), Term::Int(5), &subst));
+  EXPECT_FALSE(UnifyTerms(Term::Int(5), Term::Int(6), &subst));
+}
+
+TEST(UnifyTest, VariableWithVariable) {
+  Substitution subst;
+  EXPECT_TRUE(UnifyTerms(Term::Variable(0), Term::Variable(1), &subst));
+  // Binding either one afterwards resolves both.
+  EXPECT_TRUE(UnifyTerms(Term::Variable(1), Term::Int(3), &subst));
+  EXPECT_EQ(subst.Resolve(Term::Variable(0)), Term::Int(3));
+}
+
+TEST(UnifyTest, SelfUnificationIsNoOp) {
+  Substitution subst;
+  EXPECT_TRUE(UnifyTerms(Term::Variable(0), Term::Variable(0), &subst));
+  EXPECT_TRUE(subst.empty());
+}
+
+TEST(UnifyTest, AtomsDifferentPredicatesFail) {
+  Substitution subst;
+  Atom a(0, {Term::Variable(0)});
+  Atom b(1, {Term::Variable(0)});
+  EXPECT_FALSE(UnifyAtoms(a, b, &subst));
+}
+
+TEST(UnifyTest, AtomsUnifyArgumentWise) {
+  // g(x, 3) with g(7, y): x -> 7, y -> 3.
+  Substitution subst;
+  Atom a(0, {Term::Variable(0), Term::Int(3)});
+  Atom b(0, {Term::Int(7), Term::Variable(1)});
+  ASSERT_TRUE(UnifyAtoms(a, b, &subst));
+  EXPECT_EQ(subst.Resolve(Term::Variable(0)), Term::Int(7));
+  EXPECT_EQ(subst.Resolve(Term::Variable(1)), Term::Int(3));
+}
+
+TEST(UnifyTest, RepeatedVariableForcesEquality) {
+  // g(x, x) with g(1, 2) fails; with g(2, 2) succeeds.
+  Substitution fail;
+  Atom head(0, {Term::Variable(0), Term::Variable(0)});
+  EXPECT_FALSE(UnifyAtoms(head, Atom(0, {Term::Int(1), Term::Int(2)}), &fail));
+  Substitution ok;
+  EXPECT_TRUE(UnifyAtoms(head, Atom(0, {Term::Int(2), Term::Int(2)}), &ok));
+}
+
+TEST(UnifyTest, RepeatedVariableMergesOtherSide) {
+  // g(x, x) with g(u, v) forces u == v.
+  Substitution subst;
+  Atom head(0, {Term::Variable(0), Term::Variable(0)});
+  Atom other(0, {Term::Variable(1), Term::Variable(2)});
+  ASSERT_TRUE(UnifyAtoms(head, other, &subst));
+  EXPECT_EQ(subst.Resolve(Term::Variable(1)),
+            subst.Resolve(Term::Variable(2)));
+}
+
+TEST(RenameApartTest, ProducesFreshVariablesWithSameStructure) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "g(x, z) :- g(x, y), g(y, z).");
+  Rule renamed = RenameApart(rule, symbols.get());
+  EXPECT_NE(renamed, rule);
+  // No variable is shared with the original.
+  std::set<VariableId> original_vars = rule.Variables();
+  for (VariableId v : renamed.Variables()) {
+    EXPECT_FALSE(original_vars.contains(v));
+  }
+  // Structure is preserved: same predicates, same sharing pattern.
+  EXPECT_EQ(renamed.body().size(), 2u);
+  EXPECT_EQ(renamed.head().args()[0], renamed.body()[0].atom.args()[0]);
+  EXPECT_EQ(renamed.body()[0].atom.args()[1],
+            renamed.body()[1].atom.args()[0]);
+}
+
+TEST(RenameApartTest, ConstantsSurvive) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "g(x, 3) :- a(x, 3).");
+  Rule renamed = RenameApart(rule, symbols.get());
+  EXPECT_EQ(renamed.head().args()[1], Term::Int(3));
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,71 @@
+#include "ast/validate.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+using testing::ParseRuleOrDie;
+
+TEST(ValidateTest, SafeRulePasses) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "g(x, z) :- a(x, z).");
+  EXPECT_TRUE(ValidateRule(rule, *symbols).ok());
+}
+
+TEST(ValidateTest, UnsafeHeadVariableRejected) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "g(x, y) :- a(x, x).");
+  Status s = ValidateRule(rule, *symbols);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, NonGroundFactRejected) {
+  // The paper: rules with an empty body are not allowed unless the head
+  // has only constants (Section II, the Anc(x, x) example).
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "anc(x, x).");
+  EXPECT_FALSE(ValidateRule(rule, *symbols).ok());
+}
+
+TEST(ValidateTest, GroundFactAccepted) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "g(1, 2).");
+  EXPECT_TRUE(ValidateRule(rule, *symbols).ok());
+}
+
+TEST(ValidateTest, ProgramValidation) {
+  auto symbols = MakeSymbols();
+  Program good = ParseProgramOrDie(symbols,
+                                   "g(x, z) :- a(x, z).\n"
+                                   "g(x, z) :- g(x, y), g(y, z).\n");
+  EXPECT_TRUE(ValidateProgram(good).ok());
+  EXPECT_TRUE(ValidatePositiveProgram(good).ok());
+}
+
+TEST(ValidateTest, PositiveValidationRejectsNegation) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- q(x), not r(x).\n");
+  EXPECT_TRUE(ValidateProgram(p).ok());
+  Status s = ValidatePositiveProgram(p);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, UnsafeNegatedVariableRejected) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- q(x), not r(x, w).\n");
+  EXPECT_FALSE(ValidateProgram(p).ok());
+}
+
+TEST(ValidateTest, ErrorMessageNamesTheRule) {
+  auto symbols = MakeSymbols();
+  Rule rule = ParseRuleOrDie(symbols, "g(x, y) :- a(x, x).");
+  Status s = ValidateRule(rule, *symbols);
+  EXPECT_NE(s.message().find("g(x, y)"), std::string::npos) << s.ToString();
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,58 @@
+#include "ast/value.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.payload(), 0);
+}
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value::Int(5).is_int());
+  EXPECT_TRUE(Value::Symbol(2).is_symbol());
+  EXPECT_TRUE(Value::Frozen(1).is_frozen());
+  EXPECT_TRUE(Value::Null(0).is_null());
+}
+
+TEST(ValueTest, EqualityRequiresSameKind) {
+  // The same payload under different kinds must never compare equal: this
+  // is what guarantees frozen constants and nulls can never collide with
+  // program constants.
+  EXPECT_NE(Value::Int(3), Value::Symbol(3));
+  EXPECT_NE(Value::Int(3), Value::Frozen(3));
+  EXPECT_NE(Value::Frozen(3), Value::Null(3));
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+}
+
+TEST(ValueTest, NegativeInts) {
+  EXPECT_EQ(Value::Int(-7).payload(), -7);
+  EXPECT_NE(Value::Int(-7), Value::Int(7));
+}
+
+TEST(ValueTest, TotalOrderIsKindMajor) {
+  EXPECT_LT(Value::Int(100), Value::Symbol(0));
+  EXPECT_LT(Value::Symbol(5), Value::Frozen(0));
+  EXPECT_LT(Value::Frozen(5), Value::Null(0));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  std::unordered_set<Value> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Symbol(1));
+  set.insert(Value::Frozen(1));
+  set.insert(Value::Null(1));
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.contains(Value::Frozen(1)));
+  EXPECT_FALSE(set.contains(Value::Frozen(2)));
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,126 @@
+// Failure injection: every semi-decidable procedure must degrade to
+// kUnknown (and optimizers to "no change") when starved of budget --
+// never hang, never report a wrong definite answer.
+
+#include "datalog.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+using testing::ParseTgdsOrDie;
+
+ChaseBudget Starved() {
+  ChaseBudget budget;
+  budget.max_rounds = 0;
+  return budget;
+}
+
+TEST(BudgetTest, ChaseWithZeroRounds) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Database db = testing::ParseDatabaseOrDie(symbols, "a(1, 2).");
+  Result<ChaseResult> r = Chase(p, {}, &db, Starved());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kBudgetExhausted);
+  EXPECT_EQ(db.NumFacts(), 1u);  // nothing ran
+}
+
+TEST(BudgetTest, ModelContainmentStarvedIsUnknownNotWrong) {
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  Program p2 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Result<ProofOutcome> outcome = ModelContainment(p1, tgds, p2, Starved());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kUnknown);
+}
+
+TEST(BudgetTest, PreservationStarvedIsUnknown) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p, tgds, Starved());
+  ASSERT_TRUE(outcome.ok());
+  // The canonical d already contains a witness for one combination, so
+  // some combinations prove instantly even with no chase rounds; the
+  // ones that need chasing go kUnknown. Never kDisproved.
+  EXPECT_NE(outcome.value(), ProofOutcome::kDisproved);
+}
+
+TEST(BudgetTest, RecipeStarvedIsUnknown) {
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  Program p2 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Result<ContainmentProof> proof =
+      ProveContainmentWithTgds(p1, p2, tgds, Starved());
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof->overall, ProofOutcome::kUnknown);
+}
+
+TEST(BudgetTest, OptimizerStarvedLeavesProgramUnchanged) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  EquivalenceOptimizerOptions options;
+  options.budget = Starved();
+  Result<EquivalenceOptimizeResult> result =
+      OptimizeUnderEquivalence(p, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->program, p);
+  EXPECT_TRUE(result->removals.empty());
+  EXPECT_GT(result->candidates_tried, 0u);
+}
+
+TEST(BudgetTest, ConstrainedMinimizeStarvedLeavesProgramUnchanged) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Result<Program> minimized =
+      MinimizeProgramUnderConstraints(p, tgds, Starved());
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized.value(), p);
+}
+
+TEST(BudgetTest, NullBudgetCapsEmbeddedChase) {
+  auto symbols = MakeSymbols();
+  Program empty(symbols);
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, y) -> g(y, w).");
+  Database db = testing::ParseDatabaseOrDie(symbols, "g(1, 2).");
+  ChaseBudget budget;
+  budget.max_nulls = 3;
+  Result<ChaseResult> r = Chase(empty, tgds, &db, budget);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kBudgetExhausted);
+}
+
+TEST(BudgetTest, FactBudgetCapsChase) {
+  auto symbols = MakeSymbols();
+  Program empty(symbols);
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, y) -> g(y, w).");
+  Database db = testing::ParseDatabaseOrDie(symbols, "g(1, 2).");
+  ChaseBudget budget;
+  budget.max_facts = 4;
+  Result<ChaseResult> r = Chase(empty, tgds, &db, budget);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kBudgetExhausted);
+}
+
+}  // namespace
+}  // namespace datalog

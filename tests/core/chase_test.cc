@@ -1,0 +1,208 @@
+#include "core/chase.h"
+
+#include <random>
+
+#include "core/tgd.h"
+#include "eval/naive.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseProgramOrDie;
+using testing::ParseTgdsOrDie;
+
+TEST(ChaseTest, RulesOnlyReachFixpoint) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 3).");
+  Result<ChaseResult> r = Chase(p, {}, &db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kFixpoint);
+  PredicateId g = symbols->LookupPredicate("g").value();
+  EXPECT_TRUE(db.Contains(g, {Value::Int(1), Value::Int(3)}));
+}
+
+TEST(ChaseTest, PaperExample11SecondRule) {
+  // Example 11: chasing {G(x0,y0), G(y0,z0)} with [P1, T] where
+  // T = {G(x,z) -> A(x,w)} derives G(x0,z0).
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  // Frozen body: use two distinct integers standing for x0, y0, z0.
+  Database db = ParseDatabaseOrDie(symbols, "g(101, 102). g(102, 103).");
+  PredicateId g = symbols->LookupPredicate("g").value();
+  ChaseGoal goal{g, {Value::Int(101), Value::Int(103)}};
+  Result<ChaseResult> r = Chase(p1, tgds, &db, {}, goal);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kGoalReached);
+}
+
+TEST(ChaseTest, GoalAlreadyPresent) {
+  auto symbols = MakeSymbols();
+  Program p(symbols);
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2).");
+  PredicateId a = symbols->LookupPredicate("a").value();
+  Result<ChaseResult> r =
+      Chase(p, {}, &db, {}, ChaseGoal{a, {Value::Int(1), Value::Int(2)}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kGoalReached);
+  EXPECT_EQ(r->rounds, 0u);
+}
+
+TEST(ChaseTest, NonTerminatingTgdExhaustsBudget) {
+  // G(x, y) -> G(y, w): every new null spawns another violation; the
+  // chase can run forever (the paper's Section VIII caveat). The budget
+  // must stop it.
+  auto symbols = MakeSymbols();
+  Program p(symbols);
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, y) -> g(y, w).");
+  Database db = ParseDatabaseOrDie(symbols, "g(1, 2).");
+  ChaseBudget budget;
+  budget.max_rounds = 10;
+  Result<ChaseResult> r = Chase(p, tgds, &db, budget);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kBudgetExhausted);
+  EXPECT_GT(r->nulls_introduced, 0);
+}
+
+TEST(ChaseTest, NullBudgetRespected) {
+  auto symbols = MakeSymbols();
+  Program p(symbols);
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, y) -> g(y, w).");
+  Database db = ParseDatabaseOrDie(symbols, "g(1, 2).");
+  ChaseBudget budget;
+  budget.max_nulls = 5;
+  Result<ChaseResult> r = Chase(p, tgds, &db, budget);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kBudgetExhausted);
+  EXPECT_LE(r->nulls_introduced, 7);  // one fair round may overshoot slightly
+}
+
+TEST(ChaseTest, TerminatingEmbeddedTgd) {
+  // G(x, y) -> A(x, w): one null per G fact; terminates.
+  auto symbols = MakeSymbols();
+  Program p(symbols);
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, y) -> a(x, w).");
+  Database db = ParseDatabaseOrDie(symbols, "g(1, 2). g(3, 4).");
+  Result<ChaseResult> r = Chase(p, tgds, &db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kFixpoint);
+  EXPECT_EQ(r->nulls_introduced, 2);
+  PredicateId a = symbols->LookupPredicate("a").value();
+  EXPECT_EQ(db.relation(a).size(), 2u);
+}
+
+TEST(ChaseTest, RulesOperateOnNullsAsConstants) {
+  // The paper: atoms with nulls are treated as ordinary ground atoms by
+  // subsequent rule applications.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "b(x) :- a(x, w).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, y) -> a(x, w).");
+  Database db = ParseDatabaseOrDie(symbols, "g(1, 2).");
+  Result<ChaseResult> r = Chase(p, tgds, &db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kFixpoint);
+  PredicateId b = symbols->LookupPredicate("b").value();
+  EXPECT_TRUE(db.Contains(b, {Value::Int(1)}));
+}
+
+TEST(ChaseTest, TranscriptNarratesExample11) {
+  // The transcript must show the paper's Example 11 narrative: the tgd
+  // supplies the guard atoms, then the rules derive the goal.
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Database db = ParseDatabaseOrDie(symbols, "g(101, 102). g(102, 103).");
+  PredicateId g = symbols->LookupPredicate("g").value();
+  ChaseTranscript transcript;
+  Result<ChaseResult> r =
+      Chase(p1, tgds, &db, {}, ChaseGoal{g, {Value::Int(101), Value::Int(103)}},
+            &transcript);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, ChaseStatus::kGoalReached);
+  ASSERT_GE(transcript.steps.size(), 2u);
+  // A tgd step adds the a-atoms with nulls; a rules step adds g(101,103).
+  bool saw_tgd_step = false, saw_goal = false;
+  for (const ChaseStep& step : transcript.steps) {
+    if (step.kind == ChaseStep::Kind::kTgd) saw_tgd_step = true;
+    for (const auto& [pred, tuple] : step.added) {
+      if (pred == g && tuple == Tuple{Value::Int(101), Value::Int(103)}) {
+        EXPECT_EQ(step.kind, ChaseStep::Kind::kRules);
+        saw_goal = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_tgd_step);
+  EXPECT_TRUE(saw_goal);
+  std::string rendered = transcript.ToString(*symbols, tgds);
+  EXPECT_NE(rendered.find("tgd 0"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("rules derived:"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("~n"), std::string::npos) << rendered;  // a null
+}
+
+TEST(ChaseTest, EmptyTranscriptWhenNothingHappens) {
+  auto symbols = MakeSymbols();
+  Program p(symbols);
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2).");
+  ChaseTranscript transcript;
+  Result<ChaseResult> r = Chase(p, {}, &db, {}, std::nullopt, &transcript);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(transcript.steps.empty());
+}
+
+class ChaseFixpointSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaseFixpointSweep, FixpointIsAModelInSatT) {
+  // Property (the definition of [P,T](d), Section VIII): when the chase
+  // reports kFixpoint, the database satisfies every tgd AND no rule can
+  // add a fact.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols,
+                                         "g(x, z) -> a(x, w).\n"
+                                         "a(x, y) -> b(x).\n");
+  PredicateId a = symbols->LookupPredicate("a").value();
+  PredicateId g = symbols->LookupPredicate("g").value();
+  Database db(symbols);
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> node(0, 5);
+  for (int i = 0; i < 6; ++i) {
+    db.AddFact(a, {Value::Int(node(rng)), Value::Int(node(rng))});
+    db.AddFact(g, {Value::Int(node(rng)), Value::Int(node(rng))});
+  }
+
+  Result<ChaseResult> r = Chase(p, tgds, &db);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->status, ChaseStatus::kFixpoint);
+  EXPECT_TRUE(SatisfiesAll(db, tgds)) << db.ToString();
+  Database extra(symbols);
+  ASSERT_TRUE(ApplyOnce(p, db, &extra, nullptr).ok());
+  EXPECT_TRUE(extra.IsSubsetOf(db)) << "fixpoint is not a model of P";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseFixpointSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(ChaseTest, ResultCountsFacts) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 3).");
+  Result<ChaseResult> r = Chase(p, {}, &db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->facts_added, 2u);
+}
+
+}  // namespace
+}  // namespace datalog

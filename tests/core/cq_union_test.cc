@@ -1,0 +1,143 @@
+#include "ast/pretty_print.h"
+#include "core/cq.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+using testing::ParseRuleOrDie;
+
+TEST(CqUnionTest, MemberwiseContainment) {
+  auto symbols = MakeSymbols();
+  std::vector<Rule> u1 = {
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y)."),
+      ParseRuleOrDie(symbols, "p(x) :- b(x, y)."),
+  };
+  std::vector<Rule> u2 = {
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y), a(y, z)."),  // ⊆ first
+      ParseRuleOrDie(symbols, "p(x) :- b(x, x)."),           // ⊆ second
+  };
+  Result<bool> contains = CqUnionContains(u1, u2);
+  ASSERT_TRUE(contains.ok());
+  EXPECT_TRUE(contains.value());
+  // The converse fails: p(x) :- a(x, y) is not contained in the union of
+  // the more restrictive queries.
+  Result<bool> converse = CqUnionContains(u2, u1);
+  ASSERT_TRUE(converse.ok());
+  EXPECT_FALSE(converse.value());
+}
+
+TEST(CqUnionTest, MemberNotCoveredByAnySingleMember) {
+  // The Sagiv-Yannakakis criterion is member-wise: a query contained in
+  // the union only "jointly" does not arise for CQs (set semantics), so
+  // the test below must fail.
+  auto symbols = MakeSymbols();
+  std::vector<Rule> u1 = {
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y), c(y)."),
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y), d(y)."),
+  };
+  std::vector<Rule> u2 = {
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y)."),
+  };
+  Result<bool> contains = CqUnionContains(u1, u2);
+  ASSERT_TRUE(contains.ok());
+  EXPECT_FALSE(contains.value());
+}
+
+TEST(CqUnionTest, EmptyUnions) {
+  auto symbols = MakeSymbols();
+  std::vector<Rule> some = {ParseRuleOrDie(symbols, "p(x) :- a(x, y).")};
+  EXPECT_TRUE(CqUnionContains(some, {}).value());
+  EXPECT_FALSE(CqUnionContains({}, some).value());
+  EXPECT_TRUE(CqUnionContains({}, {}).value());
+}
+
+TEST(CqUnionMinimizeTest, DropsSubsumedMembers) {
+  auto symbols = MakeSymbols();
+  std::vector<Rule> queries = {
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y), a(y, z)."),
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y)."),
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y), b(y)."),
+  };
+  Result<std::vector<Rule>> minimized = MinimizeCqUnion(queries, symbols);
+  ASSERT_TRUE(minimized.ok());
+  // Both specializations are subsumed by the middle member.
+  ASSERT_EQ(minimized->size(), 1u);
+  EXPECT_EQ((*minimized)[0], queries[1]);
+}
+
+TEST(CqUnionMinimizeTest, KeepsIncomparableMembersAndMinimizesEach) {
+  auto symbols = MakeSymbols();
+  std::vector<Rule> queries = {
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y), a(x, z)."),  // core: 1 atom
+      ParseRuleOrDie(symbols, "p(x) :- b(x, y)."),
+  };
+  Result<std::vector<Rule>> minimized = MinimizeCqUnion(queries, symbols);
+  ASSERT_TRUE(minimized.ok());
+  ASSERT_EQ(minimized->size(), 2u);
+  EXPECT_EQ((*minimized)[0].body().size(), 1u);
+  EXPECT_EQ((*minimized)[1], queries[1]);
+}
+
+TEST(CqUnionMinimizeTest, IdenticalMembersCollapseToOne) {
+  auto symbols = MakeSymbols();
+  std::vector<Rule> queries = {
+      ParseRuleOrDie(symbols, "p(x) :- a(x, y)."),
+      ParseRuleOrDie(symbols, "p(u) :- a(u, v)."),  // same up to renaming
+  };
+  Result<std::vector<Rule>> minimized = MinimizeCqUnion(queries, symbols);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->size(), 1u);
+}
+
+TEST(InitEquivalenceTest, SectionXCondition3) {
+  // Two recursive programs with the same initialization rules modulo
+  // renaming and a redundant atom: condition (3) holds.
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  Program p2 = ParseProgramOrDie(symbols,
+                                 "g(u, v) :- a(u, v).\n"
+                                 "g(x, z) :- g(x, y), g(y, z).\n");
+  Result<bool> eq = InitializationProgramsEquivalent(p1, p2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+}
+
+TEST(InitEquivalenceTest, DifferentInitializationsDetected) {
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Program p2 = ParseProgramOrDie(symbols, "g(x, z) :- a(z, x).\n");
+  Result<bool> eq = InitializationProgramsEquivalent(p1, p2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(eq.value());
+}
+
+TEST(InitEquivalenceTest, RedundantInitMemberTolerated) {
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- a(x, z), b(z).\n");
+  Program p2 = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Result<bool> eq = InitializationProgramsEquivalent(p1, p2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+}
+
+TEST(InitEquivalenceTest, MissingHeadOnOneSide) {
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "h(x) :- b(x).\n");
+  Program p2 = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Result<bool> eq = InitializationProgramsEquivalent(p1, p2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(eq.value());
+}
+
+}  // namespace
+}  // namespace datalog

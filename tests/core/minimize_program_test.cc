@@ -1,0 +1,201 @@
+#include "ast/pretty_print.h"
+#include "core/minimize.h"
+#include "core/uniform_containment.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/program_gen.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+
+TEST(MinimizeProgramTest, RedundantRuleRemoved) {
+  // The linear recursive rule is uniformly contained in the doubly
+  // recursive program (Example 6), so adding it to P1 leaves it redundant.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n");
+  MinimizeReport report;
+  Result<Program> minimized = MinimizeProgram(p, &report);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->NumRules(), 2u) << ToString(minimized.value());
+  EXPECT_EQ(report.rules_removed, 1u);
+}
+
+TEST(MinimizeProgramTest, NothingToRemove) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  MinimizeReport report;
+  Result<Program> minimized = MinimizeProgram(p, &report);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized.value(), p);
+  EXPECT_EQ(report.atoms_removed, 0u);
+  EXPECT_EQ(report.rules_removed, 0u);
+}
+
+TEST(MinimizeProgramTest, AtomRedundantOnlyWithWholeProgram) {
+  // g(x,z) :- a(x,z), b(x,z) is subsumed by g(x,z) :- a(x,z): phase 1 of
+  // Fig. 2 removes b(x,z) from the longer rule (the atom is redundant
+  // w.r.t. P though not w.r.t. the rule alone), after which phase 2
+  // removes the now-duplicate rule.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, z), b(x, z).\n");
+  MinimizeReport report;
+  Result<Program> minimized = MinimizeProgram(p, &report);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->NumRules(), 1u) << ToString(minimized.value());
+  EXPECT_EQ(report.atoms_removed, 1u);
+  EXPECT_EQ(report.rules_removed, 1u);
+}
+
+TEST(MinimizeProgramTest, ReportRecordsWhatWasRemoved) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z), a(x, q).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n"
+                                "g(u, w) :- a(u, v), g(v, w).\n");
+  MinimizeReport report;
+  Result<Program> minimized = MinimizeProgram(p, &report);
+  ASSERT_TRUE(minimized.ok());
+  ASSERT_EQ(report.removed_atoms.size(), 1u);
+  EXPECT_EQ(report.removed_atoms[0].rule_index, 0u);
+  EXPECT_EQ(report.removed_atoms[0].atom, p.rules()[0].body()[1].atom);
+  ASSERT_EQ(report.removed_rules.size(), 1u);
+  // One of the two renamed-duplicate recursive rules went; whichever it
+  // was, it is recorded verbatim.
+  EXPECT_EQ(report.removed_rules[0].body().size(), 2u);
+  EXPECT_EQ(report.atoms_removed, report.removed_atoms.size());
+  EXPECT_EQ(report.rules_removed, report.removed_rules.size());
+}
+
+TEST(MinimizeProgramTest, DuplicateRuleModuloRenamingRemoved) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, y), g(y, z).\n"
+                                "g(u, w) :- a(u, v), g(v, w).\n"
+                                "g(x, z) :- a(x, z).\n");
+  Result<Program> minimized = MinimizeProgram(p);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->NumRules(), 2u);
+}
+
+TEST(MinimizeProgramTest, FactsInteractWithRules) {
+  // The fact h(1,2) is derivable from g(1,2) via the copy rule, so it is
+  // redundant.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(1, 2).\n"
+                                "h(x, y) :- g(x, y).\n"
+                                "h(1, 2).\n");
+  Result<Program> minimized = MinimizeProgram(p);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->NumRules(), 2u) << ToString(minimized.value());
+}
+
+TEST(MinimizeProgramTest, ResultIsUniformlyEquivalent) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(
+      symbols,
+      "g(x, z) :- a(x, z).\n"
+      "g(x, z) :- g(x, y), g(y, z), g(y, w).\n"
+      "g(x, z) :- a(x, y), g(y, z).\n");
+  Result<Program> minimized = MinimizeProgram(p);
+  ASSERT_TRUE(minimized.ok());
+  Result<bool> eq = UniformlyEquivalent(p, minimized.value());
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value()) << ToString(minimized.value());
+}
+
+TEST(MinimizeProgramTest, Idempotent) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(
+      symbols,
+      "g(x, z) :- a(x, z).\n"
+      "g(x, z) :- g(x, y), g(y, z), g(y, w).\n"
+      "g(x, z) :- a(x, y), g(y, z).\n");
+  Result<Program> once = MinimizeProgram(p);
+  ASSERT_TRUE(once.ok());
+  Result<Program> twice = MinimizeProgram(once.value());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once.value(), twice.value());
+}
+
+TEST(MinimizeProgramTest, ResultGenuinelyDependsOnOrder) {
+  // Section VII: "the final result of the algorithm is not necessarily
+  // unique (i.e., it may depend upon the order in which atoms and rules
+  // are considered)". With a and b mutually derivable, the g-rule keeps
+  // exactly one of its two atoms -- which one depends on the order.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x) :- a(x), b(x).\n"
+                                "a(x) :- b(x).\n"
+                                "b(x) :- a(x).\n");
+  std::set<std::string> shapes;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    MinimizeOptions options;
+    options.shuffle_seed = seed;
+    Result<Program> minimized = MinimizeProgram(p, nullptr, options);
+    ASSERT_TRUE(minimized.ok());
+    // Every outcome is uniformly equivalent to the input...
+    Result<bool> eq = UniformlyEquivalent(p, minimized.value());
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(eq.value()) << "seed " << seed;
+    // ...and the g-rule kept exactly one atom.
+    ASSERT_EQ(minimized->rules()[0].body().size(), 1u);
+    shapes.insert(ToString(minimized.value()));
+  }
+  // Both minimal forms (g :- a and g :- b) are reachable.
+  EXPECT_EQ(shapes.size(), 2u);
+}
+
+TEST(MinimizeProgramTest, RejectsNegation) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- a(x), not b(x).\n");
+  Result<Program> minimized = MinimizeProgram(p);
+  EXPECT_FALSE(minimized.ok());
+  EXPECT_EQ(minimized.status().code(), StatusCode::kInvalidArgument);
+}
+
+class PlantedMinimizationTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PlantedMinimizationTest, RemovesAtLeastPlantedRedundancy) {
+  // Property: on generated programs with known-redundant parts, Fig. 2
+  // removes at least the planted redundancy and the result is uniformly
+  // equivalent to the input.
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = GetParam();
+  options.planted_atoms = 2;
+  options.planted_rules = 2;
+  Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+  ASSERT_TRUE(planted.ok());
+
+  MinimizeReport report;
+  Result<Program> minimized = MinimizeProgram(planted->program, &report);
+  ASSERT_TRUE(minimized.ok()) << ToString(planted->program);
+
+  EXPECT_GE(report.atoms_removed + report.rules_removed,
+            planted->planted_atoms + planted->planted_rules)
+      << "program:\n"
+      << ToString(planted->program) << "minimized:\n"
+      << ToString(minimized.value());
+
+  Result<bool> eq = UniformlyEquivalent(planted->program, minimized.value());
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlantedMinimizationTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,86 @@
+#include "core/model_containment.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+using testing::ParseRuleOrDie;
+using testing::ParseTgdsOrDie;
+
+// Example 11's programs: P1 is transitive closure guarded by A(y, w); P2
+// drops the guard.
+constexpr const char* kGuardedTc =
+    "g(x, z) :- a(x, z).\n"
+    "g(x, z) :- g(x, y), g(y, z), a(y, w).\n";
+constexpr const char* kPlainTc =
+    "g(x, z) :- a(x, z).\n"
+    "g(x, z) :- g(x, y), g(y, z).\n";
+
+TEST(ModelContainmentTest, PaperExample11) {
+  // SAT(T) ∩ M(P1) ⊆ M(P2) with T = {G(x,z) -> A(x,w)}.
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kGuardedTc);
+  Program p2 = ParseProgramOrDie(symbols, kPlainTc);
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Result<ProofOutcome> outcome = ModelContainment(p1, tgds, p2);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(ModelContainmentTest, FailsWithoutTheTgd) {
+  // Without T, M(P1) ⊄ M(P2): the chase reaches a fixpoint that is a
+  // counterexample (the guarded rule cannot fire without an A fact).
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kGuardedTc);
+  Program p2 = ParseProgramOrDie(symbols, kPlainTc);
+  Result<ProofOutcome> outcome = ModelContainment(p1, {}, p2);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kDisproved);
+}
+
+TEST(ModelContainmentTest, EmptyTgdsDecidesUniformContainment) {
+  // With no tgds the test is exactly Corollary 2: P2 ⊆ᵘ P1 iff
+  // M(P1) ⊆ M(P2); it never reports kUnknown.
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kPlainTc);
+  Program linear = ParseProgramOrDie(symbols,
+                                     "g(x, z) :- a(x, z).\n"
+                                     "g(x, z) :- a(x, y), g(y, z).\n");
+  Result<ProofOutcome> forward = ModelContainment(p1, {}, linear);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_EQ(forward.value(), ProofOutcome::kProved);  // linear ⊆ᵘ P1
+  Result<ProofOutcome> backward = ModelContainment(linear, {}, p1);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_EQ(backward.value(), ProofOutcome::kDisproved);
+}
+
+TEST(ModelContainmentTest, SingleRuleHelper) {
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kGuardedTc);
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Rule r = ParseRuleOrDie(symbols, "g(x, z) :- g(x, y), g(y, z).");
+  Result<ProofOutcome> outcome = ModelContainmentForRule(p1, tgds, r);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(ModelContainmentTest, BudgetExhaustionReportsUnknown) {
+  // A tgd that chases forever and a rule the chase cannot prove: the
+  // bounded run must answer kUnknown, never hang.
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, "h(x) :- q(x).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, y) -> g(y, w).");
+  Rule r = ParseRuleOrDie(symbols, "h(x) :- g(x, y).");
+  ChaseBudget budget;
+  budget.max_rounds = 5;
+  Result<ProofOutcome> outcome = ModelContainmentForRule(p1, tgds, r, budget);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kUnknown);
+}
+
+}  // namespace
+}  // namespace datalog

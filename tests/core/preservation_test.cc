@@ -1,0 +1,235 @@
+#include "core/preservation.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+using testing::ParseTgdsOrDie;
+
+TEST(PreservationTest, PaperExample13SingleRule) {
+  // Example 13: the rule G(x,z) :- G(x,y), G(y,z), A(y,w) preserves
+  // G(x,z) -> A(x,w) non-recursively.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(PreservationTest, PaperExample14WholeProgram) {
+  // Example 14: the whole guarded-TC program P1 preserves the tgd (both
+  // the initialization rule and the recursive rule check out).
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p1, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(PreservationTest, PaperExample15MultiAtomLhs) {
+  // Example 15: the same rule preserves G(x,y) & G(y,z) -> A(y,w); the
+  // proof enumerates four combinations (rule/trivial × rule/trivial).
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds =
+      ParseTgdsOrDie(symbols, "g(x, y), g(y, z) -> a(y, w).");
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(PreservationTest, PaperExample16) {
+  // Example 16: G(x,z) :- A(x,y), G(y,z), G(y,w), C(w) preserves
+  // G(y,z) -> G(y,w) & C(w).
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(
+      symbols, "g(x, z) :- a(x, y), g(y, z), g(y, w), c(w).\n");
+  std::vector<Tgd> tgds =
+      ParseTgdsOrDie(symbols, "g(y, z) -> g(y, w), c(w).");
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(PreservationTest, PlainTcDoesNotPreserveTheGuardTgd) {
+  // The unguarded TC program does NOT preserve G(x,z) -> A(x,w): from
+  // d = {G(a,b), G(b,c), A(a,_), A(b,_)} (chased), P^n derives G(a,c),
+  // but nothing guarantees A(a,...) for new pairs... actually A(a,_) is
+  // present; the violating case is the initialization rule: d = {A(u,v)}
+  // gives G(u,v) in P^n(d) and d need not contain any A(u,_) besides
+  // A(u,v) itself -- which satisfies the tgd. The genuinely violating
+  // combination: G(x,z) produced by the recursive rule from G-facts put
+  // in d by trivial rules; chasing d with T then provides A(x, null), so
+  // it IS preserved. A tgd the program really breaks:
+  // G(x,z) -> B(x): nothing ever derives B.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> b(x).");
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  // The initialization rule violates: d = {a(u,v)} satisfies T (no g
+  // facts), yet <d, P^n(d)> contains g(u,v) with no b(u).
+  EXPECT_EQ(outcome.value(), ProofOutcome::kDisproved);
+}
+
+TEST(PreservationTest, FullTgdPreservation) {
+  // p(x) :- q(x) preserves the full tgd p(x) -> q(x)? No: putting p(x0)
+  // into d via the trivial rule and chasing d with the tgd gives q(x0),
+  // then P^n adds p-facts only from q-facts already in d, so the LHS
+  // instantiation p(x0) has its witness q(x0) -- preserved. For the rule
+  // head produced by the real rule, d contains q(x0) directly. Both
+  // combinations safe.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- q(x).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "p(x) -> q(x).");
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(PreservationTest, ViolationThroughCopyRule) {
+  // p(x) :- q(x) does NOT preserve q(x) -> r(x)? d = {q(x0)} must satisfy
+  // the tgd, so chasing adds r(x0); P^n(d) = {p(x0)}; the tgd's LHS is
+  // q(x0), already in d, no new q facts appear -- preserved vacuously.
+  // By contrast p(x) -> r(x) is violated: d = {q(x0)} satisfies T (no p
+  // facts), P^n(d) = {p(x0)}, and no r(x0) exists.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- q(x).\n");
+  std::vector<Tgd> violated = ParseTgdsOrDie(symbols, "p(x) -> r(x).");
+  Result<ProofOutcome> bad = PreservesNonRecursively(p, violated);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value(), ProofOutcome::kDisproved);
+
+  std::vector<Tgd> vacuous = ParseTgdsOrDie(symbols, "q(x) -> r(x).");
+  Result<ProofOutcome> good = PreservesNonRecursively(p, vacuous);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), ProofOutcome::kProved);
+}
+
+TEST(PreservationTest, RepeatedHeadVariableHandledByUnification)
+{
+  // diag(x, x) :- u(x). The tgd diag(x, z) -> e(x, z) is NOT preserved:
+  // the canonical case merges x and z (forced by the head diag(x,x)),
+  // giving d = {u(x0)}, P^n = {diag(x0,x0)}, and no e(x0,x0). Freezing
+  // before unification (the naive reading of Fig. 3) would miss this
+  // case entirely; the MGU-based construction must catch it.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "diag(x, x) :- u(x).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "diag(x, z) -> e(x, z).");
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kDisproved);
+}
+
+TEST(PreservationTest, PreservedWithRepeatedHeadVariable) {
+  // Same rule, but the tgd only asks for something the rule provides.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "diag(x, x) :- u(x).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "diag(x, z) -> u(x).");
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(PreservationTest, InterleavedChaseNeedsMultipleRounds) {
+  // The witness for tau only appears after TWO tgd rounds when the tgds
+  // are applied in the order given (rho before sigma): round one adds
+  // c(x0) via sigma, round two adds a(x0, ~n) via rho. This exercises the
+  // interleaved loop the paper describes after Fig. 3.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x, z) :- h(x, z).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols,
+                                         "g(x, z) -> a(x, w).\n"   // tau
+                                         "c(x) -> a(x, w).\n"      // rho
+                                         "h(x, z) -> c(x).\n");    // sigma
+  Result<ProofOutcome> outcome = PreservesNonRecursively(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+
+  // With a one-round budget the same proof cannot finish: kUnknown, never
+  // a spurious kDisproved.
+  ChaseBudget tiny;
+  tiny.max_rounds = 1;
+  Result<ProofOutcome> bounded = PreservesNonRecursively(p, tgds, tiny);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded.value(), ProofOutcome::kUnknown);
+}
+
+TEST(PreservationTest, InitializationRulesExtraction) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z), a(y, w).\n"
+                                "h(1).\n");
+  std::vector<Rule> init = InitializationRules(p);
+  ASSERT_EQ(init.size(), 2u);  // the a-rule and the fact
+  EXPECT_EQ(init[0], p.rules()[0]);
+  EXPECT_EQ(init[1], p.rules()[2]);
+}
+
+TEST(PreliminaryDbTest, PaperExample18Step) {
+  // Example 18: the preliminary DB of the guarded-TC program satisfies
+  // T = {G(x,z) -> A(x,w)} (unifying G(x0,z0) with the initialization
+  // rule head yields d = {A(x0,z0)}, and A(x0,z0) is the witness).
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z), a(y, w).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(x, w).");
+  Result<ProofOutcome> outcome = PreliminaryDbSatisfies(p1, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(PreliminaryDbTest, ViolatedWhenInitRuleCannotSupply) {
+  // With initialization rule g(x,z) :- a(x,z), the tgd g(x,z) -> a(z,q)
+  // is NOT satisfied by all preliminary DBs (d = {a(x0,z0)} has no
+  // a(z0, ...)).
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "g(x, z) -> a(z, q).");
+  Result<ProofOutcome> outcome = PreliminaryDbSatisfies(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kDisproved);
+}
+
+TEST(PreliminaryDbTest, IntentionalLhsWithoutInitRuleIsVacuous) {
+  // h never appears in an initialization rule head, so no preliminary DB
+  // contains h facts: tgds over h hold vacuously.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "h(x, z) :- g(x, y), g(y, z).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "h(x, z) -> b(x).");
+  Result<ProofOutcome> outcome = PreliminaryDbSatisfies(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved);
+}
+
+TEST(PreliminaryDbTest, ExtensionalLhsAtomsAreArbitrary) {
+  // An EDB is arbitrary, so a tgd with an extensional LHS and an
+  // unsatisfiable RHS fails on preliminary DBs.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "a(x, z) -> b(x).");
+  Result<ProofOutcome> outcome = PreliminaryDbSatisfies(p, tgds);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kDisproved);
+}
+
+}  // namespace
+}  // namespace datalog

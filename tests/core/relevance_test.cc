@@ -1,0 +1,95 @@
+#include "core/relevance.h"
+
+#include "eval/query.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseProgramOrDie;
+using testing::ParseQueryOrDie;
+
+TEST(RelevanceTest, KeepsOnlyReachableRules) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n"
+                                "unrelated(x) :- b(x).\n"
+                                "alsodead(x) :- unrelated(x).\n");
+  PredicateId g = symbols->LookupPredicate("g").value();
+  Result<Program> restricted = RestrictToQuery(p, g);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(restricted->NumRules(), 2u);
+  for (const Rule& rule : restricted->rules()) {
+    EXPECT_EQ(rule.head().predicate(), g);
+  }
+}
+
+TEST(RelevanceTest, KeepsTransitiveDependencies) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "top(x) :- mid(x).\n"
+                                "mid(x) :- bottom(x).\n"
+                                "bottom(x) :- e(x).\n"
+                                "dead(x) :- e(x).\n");
+  PredicateId top = symbols->LookupPredicate("top").value();
+  Result<Program> restricted = RestrictToQuery(p, top);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(restricted->NumRules(), 3u);
+}
+
+TEST(RelevanceTest, RelevantPredicatesIncludeExtensional) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "h(x) :- b(x).\n");
+  PredicateId g = symbols->LookupPredicate("g").value();
+  PredicateId a = symbols->LookupPredicate("a").value();
+  PredicateId b = symbols->LookupPredicate("b").value();
+  std::set<PredicateId> relevant = RelevantPredicates(p, g);
+  EXPECT_TRUE(relevant.contains(g));
+  EXPECT_TRUE(relevant.contains(a));
+  EXPECT_FALSE(relevant.contains(b));
+}
+
+TEST(RelevanceTest, QueryAnswersUnchanged) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n"
+                                "noise(x, y) :- a(x, y), a(y, x).\n"
+                                "more(x) :- noise(x, y).\n");
+  PredicateId g = symbols->LookupPredicate("g").value();
+  Result<Program> restricted = RestrictToQuery(p, g);
+  ASSERT_TRUE(restricted.ok());
+  Database edb = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 1). a(2, 3).");
+  Atom query = ParseQueryOrDie(symbols, "?- g(1, x).");
+  auto full = AnswerQuery(p, edb, query, EvalMethod::kSemiNaive);
+  auto cut = AnswerQuery(restricted.value(), edb, query,
+                         EvalMethod::kSemiNaive);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(std::set<Tuple>(full->begin(), full->end()),
+            std::set<Tuple>(cut->begin(), cut->end()));
+}
+
+TEST(RelevanceTest, InvalidPredicateRejected) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x) :- a(x).\n");
+  EXPECT_FALSE(RestrictToQuery(p, 999).ok());
+}
+
+TEST(RelevanceTest, SelfQueryOnExtensionalKeepsNothing) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x) :- a(x).\n");
+  PredicateId a = symbols->LookupPredicate("a").value();
+  Result<Program> restricted = RestrictToQuery(p, a);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(restricted->NumRules(), 0u);
+}
+
+}  // namespace
+}  // namespace datalog

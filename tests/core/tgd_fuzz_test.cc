@@ -1,0 +1,141 @@
+// Randomized invariants over the chase machinery: tgds are generated
+// from planted-program bodies, so they are syntactically arbitrary but
+// arity-correct. Every invariant below is a theorem; a failure is a bug
+// in the chase, the preservation procedure, or the containment tests.
+
+#include <random>
+
+#include "ast/pretty_print.h"
+#include "datalog.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/program_gen.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+
+/// Builds a random tgd over the planted-program vocabulary (binary e*/i*
+/// predicates), with `lhs_atoms` left atoms and `rhs_atoms` right atoms.
+Tgd RandomTgd(SymbolTable* symbols, std::mt19937_64* rng,
+              std::size_t lhs_atoms, std::size_t rhs_atoms) {
+  std::vector<PredicateId> preds;
+  for (const char* name : {"e0", "e1", "i0", "i1"}) {
+    preds.push_back(symbols->InternPredicate(name, 2).value());
+  }
+  std::uniform_int_distribution<std::size_t> pred_dist(0, preds.size() - 1);
+  std::uniform_int_distribution<int> var_dist(0, 4);
+  auto atom = [&]() {
+    return Atom(preds[pred_dist(*rng)],
+                {Term::Variable(symbols->InternVariable(
+                     "f" + std::to_string(var_dist(*rng)))),
+                 Term::Variable(symbols->InternVariable(
+                     "f" + std::to_string(var_dist(*rng))))});
+  };
+  std::vector<Atom> lhs, rhs;
+  for (std::size_t i = 0; i < lhs_atoms; ++i) lhs.push_back(atom());
+  for (std::size_t i = 0; i < rhs_atoms; ++i) rhs.push_back(atom());
+  return Tgd(std::move(lhs), std::move(rhs));
+}
+
+class TgdFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TgdFuzz, SelfModelContainmentAlwaysProved) {
+  // SAT(T) ∩ M(P) ⊆ M(P) holds for every T: each rule of P derives its
+  // own frozen head in one application, so the bounded chase must prove
+  // it regardless of what the tgds do.
+  std::mt19937_64 rng(GetParam());
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = GetParam();
+  Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+  ASSERT_TRUE(planted.ok());
+  std::vector<Tgd> tgds;
+  for (int i = 0; i < 3; ++i) {
+    tgds.push_back(RandomTgd(symbols.get(), &rng, 1 + i % 2, 1 + (i + 1) % 2));
+  }
+  ChaseBudget budget;
+  budget.max_rounds = 16;  // the goal appears in round 1; keep runs short
+  Result<ProofOutcome> outcome =
+      ModelContainment(planted->program, tgds, planted->program, budget);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), ProofOutcome::kProved)
+      << ToString(planted->program);
+}
+
+TEST_P(TgdFuzz, ChaseFixpointSatisfiesEverything) {
+  std::mt19937_64 rng(GetParam() * 7 + 1);
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = GetParam();
+  options.planted_atoms = 0;
+  options.planted_rules = 0;
+  Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+  ASSERT_TRUE(planted.ok());
+  std::vector<Tgd> tgds{RandomTgd(symbols.get(), &rng, 1, 1)};
+
+  PredicateId e0 = symbols->InternPredicate("e0", 2).value();
+  Database db(symbols);
+  std::uniform_int_distribution<int> node(0, 3);
+  for (int i = 0; i < 4; ++i) {
+    db.AddFact(e0, {Value::Int(node(rng)), Value::Int(node(rng))});
+  }
+  ChaseBudget budget;
+  budget.max_rounds = 64;
+  Result<ChaseResult> chase = Chase(planted->program, tgds, &db, budget);
+  ASSERT_TRUE(chase.ok());
+  if (chase->status == ChaseStatus::kFixpoint) {
+    EXPECT_TRUE(SatisfiesAll(db, tgds)) << db.ToString();
+    Database extra(symbols);
+    ASSERT_TRUE(ApplyOnce(planted->program, db, &extra, nullptr).ok());
+    EXPECT_TRUE(extra.IsSubsetOf(db));
+  } else {
+    EXPECT_EQ(chase->status, ChaseStatus::kBudgetExhausted);
+  }
+}
+
+TEST_P(TgdFuzz, PreservationIsDeterministicAndNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 13 + 5);
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = GetParam();
+  options.chain_rules = 2;
+  Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+  ASSERT_TRUE(planted.ok());
+  std::vector<Tgd> tgds{RandomTgd(symbols.get(), &rng, 1, 1),
+                        RandomTgd(symbols.get(), &rng, 2, 1)};
+  ChaseBudget budget;
+  budget.max_rounds = 8;
+  Result<ProofOutcome> first =
+      PreservesNonRecursively(planted->program, tgds, budget);
+  Result<ProofOutcome> second =
+      PreservesNonRecursively(planted->program, tgds, budget);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());
+}
+
+TEST_P(TgdFuzz, ConstrainedSelfContainmentNeverDisproved) {
+  // P ⊆ᵘ_SAT(T) P is a tautology; the bounded procedure may say kProved
+  // or kUnknown (preservation can be unprovable in budget) but a
+  // kDisproved would be a soundness bug.
+  std::mt19937_64 rng(GetParam() * 3 + 11);
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = GetParam();
+  Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+  ASSERT_TRUE(planted.ok());
+  std::vector<Tgd> tgds{RandomTgd(symbols.get(), &rng, 1, 2)};
+  ChaseBudget budget;
+  budget.max_rounds = 8;
+  Result<ProofOutcome> outcome = UniformContainmentUnderConstraints(
+      planted->program, planted->program, tgds, budget);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NE(outcome.value(), ProofOutcome::kDisproved);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TgdFuzz, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace datalog

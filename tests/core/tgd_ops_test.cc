@@ -1,0 +1,127 @@
+#include "core/tgd.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseTgdOrDie;
+
+TEST(TgdOpsTest, PaperExample9Violated) {
+  // Example 9: the DB of Example 2 does not satisfy
+  // G(x,y) -> A(y,z) & A(z,x) (x=4, y=2 exhibits a violation).
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(
+      symbols,
+      "a(1, 2). a(1, 4). a(4, 1)."
+      "g(1, 2). g(1, 4). g(4, 1). g(1, 1). g(4, 4). g(4, 2).");
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, y) -> a(y, z), a(z, x).");
+  EXPECT_FALSE(SatisfiesTgd(db, tgd));
+}
+
+TEST(TgdOpsTest, PaperExample9Satisfied) {
+  // Example 9: the same DB satisfies G(x,y) -> G(x,z) & A(z,y).
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(
+      symbols,
+      "a(1, 2). a(1, 4). a(4, 1)."
+      "g(1, 2). g(1, 4). g(4, 1). g(1, 1). g(4, 4). g(4, 2).");
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, y) -> g(x, z), a(z, y).");
+  EXPECT_TRUE(SatisfiesTgd(db, tgd));
+}
+
+TEST(TgdOpsTest, EmptyDatabaseSatisfiesEverything) {
+  auto symbols = MakeSymbols();
+  Database db(symbols);
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, y) -> a(y, z).");
+  EXPECT_TRUE(SatisfiesTgd(db, tgd));
+}
+
+TEST(TgdOpsTest, FullTgdApplication) {
+  // A full tgd acts like a rule: a(x, y) -> b(y, x).
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2).");
+  Tgd tgd = ParseTgdOrDie(symbols, "a(x, y) -> b(y, x).");
+  NullPool pool;
+  std::size_t added = ApplyTgdRound(tgd, &db, &pool);
+  EXPECT_EQ(added, 1u);
+  EXPECT_EQ(pool.allocated(), 0);  // full tgds introduce no nulls
+  PredicateId b = symbols->LookupPredicate("b").value();
+  EXPECT_TRUE(db.Contains(b, {Value::Int(2), Value::Int(1)}));
+  // Now satisfied: a second round adds nothing.
+  EXPECT_EQ(ApplyTgdRound(tgd, &db, &pool), 0u);
+  EXPECT_TRUE(SatisfiesTgd(db, tgd));
+}
+
+TEST(TgdOpsTest, EmbeddedTgdIntroducesNulls) {
+  // Section VIII's example: applying G(x,y) -> A(x,w) & G(w,y) to
+  // {G(3,2)} adds A(3, n) and G(n, 2) with a fresh null n.
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(symbols, "g(3, 2).");
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, y) -> a(x, w), g(w, y).");
+  NullPool pool;
+  std::size_t added = ApplyTgdRound(tgd, &db, &pool);
+  EXPECT_EQ(added, 2u);
+  EXPECT_EQ(pool.allocated(), 1);
+  PredicateId a = symbols->LookupPredicate("a").value();
+  PredicateId g = symbols->LookupPredicate("g").value();
+  EXPECT_TRUE(db.Contains(a, {Value::Int(3), Value::Null(0)}));
+  EXPECT_TRUE(db.Contains(g, {Value::Null(0), Value::Int(2)}));
+}
+
+TEST(TgdOpsTest, NoFiringWhenWitnessExists) {
+  // The tgd must not fire when an extension already satisfies the RHS.
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(symbols, "g(3, 2). a(3, 7). g(7, 2).");
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, y) -> a(x, w), g(w, y).");
+  NullPool pool;
+  // The instantiation x=3,y=2 is satisfied by w=7. But x=7,y=2 (from
+  // G(7,2)) is violated, so one application happens for it.
+  std::size_t added = ApplyTgdRound(tgd, &db, &pool);
+  EXPECT_EQ(added, 2u);
+  EXPECT_EQ(pool.allocated(), 1);
+}
+
+TEST(TgdOpsTest, MultiAtomLhsBindsSharedVariables) {
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(symbols, "g(1, 2). g(2, 3).");
+  // Example 15's tgd: G(x,y) & G(y,z) -> A(y,w).
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, y), g(y, z) -> a(y, w).");
+  EXPECT_FALSE(SatisfiesTgd(db, tgd));
+  NullPool pool;
+  ApplyTgdRound(tgd, &db, &pool);
+  PredicateId a = symbols->LookupPredicate("a").value();
+  // The only joinable instantiation is x=1,y=2,z=3: adds a(2, n).
+  EXPECT_EQ(db.relation(a).size(), 1u);
+  EXPECT_EQ(db.relation(a).row(0)[0], Value::Int(2));
+  EXPECT_TRUE(db.relation(a).row(0)[1].is_null());
+  EXPECT_TRUE(SatisfiesTgd(db, tgd));
+}
+
+TEST(TgdOpsTest, LhsInstantiationSatisfiedChecksOneBinding) {
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(symbols, "g(1, 2). a(1, 5).");
+  Tgd tgd = ParseTgdOrDie(symbols, "g(x, y) -> a(x, w).");
+  VariableId x = symbols->InternVariable("x");
+  VariableId y = symbols->InternVariable("y");
+  Binding good{{x, Value::Int(1)}, {y, Value::Int(2)}};
+  EXPECT_TRUE(LhsInstantiationSatisfied(db, tgd, good));
+  Binding bad{{x, Value::Int(2)}, {y, Value::Int(1)}};
+  EXPECT_FALSE(LhsInstantiationSatisfied(db, tgd, bad));
+}
+
+TEST(TgdOpsTest, SatisfiesAll) {
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). b(2, 1).");
+  std::vector<Tgd> tgds = testing::ParseTgdsOrDie(
+      symbols, "a(x, y) -> b(y, x). b(x, y) -> a(y, x).");
+  EXPECT_TRUE(SatisfiesAll(db, tgds));
+  Database partial = ParseDatabaseOrDie(symbols, "a(3, 4).");
+  EXPECT_FALSE(SatisfiesAll(partial, tgds));
+}
+
+}  // namespace
+}  // namespace datalog

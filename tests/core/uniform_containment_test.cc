@@ -1,0 +1,196 @@
+#include "core/uniform_containment.h"
+
+#include "eval/seminaive.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+using testing::ParseRuleOrDie;
+
+// P1 of Examples 1/4/6: doubly recursive transitive closure.
+constexpr const char* kP1 =
+    "g(x, z) :- a(x, z).\n"
+    "g(x, z) :- g(x, y), g(y, z).\n";
+
+// P2 of Examples 4/6: linear transitive closure.
+constexpr const char* kP2 =
+    "g(x, z) :- a(x, z).\n"
+    "g(x, z) :- a(x, y), g(y, z).\n";
+
+TEST(UniformContainmentTest, PaperExample6Forward) {
+  // Example 6 shows P2 subseteq^u P1 ...
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kP1);
+  Program p2 = ParseProgramOrDie(symbols, kP2);
+  Result<bool> contained = UniformlyContains(p1, p2);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(contained.value());
+}
+
+TEST(UniformContainmentTest, PaperExample6Backward) {
+  // ... and P1 not subseteq^u P2 (the rule G(x,z) :- G(x,y), G(y,z) is the
+  // witness).
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kP1);
+  Program p2 = ParseProgramOrDie(symbols, kP2);
+  Result<bool> contained = UniformlyContains(p2, p1);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_FALSE(contained.value());
+
+  // The witness rule itself.
+  Rule s = ParseRuleOrDie(symbols, "g(x, z) :- g(x, y), g(y, z).");
+  Result<bool> rule_contained = UniformlyContainsRule(p2, s);
+  ASSERT_TRUE(rule_contained.ok());
+  EXPECT_FALSE(rule_contained.value());
+}
+
+TEST(UniformContainmentTest, PaperExample4NotUniformlyEquivalent) {
+  // Example 4: the two TC programs are equivalent but not uniformly
+  // equivalent.
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kP1);
+  Program p2 = ParseProgramOrDie(symbols, kP2);
+  Result<bool> eq = UniformlyEquivalent(p1, p2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(eq.value());
+}
+
+TEST(UniformContainmentTest, PaperExample5SupersetProgram) {
+  // Example 5: P2 = P1 + {a(x,z) :- a(x,y), g(y,z)} uniformly contains P1.
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kP1);
+  Program p2 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- g(x, y), g(y, z).\n"
+                                 "a(x, z) :- a(x, y), g(y, z).\n");
+  Result<bool> contained = UniformlyContains(p2, p1);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(contained.value());
+  // The converse fails: the extra rule is not uniformly contained in P1.
+  Result<bool> converse = UniformlyContains(p1, p2);
+  ASSERT_TRUE(converse.ok());
+  EXPECT_FALSE(converse.value());
+}
+
+TEST(UniformContainmentTest, ProgramUniformlyContainsItself) {
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kP1);
+  Result<bool> contained = UniformlyContains(p1, p1);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(contained.value());
+}
+
+TEST(UniformContainmentTest, Example7RuleContainment) {
+  // Example 7: the 4-atom rule's program uniformly contains the 5-atom
+  // rule's program and vice versa (they are uniformly equivalent).
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(
+      symbols,
+      "g(x, y, z) :- g(x, w, z), a(w, y), a(w, z), a(z, z), a(z, y).\n");
+  Program p2 = ParseProgramOrDie(
+      symbols, "g(x, y, z) :- g(x, w, z), a(w, z), a(z, z), a(z, y).\n");
+  Result<bool> forward = UniformlyContains(p1, p2);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_TRUE(forward.value());  // P2 subseteq^u P1 (needs two applications)
+  Result<bool> backward = UniformlyContains(p2, p1);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_TRUE(backward.value());  // body subset: trivial direction
+  Result<bool> eq = UniformlyEquivalent(p1, p2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+}
+
+TEST(UniformContainmentTest, FactRuleContainment) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(1, 2).\n"
+                                "h(x, y) :- g(x, y).\n");
+  Rule fact = ParseRuleOrDie(symbols, "h(1, 2).");
+  Result<bool> contained = UniformlyContainsRule(p, fact);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(contained.value());
+  Rule other = ParseRuleOrDie(symbols, "h(2, 1).");
+  Result<bool> not_contained = UniformlyContainsRule(p, other);
+  ASSERT_TRUE(not_contained.ok());
+  EXPECT_FALSE(not_contained.value());
+}
+
+TEST(UniformContainmentTest, ConstantInRuleHeadAndBody) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x, 0) :- a(x).\n");
+  Rule specialized = ParseRuleOrDie(symbols, "g(7, 0) :- a(7).");
+  Result<bool> contained = UniformlyContainsRule(p, specialized);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(contained.value());
+}
+
+TEST(UniformContainmentTest, DifferentVocabulariesAllowed) {
+  // Section IV: the programs need not have the same predicates.
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "g(x, z) :- a(x, z).\n"
+                                 "g(x, z) :- b(x, z).\n");
+  Program p2 = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Result<bool> contained = UniformlyContains(p1, p2);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(contained.value());
+}
+
+TEST(UniformContainmentWitnessTest, NoWitnessWhenContained) {
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kP1);
+  Rule r = ParseRuleOrDie(symbols, "g(x, z) :- a(x, y), g(y, z).");
+  Result<std::optional<UniformContainmentWitness>> witness =
+      RefuteUniformContainment(p1, r);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_FALSE(witness->has_value());
+}
+
+TEST(UniformContainmentWitnessTest, WitnessIsARealCounterexample) {
+  // Example 6's refutation: feeding the witness input to both sides must
+  // actually separate them.
+  auto symbols = MakeSymbols();
+  Program p2 = ParseProgramOrDie(symbols, kP2);
+  Rule s = ParseRuleOrDie(symbols, "g(x, z) :- g(x, y), g(y, z).");
+  Result<std::optional<UniformContainmentWitness>> witness =
+      RefuteUniformContainment(p2, s);
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness->has_value());
+  const UniformContainmentWitness& w = witness->value();
+  EXPECT_EQ(w.input.NumFacts(), 2u);  // the two frozen G atoms
+
+  // P2 over the witness input does not contain the missing fact...
+  Database via_p2(symbols);
+  via_p2.UnionWith(w.input);
+  ASSERT_TRUE(EvaluateSemiNaive(p2, &via_p2).ok());
+  EXPECT_FALSE(via_p2.Contains(w.missing_pred, w.missing_fact));
+
+  // ...while the single-rule program {s} does.
+  Program rule_only(symbols);
+  rule_only.AddRule(s);
+  Database via_rule(symbols);
+  via_rule.UnionWith(w.input);
+  ASSERT_TRUE(EvaluateSemiNaive(rule_only, &via_rule).ok());
+  EXPECT_TRUE(via_rule.Contains(w.missing_pred, w.missing_fact));
+}
+
+TEST(UniformContainmentTest, UniformContainmentImpliesContainmentSpotCheck) {
+  // Proposition 1 spot check: P2 subseteq^u P1 from Example 6, so on a
+  // plain EDB the outputs satisfy P2(d) subseteq P1(d).
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols, kP1);
+  Program p2 = ParseProgramOrDie(symbols, kP2);
+  Database d1 = testing::ParseDatabaseOrDie(symbols, "a(1,2). a(2,3). a(3,1).");
+  Database d2(symbols);
+  d2.UnionWith(d1);
+  ASSERT_TRUE(EvaluateSemiNaive(p1, &d1).ok());
+  ASSERT_TRUE(EvaluateSemiNaive(p2, &d2).ok());
+  EXPECT_TRUE(d2.IsSubsetOf(d1));
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,58 @@
+#include "eval/eval_stats.h"
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+TEST(EvalStatsTest, AddMergesScalars) {
+  EvalStats a, b;
+  a.iterations = 2;
+  a.facts_derived = 10;
+  a.rule_applications = 5;
+  a.match.substitutions = 7;
+  b.iterations = 3;
+  b.facts_derived = 1;
+  b.rule_applications = 2;
+  b.match.substitutions = 4;
+  a.Add(b);
+  EXPECT_EQ(a.iterations, 5);
+  EXPECT_EQ(a.facts_derived, 11u);
+  EXPECT_EQ(a.rule_applications, 7u);
+  EXPECT_EQ(a.match.substitutions, 11u);
+}
+
+TEST(EvalStatsTest, AddMergesPerRuleRowsPositionally) {
+  EvalStats a, b;
+  a.per_rule.resize(2);
+  a.per_rule[0].facts = 1;
+  b.per_rule.resize(3);
+  b.per_rule[0].facts = 2;
+  b.per_rule[2].substitutions = 9;
+  a.Add(b);
+  ASSERT_EQ(a.per_rule.size(), 3u);
+  EXPECT_EQ(a.per_rule[0].facts, 3u);
+  EXPECT_EQ(a.per_rule[2].substitutions, 9u);
+}
+
+TEST(EvalStatsTest, AddWithEmptyPerRuleKeepsExisting) {
+  EvalStats a, b;
+  a.per_rule.resize(2);
+  a.per_rule[1].applications = 4;
+  a.Add(b);
+  ASSERT_EQ(a.per_rule.size(), 2u);
+  EXPECT_EQ(a.per_rule[1].applications, 4u);
+}
+
+TEST(MatchStatsTest, AddAccumulates) {
+  MatchStats a, b;
+  a.index_lookups = 1;
+  b.index_lookups = 2;
+  b.tuples_scanned = 3;
+  a.Add(b);
+  EXPECT_EQ(a.index_lookups, 3u);
+  EXPECT_EQ(a.tuples_scanned, 3u);
+}
+
+}  // namespace
+}  // namespace datalog

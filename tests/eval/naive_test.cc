@@ -1,0 +1,112 @@
+#include "eval/naive.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseProgramOrDie;
+
+constexpr const char* kTransitiveClosure =
+    "g(x, z) :- a(x, z).\n"
+    "g(x, z) :- g(x, y), g(y, z).\n";
+
+TEST(NaiveTest, PaperExample2) {
+  // Example 2: EDB {A(1,2), A(1,4), A(4,1)}; the output is the EDB plus
+  // the transitive closure of A as G.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). a(1, 4). a(4, 1).");
+  ASSERT_TRUE(EvaluateNaive(p, &db).ok());
+  Database expected = ParseDatabaseOrDie(
+      symbols,
+      "a(1, 2). a(1, 4). a(4, 1)."
+      "g(1, 2). g(1, 4). g(4, 1). g(1, 1). g(4, 4). g(4, 2).");
+  EXPECT_EQ(db, expected) << db.ToString();
+}
+
+TEST(NaiveTest, PaperExample3IdbAsInput) {
+  // Example 3: input {A(1,2), A(1,4), G(4,1)} gives the Example 2 output
+  // minus the ground atom A(4,1).
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). a(1, 4). g(4, 1).");
+  ASSERT_TRUE(EvaluateNaive(p, &db).ok());
+  Database expected = ParseDatabaseOrDie(
+      symbols,
+      "a(1, 2). a(1, 4)."
+      "g(1, 2). g(1, 4). g(4, 1). g(1, 1). g(4, 4). g(4, 2).");
+  EXPECT_EQ(db, expected) << db.ToString();
+}
+
+TEST(NaiveTest, OutputContainsInput) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). g(5, 6).");
+  Database input(symbols);
+  input.UnionWith(db);
+  ASSERT_TRUE(EvaluateNaive(p, &db).ok());
+  EXPECT_TRUE(input.IsSubsetOf(db));
+}
+
+TEST(NaiveTest, ProgramFactsAreDerived) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "a(1, 2).\n"
+                                "g(x, z) :- a(x, z).\n");
+  Database db(symbols);
+  ASSERT_TRUE(EvaluateNaive(p, &db).ok());
+  PredicateId g = symbols->LookupPredicate("g").value();
+  EXPECT_TRUE(db.Contains(g, {Value::Int(1), Value::Int(2)}));
+}
+
+TEST(NaiveTest, RejectsNegation) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- a(x), not b(x).\n");
+  Database db(symbols);
+  Result<EvalStats> r = EvaluateNaive(p, &db);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NaiveTest, StatsReportIterations) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 3). a(3, 4).");
+  Result<EvalStats> stats = EvaluateNaive(p, &db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->iterations, 2);
+  EXPECT_EQ(stats->facts_derived, 6u);  // the 6 tuples of the closure
+}
+
+TEST(ApplyOnceTest, PaperExample12) {
+  // Example 12: P applied non-recursively to {A(1,2), G(2,3), G(3,4)}
+  // yields exactly {G(1,2), G(2,4)}.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  Database d = ParseDatabaseOrDie(symbols, "a(1, 2). g(2, 3). g(3, 4).");
+  Database out(symbols);
+  Result<std::size_t> added = ApplyOnce(p, d, &out, nullptr);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added.value(), 2u);
+  Database expected = ParseDatabaseOrDie(symbols, "g(1, 2). g(2, 4).");
+  EXPECT_EQ(out, expected) << out.ToString();
+}
+
+TEST(ApplyOnceTest, FullEvaluationOfExample12) {
+  // For contrast, P(d) in Example 12 contains the full closure of the
+  // mixed input.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, kTransitiveClosure);
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). g(2, 3). g(3, 4).");
+  ASSERT_TRUE(EvaluateNaive(p, &db).ok());
+  Database expected = ParseDatabaseOrDie(
+      symbols,
+      "a(1, 2). g(2, 3). g(3, 4). g(1, 2). g(1, 3). g(2, 4). g(1, 4).");
+  EXPECT_EQ(db, expected) << db.ToString();
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,118 @@
+#include "eval/provenance.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseProgramOrDie;
+
+TEST(ProvenanceTest, InputFactExplainsItself) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2).");
+  PredicateId a = symbols->LookupPredicate("a").value();
+  Result<Derivation> d =
+      ExplainFact(p, db, a, {Value::Int(1), Value::Int(2)});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->IsInputFact());
+  EXPECT_TRUE(d->premises.empty());
+}
+
+TEST(ProvenanceTest, OneStepDerivation) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2).");
+  PredicateId g = symbols->LookupPredicate("g").value();
+  Result<Derivation> d =
+      ExplainFact(p, db, g, {Value::Int(1), Value::Int(2)});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->rule_index, 0);
+  ASSERT_EQ(d->premises.size(), 1u);
+  EXPECT_TRUE(d->premises[0]->IsInputFact());
+}
+
+TEST(ProvenanceTest, RecursiveDerivationTree) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 3). a(3, 4).");
+  PredicateId g = symbols->LookupPredicate("g").value();
+  Result<Derivation> d =
+      ExplainFact(p, db, g, {Value::Int(1), Value::Int(4)});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->rule_index, 1);
+  ASSERT_EQ(d->premises.size(), 2u);
+  // Premises must join: second arg of the first = first arg of the second.
+  EXPECT_EQ(d->premises[0]->fact[1], d->premises[1]->fact[0]);
+  // Leaves are inputs.
+  std::vector<const Derivation*> stack{d.operator->()};
+  while (!stack.empty()) {
+    const Derivation* node = stack.back();
+    stack.pop_back();
+    if (node->premises.empty()) {
+      EXPECT_TRUE(node->IsInputFact());
+    }
+    for (const auto& premise : node->premises) {
+      stack.push_back(premise.get());
+    }
+  }
+}
+
+TEST(ProvenanceTest, UnderivableFactIsNotFound) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2).");
+  PredicateId g = symbols->LookupPredicate("g").value();
+  Result<Derivation> d =
+      ExplainFact(p, db, g, {Value::Int(2), Value::Int(1)});
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProvenanceTest, RenderedTreeMentionsRulesAndInputs) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  Database db = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 3).");
+  PredicateId g = symbols->LookupPredicate("g").value();
+  Result<Derivation> d =
+      ExplainFact(p, db, g, {Value::Int(1), Value::Int(3)});
+  ASSERT_TRUE(d.ok());
+  std::string rendered = ToString(*d, *symbols);
+  EXPECT_NE(rendered.find("[rule 1]"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("[input]"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("g(1, 3)"), std::string::npos) << rendered;
+}
+
+TEST(ProvenanceTest, RejectsNegation) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- a(x), not b(x).\n");
+  Database db = ParseDatabaseOrDie(symbols, "a(1).");
+  PredicateId pr = symbols->LookupPredicate("p").value();
+  EXPECT_FALSE(ExplainFact(p, db, pr, {Value::Int(1)}).ok());
+}
+
+TEST(ProvenanceTest, ProgramFactViaEmptyBodyRule) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "a(7, 8).\n"
+                                "g(x, z) :- a(x, z).\n");
+  Database db(symbols);
+  PredicateId g = symbols->LookupPredicate("g").value();
+  Result<Derivation> d =
+      ExplainFact(p, db, g, {Value::Int(7), Value::Int(8)});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->rule_index, 1);
+  ASSERT_EQ(d->premises.size(), 1u);
+  // The premise a(7,8) came from the program's fact rule.
+  EXPECT_EQ(d->premises[0]->rule_index, 0);
+}
+
+}  // namespace
+}  // namespace datalog

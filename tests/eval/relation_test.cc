@@ -1,0 +1,92 @@
+#include "eval/relation.h"
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+Tuple T2(std::int64_t a, std::int64_t b) {
+  return {Value::Int(a), Value::Int(b)};
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert(T2(1, 2)));
+  EXPECT_FALSE(rel.Insert(T2(1, 2)));
+  EXPECT_TRUE(rel.Insert(T2(2, 1)));
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+TEST(RelationTest, Contains) {
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  EXPECT_TRUE(rel.Contains(T2(1, 2)));
+  EXPECT_FALSE(rel.Contains(T2(2, 1)));
+}
+
+TEST(RelationTest, RowsPreserveInsertionOrder) {
+  Relation rel(2);
+  rel.Insert(T2(3, 4));
+  rel.Insert(T2(1, 2));
+  EXPECT_EQ(rel.row(0), T2(3, 4));
+  EXPECT_EQ(rel.row(1), T2(1, 2));
+}
+
+TEST(RelationTest, SingleColumnLookup) {
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  rel.Insert(T2(1, 3));
+  rel.Insert(T2(2, 3));
+  const auto& hits = rel.Lookup({0}, {Value::Int(1)});
+  EXPECT_EQ(hits.size(), 2u);
+  const auto& none = rel.Lookup({0}, {Value::Int(9)});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(RelationTest, SecondColumnLookup) {
+  Relation rel(2);
+  rel.Insert(T2(1, 3));
+  rel.Insert(T2(2, 3));
+  rel.Insert(T2(3, 1));
+  EXPECT_EQ(rel.Lookup({1}, {Value::Int(3)}).size(), 2u);
+}
+
+TEST(RelationTest, MultiColumnLookup) {
+  Relation rel(3);
+  rel.Insert({Value::Int(1), Value::Int(2), Value::Int(3)});
+  rel.Insert({Value::Int(1), Value::Int(5), Value::Int(3)});
+  const auto& hits = rel.Lookup({0, 2}, {Value::Int(1), Value::Int(3)});
+  EXPECT_EQ(hits.size(), 2u);
+  const auto& hit = rel.Lookup({0, 1}, {Value::Int(1), Value::Int(5)});
+  EXPECT_EQ(hit.size(), 1u);
+  EXPECT_EQ(rel.row(hit[0])[2], Value::Int(3));
+}
+
+TEST(RelationTest, IndexExtendsAfterInsert) {
+  // The index is built lazily, then must pick up later insertions.
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(1)}).size(), 1u);
+  rel.Insert(T2(1, 9));
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(1)}).size(), 2u);
+}
+
+TEST(RelationTest, ZeroArity) {
+  Relation rel(0);
+  EXPECT_TRUE(rel.Insert({}));
+  EXPECT_FALSE(rel.Insert({}));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains({}));
+}
+
+TEST(RelationTest, MixedValueKinds) {
+  Relation rel(1);
+  rel.Insert({Value::Int(1)});
+  rel.Insert({Value::Frozen(1)});
+  rel.Insert({Value::Null(1)});
+  EXPECT_EQ(rel.size(), 3u);
+  EXPECT_EQ(rel.Lookup({0}, {Value::Frozen(1)}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,83 @@
+#include "eval/stratified.h"
+
+#include "eval/seminaive.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseProgramOrDie;
+
+TEST(StratifiedTest, MatchesSemiNaiveOnPositivePrograms) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  Database d1 = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 3). a(3, 1).");
+  Database d2(symbols);
+  d2.UnionWith(d1);
+  ASSERT_TRUE(EvaluateSemiNaive(p, &d1).ok());
+  ASSERT_TRUE(EvaluateStratified(p, &d2).ok());
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(StratifiedTest, UnreachableNodes) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(
+      symbols,
+      "reach(x) :- source(x).\n"
+      "reach(y) :- reach(x), edge(x, y).\n"
+      "unreached(x) :- node(x), not reach(x).\n");
+  Database db = ParseDatabaseOrDie(symbols,
+                                   "node(1). node(2). node(3). node(4)."
+                                   "source(1). edge(1, 2). edge(3, 4).");
+  ASSERT_TRUE(EvaluateStratified(p, &db).ok());
+  PredicateId unreached = symbols->LookupPredicate("unreached").value();
+  EXPECT_FALSE(db.Contains(unreached, {Value::Int(1)}));
+  EXPECT_FALSE(db.Contains(unreached, {Value::Int(2)}));
+  EXPECT_TRUE(db.Contains(unreached, {Value::Int(3)}));
+  EXPECT_TRUE(db.Contains(unreached, {Value::Int(4)}));
+}
+
+TEST(StratifiedTest, TwoNegationLevels) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "b(x) :- u(x), not a(x).\n"
+                                "c(x) :- u(x), not b(x).\n"
+                                "a(x) :- v(x).\n");
+  Database db = ParseDatabaseOrDie(symbols, "u(1). u(2). v(1).");
+  ASSERT_TRUE(EvaluateStratified(p, &db).ok());
+  PredicateId b = symbols->LookupPredicate("b").value();
+  PredicateId c = symbols->LookupPredicate("c").value();
+  // a = {1}; b = u minus a = {2}; c = u minus b = {1}.
+  EXPECT_TRUE(db.Contains(b, {Value::Int(2)}));
+  EXPECT_FALSE(db.Contains(b, {Value::Int(1)}));
+  EXPECT_TRUE(db.Contains(c, {Value::Int(1)}));
+  EXPECT_FALSE(db.Contains(c, {Value::Int(2)}));
+}
+
+TEST(StratifiedTest, NegationWithinRecursionRejected) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "win(x) :- move(x, y), not win(y).\n");
+  Database db = ParseDatabaseOrDie(symbols, "move(1, 2).");
+  Result<EvalStats> r = EvaluateStratified(p, &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StratifiedTest, NegationOfPurelyExtensionalPredicate) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- u(x), not q(x).\n");
+  Database db = ParseDatabaseOrDie(symbols, "u(1). u(2). q(2).");
+  ASSERT_TRUE(EvaluateStratified(p, &db).ok());
+  PredicateId pr = symbols->LookupPredicate("p").value();
+  EXPECT_TRUE(db.Contains(pr, {Value::Int(1)}));
+  EXPECT_FALSE(db.Contains(pr, {Value::Int(2)}));
+}
+
+}  // namespace
+}  // namespace datalog

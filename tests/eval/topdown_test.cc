@@ -1,0 +1,170 @@
+#include "eval/topdown.h"
+
+#include "eval/query.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/graph_gen.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseProgramOrDie;
+using testing::ParseQueryOrDie;
+
+TEST(TopDownTest, LinearTcBoundQuery) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 3). a(5, 6).");
+  Result<std::vector<Tuple>> answers =
+      SolveTopDown(p, edb, ParseQueryOrDie(symbols, "?- g(1, x)."));
+  ASSERT_TRUE(answers.ok());
+  std::set<Tuple> set(answers->begin(), answers->end());
+  EXPECT_EQ(set, (std::set<Tuple>{{Value::Int(1), Value::Int(2)},
+                                  {Value::Int(1), Value::Int(3)}}));
+}
+
+TEST(TopDownTest, DoublyRecursiveTc) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- g(x, y), g(y, z).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 3). a(3, 4).");
+  Result<std::vector<Tuple>> answers =
+      SolveTopDown(p, edb, ParseQueryOrDie(symbols, "?- g(1, x)."));
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 3u);
+}
+
+TEST(TopDownTest, CyclicGraphTerminates) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 1).");
+  Result<std::vector<Tuple>> answers =
+      SolveTopDown(p, edb, ParseQueryOrDie(symbols, "?- g(1, x)."));
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);  // g(1,1) and g(1,2)
+}
+
+TEST(TopDownTest, IdbFactsInInputAnswerSubgoals) {
+  // The uniform semantics: g-facts given as input count.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "a(1, 2). g(2, 9).");
+  Result<std::vector<Tuple>> answers =
+      SolveTopDown(p, edb, ParseQueryOrDie(symbols, "?- g(1, x)."));
+  ASSERT_TRUE(answers.ok());
+  std::set<Tuple> set(answers->begin(), answers->end());
+  EXPECT_TRUE(set.contains(Tuple{Value::Int(1), Value::Int(9)}));
+}
+
+TEST(TopDownTest, RepeatedVariableInQuery) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 1). a(2, 3).");
+  Result<std::vector<Tuple>> answers =
+      SolveTopDown(p, edb, ParseQueryOrDie(symbols, "?- g(x, x)."));
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);  // g(1,1), g(2,2)
+}
+
+TEST(TopDownTest, ExtensionalQueryWorks) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "g(x, z) :- a(x, z).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "a(1, 2). a(1, 3). a(2, 4).");
+  Result<std::vector<Tuple>> answers =
+      SolveTopDown(p, edb, ParseQueryOrDie(symbols, "?- a(1, x)."));
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);
+}
+
+TEST(TopDownTest, StatsCountSubgoals) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "a(1, 2). a(2, 3). a(3, 4).");
+  TopDownStats stats;
+  Result<std::vector<Tuple>> answers =
+      SolveTopDown(p, edb, ParseQueryOrDie(symbols, "?- g(1, x)."), &stats);
+  ASSERT_TRUE(answers.ok());
+  // One subgoal per reachable node binding: g(1,_), g(2,_), g(3,_),
+  // g(4,_).
+  EXPECT_GE(stats.subgoals, 4u);
+  EXPECT_GT(stats.answers, 0u);
+  EXPECT_GE(stats.iterations, 1u);
+}
+
+TEST(TopDownTest, DemandRestriction) {
+  // Two disjoint components: the bound query must never create subgoals
+  // for the second one.
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n");
+  Database edb = ParseDatabaseOrDie(
+      symbols, "a(1, 2). a(2, 3). a(100, 101). a(101, 102). a(102, 103).");
+  TopDownStats stats;
+  Result<std::vector<Tuple>> answers =
+      SolveTopDown(p, edb, ParseQueryOrDie(symbols, "?- g(1, x)."), &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);
+  // Subgoals: g(1,_), g(2,_), g(3,_) only.
+  EXPECT_LE(stats.subgoals, 3u);
+}
+
+TEST(TopDownTest, RejectsNegation) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols, "p(x) :- a(x), not b(x).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "a(1).");
+  Result<std::vector<Tuple>> answers =
+      SolveTopDown(p, edb, ParseQueryOrDie(symbols, "?- p(1)."));
+  EXPECT_FALSE(answers.ok());
+}
+
+class TopDownAgreementSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TopDownAgreementSweep, AgreesWithAllOtherMethods) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(
+      symbols,
+      "sg(x, y) :- flat(x, y).\n"
+      "sg(x, y) :- up(x, u), sg(u, v), down(v, y).\n");
+  PredicateId up = symbols->InternPredicate("up", 2).value();
+  PredicateId down = symbols->InternPredicate("down", 2).value();
+  PredicateId flat = symbols->InternPredicate("flat", 2).value();
+  Database edb(symbols);
+  AddGraphFacts({GraphShape::kRandom, 8, 12, GetParam()}, up, &edb);
+  AddGraphFacts({GraphShape::kRandom, 8, 12, GetParam() + 100}, down, &edb);
+  AddGraphFacts({GraphShape::kRandom, 8, 8, GetParam() + 200}, flat, &edb);
+
+  Atom query = ParseQueryOrDie(symbols, "?- sg(0, y).");
+  Result<std::vector<Tuple>> semi =
+      AnswerQuery(p, edb, query, EvalMethod::kSemiNaive);
+  Result<std::vector<Tuple>> magic =
+      AnswerQuery(p, edb, query, EvalMethod::kMagicSemiNaive);
+  Result<std::vector<Tuple>> top =
+      AnswerQuery(p, edb, query, EvalMethod::kTabledTopDown);
+  ASSERT_TRUE(semi.ok());
+  ASSERT_TRUE(magic.ok());
+  ASSERT_TRUE(top.ok());
+  std::set<Tuple> reference(semi->begin(), semi->end());
+  EXPECT_EQ(std::set<Tuple>(magic->begin(), magic->end()), reference);
+  EXPECT_EQ(std::set<Tuple>(top->begin(), top->end()), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopDownAgreementSweep,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace datalog

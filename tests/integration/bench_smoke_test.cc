@@ -1,0 +1,60 @@
+// Smoke tests for the benchmark binaries: each must start, list its
+// benchmarks, and run one case. Keeps the harness from rotting without
+// paying full measurement time in CI.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+#ifndef DATALOG_BENCH_DIR
+#define DATALOG_BENCH_DIR "build/bench"
+#endif
+
+int RunCommand(const std::string& command, std::string* stdout_text) {
+  FILE* pipe = popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[4096];
+  stdout_text->clear();
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    *stdout_text += buffer;
+  }
+  return WEXITSTATUS(pclose(pipe));
+}
+
+class BenchSmokeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchSmokeTest, ListsAndRunsOneCase) {
+  const std::string binary = std::string(DATALOG_BENCH_DIR) + "/" + GetParam();
+  std::string listing;
+  ASSERT_EQ(RunCommand(binary + " --benchmark_list_tests", &listing), 0)
+      << binary;
+  ASSERT_FALSE(listing.empty());
+
+  // Run exactly the first listed benchmark, minimally.
+  std::string first = listing.substr(0, listing.find('\n'));
+  std::string output;
+  int code = RunCommand(binary + " --benchmark_filter='^" + first +
+                            "$' --benchmark_min_time=0.01",
+                        &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find(first.substr(0, first.find('/'))), std::string::npos)
+      << output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Binaries, BenchSmokeTest,
+    ::testing::Values("bench_eval_speedup", "bench_minimize",
+                      "bench_magic_sets", "bench_chase", "bench_engine",
+                      "bench_cq", "bench_ablation"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,81 @@
+// Data-driven minimization regressions: every tests/corpus/<name>.in.dl
+// is minimized (Fig. 2, textual order) and compared against
+// <name>.out.dl. The corpus directory path is injected by CMake.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ast/pretty_print.h"
+#include "core/minimize.h"
+#include "core/uniform_containment.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+#ifndef DATALOG_CORPUS_DIR
+#define DATALOG_CORPUS_DIR "tests/corpus"
+#endif
+
+std::vector<std::string> CorpusCases() {
+  std::vector<std::string> names;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DATALOG_CORPUS_DIR)) {
+    std::string filename = entry.path().filename().string();
+    const std::string suffix = ".in.dl";
+    if (filename.size() > suffix.size() &&
+        filename.substr(filename.size() - suffix.size()) == suffix) {
+      names.push_back(filename.substr(0, filename.size() - suffix.size()));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class CorpusTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusTest, MinimizesToGolden) {
+  const std::string base = std::string(DATALOG_CORPUS_DIR) + "/" + GetParam();
+  auto symbols = testing::MakeSymbols();
+  Program input =
+      testing::ParseProgramOrDie(symbols, ReadFile(base + ".in.dl"));
+  Program expected =
+      testing::ParseProgramOrDie(symbols, ReadFile(base + ".out.dl"));
+
+  Result<Program> minimized = MinimizeProgram(input);
+  ASSERT_TRUE(minimized.ok()) << minimized.status().ToString();
+  EXPECT_EQ(minimized.value(), expected)
+      << "got:\n"
+      << ToString(minimized.value()) << "want:\n"
+      << ToString(expected);
+
+  // Cross-check the golden file itself: it must be uniformly equivalent
+  // to the input and already minimal.
+  Result<bool> eq = UniformlyEquivalent(input, expected);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value()) << "golden file is not uniformly equivalent";
+  Result<Program> again = MinimizeProgram(expected);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), expected) << "golden file is not minimal";
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusTest,
+                         ::testing::ValuesIn(CorpusCases()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace datalog

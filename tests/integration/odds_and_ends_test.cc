@@ -1,0 +1,143 @@
+// Cross-module corner cases that individual unit files don't reach:
+// facts inside unfolding, 0-ary predicates through magic sets, constants
+// in rule heads through top-down, repeated tgd atoms.
+
+#include "datalog.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseProgramOrDie;
+using testing::ParseQueryOrDie;
+using testing::ParseTgdsOrDie;
+
+TEST(OddsAndEnds, NonRecursiveEquivalenceWithFacts) {
+  auto symbols = MakeSymbols();
+  Program p1 = ParseProgramOrDie(symbols,
+                                 "b(1).\n"
+                                 "c(x) :- b(x).\n");
+  Program p2 = ParseProgramOrDie(symbols,
+                                 "b(1).\n"
+                                 "c(1).\n");
+  Result<bool> eq = NonRecursiveProgramsEquivalent(p1, p2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+
+  Program p3 = ParseProgramOrDie(symbols,
+                                 "b(1).\n"
+                                 "c(2).\n");
+  Result<bool> neq = NonRecursiveProgramsEquivalent(p1, p3);
+  ASSERT_TRUE(neq.ok());
+  EXPECT_FALSE(neq.value());
+}
+
+TEST(OddsAndEnds, UnfoldThroughFactPropagatesConstants) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "b(7).\n"
+                                "c(x) :- b(x), e(x, y).\n");
+  std::vector<Rule> flat = ExpandRules(p, {.max_depth = 2});
+  // Expect: b(7). and c(7) :- e(7, y).
+  bool found = false;
+  for (const Rule& rule : flat) {
+    if (rule.head().predicate() == symbols->LookupPredicate("c").value()) {
+      EXPECT_EQ(rule.head().args()[0], Term::Int(7));
+      ASSERT_EQ(rule.body().size(), 1u);
+      EXPECT_EQ(rule.body()[0].atom.args()[0], Term::Int(7));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OddsAndEnds, ZeroAryQueryThroughMagicSets) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "alarm :- sensor(x), threshold(x).\n");
+  Database edb = ParseDatabaseOrDie(symbols,
+                                    "sensor(3). threshold(3). sensor(9).");
+  Atom query = ParseQueryOrDie(symbols, "?- alarm.");
+  Result<std::vector<Tuple>> magic =
+      AnswerQuery(p, edb, query, EvalMethod::kMagicSemiNaive);
+  ASSERT_TRUE(magic.ok());
+  EXPECT_EQ(magic->size(), 1u);  // the empty tuple: alarm holds
+
+  Database no_match = ParseDatabaseOrDie(symbols, "sensor(4). threshold(5).");
+  Result<std::vector<Tuple>> none =
+      AnswerQuery(p, no_match, query, EvalMethod::kMagicSemiNaive);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(OddsAndEnds, ZeroAryQueryThroughTopDown) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "alarm :- sensor(x), threshold(x).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "sensor(3). threshold(3).");
+  Atom query = ParseQueryOrDie(symbols, "?- alarm.");
+  Result<std::vector<Tuple>> top =
+      AnswerQuery(p, edb, query, EvalMethod::kTabledTopDown);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 1u);
+}
+
+TEST(OddsAndEnds, HeadConstantsThroughTopDown) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "status(x, 1) :- up_host(x).\n"
+                                "status(x, 0) :- down_host(x).\n");
+  Database edb = ParseDatabaseOrDie(symbols, "up_host(10). down_host(11).");
+  Result<std::vector<Tuple>> up = SolveTopDown(
+      p, edb, ParseQueryOrDie(symbols, "?- status(x, 1)."));
+  ASSERT_TRUE(up.ok());
+  ASSERT_EQ(up->size(), 1u);
+  EXPECT_EQ((*up)[0][0], Value::Int(10));
+  // A query whose constant matches no head constant.
+  Result<std::vector<Tuple>> none = SolveTopDown(
+      p, edb, ParseQueryOrDie(symbols, "?- status(x, 7)."));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(OddsAndEnds, RepeatedAtomInTgdLhs) {
+  // Degenerate but legal: a repeated LHS atom adds nothing.
+  auto symbols = MakeSymbols();
+  std::vector<Tgd> tgds =
+      ParseTgdsOrDie(symbols, "g(x, y), g(x, y) -> a(x, w).");
+  Database db = ParseDatabaseOrDie(symbols, "g(1, 2).");
+  EXPECT_FALSE(SatisfiesAll(db, tgds));
+  NullPool pool;
+  ApplyTgdRound(tgds[0], &db, &pool);
+  EXPECT_TRUE(SatisfiesAll(db, tgds));
+  EXPECT_EQ(pool.allocated(), 1);
+}
+
+TEST(OddsAndEnds, GroundTgd) {
+  auto symbols = MakeSymbols();
+  std::vector<Tgd> tgds = ParseTgdsOrDie(symbols, "start(0) -> ready.");
+  Database db = ParseDatabaseOrDie(symbols, "start(0).");
+  EXPECT_FALSE(SatisfiesAll(db, tgds));
+  NullPool pool;
+  ApplyTgdRound(tgds[0], &db, &pool);
+  PredicateId ready = symbols->LookupPredicate("ready").value();
+  EXPECT_TRUE(db.Contains(ready, {}));
+  EXPECT_EQ(pool.allocated(), 0);
+}
+
+TEST(OddsAndEnds, MinimizeRuleWithZeroAryGuard) {
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "out(x) :- in(x), enabled, enabled.\n");
+  MinimizeReport report;
+  Result<Program> minimized = MinimizeProgram(p, &report);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(report.atoms_removed, 1u);  // one duplicate 'enabled'
+  EXPECT_EQ(minimized->rules()[0].body().size(), 2u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,73 @@
+#ifndef DATALOG_TESTS_TEST_UTIL_H_
+#define DATALOG_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ast/parser.h"
+#include "ast/program.h"
+#include "ast/tgd.h"
+#include "eval/database.h"
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace testing {
+
+inline std::shared_ptr<SymbolTable> MakeSymbols() {
+  return std::make_shared<SymbolTable>();
+}
+
+/// Parses a program, failing the test on parse errors.
+inline Program ParseProgramOrDie(std::shared_ptr<SymbolTable> symbols,
+                                 std::string_view text) {
+  Parser parser(std::move(symbols));
+  Result<Program> result = parser.ParseProgram(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\nwhile parsing:\n"
+                           << text;
+  return result.ok() ? std::move(result).value() : Program();
+}
+
+inline Rule ParseRuleOrDie(std::shared_ptr<SymbolTable> symbols,
+                           std::string_view text) {
+  Parser parser(std::move(symbols));
+  Result<Rule> result = parser.ParseRule(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Rule();
+}
+
+inline Tgd ParseTgdOrDie(std::shared_ptr<SymbolTable> symbols,
+                         std::string_view text) {
+  Parser parser(std::move(symbols));
+  Result<Tgd> result = parser.ParseTgd(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Tgd();
+}
+
+inline std::vector<Tgd> ParseTgdsOrDie(std::shared_ptr<SymbolTable> symbols,
+                                       std::string_view text) {
+  Parser parser(std::move(symbols));
+  Result<std::vector<Tgd>> result = parser.ParseTgds(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : std::vector<Tgd>();
+}
+
+inline Database ParseDatabaseOrDie(std::shared_ptr<SymbolTable> symbols,
+                                   std::string_view text) {
+  Result<Database> result = ParseDatabase(symbols, text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Database(symbols);
+}
+
+inline Atom ParseQueryOrDie(std::shared_ptr<SymbolTable> symbols,
+                            std::string_view text) {
+  Parser parser(std::move(symbols));
+  Result<Atom> result = parser.ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Atom();
+}
+
+}  // namespace testing
+}  // namespace datalog
+
+#endif  // DATALOG_TESTS_TEST_UTIL_H_

@@ -1,0 +1,49 @@
+#include "util/hash.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  std::size_t ab = 0, ba = 0;
+  HashCombine(ab, 1);
+  HashCombine(ab, 2);
+  HashCombine(ba, 2);
+  HashCombine(ba, 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, CombineChangesSeed) {
+  std::size_t seed = 42;
+  std::size_t before = seed;
+  HashCombine(seed, 0);
+  EXPECT_NE(seed, before);  // even combining zero must perturb
+}
+
+TEST(HashTest, RangeMatchesManualCombine) {
+  std::vector<int> values{3, 1, 4, 1, 5};
+  std::size_t manual = 0;
+  for (int v : values) {
+    HashCombine(manual, std::hash<int>{}(v));
+  }
+  EXPECT_EQ(HashRange(values.begin(), values.end()), manual);
+}
+
+TEST(HashTest, RangeDistinguishesPrefixes) {
+  std::vector<int> a{1, 2, 3};
+  std::vector<int> b{1, 2};
+  EXPECT_NE(HashRange(a.begin(), a.end()), HashRange(b.begin(), b.end()));
+}
+
+TEST(HashTest, WorksWithStrings) {
+  std::vector<std::string> words{"frozen", "null"};
+  std::size_t h = HashRange(words.begin(), words.end());
+  EXPECT_NE(h, 0u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,56 @@
+#include "util/interning.h"
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+TEST(InterningTest, FirstInternIsZero) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0);
+  EXPECT_EQ(interner.size(), 1);
+}
+
+TEST(InterningTest, RepeatedInternReturnsSameId) {
+  StringInterner interner;
+  int32_t a = interner.Intern("alpha");
+  int32_t b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.Intern("beta"), b);
+  EXPECT_EQ(interner.size(), 2);
+}
+
+TEST(InterningTest, RoundTrip) {
+  StringInterner interner;
+  int32_t id = interner.Intern("gamma");
+  EXPECT_EQ(interner.ToString(id), "gamma");
+}
+
+TEST(InterningTest, LookupMissingReturnsMinusOne) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Lookup("nope"), -1);
+  interner.Intern("yes");
+  EXPECT_EQ(interner.Lookup("yes"), 0);
+  EXPECT_EQ(interner.Lookup("nope"), -1);
+}
+
+TEST(InterningTest, EmptyStringIsInternable) {
+  StringInterner interner;
+  int32_t id = interner.Intern("");
+  EXPECT_EQ(interner.ToString(id), "");
+  EXPECT_EQ(interner.Lookup(""), id);
+}
+
+TEST(InterningTest, ManyStrings) {
+  StringInterner interner;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Intern("s" + std::to_string(i)), i);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.ToString(i), "s" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,66 @@
+#include "util/result.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> ok(3);
+  Result<int> err(Status::Internal("boom"));
+  EXPECT_EQ(ok.value_or(9), 3);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  DATALOG_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnSuccess) {
+  Result<int> r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> r = Quarter(6);  // 6/2 = 3, then odd
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace datalog

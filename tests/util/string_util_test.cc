@@ -1,0 +1,25 @@
+#include "util/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+TEST(StringUtilTest, JoinEmpty) { EXPECT_EQ(Join({}, ", "), ""); }
+
+TEST(StringUtilTest, JoinSingle) { EXPECT_EQ(Join({"a"}, ", "), "a"); }
+
+TEST(StringUtilTest, JoinMany) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"x", "y"}, ""), "xy");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("magic_g_bf", "magic_"));
+  EXPECT_FALSE(StartsWith("g_bf", "magic_"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+}  // namespace
+}  // namespace datalog

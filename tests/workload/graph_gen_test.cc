@@ -1,0 +1,117 @@
+#include "workload/graph_gen.h"
+
+#include "ast/parser.h"
+#include "eval/seminaive.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+
+PredicateId Edge(const std::shared_ptr<SymbolTable>& symbols) {
+  return symbols->InternPredicate("e", 2).value();
+}
+
+TEST(GraphGenTest, Chain) {
+  auto symbols = MakeSymbols();
+  Database db(symbols);
+  PredicateId e = Edge(symbols);
+  AddGraphFacts({GraphShape::kChain, 5}, e, &db);
+  EXPECT_EQ(db.relation(e).size(), 4u);
+  EXPECT_TRUE(db.Contains(e, {Value::Int(0), Value::Int(1)}));
+  EXPECT_TRUE(db.Contains(e, {Value::Int(3), Value::Int(4)}));
+}
+
+TEST(GraphGenTest, Cycle) {
+  auto symbols = MakeSymbols();
+  Database db(symbols);
+  PredicateId e = Edge(symbols);
+  AddGraphFacts({GraphShape::kCycle, 5}, e, &db);
+  EXPECT_EQ(db.relation(e).size(), 5u);
+  EXPECT_TRUE(db.Contains(e, {Value::Int(4), Value::Int(0)}));
+}
+
+TEST(GraphGenTest, BinaryTree) {
+  auto symbols = MakeSymbols();
+  Database db(symbols);
+  PredicateId e = Edge(symbols);
+  AddGraphFacts({GraphShape::kBinaryTree, 7}, e, &db);
+  EXPECT_EQ(db.relation(e).size(), 6u);  // complete binary tree, 7 nodes
+  EXPECT_TRUE(db.Contains(e, {Value::Int(0), Value::Int(1)}));
+  EXPECT_TRUE(db.Contains(e, {Value::Int(2), Value::Int(6)}));
+}
+
+TEST(GraphGenTest, Grid) {
+  auto symbols = MakeSymbols();
+  Database db(symbols);
+  PredicateId e = Edge(symbols);
+  AddGraphFacts({GraphShape::kGrid, 9}, e, &db);
+  // 3x3 grid: 2*3 right + 2*3 down = 12 edges.
+  EXPECT_EQ(db.relation(e).size(), 12u);
+}
+
+TEST(GraphGenTest, RandomIsSeededDeterministically) {
+  auto s1 = MakeSymbols();
+  auto s2 = MakeSymbols();
+  Database d1(s1), d2(s2);
+  GraphOptions options{GraphShape::kRandom, 10, 25, 99};
+  AddGraphFacts(options, Edge(s1), &d1);
+  AddGraphFacts(options, Edge(s2), &d2);
+  EXPECT_EQ(d1.ToString(), d2.ToString());
+  EXPECT_LE(d1.relation(Edge(s1)).size(), 25u);  // duplicates collapse
+  EXPECT_GT(d1.relation(Edge(s1)).size(), 0u);
+}
+
+TEST(GraphGenTest, SameGenerationTree) {
+  auto symbols = MakeSymbols();
+  Database db(symbols);
+  PredicateId up = symbols->InternPredicate("up", 2).value();
+  PredicateId flat = symbols->InternPredicate("flat", 2).value();
+  PredicateId down = symbols->InternPredicate("down", 2).value();
+  std::size_t nodes =
+      AddSameGenerationFacts({.depth = 3, .fanout = 2}, up, flat, down, &db);
+  EXPECT_EQ(nodes, 7u);  // 1 + 2 + 4
+  EXPECT_EQ(db.relation(up).size(), 6u);    // every non-root has a parent
+  EXPECT_EQ(db.relation(down).size(), 6u);
+  // flat: 1 sibling link on level 1, 3 on level 2.
+  EXPECT_EQ(db.relation(flat).size(), 4u);
+  EXPECT_TRUE(db.Contains(up, {Value::Int(1), Value::Int(0)}));
+  EXPECT_TRUE(db.Contains(down, {Value::Int(0), Value::Int(2)}));
+}
+
+TEST(GraphGenTest, SameGenerationSemantics) {
+  // Two siblings are in the same generation.
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  Program p = parser
+                  .ParseProgram(
+                      "sg(x, y) :- flat(x, y).\n"
+                      "sg(x, y) :- up(x, u), sg(u, v), down(v, y).\n")
+                  .value();
+  Database db(symbols);
+  PredicateId up = symbols->LookupPredicate("up").value();
+  PredicateId flat = symbols->LookupPredicate("flat").value();
+  PredicateId down = symbols->LookupPredicate("down").value();
+  AddSameGenerationFacts({.depth = 3, .fanout = 2}, up, flat, down, &db);
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  PredicateId sg = symbols->LookupPredicate("sg").value();
+  // Leaves 3 and 5 are cousins: same generation via the recursive rule.
+  EXPECT_TRUE(db.Contains(sg, {Value::Int(3), Value::Int(5)}));
+  // A node is not in the same generation as its parent.
+  EXPECT_FALSE(db.Contains(sg, {Value::Int(1), Value::Int(0)}));
+}
+
+TEST(GraphGenTest, UnaryFactsSampleWithoutReplacement) {
+  auto symbols = MakeSymbols();
+  Database db(symbols);
+  PredicateId c = symbols->InternPredicate("c", 1).value();
+  AddUnaryFacts(10, 6, 1, c, &db);
+  EXPECT_EQ(db.relation(c).size(), 6u);
+  AddUnaryFacts(4, 100, 1, c, &db);  // count > nodes is clamped
+  EXPECT_LE(db.relation(c).size(), 10u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,98 @@
+#include "workload/program_gen.h"
+
+#include "ast/pretty_print.h"
+#include "ast/validate.h"
+#include "core/uniform_containment.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+
+TEST(ProgramGenTest, GeneratedProgramIsValid) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto symbols = MakeSymbols();
+    PlantedProgramOptions options;
+    options.seed = seed;
+    Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+    ASSERT_TRUE(planted.ok());
+    EXPECT_TRUE(ValidatePositiveProgram(planted->program).ok())
+        << ToString(planted->program);
+  }
+}
+
+TEST(ProgramGenTest, PlantedCountsReported) {
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.planted_atoms = 3;
+  options.planted_rules = 2;
+  Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+  ASSERT_TRUE(planted.ok());
+  EXPECT_LE(planted->planted_atoms, 3u);
+  EXPECT_LE(planted->planted_rules, 2u);
+  // The base structure: one base rule + chain_rules per intentional pred,
+  // plus the planted rules.
+  EXPECT_EQ(planted->program.NumRules(),
+            2 * (1 + options.chain_rules) + planted->planted_rules);
+}
+
+TEST(ProgramGenTest, PlantedAtomIsUniformlyRedundant) {
+  // Every planted atom is a freshly-renamed copy; the program with the
+  // plant must be uniformly equivalent to one without. Spot-check by
+  // minimizing: see minimize_program_test. Here: the planted rule count
+  // increases body literals.
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions with_plants;
+  with_plants.seed = 5;
+  with_plants.planted_atoms = 4;
+  with_plants.planted_rules = 0;
+  Result<PlantedProgram> planted = MakePlantedProgram(symbols, with_plants);
+  ASSERT_TRUE(planted.ok());
+
+  auto symbols2 = MakeSymbols();
+  PlantedProgramOptions without;
+  without.seed = 5;
+  without.planted_atoms = 0;
+  without.planted_rules = 0;
+  Result<PlantedProgram> clean = MakePlantedProgram(symbols2, without);
+  ASSERT_TRUE(clean.ok());
+
+  EXPECT_EQ(planted->program.TotalBodyLiterals(),
+            clean->program.TotalBodyLiterals() + planted->planted_atoms);
+}
+
+TEST(ProgramGenTest, DeterministicForSeed) {
+  auto s1 = MakeSymbols();
+  auto s2 = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = 77;
+  Result<PlantedProgram> a = MakePlantedProgram(s1, options);
+  Result<PlantedProgram> b = MakePlantedProgram(s2, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ToString(a->program), ToString(b->program));
+}
+
+TEST(ProgramGenTest, DuplicateRuleIsUniformlyRedundant) {
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.seed = 3;
+  options.planted_atoms = 0;
+  options.planted_rules = 1;  // first plant is a renamed duplicate
+  Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+  ASSERT_TRUE(planted.ok());
+  ASSERT_EQ(planted->planted_rules, 1u);
+  // The last rule is the planted duplicate: removing it preserves uniform
+  // equivalence.
+  std::size_t last = planted->program.NumRules() - 1;
+  Program without = planted->program.WithoutRule(last);
+  Result<bool> contained =
+      UniformlyContainsRule(without, planted->program.rules()[last]);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(contained.value());
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,379 @@
+// datalog-opt: command-line front end for the library.
+//
+//   datalog-opt minimize  PROGRAM            Fig. 2 minimization
+//   datalog-opt optimize  PROGRAM            Fig. 2 + Section XI pipeline
+//   datalog-opt eval      PROGRAM FACTS      semi-naive fixpoint
+//   datalog-opt query     PROGRAM FACTS Q    magic-sets query, e.g. 'g(1, x).'
+//   datalog-opt contains  P1 P2              P2 subseteq^u P1? (with witness)
+//   datalog-opt prove     P1 P2 TGDS         Section X containment recipe
+//   datalog-opt explain   PROGRAM FACTS F    derivation tree of fact F
+//   datalog-opt analyze   PROGRAM            structure report
+//
+// PROGRAM/FACTS/TGDS are file paths; pass '-' to read stdin.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "datalog.h"
+
+namespace datalog {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: datalog-opt COMMAND ARGS...\n"
+      "  minimize PROGRAM          remove atoms/rules redundant under\n"
+      "                            uniform equivalence (Fig. 2)\n"
+      "  optimize PROGRAM          minimize, then remove atoms redundant\n"
+      "                            under equivalence (Section XI)\n"
+      "  eval PROGRAM FACTS        compute the semi-naive fixpoint\n"
+      "  query PROGRAM FACTS Q     answer Q (e.g. 'g(1, x).') via magic sets\n"
+      "  contains P1 P2            test P2 subseteq^u P1, print witness on\n"
+      "                            failure\n"
+      "  prove P1 P2 TGDS [-v]     prove P2 subseteq P1 via the Section X\n"
+      "                            recipe with the given tgds; -v narrates\n"
+      "                            the chase\n"
+      "  minimize-sat PROGRAM TGDS minimize relative to databases\n"
+      "                            satisfying the tgds (Section VIII)\n"
+      "  explain PROGRAM FACTS F   print a derivation tree for fact F\n"
+      "  plan PROGRAM Q            show the relevance -> Fig. 2 -> magic\n"
+      "                            pipeline for query Q\n"
+      "  analyze PROGRAM           recursion/linearity/strata report\n");
+  return 2;
+}
+
+bool ReadInput(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+template <typename T>
+bool Check(const Result<T>& result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdMinimize(const std::string& text,
+                const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(text);
+  if (!Check(program, "parse")) return 1;
+  MinimizeReport report;
+  Result<Program> minimized = MinimizeProgram(*program, &report);
+  if (!Check(minimized, "minimize")) return 1;
+  std::printf("%s", ToString(*minimized).c_str());
+  for (const MinimizeReport::RemovedAtom& removal : report.removed_atoms) {
+    std::fprintf(stderr, "rule %zu: removed atom %s\n", removal.rule_index,
+                 ToString(removal.atom, *symbols).c_str());
+  }
+  for (const Rule& rule : report.removed_rules) {
+    std::fprintf(stderr, "removed rule: %s\n",
+                 ToString(rule, *symbols).c_str());
+  }
+  std::fprintf(stderr, "removed %zu atoms, %zu rules (%zu containment tests)\n",
+               report.atoms_removed, report.rules_removed,
+               report.containment_tests);
+  return 0;
+}
+
+int CmdOptimize(const std::string& text,
+                const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(text);
+  if (!Check(program, "parse")) return 1;
+  Result<Program> minimized = MinimizeProgram(*program);
+  if (!Check(minimized, "minimize")) return 1;
+  Result<EquivalenceOptimizeResult> optimized =
+      OptimizeUnderEquivalence(*minimized);
+  if (!Check(optimized, "optimize")) return 1;
+  std::printf("%s", ToString(optimized->program).c_str());
+  for (const EquivalenceRemoval& removal : optimized->removals) {
+    std::fprintf(stderr, "rule %zu: removed", removal.rule_index);
+    for (const Atom& atom : removal.removed) {
+      std::fprintf(stderr, " %s", ToString(atom, *symbols).c_str());
+    }
+    std::fprintf(stderr, "  (witness: %s)\n",
+                 ToString(removal.witness, *symbols).c_str());
+  }
+  return 0;
+}
+
+int CmdMinimizeSat(const std::string& program_text,
+                   const std::string& tgds_text,
+                   const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(program_text);
+  if (!Check(program, "parse program")) return 1;
+  Result<std::vector<Tgd>> tgds = parser.ParseTgds(tgds_text);
+  if (!Check(tgds, "parse tgds")) return 1;
+  MinimizeReport report;
+  Result<Program> minimized =
+      MinimizeProgramUnderConstraints(*program, *tgds, {}, &report);
+  if (!Check(minimized, "minimize")) return 1;
+  std::printf("%s", ToString(*minimized).c_str());
+  std::fprintf(stderr,
+               "removed %zu atoms, %zu rules relative to SAT(T)\n",
+               report.atoms_removed, report.rules_removed);
+  return 0;
+}
+
+int CmdEval(const std::string& program_text, const std::string& facts_text,
+            const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(program_text);
+  if (!Check(program, "parse program")) return 1;
+  Result<Database> db = ParseDatabase(symbols, facts_text);
+  if (!Check(db, "parse facts")) return 1;
+  Database work = *db;
+  Result<EvalStats> stats = program->rules().empty()
+                                ? Result<EvalStats>(EvalStats{})
+                                : EvaluateStratified(*program, &work);
+  if (!Check(stats, "evaluate")) return 1;
+  std::printf("%s", work.ToString().c_str());
+  std::fprintf(stderr, "%d iterations, %llu facts derived, %llu joins\n",
+               stats->iterations,
+               static_cast<unsigned long long>(stats->facts_derived),
+               static_cast<unsigned long long>(stats->match.substitutions));
+  return 0;
+}
+
+int CmdQuery(const std::string& program_text, const std::string& facts_text,
+             const std::string& query_text,
+             const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(program_text);
+  if (!Check(program, "parse program")) return 1;
+  Result<Database> db = ParseDatabase(symbols, facts_text);
+  if (!Check(db, "parse facts")) return 1;
+  std::string q = query_text;
+  if (q.rfind("?-", 0) != 0) q = "?- " + q;
+  Result<Atom> query = parser.ParseQuery(q);
+  if (!Check(query, "parse query")) return 1;
+  Result<std::vector<Tuple>> answers =
+      AnswerQuery(*program, *db, *query, EvalMethod::kMagicSemiNaive);
+  if (!answers.ok()) {
+    // Extensional or non-rewritable queries fall back to semi-naive.
+    answers = AnswerQuery(*program, *db, *query, EvalMethod::kSemiNaive);
+  }
+  if (!Check(answers, "query")) return 1;
+  for (const Tuple& tuple : *answers) {
+    std::string line = symbols->PredicateName(query->predicate());
+    if (!tuple.empty()) {
+      line += "(";
+      for (std::size_t i = 0; i < tuple.size(); ++i) {
+        if (i != 0) line += ", ";
+        line += ToString(tuple[i], *symbols);
+      }
+      line += ")";
+    }
+    std::printf("%s.\n", line.c_str());
+  }
+  std::fprintf(stderr, "%zu answers\n", answers->size());
+  return 0;
+}
+
+int CmdContains(const std::string& p1_text, const std::string& p2_text,
+                const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> p1 = parser.ParseProgram(p1_text);
+  if (!Check(p1, "parse P1")) return 1;
+  Result<Program> p2 = parser.ParseProgram(p2_text);
+  if (!Check(p2, "parse P2")) return 1;
+  for (const Rule& rule : p2->rules()) {
+    Result<std::optional<UniformContainmentWitness>> witness =
+        RefuteUniformContainment(*p1, rule);
+    if (!Check(witness, "containment test")) return 1;
+    if (witness->has_value()) {
+      std::printf("NOT uniformly contained.\n");
+      std::printf("witness rule: %s\n", ToString(rule, *symbols).c_str());
+      std::printf("counterexample input:\n%s",
+                  (*witness)->input.ToString().c_str());
+      std::printf("P2 derives a fact for %s that P1 does not.\n",
+                  symbols->PredicateName((*witness)->missing_pred).c_str());
+      return 1;
+    }
+  }
+  std::printf("P2 is uniformly contained in P1.\n");
+  return 0;
+}
+
+int CmdProve(const std::string& p1_text, const std::string& p2_text,
+             const std::string& tgds_text, bool verbose,
+             const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> p1 = parser.ParseProgram(p1_text);
+  if (!Check(p1, "parse P1")) return 1;
+  Result<Program> p2 = parser.ParseProgram(p2_text);
+  if (!Check(p2, "parse P2")) return 1;
+  Result<std::vector<Tgd>> tgds = parser.ParseTgds(tgds_text);
+  if (!Check(tgds, "parse tgds")) return 1;
+  if (verbose) {
+    // Narrate condition (1) per rule, in the style of the paper's worked
+    // examples: freeze the rule body and chase it with [P1, T].
+    for (const Rule& rule : p2->rules()) {
+      ChaseTranscript transcript;
+      Result<ProofOutcome> outcome =
+          ModelContainmentForRule(*p1, *tgds, rule, {}, &transcript);
+      if (!Check(outcome, "chase")) return 1;
+      std::printf("chasing the frozen body of: %s   [%s]\n",
+                  ToString(rule, *symbols).c_str(),
+                  std::string(ToString(outcome.value())).c_str());
+      std::printf("%s", transcript.ToString(*symbols, *tgds).c_str());
+    }
+  }
+  Result<ContainmentProof> proof = ProveContainmentWithTgds(*p1, *p2, *tgds);
+  if (!Check(proof, "prove")) return 1;
+  std::printf("(1) SAT(T) ∩ M(P1) ⊆ M(P2):    %s\n",
+              std::string(ToString(proof->model_containment)).c_str());
+  std::printf("(2) P1 preserves T:            %s\n",
+              std::string(ToString(proof->preservation)).c_str());
+  std::printf("(3') preliminary DB satisfies: %s\n",
+              std::string(ToString(proof->preliminary_db)).c_str());
+  std::printf("=> P2 ⊆ P1: %s\n",
+              std::string(ToString(proof->overall)).c_str());
+  return proof->overall == ProofOutcome::kProved ? 0 : 1;
+}
+
+int CmdExplain(const std::string& program_text, const std::string& facts_text,
+               const std::string& fact_text,
+               const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(program_text);
+  if (!Check(program, "parse program")) return 1;
+  Result<Database> db = ParseDatabase(symbols, facts_text);
+  if (!Check(db, "parse facts")) return 1;
+  std::string f = fact_text;
+  if (f.empty() || f.back() != '.') f += '.';
+  Result<std::vector<Atom>> atoms = parser.ParseGroundAtoms(f);
+  if (!Check(atoms, "parse fact") || atoms->empty()) return 1;
+  const Atom& atom = atoms->front();
+  Tuple tuple;
+  for (const Term& t : atom.args()) tuple.push_back(t.value());
+  Result<Derivation> derivation =
+      ExplainFact(*program, *db, atom.predicate(), tuple);
+  if (!Check(derivation, "explain")) return 1;
+  std::printf("%s", ToString(*derivation, *symbols).c_str());
+  return 0;
+}
+
+int CmdPlan(const std::string& program_text, const std::string& query_text,
+            const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(program_text);
+  if (!Check(program, "parse program")) return 1;
+  std::string q = query_text;
+  if (q.rfind("?-", 0) != 0) q = "?- " + q;
+  Result<Atom> query = parser.ParseQuery(q);
+  if (!Check(query, "parse query")) return 1;
+  PlanOptions options;
+  options.equivalence_pass = true;
+  Result<QueryPlan> plan = PlanQuery(*program, *query, options);
+  if (!Check(plan, "plan")) return 1;
+  std::printf("== after relevance restriction (%zu of %zu rules) ==\n%s\n",
+              plan->restricted.NumRules(), program->NumRules(),
+              ToString(plan->restricted).c_str());
+  std::printf("== after minimization (%zu atoms, %zu rules removed) ==\n%s\n",
+              plan->report.atoms_removed, plan->report.rules_removed,
+              ToString(plan->optimized).c_str());
+  std::printf("== magic-sets rewrite (answers in %s) ==\n%s",
+              symbols->PredicateName(plan->magic.answer_predicate).c_str(),
+              ToString(plan->magic.program).c_str());
+  return 0;
+}
+
+int CmdAnalyze(const std::string& text,
+               const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(text);
+  if (!Check(program, "parse")) return 1;
+  Status valid = ValidateProgram(*program);
+  std::printf("rules:        %zu\n", program->NumRules());
+  std::printf("body atoms:   %zu\n", program->TotalBodyLiterals());
+  std::printf("valid:        %s\n",
+              valid.ok() ? "yes" : valid.ToString().c_str());
+  DependenceGraph graph(*program);
+  std::printf("recursive:    %s\n", graph.IsRecursive() ? "yes" : "no");
+  std::printf("linear:       %s\n",
+              graph.IsLinear(*program) ? "yes" : "no");
+  std::printf("intentional: ");
+  for (PredicateId pred : program->IntentionalPredicates()) {
+    std::printf(" %s", symbols->PredicateName(pred).c_str());
+  }
+  std::printf("\nextensional: ");
+  for (PredicateId pred : program->ExtensionalPredicates()) {
+    std::printf(" %s", symbols->PredicateName(pred).c_str());
+  }
+  std::printf("\n");
+  Result<std::vector<std::vector<PredicateId>>> strata = graph.Stratify();
+  if (strata.ok()) {
+    std::printf("strata:       %zu\n", strata->size());
+  } else {
+    std::printf("strata:       not stratifiable\n");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  auto symbols = std::make_shared<SymbolTable>();
+
+  std::string first;
+  if (!ReadInput(argv[2], &first)) return 1;
+
+  if (command == "minimize") return CmdMinimize(first, symbols);
+  if (command == "optimize") return CmdOptimize(first, symbols);
+  if (command == "analyze") return CmdAnalyze(first, symbols);
+
+  if (argc < 4) return Usage();
+  // plan's second argument is the query text itself, not a file.
+  if (command == "plan") return CmdPlan(first, argv[3], symbols);
+
+  std::string second;
+  if (!ReadInput(argv[3], &second)) return 1;
+
+  if (command == "eval") return CmdEval(first, second, symbols);
+  if (command == "contains") return CmdContains(first, second, symbols);
+  if (command == "minimize-sat") {
+    return CmdMinimizeSat(first, second, symbols);
+  }
+
+  if (argc < 5) return Usage();
+  if (command == "query") return CmdQuery(first, second, argv[4], symbols);
+  if (command == "explain") return CmdExplain(first, second, argv[4], symbols);
+  if (command == "prove") {
+    std::string third;
+    if (!ReadInput(argv[4], &third)) return 1;
+    bool verbose = argc > 5 && std::strcmp(argv[5], "-v") == 0;
+    return CmdProve(first, second, third, verbose, symbols);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace datalog
+
+int main(int argc, char** argv) { return datalog::Main(argc, argv); }
