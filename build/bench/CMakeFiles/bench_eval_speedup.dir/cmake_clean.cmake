@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_speedup.dir/bench_eval_speedup.cc.o"
+  "CMakeFiles/bench_eval_speedup.dir/bench_eval_speedup.cc.o.d"
+  "bench_eval_speedup"
+  "bench_eval_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

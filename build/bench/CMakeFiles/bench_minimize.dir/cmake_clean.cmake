@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minimize.dir/bench_minimize.cc.o"
+  "CMakeFiles/bench_minimize.dir/bench_minimize.cc.o.d"
+  "bench_minimize"
+  "bench_minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

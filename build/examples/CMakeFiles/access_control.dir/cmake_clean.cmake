@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_control.dir/access_control.cpp.o"
+  "CMakeFiles/access_control.dir/access_control.cpp.o.d"
+  "access_control"
+  "access_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraints.dir/constraints.cpp.o"
+  "CMakeFiles/constraints.dir/constraints.cpp.o.d"
+  "constraints"
+  "constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_optimizer.dir/equivalence_optimizer.cpp.o"
+  "CMakeFiles/equivalence_optimizer.dir/equivalence_optimizer.cpp.o.d"
+  "equivalence_optimizer"
+  "equivalence_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

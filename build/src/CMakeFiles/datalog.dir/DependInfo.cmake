@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/atom.cc" "src/CMakeFiles/datalog.dir/ast/atom.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/atom.cc.o.d"
+  "/root/repo/src/ast/dependence_graph.cc" "src/CMakeFiles/datalog.dir/ast/dependence_graph.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/dependence_graph.cc.o.d"
+  "/root/repo/src/ast/parser.cc" "src/CMakeFiles/datalog.dir/ast/parser.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/parser.cc.o.d"
+  "/root/repo/src/ast/pretty_print.cc" "src/CMakeFiles/datalog.dir/ast/pretty_print.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/pretty_print.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/CMakeFiles/datalog.dir/ast/program.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/program.cc.o.d"
+  "/root/repo/src/ast/rule.cc" "src/CMakeFiles/datalog.dir/ast/rule.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/rule.cc.o.d"
+  "/root/repo/src/ast/substitution.cc" "src/CMakeFiles/datalog.dir/ast/substitution.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/substitution.cc.o.d"
+  "/root/repo/src/ast/symbol_table.cc" "src/CMakeFiles/datalog.dir/ast/symbol_table.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/symbol_table.cc.o.d"
+  "/root/repo/src/ast/tgd.cc" "src/CMakeFiles/datalog.dir/ast/tgd.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/tgd.cc.o.d"
+  "/root/repo/src/ast/unify.cc" "src/CMakeFiles/datalog.dir/ast/unify.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/unify.cc.o.d"
+  "/root/repo/src/ast/validate.cc" "src/CMakeFiles/datalog.dir/ast/validate.cc.o" "gcc" "src/CMakeFiles/datalog.dir/ast/validate.cc.o.d"
+  "/root/repo/src/core/chase.cc" "src/CMakeFiles/datalog.dir/core/chase.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/chase.cc.o.d"
+  "/root/repo/src/core/constrained.cc" "src/CMakeFiles/datalog.dir/core/constrained.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/constrained.cc.o.d"
+  "/root/repo/src/core/cq.cc" "src/CMakeFiles/datalog.dir/core/cq.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/cq.cc.o.d"
+  "/root/repo/src/core/equivalence.cc" "src/CMakeFiles/datalog.dir/core/equivalence.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/equivalence.cc.o.d"
+  "/root/repo/src/core/equivalence_optimizer.cc" "src/CMakeFiles/datalog.dir/core/equivalence_optimizer.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/equivalence_optimizer.cc.o.d"
+  "/root/repo/src/core/freeze.cc" "src/CMakeFiles/datalog.dir/core/freeze.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/freeze.cc.o.d"
+  "/root/repo/src/core/minimize.cc" "src/CMakeFiles/datalog.dir/core/minimize.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/minimize.cc.o.d"
+  "/root/repo/src/core/model_containment.cc" "src/CMakeFiles/datalog.dir/core/model_containment.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/model_containment.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/datalog.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/preservation.cc" "src/CMakeFiles/datalog.dir/core/preservation.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/preservation.cc.o.d"
+  "/root/repo/src/core/relevance.cc" "src/CMakeFiles/datalog.dir/core/relevance.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/relevance.cc.o.d"
+  "/root/repo/src/core/tgd.cc" "src/CMakeFiles/datalog.dir/core/tgd.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/tgd.cc.o.d"
+  "/root/repo/src/core/unfold.cc" "src/CMakeFiles/datalog.dir/core/unfold.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/unfold.cc.o.d"
+  "/root/repo/src/core/uniform_containment.cc" "src/CMakeFiles/datalog.dir/core/uniform_containment.cc.o" "gcc" "src/CMakeFiles/datalog.dir/core/uniform_containment.cc.o.d"
+  "/root/repo/src/eval/database.cc" "src/CMakeFiles/datalog.dir/eval/database.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/database.cc.o.d"
+  "/root/repo/src/eval/magic_sets.cc" "src/CMakeFiles/datalog.dir/eval/magic_sets.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/magic_sets.cc.o.d"
+  "/root/repo/src/eval/naive.cc" "src/CMakeFiles/datalog.dir/eval/naive.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/naive.cc.o.d"
+  "/root/repo/src/eval/provenance.cc" "src/CMakeFiles/datalog.dir/eval/provenance.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/provenance.cc.o.d"
+  "/root/repo/src/eval/query.cc" "src/CMakeFiles/datalog.dir/eval/query.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/query.cc.o.d"
+  "/root/repo/src/eval/relation.cc" "src/CMakeFiles/datalog.dir/eval/relation.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/relation.cc.o.d"
+  "/root/repo/src/eval/rule_matcher.cc" "src/CMakeFiles/datalog.dir/eval/rule_matcher.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/rule_matcher.cc.o.d"
+  "/root/repo/src/eval/seminaive.cc" "src/CMakeFiles/datalog.dir/eval/seminaive.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/seminaive.cc.o.d"
+  "/root/repo/src/eval/stratified.cc" "src/CMakeFiles/datalog.dir/eval/stratified.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/stratified.cc.o.d"
+  "/root/repo/src/eval/topdown.cc" "src/CMakeFiles/datalog.dir/eval/topdown.cc.o" "gcc" "src/CMakeFiles/datalog.dir/eval/topdown.cc.o.d"
+  "/root/repo/src/util/interning.cc" "src/CMakeFiles/datalog.dir/util/interning.cc.o" "gcc" "src/CMakeFiles/datalog.dir/util/interning.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/datalog.dir/util/status.cc.o" "gcc" "src/CMakeFiles/datalog.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/datalog.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/datalog.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/graph_gen.cc" "src/CMakeFiles/datalog.dir/workload/graph_gen.cc.o" "gcc" "src/CMakeFiles/datalog.dir/workload/graph_gen.cc.o.d"
+  "/root/repo/src/workload/program_gen.cc" "src/CMakeFiles/datalog.dir/workload/program_gen.cc.o" "gcc" "src/CMakeFiles/datalog.dir/workload/program_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ast/atom_test.cc" "tests/CMakeFiles/ast_test.dir/ast/atom_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/atom_test.cc.o.d"
+  "/root/repo/tests/ast/dependence_graph_test.cc" "tests/CMakeFiles/ast_test.dir/ast/dependence_graph_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/dependence_graph_test.cc.o.d"
+  "/root/repo/tests/ast/parser_edge_test.cc" "tests/CMakeFiles/ast_test.dir/ast/parser_edge_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/parser_edge_test.cc.o.d"
+  "/root/repo/tests/ast/parser_fuzz_test.cc" "tests/CMakeFiles/ast_test.dir/ast/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/ast/parser_test.cc" "tests/CMakeFiles/ast_test.dir/ast/parser_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/parser_test.cc.o.d"
+  "/root/repo/tests/ast/pretty_print_test.cc" "tests/CMakeFiles/ast_test.dir/ast/pretty_print_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/pretty_print_test.cc.o.d"
+  "/root/repo/tests/ast/program_test.cc" "tests/CMakeFiles/ast_test.dir/ast/program_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/program_test.cc.o.d"
+  "/root/repo/tests/ast/rule_test.cc" "tests/CMakeFiles/ast_test.dir/ast/rule_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/rule_test.cc.o.d"
+  "/root/repo/tests/ast/substitution_test.cc" "tests/CMakeFiles/ast_test.dir/ast/substitution_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/substitution_test.cc.o.d"
+  "/root/repo/tests/ast/symbol_table_test.cc" "tests/CMakeFiles/ast_test.dir/ast/symbol_table_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/symbol_table_test.cc.o.d"
+  "/root/repo/tests/ast/term_test.cc" "tests/CMakeFiles/ast_test.dir/ast/term_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/term_test.cc.o.d"
+  "/root/repo/tests/ast/tgd_test.cc" "tests/CMakeFiles/ast_test.dir/ast/tgd_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/tgd_test.cc.o.d"
+  "/root/repo/tests/ast/unify_test.cc" "tests/CMakeFiles/ast_test.dir/ast/unify_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/unify_test.cc.o.d"
+  "/root/repo/tests/ast/validate_test.cc" "tests/CMakeFiles/ast_test.dir/ast/validate_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/validate_test.cc.o.d"
+  "/root/repo/tests/ast/value_test.cc" "tests/CMakeFiles/ast_test.dir/ast/value_test.cc.o" "gcc" "tests/CMakeFiles/ast_test.dir/ast/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

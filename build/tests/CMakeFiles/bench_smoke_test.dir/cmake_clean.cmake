@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smoke_test.dir/integration/bench_smoke_test.cc.o"
+  "CMakeFiles/bench_smoke_test.dir/integration/bench_smoke_test.cc.o.d"
+  "bench_smoke_test"
+  "bench_smoke_test.pdb"
+  "bench_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

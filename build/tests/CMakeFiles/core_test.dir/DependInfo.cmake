@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/budget_test.cc" "tests/CMakeFiles/core_test.dir/core/budget_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/budget_test.cc.o.d"
+  "/root/repo/tests/core/chase_test.cc" "tests/CMakeFiles/core_test.dir/core/chase_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/chase_test.cc.o.d"
+  "/root/repo/tests/core/constrained_test.cc" "tests/CMakeFiles/core_test.dir/core/constrained_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/constrained_test.cc.o.d"
+  "/root/repo/tests/core/cq_test.cc" "tests/CMakeFiles/core_test.dir/core/cq_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cq_test.cc.o.d"
+  "/root/repo/tests/core/cq_union_test.cc" "tests/CMakeFiles/core_test.dir/core/cq_union_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cq_union_test.cc.o.d"
+  "/root/repo/tests/core/equivalence_optimizer_test.cc" "tests/CMakeFiles/core_test.dir/core/equivalence_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/equivalence_optimizer_test.cc.o.d"
+  "/root/repo/tests/core/equivalence_test.cc" "tests/CMakeFiles/core_test.dir/core/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/equivalence_test.cc.o.d"
+  "/root/repo/tests/core/freeze_test.cc" "tests/CMakeFiles/core_test.dir/core/freeze_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/freeze_test.cc.o.d"
+  "/root/repo/tests/core/minimize_edge_test.cc" "tests/CMakeFiles/core_test.dir/core/minimize_edge_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/minimize_edge_test.cc.o.d"
+  "/root/repo/tests/core/minimize_program_test.cc" "tests/CMakeFiles/core_test.dir/core/minimize_program_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/minimize_program_test.cc.o.d"
+  "/root/repo/tests/core/minimize_stratified_test.cc" "tests/CMakeFiles/core_test.dir/core/minimize_stratified_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/minimize_stratified_test.cc.o.d"
+  "/root/repo/tests/core/minimize_test.cc" "tests/CMakeFiles/core_test.dir/core/minimize_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/minimize_test.cc.o.d"
+  "/root/repo/tests/core/model_containment_test.cc" "tests/CMakeFiles/core_test.dir/core/model_containment_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/model_containment_test.cc.o.d"
+  "/root/repo/tests/core/nonrecursive_equivalence_test.cc" "tests/CMakeFiles/core_test.dir/core/nonrecursive_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/nonrecursive_equivalence_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_test.cc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cc.o.d"
+  "/root/repo/tests/core/preservation_test.cc" "tests/CMakeFiles/core_test.dir/core/preservation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/preservation_test.cc.o.d"
+  "/root/repo/tests/core/relevance_test.cc" "tests/CMakeFiles/core_test.dir/core/relevance_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/relevance_test.cc.o.d"
+  "/root/repo/tests/core/tgd_fuzz_test.cc" "tests/CMakeFiles/core_test.dir/core/tgd_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tgd_fuzz_test.cc.o.d"
+  "/root/repo/tests/core/tgd_ops_test.cc" "tests/CMakeFiles/core_test.dir/core/tgd_ops_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tgd_ops_test.cc.o.d"
+  "/root/repo/tests/core/unfold_test.cc" "tests/CMakeFiles/core_test.dir/core/unfold_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/unfold_test.cc.o.d"
+  "/root/repo/tests/core/uniform_containment_test.cc" "tests/CMakeFiles/core_test.dir/core/uniform_containment_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/uniform_containment_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval/ablation_test.cc" "tests/CMakeFiles/eval_test.dir/eval/ablation_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/ablation_test.cc.o.d"
+  "/root/repo/tests/eval/database_test.cc" "tests/CMakeFiles/eval_test.dir/eval/database_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/database_test.cc.o.d"
+  "/root/repo/tests/eval/eval_stats_test.cc" "tests/CMakeFiles/eval_test.dir/eval/eval_stats_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/eval_stats_test.cc.o.d"
+  "/root/repo/tests/eval/magic_sets_edge_test.cc" "tests/CMakeFiles/eval_test.dir/eval/magic_sets_edge_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/magic_sets_edge_test.cc.o.d"
+  "/root/repo/tests/eval/magic_sets_test.cc" "tests/CMakeFiles/eval_test.dir/eval/magic_sets_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/magic_sets_test.cc.o.d"
+  "/root/repo/tests/eval/naive_test.cc" "tests/CMakeFiles/eval_test.dir/eval/naive_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/naive_test.cc.o.d"
+  "/root/repo/tests/eval/provenance_test.cc" "tests/CMakeFiles/eval_test.dir/eval/provenance_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/provenance_test.cc.o.d"
+  "/root/repo/tests/eval/query_test.cc" "tests/CMakeFiles/eval_test.dir/eval/query_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/query_test.cc.o.d"
+  "/root/repo/tests/eval/relation_test.cc" "tests/CMakeFiles/eval_test.dir/eval/relation_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/relation_test.cc.o.d"
+  "/root/repo/tests/eval/rule_matcher_test.cc" "tests/CMakeFiles/eval_test.dir/eval/rule_matcher_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/rule_matcher_test.cc.o.d"
+  "/root/repo/tests/eval/seminaive_test.cc" "tests/CMakeFiles/eval_test.dir/eval/seminaive_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/seminaive_test.cc.o.d"
+  "/root/repo/tests/eval/stratified_test.cc" "tests/CMakeFiles/eval_test.dir/eval/stratified_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/stratified_test.cc.o.d"
+  "/root/repo/tests/eval/supplementary_magic_test.cc" "tests/CMakeFiles/eval_test.dir/eval/supplementary_magic_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/supplementary_magic_test.cc.o.d"
+  "/root/repo/tests/eval/topdown_test.cc" "tests/CMakeFiles/eval_test.dir/eval/topdown_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/topdown_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

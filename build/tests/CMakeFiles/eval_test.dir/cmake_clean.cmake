@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_test.dir/eval/ablation_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/ablation_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/database_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/database_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/eval_stats_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/eval_stats_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/magic_sets_edge_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/magic_sets_edge_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/magic_sets_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/magic_sets_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/naive_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/naive_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/provenance_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/provenance_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/query_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/query_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/relation_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/relation_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/rule_matcher_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/rule_matcher_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/seminaive_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/seminaive_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/stratified_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/stratified_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/supplementary_magic_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/supplementary_magic_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/topdown_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/topdown_test.cc.o.d"
+  "eval_test"
+  "eval_test.pdb"
+  "eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog-opt.dir/datalog_opt_cli.cc.o"
+  "CMakeFiles/datalog-opt.dir/datalog_opt_cli.cc.o.d"
+  "datalog-opt"
+  "datalog-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
