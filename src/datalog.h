@@ -46,6 +46,7 @@
 #include "eval/database.h"        // IWYU pragma: export
 #include "eval/magic_sets.h"      // IWYU pragma: export
 #include "eval/naive.h"           // IWYU pragma: export
+#include "eval/parallel.h"        // IWYU pragma: export
 #include "eval/provenance.h"      // IWYU pragma: export
 #include "eval/query.h"           // IWYU pragma: export
 #include "eval/seminaive.h"       // IWYU pragma: export

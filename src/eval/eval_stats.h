@@ -30,10 +30,24 @@ struct EvalStats {
   MatchStats match;                   // join work
   std::vector<RuleStats> per_rule;    // indexed by rule position
 
+  // Parallel-engine breakdown (all zero for the sequential engines).
+  // Wall-clock times are nanoseconds summed across rounds; they vary run
+  // to run, unlike every other counter, which is deterministic.
+  std::uint64_t parallel_rounds = 0;  // rounds that fanned out to the pool
+  std::uint64_t parallel_tasks = 0;   // (rule, delta-pos, shard) tasks run
+  std::uint64_t index_build_ns = 0;   // pre-building frozen-snapshot indexes
+  std::uint64_t parallel_match_ns = 0;  // workers matching into buffers
+  std::uint64_t merge_ns = 0;           // single-threaded round-barrier merge
+
   void Add(const EvalStats& other) {
     iterations += other.iterations;
     facts_derived += other.facts_derived;
     rule_applications += other.rule_applications;
+    parallel_rounds += other.parallel_rounds;
+    parallel_tasks += other.parallel_tasks;
+    index_build_ns += other.index_build_ns;
+    parallel_match_ns += other.parallel_match_ns;
+    merge_ns += other.merge_ns;
     match.Add(other.match);
     if (per_rule.size() < other.per_rule.size()) {
       per_rule.resize(other.per_rule.size());

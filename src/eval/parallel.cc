@@ -1,0 +1,284 @@
+#include "eval/parallel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ast/dependence_graph.h"
+#include "ast/validate.h"
+#include "eval/rule_matcher.h"
+#include "eval/seminaive.h"
+
+namespace datalog {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ElapsedNs(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+/// Delta relations are split into contiguous row shards so one hot
+/// (rule, delta-position) pass -- the whole round, for linear rules like
+/// transitive closure -- still decomposes into enough independent tasks
+/// to keep every worker busy. The shard count depends only on the delta
+/// contents, never on the thread count, so the task list (and therefore
+/// the merge order and all derived stats) is identical at any parallelism.
+constexpr std::size_t kMinShardRows = 64;
+constexpr std::size_t kMaxShards = 16;
+
+std::size_t ShardCount(std::size_t rows) {
+  if (rows <= kMinShardRows) return 1;
+  return std::min(kMaxShards, rows / kMinShardRows);
+}
+
+/// One unit of worker work: apply `rule` with the delta position matched
+/// against one shard of the delta, deriving into a task-local buffer.
+struct PassTask {
+  std::size_t rule_index;
+  std::size_t delta_pos;
+  const Database* delta_shard;
+  Database out;       // task-local derivation buffer
+  MatchStats match;   // task-local join counters
+};
+
+/// Pre-builds every index the matcher can probe while running this pass,
+/// so the parallel phase performs no index construction. PlanJoinOrder is
+/// deterministic given the (frozen) relation sizes, and at depth d the
+/// matcher's binding holds exactly the variables of atoms 0..d-1 of the
+/// order, so the bound column set of every probe is known statically.
+/// This is a superset of the probes actually issued: the matcher may
+/// abandon a prefix with no matches, but never probes a column set this
+/// walk does not cover.
+void EnsureIndexesForPass(const Database& full, const Database& delta_shard,
+                          const Rule& rule, std::size_t delta_pos) {
+  if (!IndexLookupsEnabled()) return;
+  std::vector<PlannedAtom> atoms =
+      BuildDeltaPassAtoms(rule, delta_pos, /*use_old=*/true);
+  std::vector<PlannedAtom> order = PlanJoinOrder(full, &delta_shard, atoms);
+  std::unordered_set<VariableId> bound;
+  for (const PlannedAtom& planned : order) {
+    const Atom& atom = planned.atom;
+    const Database& src =
+        planned.source == AtomSource::kDelta ? delta_shard : full;
+    const Relation& rel = src.relation(atom.predicate());
+    if (rel.empty() || rel.arity() != atom.arity()) {
+      // Nothing to index; also keeps the shared empty-relation sentinel
+      // untouched (the matcher skips empty relations too).
+      for (const Term& t : atom.args()) {
+        if (t.is_variable()) bound.insert(t.var());
+      }
+      continue;
+    }
+    std::vector<int> bound_cols;
+    for (int i = 0; i < atom.arity(); ++i) {
+      const Term& t = atom.args()[static_cast<std::size_t>(i)];
+      if (t.is_constant() || (t.is_variable() && bound.contains(t.var()))) {
+        bound_cols.push_back(i);
+      }
+    }
+    const bool fully_bound =
+        static_cast<int>(bound_cols.size()) == atom.arity();
+    // Partially bound probes always use the index; fully bound probes use
+    // set membership except against the old snapshot, which needs row ids.
+    if (!bound_cols.empty() &&
+        (!fully_bound || planned.source == AtomSource::kOld)) {
+      rel.EnsureIndex(bound_cols);
+    }
+    for (const Term& t : atom.args()) {
+      if (t.is_variable()) bound.insert(t.var());
+    }
+  }
+}
+
+}  // namespace
+
+EvalStats RunSemiNaiveFixpointParallel(const std::vector<Rule>& rules,
+                                       Database* db, ThreadPool* pool) {
+  EvalStats stats;
+  stats.per_rule.resize(rules.size());
+
+  // Facts contributed by the program itself (rules with empty bodies).
+  for (std::size_t ri = 0; ri < rules.size(); ++ri) {
+    const Rule& rule = rules[ri];
+    if (!rule.IsFact()) continue;
+    Tuple tuple;
+    for (const Term& t : rule.head().args()) tuple.push_back(t.value());
+    if (db->AddFact(rule.head().predicate(), std::move(tuple))) {
+      ++stats.facts_derived;
+      ++stats.per_rule[ri].facts;
+    }
+  }
+
+  // Round 0: everything already in the database counts as newly
+  // discovered, restricted to the predicates some rule body reads (as in
+  // the sequential engine).
+  std::set<PredicateId> read_preds;
+  for (const Rule& rule : rules) {
+    for (const Literal& lit : rule.body()) {
+      if (!lit.negated) read_preds.insert(lit.atom.predicate());
+    }
+  }
+  Database delta(db->symbols());
+  for (PredicateId pred : db->NonEmptyPredicates()) {
+    if (!read_preds.contains(pred)) continue;
+    const Relation& rel = db->relation(pred);
+    for (const Tuple& row : rel.rows()) {
+      delta.AddFact(pred, row);
+    }
+  }
+
+  OldLimits old_limits;
+
+  while (!delta.empty()) {
+    ++stats.iterations;
+    Watermarks marks = TakeWatermarks(*db);
+
+    // --- Snapshot preparation (single-threaded). Shard the delta and
+    // pre-build every index the round's plans will probe, so the fan-out
+    // phase only reads the database, the shards, and the indexes.
+    Clock::time_point prep_start = Clock::now();
+    std::unordered_map<PredicateId, std::vector<Database>> shards;
+    for (PredicateId pred : delta.NonEmptyPredicates()) {
+      const Relation& rel = delta.relation(pred);
+      const std::size_t num_shards = ShardCount(rel.size());
+      std::vector<Database> shard_dbs;
+      shard_dbs.reserve(num_shards);
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const std::size_t begin = s * rel.size() / num_shards;
+        const std::size_t end = (s + 1) * rel.size() / num_shards;
+        Database shard(db->symbols());
+        for (std::size_t i = begin; i < end; ++i) {
+          shard.AddFact(pred, rel.row(i));
+        }
+        shard_dbs.push_back(std::move(shard));
+      }
+      shards.emplace(pred, std::move(shard_dbs));
+    }
+
+    // Task list in deterministic (rule, delta position, shard) order; the
+    // merge below walks it in the same order.
+    std::vector<PassTask> tasks;
+    for (std::size_t ri = 0; ri < rules.size(); ++ri) {
+      const Rule& rule = rules[ri];
+      if (rule.IsFact()) continue;
+      for (std::size_t p = 0; p < rule.body().size(); ++p) {
+        const Literal& lit = rule.body()[p];
+        if (lit.negated) continue;
+        auto it = shards.find(lit.atom.predicate());
+        if (it == shards.end()) continue;  // no delta facts for this atom
+        ++stats.rule_applications;
+        ++stats.per_rule[ri].applications;
+        for (const Database& shard : it->second) {
+          tasks.push_back(
+              PassTask{ri, p, &shard, Database(db->symbols()), MatchStats{}});
+        }
+      }
+    }
+    for (const PassTask& task : tasks) {
+      EnsureIndexesForPass(*db, *task.delta_shard, rules[task.rule_index],
+                           task.delta_pos);
+    }
+    stats.index_build_ns += ElapsedNs(prep_start);
+
+    // --- Parallel phase: every task matches against the frozen snapshot
+    // and derives into its own buffer; nothing shared is written.
+    Clock::time_point match_start = Clock::now();
+    ++stats.parallel_rounds;
+    stats.parallel_tasks += tasks.size();
+    const Database& frozen = *db;
+    for (PassTask& task : tasks) {
+      pool->Submit([&rules, &frozen, &old_limits, &task] {
+        ApplyRuleWithDelta(rules[task.rule_index], frozen, *task.delta_shard,
+                           task.delta_pos, &task.out, &task.match,
+                           &old_limits);
+      });
+    }
+    pool->Wait();
+    stats.parallel_match_ns += ElapsedNs(match_start);
+
+    // --- Round barrier: merge buffers single-threaded in task order, so
+    // the database contents and all counters come out identical no matter
+    // how the tasks were scheduled.
+    Clock::time_point merge_start = Clock::now();
+    for (const PassTask& task : tasks) {
+      stats.match.Add(task.match);
+      stats.per_rule[task.rule_index].substitutions +=
+          task.match.substitutions;
+      const Rule& rule = rules[task.rule_index];
+      PredicateId head = rule.head().predicate();
+      for (const Tuple& row : task.out.relation(head).rows()) {
+        if (db->AddFact(head, row)) {
+          ++stats.facts_derived;
+          ++stats.per_rule[task.rule_index].facts;
+        }
+      }
+    }
+    stats.merge_ns += ElapsedNs(merge_start);
+
+    old_limits = marks;
+    delta = CollectNewFacts(*db, marks);
+  }
+  return stats;
+}
+
+namespace {
+
+std::size_t PoolWorkers(std::size_t num_threads) {
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  return num_threads - 1;  // the calling thread helps at the barrier
+}
+
+}  // namespace
+
+Result<EvalStats> EvaluateSemiNaiveParallel(const Program& program,
+                                            Database* db,
+                                            std::size_t num_threads) {
+  DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
+  ThreadPool pool(PoolWorkers(num_threads));
+  return RunSemiNaiveFixpointParallel(program.rules(), db, &pool);
+}
+
+Result<EvalStats> EvaluateSemiNaiveSccParallel(const Program& program,
+                                               Database* db,
+                                               std::size_t num_threads) {
+  DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
+  DependenceGraph graph(program);
+
+  // Same component order as EvaluateSemiNaiveScc: Tarjan gives successor
+  // components smaller indices, so dependencies run first by descending
+  // index.
+  std::map<int, std::vector<std::size_t>, std::greater<int>> groups;
+  for (std::size_t i = 0; i < program.NumRules(); ++i) {
+    groups[graph.SccIndex(program.rules()[i].head().predicate())].push_back(i);
+  }
+
+  ThreadPool pool(PoolWorkers(num_threads));
+  EvalStats total;
+  total.per_rule.resize(program.NumRules());
+  for (const auto& [scc, rule_indices] : groups) {
+    std::vector<Rule> rules;
+    for (std::size_t i : rule_indices) rules.push_back(program.rules()[i]);
+    EvalStats group_stats = RunSemiNaiveFixpointParallel(rules, db, &pool);
+    std::vector<RuleStats> remapped(program.NumRules());
+    for (std::size_t i = 0; i < group_stats.per_rule.size(); ++i) {
+      remapped[rule_indices[i]] = group_stats.per_rule[i];
+    }
+    group_stats.per_rule = std::move(remapped);
+    total.Add(group_stats);
+  }
+  return total;
+}
+
+}  // namespace datalog

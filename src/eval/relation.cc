@@ -20,8 +20,15 @@ const std::vector<std::uint32_t>& Relation::Lookup(
   return it == index.map.end() ? *kEmpty : it->second;
 }
 
+void Relation::EnsureIndex(const std::vector<int>& columns) const {
+  ExtendIndex(columns, &indexes_[columns]);
+}
+
 void Relation::ExtendIndex(const std::vector<int>& columns,
                            ColumnIndex* index) const {
+  // Write-free when already current, so concurrent Lookups on an
+  // EnsureIndex'd column set never race on built_up_to.
+  if (index->built_up_to == rows_.size()) return;
   for (std::size_t i = index->built_up_to; i < rows_.size(); ++i) {
     Tuple key;
     key.reserve(columns.size());

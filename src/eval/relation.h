@@ -15,6 +15,14 @@ namespace datalog {
 /// hash indexes on column subsets. Rows are append-only, which lets indexes
 /// extend incrementally and lets callers treat a row-count watermark as a
 /// stable snapshot boundary (used by semi-naive evaluation).
+///
+/// Thread safety: mutation (Insert) requires exclusive access, and Lookup
+/// lazily builds indexes, so it is not a pure read in general. Concurrent
+/// access from multiple threads is safe only under the frozen-snapshot
+/// contract: no Insert is in flight, and every column set that will be
+/// probed has been EnsureIndex'd since the last Insert. Under that
+/// contract Lookup, Contains, rows(), row() and size() are all read-only
+/// (see docs/parallel_eval.md).
 class Relation {
  public:
   explicit Relation(int arity = 0) : arity_(arity) {}
@@ -36,6 +44,12 @@ class Relation {
   /// increasing and non-empty. Builds/extends the index on first use.
   const std::vector<std::uint32_t>& Lookup(const std::vector<int>& columns,
                                            const Tuple& key) const;
+
+  /// Builds (or extends to cover all current rows) the index on
+  /// `columns`, making subsequent Lookup calls on that column set pure
+  /// reads until the next Insert. The parallel evaluator calls this for
+  /// every column set its plans will probe before fanning out.
+  void EnsureIndex(const std::vector<int>& columns) const;
 
  private:
   struct ColumnIndex {

@@ -31,7 +31,7 @@ class Matcher {
         callback_(callback),
         stats_(stats),
         old_limits_(old_limits) {
-    order_ = PlanOrder(atoms);
+    order_ = PlanJoinOrder(full, delta, atoms);
   }
 
   void Run() {
@@ -56,55 +56,6 @@ class Matcher {
     return it == old_limits_->end() ? 0 : it->second;
   }
 
-  /// Greedy join order: repeatedly pick the atom with the cheapest
-  /// estimated probe given the variables bound so far (more bound columns
-  /// and smaller relations first).
-  std::vector<PlannedAtom> PlanOrder(const std::vector<PlannedAtom>& atoms) {
-    if (!GreedyJoinOrderingEnabled()) return atoms;
-    std::vector<PlannedAtom> order;
-    std::vector<bool> used(atoms.size(), false);
-    std::vector<bool> bound_vars;  // indexed by variable id, grown on demand
-    auto is_bound = [&bound_vars](VariableId v) {
-      return static_cast<std::size_t>(v) < bound_vars.size() &&
-             bound_vars[static_cast<std::size_t>(v)];
-    };
-    auto mark_bound = [&bound_vars](VariableId v) {
-      if (static_cast<std::size_t>(v) >= bound_vars.size()) {
-        bound_vars.resize(static_cast<std::size_t>(v) + 1, false);
-      }
-      bound_vars[static_cast<std::size_t>(v)] = true;
-    };
-
-    for (std::size_t step = 0; step < atoms.size(); ++step) {
-      double best_cost = std::numeric_limits<double>::infinity();
-      std::size_t best = atoms.size();
-      for (std::size_t i = 0; i < atoms.size(); ++i) {
-        if (used[i]) continue;
-        const Atom& atom = atoms[i].atom;
-        int bound = 0;
-        for (const Term& t : atom.args()) {
-          if (t.is_constant() || (t.is_variable() && is_bound(t.var()))) {
-            ++bound;
-          }
-        }
-        double rel_size = static_cast<double>(
-            SourceDb(atoms[i].source).relation(atom.predicate()).size());
-        double cost = rel_size;
-        for (int b = 0; b < bound; ++b) cost /= 4.0;  // crude selectivity
-        if (cost < best_cost) {
-          best_cost = cost;
-          best = i;
-        }
-      }
-      used[best] = true;
-      order.push_back(atoms[best]);
-      for (const Term& t : atoms[best].atom.args()) {
-        if (t.is_variable()) mark_bound(t.var());
-      }
-    }
-    return order;
-  }
-
   bool Enumerate(std::size_t depth) {
     if (depth == order_.size()) {
       if (stats_ != nullptr) ++stats_->substitutions;
@@ -113,7 +64,13 @@ class Matcher {
     const PlannedAtom& planned = order_[depth];
     const Atom& atom = planned.atom;
     const Relation& rel = SourceDb(planned.source).relation(atom.predicate());
-    if (rel.arity() != atom.arity() && !rel.empty()) {
+    if (rel.empty()) {
+      // No rows, no matches. Returning before any Lookup also keeps the
+      // shared empty-relation sentinel write-free, which the parallel
+      // evaluator's frozen-snapshot contract relies on.
+      return true;
+    }
+    if (rel.arity() != atom.arity()) {
       return true;  // arity mismatch cannot match (defensive; validated earlier)
     }
     const bool old_only = planned.source == AtomSource::kOld;
@@ -237,20 +194,8 @@ std::size_t ApplyRuleImpl(const Rule& rule, const Database& full,
                           std::size_t delta_pos,  // or npos
                           Database* out, MatchStats* stats,
                           const OldLimits* old_limits) {
-  std::vector<PlannedAtom> atoms;
-  for (std::size_t i = 0; i < rule.body().size(); ++i) {
-    const Literal& lit = rule.body()[i];
-    if (lit.negated) continue;
-    AtomSource source;
-    if (i == delta_pos) {
-      source = AtomSource::kDelta;
-    } else if (i < delta_pos && old_limits != nullptr) {
-      source = AtomSource::kOld;
-    } else {
-      source = AtomSource::kFull;
-    }
-    atoms.push_back(PlannedAtom{lit.atom, source});
-  }
+  std::vector<PlannedAtom> atoms =
+      BuildDeltaPassAtoms(rule, delta_pos, old_limits != nullptr);
 
   // Derived tuples are buffered and inserted only after the enumeration
   // finishes: `out` may alias `full`, and inserting while the matcher is
@@ -281,6 +226,80 @@ void MatchAtoms(const Database& full, const Database* delta,
                 MatchStats* stats) {
   Matcher matcher(full, delta, atoms, callback, stats);
   matcher.Run();
+}
+
+std::vector<PlannedAtom> BuildDeltaPassAtoms(const Rule& rule,
+                                             std::size_t delta_pos,
+                                             bool use_old) {
+  std::vector<PlannedAtom> atoms;
+  for (std::size_t i = 0; i < rule.body().size(); ++i) {
+    const Literal& lit = rule.body()[i];
+    if (lit.negated) continue;
+    AtomSource source;
+    if (i == delta_pos) {
+      source = AtomSource::kDelta;
+    } else if (i < delta_pos && use_old) {
+      source = AtomSource::kOld;
+    } else {
+      source = AtomSource::kFull;
+    }
+    atoms.push_back(PlannedAtom{lit.atom, source});
+  }
+  return atoms;
+}
+
+/// Greedy join order: repeatedly pick the atom with the cheapest
+/// estimated probe given the variables bound so far (more bound columns
+/// and smaller relations first).
+std::vector<PlannedAtom> PlanJoinOrder(const Database& full,
+                                       const Database* delta,
+                                       const std::vector<PlannedAtom>& atoms) {
+  if (!GreedyJoinOrderingEnabled()) return atoms;
+  auto source_db = [&](AtomSource source) -> const Database& {
+    return source == AtomSource::kDelta ? *delta : full;
+  };
+  std::vector<PlannedAtom> order;
+  std::vector<bool> used(atoms.size(), false);
+  std::vector<bool> bound_vars;  // indexed by variable id, grown on demand
+  auto is_bound = [&bound_vars](VariableId v) {
+    return static_cast<std::size_t>(v) < bound_vars.size() &&
+           bound_vars[static_cast<std::size_t>(v)];
+  };
+  auto mark_bound = [&bound_vars](VariableId v) {
+    if (static_cast<std::size_t>(v) >= bound_vars.size()) {
+      bound_vars.resize(static_cast<std::size_t>(v) + 1, false);
+    }
+    bound_vars[static_cast<std::size_t>(v)] = true;
+  };
+
+  for (std::size_t step = 0; step < atoms.size(); ++step) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best = atoms.size();
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      const Atom& atom = atoms[i].atom;
+      int bound = 0;
+      for (const Term& t : atom.args()) {
+        if (t.is_constant() || (t.is_variable() && is_bound(t.var()))) {
+          ++bound;
+        }
+      }
+      double rel_size = static_cast<double>(
+          source_db(atoms[i].source).relation(atom.predicate()).size());
+      double cost = rel_size;
+      for (int b = 0; b < bound; ++b) cost /= 4.0;  // crude selectivity
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    used[best] = true;
+    order.push_back(atoms[best]);
+    for (const Term& t : atoms[best].atom.args()) {
+      if (t.is_variable()) mark_bound(t.var());
+    }
+  }
+  return order;
 }
 
 Tuple InstantiateHead(const Atom& atom, const Binding& binding) {

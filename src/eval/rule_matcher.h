@@ -68,6 +68,24 @@ void MatchAtoms(const Database& full, const Database* delta,
                 const std::function<bool(const Binding&)>& callback,
                 MatchStats* stats);
 
+/// The body-atom list a semi-naive delta pass matches: the positive
+/// literals of `rule` with the literal at `delta_pos` sourced from the
+/// delta, earlier positive literals from the old snapshot (when `use_old`)
+/// and the rest from the full database. A `delta_pos` past the body (e.g.
+/// npos) yields the all-kFull plan that ApplyRule uses.
+std::vector<PlannedAtom> BuildDeltaPassAtoms(const Rule& rule,
+                                             std::size_t delta_pos,
+                                             bool use_old);
+
+/// The join order the matcher will use for `atoms`: greedy most-bound /
+/// smallest-relation first, or the given order when greedy planning is
+/// disabled. Deterministic given the relation sizes, which is what lets
+/// the parallel evaluator pre-build exactly the indexes a pass will probe
+/// before fanning out (see docs/parallel_eval.md).
+std::vector<PlannedAtom> PlanJoinOrder(const Database& full,
+                                       const Database* delta,
+                                       const std::vector<PlannedAtom>& atoms);
+
 /// Instantiates `atom` under `binding`; every variable must be bound.
 Tuple InstantiateHead(const Atom& atom, const Binding& binding);
 

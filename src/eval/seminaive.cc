@@ -9,11 +9,6 @@
 #include "ast/validate.h"
 
 namespace datalog {
-namespace {
-
-/// Snapshot of per-predicate row counts. Relations are append-only, so the
-/// facts discovered during a round are exactly the rows past the snapshot.
-using Watermarks = std::unordered_map<PredicateId, std::size_t>;
 
 Watermarks TakeWatermarks(const Database& db) {
   Watermarks marks;
@@ -23,7 +18,6 @@ Watermarks TakeWatermarks(const Database& db) {
   return marks;
 }
 
-/// Collects the facts added to `db` since `marks` into a fresh database.
 Database CollectNewFacts(const Database& db, const Watermarks& marks) {
   Database delta(db.symbols());
   for (PredicateId pred : db.NonEmptyPredicates()) {
@@ -36,8 +30,6 @@ Database CollectNewFacts(const Database& db, const Watermarks& marks) {
   }
   return delta;
 }
-
-}  // namespace
 
 EvalStats RunSemiNaiveFixpoint(const std::vector<Rule>& rules, Database* db) {
   EvalStats stats;

@@ -1,6 +1,7 @@
 #ifndef DATALOG_EVAL_SEMINAIVE_H_
 #define DATALOG_EVAL_SEMINAIVE_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "ast/program.h"
@@ -9,6 +10,16 @@
 #include "util/result.h"
 
 namespace datalog {
+
+/// Snapshot of per-predicate row counts. Relations are append-only, so the
+/// facts discovered during a round are exactly the rows past the snapshot.
+/// Shared by the sequential and parallel semi-naive engines.
+using Watermarks = std::unordered_map<PredicateId, std::size_t>;
+
+Watermarks TakeWatermarks(const Database& db);
+
+/// Collects the facts added to `db` since `marks` into a fresh database.
+Database CollectNewFacts(const Database& db, const Watermarks& marks);
 
 /// Computes P(db) by semi-naive bottom-up iteration: each round only
 /// considers rule instantiations that use at least one fact discovered in

@@ -1,0 +1,65 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+namespace datalog {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  task();
+  lock.lock();
+  if (--in_flight_ == 0) done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    RunOneTask(lock);
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Help drain the queue: guarantees progress with zero workers and
+  // shortens the barrier when tasks outnumber workers.
+  while (RunOneTask(lock)) {
+  }
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace datalog

@@ -1,0 +1,61 @@
+#ifndef DATALOG_UTIL_THREAD_POOL_H_
+#define DATALOG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace datalog {
+
+/// A fixed-size worker pool with a shared FIFO task queue. Built for the
+/// parallel evaluator's round structure -- submit a batch of tasks, then
+/// Wait() for the round barrier -- but generic enough for any fan-out.
+///
+/// With zero workers the pool is still usable: Wait() drains the queue on
+/// the calling thread, so ThreadPool(0) gives a deterministic
+/// single-threaded execution of the same task stream (handy under
+/// sanitizers and in tests).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed, see above).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `task`. Tasks must not throw; they may Submit() further
+  /// tasks, which the same Wait() call will also drain.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. With zero workers
+  /// (or while workers are busy) the calling thread runs queued tasks
+  /// itself instead of idling.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs one task if available; returns false when the queue is
+  /// empty. `lock` must hold `mu_` and is reacquired before returning.
+  bool RunOneTask(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signalled when tasks arrive / stop
+  std::condition_variable done_cv_;  // signalled when in_flight_ hits zero
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_UTIL_THREAD_POOL_H_

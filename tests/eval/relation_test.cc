@@ -1,5 +1,9 @@
 #include "eval/relation.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "gtest/gtest.h"
 
 namespace datalog {
@@ -86,6 +90,87 @@ TEST(RelationTest, MixedValueKinds) {
   rel.Insert({Value::Null(1)});
   EXPECT_EQ(rel.size(), 3u);
   EXPECT_EQ(rel.Lookup({0}, {Value::Frozen(1)}).size(), 1u);
+}
+
+TEST(RelationTest, LookupOnEmptyRelation) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Lookup({0}, {Value::Int(1)}).empty());
+  EXPECT_TRUE(rel.Lookup({0, 1}, T2(1, 2)).empty());
+  // The index created by the miss must still extend once rows arrive.
+  rel.Insert(T2(1, 2));
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(1)}).size(), 1u);
+}
+
+TEST(RelationTest, MissingKeyReturnsStableEmptyResult) {
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  const auto& miss1 = rel.Lookup({0}, {Value::Int(7)});
+  const auto& miss2 = rel.Lookup({1}, {Value::Int(7)});
+  EXPECT_TRUE(miss1.empty());
+  // Misses on different indexes share one empty sentinel; neither lookup
+  // may have materialized an entry for the absent key.
+  EXPECT_EQ(&miss1, &miss2);
+}
+
+TEST(RelationTest, IndexExtensionAfterInterleavedInserts) {
+  // Interleave inserts with lookups on two different indexes; each index
+  // extends independently from its own watermark and must never miss or
+  // duplicate rows.
+  Relation rel(2);
+  rel.Insert(T2(1, 10));
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(1)}).size(), 1u);
+  rel.Insert(T2(1, 20));
+  rel.Insert(T2(2, 10));
+  EXPECT_EQ(rel.Lookup({1}, {Value::Int(10)}).size(), 2u);
+  rel.Insert(T2(1, 30));
+  rel.Insert(T2(1, 10));  // duplicate: must not extend anything
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(1)}).size(), 3u);
+  EXPECT_EQ(rel.Lookup({1}, {Value::Int(10)}).size(), 2u);
+  rel.Insert(T2(3, 10));
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(1)}).size(), 3u);
+  EXPECT_EQ(rel.Lookup({1}, {Value::Int(10)}).size(), 3u);
+  EXPECT_EQ(rel.Lookup({0, 1}, T2(1, 20)).size(), 1u);
+}
+
+TEST(RelationTest, EnsureIndexMatchesLazyLookup) {
+  Relation rel(2);
+  for (std::int64_t i = 0; i < 32; ++i) rel.Insert(T2(i % 4, i));
+  rel.EnsureIndex({0});
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(2)}).size(), 8u);
+  // EnsureIndex after more inserts re-extends to cover the new rows.
+  rel.Insert(T2(2, 99));
+  rel.EnsureIndex({0});
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(2)}).size(), 9u);
+}
+
+TEST(RelationTest, ConcurrentReadOnlyLookupsOnPrebuiltIndex) {
+  // The parallel evaluator's frozen-snapshot contract: after EnsureIndex,
+  // any number of threads may Lookup/Contains concurrently. Run enough
+  // lookups that TSan would flag an index rebuild racing a reader.
+  Relation rel(2);
+  for (std::int64_t i = 0; i < 256; ++i) rel.Insert(T2(i % 16, i));
+  rel.EnsureIndex({0});
+  rel.EnsureIndex({1});
+  rel.EnsureIndex({0, 1});
+
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rel, &total, t] {
+      std::size_t hits = 0;
+      for (std::int64_t i = 0; i < 200; ++i) {
+        hits += rel.Lookup({0}, {Value::Int((i + t) % 16)}).size();
+        hits += rel.Lookup({1}, {Value::Int(i)}).size();
+        hits += rel.Lookup({0, 1}, T2(i % 16, i)).size();
+        hits += rel.Contains(T2(i % 16, i)) ? 1 : 0;
+      }
+      total.fetch_add(hits, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Per thread: 200 * 16 first-column hits, 200 second-column hits (one
+  // row per distinct i), and the (i%16, i) pairs exist for all i < 256.
+  EXPECT_EQ(total.load(), 4u * (200u * 16u + 200u + 200u + 200u));
 }
 
 }  // namespace

@@ -51,7 +51,7 @@ INSTANTIATE_TEST_SUITE_P(
     Binaries, BenchSmokeTest,
     ::testing::Values("bench_eval_speedup", "bench_minimize",
                       "bench_magic_sets", "bench_chase", "bench_engine",
-                      "bench_cq", "bench_ablation"),
+                      "bench_cq", "bench_ablation", "bench_parallel"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       return std::string(info.param);
     });

@@ -72,6 +72,33 @@ TEST(CliTest, EvalComputesFixpoint) {
   EXPECT_NE(out.find("g(1, 3)."), std::string::npos) << out;
 }
 
+TEST(CliTest, EvalThreadsFlagMatchesSequentialOutput) {
+  std::string program = WriteTemp("evalp.dl",
+                                  "g(x, z) :- a(x, z).\n"
+                                  "g(x, z) :- a(x, y), g(y, z).\n");
+  std::string facts = WriteTemp("evalp_facts.dl", "a(1, 2). a(2, 3). a(3, 4).");
+  std::string sequential;
+  ASSERT_EQ(RunCli("eval " + program + " " + facts, &sequential), 0);
+  std::string parallel;
+  int code =
+      RunCli("eval " + program + " " + facts + " --threads 4", &parallel);
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(parallel, sequential);
+  // The flag position is free, and garbage thread counts are rejected.
+  ASSERT_EQ(RunCli("eval --threads 2 " + program + " " + facts, &parallel),
+            0);
+  EXPECT_EQ(parallel, sequential);
+  std::string ignored;
+  EXPECT_EQ(RunCli("eval " + program + " " + facts + " --threads bogus",
+                   &ignored),
+            2);
+  EXPECT_EQ(RunCli("eval " + program + " " + facts + " --threads -1",
+                   &ignored),
+            2);
+  EXPECT_EQ(RunCli("eval " + program + " " + facts + " --threads", &ignored),
+            2);
+}
+
 TEST(CliTest, QueryAnswersBoundQuery) {
   std::string program = WriteTemp("q.dl",
                                   "g(x, z) :- a(x, z).\n"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Sanitizer check harness. Builds the library and tests under
+# ThreadSanitizer and runs the evaluation-engine suites (the ones that
+# exercise the parallel evaluator's frozen-snapshot contract), then
+# optionally repeats under ASan+UBSan.
+#
+#   tools/check.sh            # TSan build + eval/util/integration tests
+#   tools/check.sh thread     # same, explicit
+#   tools/check.sh address,undefined   # ASan+UBSan instead
+#   DATALOG_CHECK_ALL=1 tools/check.sh # run the full ctest suite
+#
+# Benchmarks and examples are skipped: sanitizer builds are for
+# correctness, not measurement.
+
+set -euo pipefail
+
+SANITIZE="${1:-thread}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${ROOT}/build-sanitize-${SANITIZE//,/-}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configuring (${SANITIZE}) into ${BUILD_DIR}"
+cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDATALOG_SANITIZE="${SANITIZE}" \
+  -DDATALOG_BUILD_BENCHMARKS=OFF
+
+echo "== building"
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+  --target util_test eval_test integration_test
+
+echo "== running tests under -fsanitize=${SANITIZE}"
+cd "${BUILD_DIR}"
+if [ "${DATALOG_CHECK_ALL:-0}" = "1" ]; then
+  ctest --output-on-failure -j "${JOBS}"
+else
+  # The thread-pool, parallel-evaluator, concurrent-relation, and
+  # differential tests all live in these three suites.
+  ./tests/util_test
+  ./tests/eval_test
+  ./tests/integration_test \
+    --gtest_filter='*DifferentialEngine*:*MethodsAgree*'
+fi
+
+echo "== OK (${SANITIZE})"

@@ -12,12 +12,14 @@
 // PROGRAM/FACTS/TGDS are file paths; pass '-' to read stdin.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "datalog.h"
 
@@ -33,6 +35,8 @@ int Usage() {
       "  optimize PROGRAM          minimize, then remove atoms redundant\n"
       "                            under equivalence (Section XI)\n"
       "  eval PROGRAM FACTS        compute the semi-naive fixpoint\n"
+      "       [--threads N]        ... on N threads (positive programs;\n"
+      "                            N=0 picks the hardware concurrency)\n"
       "  query PROGRAM FACTS Q     answer Q (e.g. 'g(1, x).') via magic sets\n"
       "  contains P1 P2            test P2 subseteq^u P1, print witness on\n"
       "                            failure\n"
@@ -141,6 +145,7 @@ int CmdMinimizeSat(const std::string& program_text,
 }
 
 int CmdEval(const std::string& program_text, const std::string& facts_text,
+            std::size_t num_threads,
             const std::shared_ptr<SymbolTable>& symbols) {
   Parser parser(symbols);
   Result<Program> program = parser.ParseProgram(program_text);
@@ -148,15 +153,30 @@ int CmdEval(const std::string& program_text, const std::string& facts_text,
   Result<Database> db = ParseDatabase(symbols, facts_text);
   if (!Check(db, "parse facts")) return 1;
   Database work = *db;
-  Result<EvalStats> stats = program->rules().empty()
-                                ? Result<EvalStats>(EvalStats{})
-                                : EvaluateStratified(*program, &work);
+  // The parallel engine handles positive programs; programs with
+  // stratified negation stay on the sequential stratified engine.
+  const bool parallel =
+      num_threads != 1 && ValidatePositiveProgram(*program).ok();
+  Result<EvalStats> stats =
+      program->rules().empty() ? Result<EvalStats>(EvalStats{})
+      : parallel ? EvaluateSemiNaiveParallel(*program, &work, num_threads)
+                 : EvaluateStratified(*program, &work);
   if (!Check(stats, "evaluate")) return 1;
   std::printf("%s", work.ToString().c_str());
   std::fprintf(stderr, "%d iterations, %llu facts derived, %llu joins\n",
                stats->iterations,
                static_cast<unsigned long long>(stats->facts_derived),
                static_cast<unsigned long long>(stats->match.substitutions));
+  if (parallel) {
+    std::fprintf(stderr,
+                 "parallel: %llu rounds, %llu tasks "
+                 "(index %.2fms, match %.2fms, merge %.2fms)\n",
+                 static_cast<unsigned long long>(stats->parallel_rounds),
+                 static_cast<unsigned long long>(stats->parallel_tasks),
+                 static_cast<double>(stats->index_build_ns) / 1e6,
+                 static_cast<double>(stats->parallel_match_ns) / 1e6,
+                 static_cast<double>(stats->merge_ns) / 1e6);
+  }
   return 0;
 }
 
@@ -337,6 +357,34 @@ int CmdAnalyze(const std::string& text,
 }
 
 int Main(int argc, char** argv) {
+  // Extract `--threads N` (anywhere after the command) before positional
+  // parsing; only `eval` currently consumes it.
+  std::size_t num_threads = 1;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threads expects a number\n");
+        return 2;
+      }
+      char* end = nullptr;
+      unsigned long value = std::strtoul(argv[i + 1], &end, 10);
+      // strtoul silently wraps negative input ("-1" parses as ULONG_MAX),
+      // so cap at a sane thread count instead of trusting the raw value.
+      if (end == argv[i + 1] || *end != '\0' || value > 1024) {
+        std::fprintf(stderr, "error: --threads expects a number, got '%s'\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      num_threads = static_cast<std::size_t>(value);
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 3) return Usage();
   const std::string command = argv[1];
   auto symbols = std::make_shared<SymbolTable>();
@@ -355,7 +403,7 @@ int Main(int argc, char** argv) {
   std::string second;
   if (!ReadInput(argv[3], &second)) return 1;
 
-  if (command == "eval") return CmdEval(first, second, symbols);
+  if (command == "eval") return CmdEval(first, second, num_threads, symbols);
   if (command == "contains") return CmdContains(first, second, symbols);
   if (command == "minimize-sat") {
     return CmdMinimizeSat(first, second, symbols);
