@@ -115,3 +115,7 @@ BENCHMARK(BM_StratifiedUnreachable)->RangeMultiplier(2)->Range(64, 512);
 }  // namespace
 }  // namespace bench
 }  // namespace datalog
+
+int main(int argc, char** argv) {
+  return datalog::bench::BenchmarkMainWithJson(argc, argv);
+}

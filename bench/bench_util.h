@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "benchmark/benchmark.h"
 #include "datalog.h"
 
 namespace datalog {
@@ -73,6 +76,43 @@ inline T MustOk(Result<T> result) {
     std::abort();
   }
   return std::move(result).value();
+}
+
+/// main() for benchmark binaries that accept `--json PATH` as shorthand
+/// for --benchmark_out=PATH --benchmark_out_format=json (console output
+/// is unchanged; the JSON goes to the file). When `default_json` is
+/// non-null the binary emits JSON there even without the flag, so CI
+/// collects results by just running it.
+inline int BenchmarkMainWithJson(int argc, char** argv,
+                                 const char* default_json = nullptr) {
+  std::vector<std::string> args;
+  std::string json_path = default_json == nullptr ? "" : default_json;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json expects a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> ptrs;
+  ptrs.reserve(args.size());
+  for (std::string& arg : args) ptrs.push_back(arg.data());
+  int adjusted_argc = static_cast<int>(ptrs.size());
+  benchmark::Initialize(&adjusted_argc, ptrs.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, ptrs.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace bench

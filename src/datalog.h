@@ -52,6 +52,8 @@
 #include "eval/seminaive.h"       // IWYU pragma: export
 #include "eval/stratified.h"      // IWYU pragma: export
 #include "eval/topdown.h"         // IWYU pragma: export
+#include "incr/delta_join.h"      // IWYU pragma: export
+#include "incr/materialized_view.h"  // IWYU pragma: export
 #include "util/result.h"          // IWYU pragma: export
 #include "version.h"              // IWYU pragma: export
 #include "util/status.h"          // IWYU pragma: export

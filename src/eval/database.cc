@@ -30,6 +30,21 @@ Status Database::AddAtom(const Atom& atom) {
   return Status::OK();
 }
 
+std::size_t Database::EraseFacts(PredicateId pred,
+                                 const std::vector<Tuple>& tuples) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return 0;
+  return it->second.EraseAll(tuples);
+}
+
+std::size_t Database::ClearRelation(PredicateId pred) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return 0;
+  std::size_t n = it->second.size();
+  it->second = Relation(it->second.arity());
+  return n;
+}
+
 bool Database::Contains(PredicateId pred, const Tuple& tuple) const {
   auto it = relations_.find(pred);
   return it != relations_.end() && it->second.Contains(tuple);

@@ -32,6 +32,14 @@ class Database {
   /// Adds a ground atom. Returns InvalidArgument when `atom` is not ground.
   Status AddAtom(const Atom& atom);
 
+  /// Removes the facts `pred(t)` for every tuple of `tuples`; returns how
+  /// many were present. Erasure rebuilds the relation's rows and drops its
+  /// indexes (Relation::EraseAll), so it must not race any reader.
+  std::size_t EraseFacts(PredicateId pred, const std::vector<Tuple>& tuples);
+
+  /// Removes every fact of `pred`; returns how many there were.
+  std::size_t ClearRelation(PredicateId pred);
+
   bool Contains(PredicateId pred, const Tuple& tuple) const;
 
   /// The relation for `pred` (an empty relation if no fact was added).

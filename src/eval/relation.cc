@@ -10,6 +10,25 @@ bool Relation::Insert(Tuple tuple) {
   return inserted;
 }
 
+std::size_t Relation::EraseAll(const std::vector<Tuple>& tuples) {
+  std::size_t erased = 0;
+  for (const Tuple& tuple : tuples) {
+    erased += set_.erase(tuple);
+  }
+  if (erased == 0) return 0;
+  // Compact the row vector to the surviving tuples, preserving their
+  // relative order, and invalidate every index: row ids shifted, so the
+  // incremental built_up_to watermarks are meaningless now.
+  std::vector<Tuple> survivors;
+  survivors.reserve(rows_.size() - erased);
+  for (Tuple& row : rows_) {
+    if (set_.contains(row)) survivors.push_back(std::move(row));
+  }
+  rows_ = std::move(survivors);
+  indexes_.clear();
+  return erased;
+}
+
 const std::vector<std::uint32_t>& Relation::Lookup(
     const std::vector<int>& columns, const Tuple& key) const {
   static const std::vector<std::uint32_t>* const kEmpty =

@@ -34,6 +34,15 @@ class Relation {
   /// Inserts `tuple`; returns true if it was not already present.
   bool Insert(Tuple tuple);
 
+  /// Erases every tuple of `tuples` that is present; returns how many
+  /// were removed. Removal compacts the row vector (later rows shift
+  /// down) and drops every index, which is rebuilt lazily on the next
+  /// Lookup -- so erasure breaks the append-only watermark contract and
+  /// must never run concurrently with readers. The incremental
+  /// materialization engine calls this between evaluation rounds, when
+  /// it has exclusive access (see docs/incremental_eval.md).
+  std::size_t EraseAll(const std::vector<Tuple>& tuples);
+
   bool Contains(const Tuple& tuple) const { return set_.contains(tuple); }
 
   const std::vector<Tuple>& rows() const { return rows_; }

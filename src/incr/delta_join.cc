@@ -1,0 +1,191 @@
+#include "incr/delta_join.h"
+
+#include <algorithm>
+#include <set>
+
+namespace datalog {
+namespace {
+
+/// Backtracking join over source-annotated atoms, structured like the
+/// semi-naive Matcher in eval/rule_matcher.cc but with the three-part
+/// (primary \ subtraction) ∪ addition sources the incremental passes
+/// need.
+class DeltaMatcher {
+ public:
+  DeltaMatcher(const std::vector<Atom>& atoms,
+               const std::vector<AtomSourceSpec>& specs,
+               const Binding& initial,
+               const std::function<bool(const Binding&)>& callback,
+               MatchStats* stats, bool fixed_order)
+      : atoms_(atoms),
+        specs_(specs),
+        callback_(callback),
+        stats_(stats),
+        binding_(initial) {
+    order_.resize(atoms.size());
+    for (std::size_t i = 0; i < atoms.size(); ++i) order_[i] = i;
+    if (!fixed_order) GreedyOrder();
+  }
+
+  void Run() {
+    if (atoms_.empty()) {
+      if (stats_ != nullptr) ++stats_->substitutions;
+      callback_(binding_);
+      return;
+    }
+    Enumerate(0);
+  }
+
+ private:
+  /// Most-bound-columns first; smaller primary relation breaks ties.
+  /// Recomputed statically from the initial binding (greedy on the
+  /// variables bound so far), mirroring PlanJoinOrder's heuristic.
+  void GreedyOrder() {
+    std::set<VariableId> bound;
+    for (const auto& [var, value] : binding_) bound.insert(var);
+    std::vector<std::size_t> remaining = order_;
+    order_.clear();
+    while (!remaining.empty()) {
+      std::size_t best_pos = 0;
+      int best_bound = -1;
+      std::size_t best_size = 0;
+      for (std::size_t r = 0; r < remaining.size(); ++r) {
+        const Atom& atom = atoms_[remaining[r]];
+        int n_bound = 0;
+        for (const Term& t : atom.args()) {
+          if (t.is_constant() || bound.contains(t.var())) ++n_bound;
+        }
+        std::size_t size =
+            specs_[remaining[r]].primary->relation(atom.predicate()).size();
+        if (n_bound > best_bound ||
+            (n_bound == best_bound && size < best_size)) {
+          best_pos = r;
+          best_bound = n_bound;
+          best_size = size;
+        }
+      }
+      std::size_t chosen = remaining[best_pos];
+      order_.push_back(chosen);
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_pos));
+      for (const Term& t : atoms_[chosen].args()) {
+        if (t.is_variable()) bound.insert(t.var());
+      }
+    }
+  }
+
+  bool Enumerate(std::size_t depth) {
+    if (depth == order_.size()) {
+      if (stats_ != nullptr) ++stats_->substitutions;
+      return callback_(binding_);
+    }
+    const Atom& atom = atoms_[order_[depth]];
+    const AtomSourceSpec& spec = specs_[order_[depth]];
+
+    std::vector<int> bound_cols;
+    Tuple key;
+    for (int i = 0; i < atom.arity(); ++i) {
+      const Term& t = atom.args()[static_cast<std::size_t>(i)];
+      if (t.is_constant()) {
+        bound_cols.push_back(i);
+        key.push_back(t.value());
+      } else if (auto it = binding_.find(t.var()); it != binding_.end()) {
+        bound_cols.push_back(i);
+        key.push_back(it->second);
+      }
+    }
+
+    auto try_row = [&](const Tuple& row, bool check_subtraction) {
+      if (stats_ != nullptr) ++stats_->tuples_scanned;
+      if (check_subtraction && spec.subtraction != nullptr &&
+          spec.subtraction->Contains(atom.predicate(), row)) {
+        return true;  // excluded; keep enumerating
+      }
+      std::vector<VariableId> newly_bound;
+      bool ok = true;
+      for (int i = 0; i < atom.arity() && ok; ++i) {
+        const Term& t = atom.args()[static_cast<std::size_t>(i)];
+        const Value& v = row[static_cast<std::size_t>(i)];
+        if (t.is_constant()) {
+          ok = t.value() == v;
+        } else if (auto it = binding_.find(t.var()); it != binding_.end()) {
+          ok = it->second == v;
+        } else {
+          binding_.emplace(t.var(), v);
+          newly_bound.push_back(t.var());
+        }
+      }
+      bool keep_going = true;
+      if (ok) keep_going = Enumerate(depth + 1);
+      for (VariableId v : newly_bound) binding_.erase(v);
+      return keep_going;
+    };
+
+    auto scan_source = [&](const Database& db, bool check_subtraction) {
+      const Relation& rel = db.relation(atom.predicate());
+      if (rel.empty() || rel.arity() != atom.arity()) return true;
+      if (bound_cols.empty()) {
+        if (stats_ != nullptr) ++stats_->index_lookups;
+        for (const Tuple& row : rel.rows()) {
+          if (!try_row(row, check_subtraction)) return false;
+        }
+        return true;
+      }
+      if (stats_ != nullptr) ++stats_->index_lookups;
+      if (static_cast<int>(bound_cols.size()) == atom.arity()) {
+        if (rel.Contains(key) && !try_row(key, check_subtraction)) {
+          return false;
+        }
+        return true;
+      }
+      for (std::uint32_t row_id : rel.Lookup(bound_cols, key)) {
+        if (!try_row(rel.row(row_id), check_subtraction)) return false;
+      }
+      return true;
+    };
+
+    if (!scan_source(*spec.primary, /*check_subtraction=*/true)) return false;
+    if (spec.addition != nullptr &&
+        !scan_source(*spec.addition, /*check_subtraction=*/false)) {
+      return false;
+    }
+    return true;
+  }
+
+  const std::vector<Atom>& atoms_;
+  const std::vector<AtomSourceSpec>& specs_;
+  const std::function<bool(const Binding&)>& callback_;
+  MatchStats* stats_;
+  Binding binding_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace
+
+void EnumerateDeltaJoin(const std::vector<Atom>& atoms,
+                        const std::vector<AtomSourceSpec>& specs,
+                        const Binding& initial,
+                        const std::function<bool(const Binding&)>& callback,
+                        MatchStats* stats, bool fixed_order) {
+  DeltaMatcher(atoms, specs, initial, callback, stats, fixed_order).Run();
+}
+
+std::vector<std::pair<std::size_t, std::vector<int>>> PlannedIndexColumns(
+    const std::vector<Atom>& atoms,
+    const std::vector<VariableId>& bound_vars) {
+  std::set<VariableId> bound(bound_vars.begin(), bound_vars.end());
+  std::vector<std::pair<std::size_t, std::vector<int>>> plan;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    std::vector<int> cols;
+    for (int c = 0; c < atoms[i].arity(); ++c) {
+      const Term& t = atoms[i].args()[static_cast<std::size_t>(c)];
+      if (t.is_constant() || bound.contains(t.var())) cols.push_back(c);
+    }
+    plan.emplace_back(i, std::move(cols));
+    for (const Term& t : atoms[i].args()) {
+      if (t.is_variable()) bound.insert(t.var());
+    }
+  }
+  return plan;
+}
+
+}  // namespace datalog

@@ -1,0 +1,54 @@
+#ifndef DATALOG_INCR_DELTA_JOIN_H_
+#define DATALOG_INCR_DELTA_JOIN_H_
+
+#include <functional>
+#include <vector>
+
+#include "ast/atom.h"
+#include "eval/database.h"
+#include "eval/rule_matcher.h"
+
+namespace datalog {
+
+/// The tuple set a body atom is matched against during an incremental
+/// update pass: (primary \ subtraction) ∪ addition. The three parts let
+/// the maintenance passes express every state they need without copying
+/// relations -- e.g. the pre-update state of a predicate whose deletions
+/// were already applied is (view \ Δ+) ∪ Δ−, with the view as primary.
+///
+/// `addition` must be disjoint from (primary \ subtraction); counting
+/// passes rely on each tuple being enumerated exactly once.
+struct AtomSourceSpec {
+  const Database* primary = nullptr;
+  const Database* subtraction = nullptr;  // may be null
+  const Database* addition = nullptr;     // may be null
+};
+
+/// Enumerates every extension of `initial` that instantiates all `atoms`
+/// to tuples of their respective sources (specs[i] governs atoms[i]).
+/// `initial` may pre-bind variables (the DRed rederivation step binds the
+/// head variables to the fact under test). The callback returns false to
+/// stop the enumeration early.
+///
+/// When `fixed_order` is false, atoms are matched in a greedily chosen
+/// order (most bound columns first, smaller primary relation as the tie
+/// break). When true, atoms are matched left to right, which makes the
+/// probed column sets statically predictable: PlannedIndexColumns below
+/// reports them, so a caller can EnsureIndex every probe up front and run
+/// enumerations concurrently under the frozen-snapshot contract.
+void EnumerateDeltaJoin(const std::vector<Atom>& atoms,
+                        const std::vector<AtomSourceSpec>& specs,
+                        const Binding& initial,
+                        const std::function<bool(const Binding&)>& callback,
+                        MatchStats* stats, bool fixed_order = false);
+
+/// The (atom index, bound columns) pairs a fixed-order enumeration of
+/// `atoms` will probe, given that the variables of `bound_vars` are bound
+/// before the first atom is matched. Column lists may be empty (full
+/// scan: no index is probed).
+std::vector<std::pair<std::size_t, std::vector<int>>> PlannedIndexColumns(
+    const std::vector<Atom>& atoms, const std::vector<VariableId>& bound_vars);
+
+}  // namespace datalog
+
+#endif  // DATALOG_INCR_DELTA_JOIN_H_

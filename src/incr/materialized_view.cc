@@ -1,0 +1,657 @@
+#include "incr/materialized_view.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+#include <thread>
+#include <unordered_set>
+
+#include "ast/dependence_graph.h"
+#include "ast/validate.h"
+#include "eval/parallel.h"
+#include "eval/rule_matcher.h"
+#include "eval/seminaive.h"
+#include "incr/delta_join.h"
+
+namespace datalog {
+
+namespace {
+
+/// Unifies a ground tuple with a rule head, extending `binding`. Fails on
+/// a constant mismatch or an inconsistent repeated variable.
+bool BindHead(const Atom& head, const Tuple& fact, Binding* binding) {
+  for (std::size_t i = 0; i < fact.size(); ++i) {
+    const Term& t = head.args()[i];
+    if (t.is_constant()) {
+      if (t.value() != fact[i]) return false;
+    } else {
+      auto [it, inserted] = binding->emplace(t.var(), fact[i]);
+      if (!inserted && it->second != fact[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void CommitStats::Add(const CommitStats& other) {
+  base_inserted += other.base_inserted;
+  base_retracted += other.base_retracted;
+  derived_added += other.derived_added;
+  derived_removed += other.derived_removed;
+  overdeleted += other.overdeleted;
+  rederived += other.rederived;
+  rule_applications += other.rule_applications;
+  sccs_touched += other.sccs_touched;
+  sccs_recomputed += other.sccs_recomputed;
+  match.Add(other.match);
+  recompute.Add(other.recompute);
+}
+
+std::string CommitStats::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "base +%llu -%llu | view +%llu -%llu | overdeleted %llu, "
+      "rederived %llu | %llu joins, %d sccs touched (%d recomputed)",
+      static_cast<unsigned long long>(base_inserted),
+      static_cast<unsigned long long>(base_retracted),
+      static_cast<unsigned long long>(derived_added),
+      static_cast<unsigned long long>(derived_removed),
+      static_cast<unsigned long long>(overdeleted),
+      static_cast<unsigned long long>(rederived),
+      static_cast<unsigned long long>(TotalSubstitutions()), sccs_touched,
+      sccs_recomputed);
+  return buf;
+}
+
+MaterializedView::MaterializedView(Program program, Database edb,
+                                   IncrOptions options)
+    : program_(std::move(program)),
+      symbols_(program_.symbols()),
+      base_(std::move(edb)),
+      program_facts_(symbols_),
+      db_(symbols_),
+      delta_plus_(symbols_),
+      delta_minus_(symbols_) {
+  std::size_t threads = options.num_threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : options.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+}
+
+Result<MaterializedView> MaterializedView::Create(Program program,
+                                                  Database edb,
+                                                  IncrOptions options) {
+  if (program.symbols() != edb.symbols()) {
+    return Status::InvalidArgument(
+        "program and database must share a symbol table");
+  }
+  DATALOG_RETURN_IF_ERROR(ValidateProgram(program));
+  MaterializedView view(std::move(program), std::move(edb), options);
+  DATALOG_RETURN_IF_ERROR(view.Initialize());
+  return view;
+}
+
+Status MaterializedView::Initialize() {
+  DependenceGraph graph(program_);
+  // Only the stratifiability check is needed here; updates run SCC by
+  // SCC, which refines any stratification.
+  DATALOG_RETURN_IF_ERROR(graph.Stratify().status());
+
+  // Group rules by the SCC of their head predicate, in topological order
+  // (Tarjan numbers successors lower, so dependencies first means
+  // descending index -- see EvaluateSemiNaiveScc).
+  std::map<int, SccPlan, std::greater<int>> groups;
+  for (const Rule& rule : program_.rules()) {
+    groups[graph.SccIndex(rule.head().predicate())].rules.push_back(rule);
+  }
+  for (auto& [scc, plan] : groups) {
+    std::set<PredicateId> preds;
+    bool negated = false;
+    bool recursive = false;
+    for (const Rule& rule : plan.rules) {
+      preds.insert(rule.head().predicate());
+      for (const Literal& lit : rule.body()) negated |= lit.negated;
+      recursive = recursive || graph.IsRuleRecursive(rule);
+      if (rule.IsFact()) {
+        Tuple t;
+        for (const Term& term : rule.head().args()) t.push_back(term.value());
+        program_facts_.AddFact(rule.head().predicate(), std::move(t));
+      }
+    }
+    plan.preds.assign(preds.begin(), preds.end());
+    plan.kind = negated      ? SccKind::kRecompute
+                : recursive  ? SccKind::kDRed
+                             : SccKind::kCounting;
+    plans_.push_back(std::move(plan));
+  }
+
+  // Initial materialization, SCC by SCC (negated predicates are always in
+  // strictly earlier SCCs, so each fixpoint sees them completed).
+  db_.UnionWith(base_);
+  for (const SccPlan& plan : plans_) {
+    EvalStats stats =
+        pool_ != nullptr
+            ? RunSemiNaiveFixpointParallel(plan.rules, &db_, pool_.get())
+            : RunSemiNaiveFixpoint(plan.rules, &db_);
+    stats.per_rule.clear();  // plan-local indexing; meaningless here
+    initial_stats_.Add(stats);
+    if (plan.kind == SccKind::kCounting) InitializeCounts(plan);
+  }
+  return Status::OK();
+}
+
+void MaterializedView::InitializeCounts(const SccPlan& plan) {
+  PredicateId p = plan.preds.front();
+  FactCounts& counts = counts_[p];
+  for (const Tuple& t : base_.relation(p).rows()) ++counts[t];
+  for (const Tuple& t : program_facts_.relation(p).rows()) ++counts[t];
+  for (const Rule& rule : plan.rules) {
+    if (rule.IsFact()) continue;
+    std::vector<Atom> atoms = rule.PositiveBodyAtoms();
+    std::vector<AtomSourceSpec> specs(atoms.size(),
+                                      AtomSourceSpec{&db_, nullptr, nullptr});
+    EnumerateDeltaJoin(
+        atoms, specs, {},
+        [&](const Binding& b) {
+          ++counts[InstantiateHead(rule.head(), b)];
+          return true;
+        },
+        &initial_stats_.match);
+  }
+}
+
+bool MaterializedView::IsPinned(PredicateId pred, const Tuple& fact) const {
+  return base_.Contains(pred, fact) || program_facts_.Contains(pred, fact);
+}
+
+bool MaterializedView::InScc(const SccPlan& plan, PredicateId pred) const {
+  return std::find(plan.preds.begin(), plan.preds.end(), pred) !=
+         plan.preds.end();
+}
+
+void MaterializedView::RecordAdd(PredicateId pred, const Tuple& fact) {
+  if (delta_minus_.Contains(pred, fact)) {
+    delta_minus_.EraseFacts(pred, {fact});
+  } else {
+    delta_plus_.AddFact(pred, fact);
+  }
+}
+
+void MaterializedView::RecordRemove(PredicateId pred, const Tuple& fact) {
+  if (delta_plus_.Contains(pred, fact)) {
+    delta_plus_.EraseFacts(pred, {fact});
+  } else {
+    delta_minus_.AddFact(pred, fact);
+  }
+}
+
+bool MaterializedView::PlanTouched(const SccPlan& plan,
+                                   const Database& base_plus,
+                                   const Database& base_minus) const {
+  for (PredicateId pred : plan.preds) {
+    if (!base_plus.relation(pred).empty()) return true;
+    if (!base_minus.relation(pred).empty()) return true;
+  }
+  for (const Rule& rule : plan.rules) {
+    for (const Literal& lit : rule.body()) {
+      PredicateId pred = lit.atom.predicate();
+      if (!delta_plus_.relation(pred).empty()) return true;
+      if (!delta_minus_.relation(pred).empty()) return true;
+    }
+  }
+  return false;
+}
+
+void MaterializedView::UpdateExtensional(const Database& base_plus,
+                                         const Database& base_minus,
+                                         CommitStats* stats) {
+  (void)stats;
+  for (PredicateId pred : base_minus.NonEmptyPredicates()) {
+    if (program_.IsIntentional(pred)) continue;
+    std::vector<Tuple> removed;
+    for (const Tuple& t : base_minus.relation(pred).rows()) {
+      if (db_.Contains(pred, t) && !program_facts_.Contains(pred, t)) {
+        removed.push_back(t);
+        RecordRemove(pred, t);
+      }
+    }
+    db_.EraseFacts(pred, removed);
+  }
+  for (PredicateId pred : base_plus.NonEmptyPredicates()) {
+    if (program_.IsIntentional(pred)) continue;
+    for (const Tuple& t : base_plus.relation(pred).rows()) {
+      if (db_.AddFact(pred, t)) RecordAdd(pred, t);
+    }
+  }
+}
+
+void MaterializedView::UpdateCounting(const SccPlan& plan,
+                                      const Database& base_plus,
+                                      const Database& base_minus,
+                                      CommitStats* stats) {
+  PredicateId p = plan.preds.front();
+  FactCounts& counts = counts_[p];
+  FactCounts delta_counts;
+
+  // Derivation-count changes from the body predicates (all of which lie
+  // in earlier SCCs and are already at their new state in the view).
+  // Deletion passes count derivations lost, enumerated in the old state
+  // (position q from Δ−, earlier positions from old \ Δ− = view \ Δ+,
+  // later positions from old = (view \ Δ+) ∪ Δ−); insertion passes count
+  // derivations gained, enumerated in the new state. Each changed
+  // derivation is counted exactly once, at its first delta position.
+  auto run_passes = [&](const Database& delta, bool deletion) {
+    for (const Rule& rule : plan.rules) {
+      if (rule.IsFact()) continue;
+      std::vector<Atom> atoms = rule.PositiveBodyAtoms();
+      for (std::size_t q = 0; q < atoms.size(); ++q) {
+        if (delta.relation(atoms[q].predicate()).empty()) continue;
+        ++stats->rule_applications;
+        std::vector<AtomSourceSpec> specs(atoms.size());
+        for (std::size_t j = 0; j < atoms.size(); ++j) {
+          if (j == q) {
+            specs[j] = {&delta, nullptr, nullptr};
+          } else if (j < q) {
+            specs[j] = {&db_, &delta_plus_, nullptr};
+          } else if (deletion) {
+            specs[j] = {&db_, &delta_plus_, &delta_minus_};
+          } else {
+            specs[j] = {&db_, nullptr, nullptr};
+          }
+        }
+        const std::int64_t sign = deletion ? -1 : +1;
+        EnumerateDeltaJoin(
+            atoms, specs, {},
+            [&](const Binding& b) {
+              delta_counts[InstantiateHead(rule.head(), b)] += sign;
+              return true;
+            },
+            &stats->match);
+      }
+    }
+  };
+  run_passes(delta_minus_, /*deletion=*/true);
+  run_passes(delta_plus_, /*deletion=*/false);
+
+  // Base-fact support.
+  for (const Tuple& t : base_minus.relation(p).rows()) delta_counts[t] -= 1;
+  for (const Tuple& t : base_plus.relation(p).rows()) delta_counts[t] += 1;
+
+  std::vector<Tuple> removed;
+  for (auto& [tuple, change] : delta_counts) {
+    if (change == 0) continue;
+    auto it = counts.find(tuple);
+    std::int64_t old_count = it == counts.end() ? 0 : it->second;
+    // A negative result would indicate a maintenance bug; clamp at zero
+    // so the view degrades to missing counts rather than corruption.
+    std::int64_t new_count = std::max<std::int64_t>(0, old_count + change);
+    if (new_count == 0) {
+      if (it != counts.end()) counts.erase(it);
+    } else if (it == counts.end()) {
+      counts.emplace(tuple, new_count);
+    } else {
+      it->second = new_count;
+    }
+    if (old_count > 0 && new_count == 0) {
+      removed.push_back(tuple);
+      RecordRemove(p, tuple);
+    } else if (old_count == 0 && new_count > 0) {
+      db_.AddFact(p, tuple);
+      RecordAdd(p, tuple);
+    }
+  }
+  db_.EraseFacts(p, removed);
+}
+
+bool MaterializedView::CanRederive(const SccPlan& plan, PredicateId pred,
+                                   const Tuple& fact, const Database& over,
+                                   const Database& rederived,
+                                   MatchStats* stats,
+                                   bool fixed_order) const {
+  for (const Rule& rule : plan.rules) {
+    if (rule.IsFact() || rule.head().predicate() != pred) continue;
+    Binding binding;
+    if (!BindHead(rule.head(), fact, &binding)) continue;
+    std::vector<Atom> atoms = rule.PositiveBodyAtoms();
+    std::vector<AtomSourceSpec> specs(atoms.size());
+    for (std::size_t j = 0; j < atoms.size(); ++j) {
+      // Same-SCC positions see the survivors (view minus overdeleted
+      // plus already-rederived); lower positions are final already.
+      specs[j] = InScc(plan, atoms[j].predicate())
+                     ? AtomSourceSpec{&db_, &over, &rederived}
+                     : AtomSourceSpec{&db_, nullptr, nullptr};
+    }
+    bool found = false;
+    EnumerateDeltaJoin(
+        atoms, specs, binding,
+        [&found](const Binding&) {
+          found = true;
+          return false;  // one derivation suffices
+        },
+        stats, fixed_order);
+    if (found) return true;
+  }
+  return false;
+}
+
+void MaterializedView::UpdateDRed(const SccPlan& plan,
+                                  const Database& base_plus,
+                                  const Database& base_minus,
+                                  CommitStats* stats) {
+  // --- Overdeletion: every fact of this SCC some derivation of which
+  // used a deleted fact, found by semi-naive delta rounds over the OLD
+  // state. The view still holds the old state for this SCC; for lower
+  // predicates the old state is (view \ Δ+) ∪ Δ−.
+  Database over(symbols_);
+  Database round(symbols_);
+  round.UnionWith(delta_minus_);
+  for (PredicateId pred : plan.preds) {
+    for (const Tuple& t : base_minus.relation(pred).rows()) {
+      if (db_.Contains(pred, t) && !IsPinned(pred, t) &&
+          over.AddFact(pred, t)) {
+        round.AddFact(pred, t);
+      }
+    }
+  }
+  while (!round.empty()) {
+    Database next(symbols_);
+    for (const Rule& rule : plan.rules) {
+      if (rule.IsFact()) continue;
+      std::vector<Atom> atoms = rule.PositiveBodyAtoms();
+      PredicateId head_pred = rule.head().predicate();
+      for (std::size_t q = 0; q < atoms.size(); ++q) {
+        if (round.relation(atoms[q].predicate()).empty()) continue;
+        ++stats->rule_applications;
+        std::vector<AtomSourceSpec> specs(atoms.size());
+        for (std::size_t j = 0; j < atoms.size(); ++j) {
+          if (j == q) {
+            specs[j] = {&round, nullptr, nullptr};
+          } else if (InScc(plan, atoms[j].predicate())) {
+            specs[j] = {&db_, nullptr, nullptr};
+          } else {
+            specs[j] = {&db_, &delta_plus_, &delta_minus_};
+          }
+        }
+        EnumerateDeltaJoin(
+            atoms, specs, {},
+            [&](const Binding& b) {
+              Tuple t = InstantiateHead(rule.head(), b);
+              if (db_.Contains(head_pred, t) &&
+                  !over.Contains(head_pred, t) && !IsPinned(head_pred, t)) {
+                over.AddFact(head_pred, t);
+                next.AddFact(head_pred, t);
+              }
+              return true;
+            },
+            &stats->match);
+      }
+    }
+    round = std::move(next);
+  }
+  stats->overdeleted += over.NumFacts();
+
+  // --- Rederivation: an overdeleted fact survives if some rule still
+  // derives it from surviving facts. Sweeps run until a fixpoint; with a
+  // worker pool each sweep checks its candidates concurrently against a
+  // frozen snapshot (indexes pre-built, rederived set copied), mirroring
+  // the parallel evaluator's round structure.
+  Database rederived(symbols_);
+  bool progress = true;
+  while (progress && rederived.NumFacts() < over.NumFacts()) {
+    progress = false;
+    std::vector<std::pair<PredicateId, Tuple>> candidates;
+    for (PredicateId pred : over.NonEmptyPredicates()) {
+      for (const Tuple& t : over.relation(pred).rows()) {
+        if (!rederived.Contains(pred, t)) candidates.emplace_back(pred, t);
+      }
+    }
+    if (candidates.empty()) break;
+    if (pool_ != nullptr && candidates.size() > 1) {
+      Database frozen(symbols_);
+      frozen.UnionWith(rederived);
+      // Pre-build every index a fixed-order enumeration can probe so the
+      // concurrent checks are pure reads on the shared relations.
+      for (const Rule& rule : plan.rules) {
+        if (rule.IsFact()) continue;
+        std::vector<Atom> atoms = rule.PositiveBodyAtoms();
+        std::vector<VariableId> head_vars;
+        rule.head().AppendVariables(&head_vars);
+        for (const auto& [i, cols] : PlannedIndexColumns(atoms, head_vars)) {
+          if (cols.empty() ||
+              static_cast<int>(cols.size()) == atoms[i].arity()) {
+            continue;  // full scan or pure membership test: no index
+          }
+          const Relation& full_rel = db_.relation(atoms[i].predicate());
+          if (!full_rel.empty()) full_rel.EnsureIndex(cols);
+          const Relation& frozen_rel = frozen.relation(atoms[i].predicate());
+          if (!frozen_rel.empty()) frozen_rel.EnsureIndex(cols);
+        }
+      }
+      std::vector<char> ok(candidates.size(), 0);
+      std::vector<MatchStats> task_stats(candidates.size());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        pool_->Submit([this, &plan, &candidates, &over, &frozen, &ok,
+                       &task_stats, i] {
+          ok[i] = CanRederive(plan, candidates[i].first, candidates[i].second,
+                              over, frozen, &task_stats[i],
+                              /*fixed_order=*/true)
+                      ? 1
+                      : 0;
+        });
+      }
+      pool_->Wait();
+      for (const MatchStats& s : task_stats) stats->match.Add(s);
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (ok[i] != 0) {
+          rederived.AddFact(candidates[i].first, candidates[i].second);
+          progress = true;
+        }
+      }
+    } else {
+      for (const auto& [pred, tuple] : candidates) {
+        if (CanRederive(plan, pred, tuple, over, rederived, &stats->match,
+                        /*fixed_order=*/false)) {
+          rederived.AddFact(pred, tuple);
+          progress = true;
+        }
+      }
+    }
+  }
+  stats->rederived += rederived.NumFacts();
+
+  // --- Apply the net deletions.
+  for (PredicateId pred : over.NonEmptyPredicates()) {
+    std::vector<Tuple> removed;
+    for (const Tuple& t : over.relation(pred).rows()) {
+      if (!rederived.Contains(pred, t)) {
+        removed.push_back(t);
+        RecordRemove(pred, t);
+      }
+    }
+    db_.EraseFacts(pred, removed);
+  }
+
+  // --- Insertions: continue the semi-naive fixpoint from the new state,
+  // seeded with the lower predicates' Δ+ and this SCC's new base facts.
+  // This is the existing delta machinery (ApplyRuleWithDelta +
+  // watermarks) driven by an external delta.
+  Database cur(symbols_);
+  cur.UnionWith(delta_plus_);
+  for (PredicateId pred : plan.preds) {
+    for (const Tuple& t : base_plus.relation(pred).rows()) {
+      if (db_.AddFact(pred, t)) {
+        RecordAdd(pred, t);
+        cur.AddFact(pred, t);
+      }
+    }
+  }
+  while (!cur.empty()) {
+    bool delta_used = false;
+    Watermarks marks = TakeWatermarks(db_);
+    for (const Rule& rule : plan.rules) {
+      if (rule.IsFact()) continue;
+      for (std::size_t q = 0; q < rule.body().size(); ++q) {
+        if (cur.relation(rule.body()[q].atom.predicate()).empty()) continue;
+        ++stats->recompute.rule_applications;
+        delta_used = true;
+        MatchStats local;
+        std::size_t added =
+            ApplyRuleWithDelta(rule, db_, cur, q, &db_, &local, nullptr);
+        stats->recompute.match.Add(local);
+        stats->recompute.facts_derived += added;
+      }
+    }
+    if (!delta_used) break;  // delta only touches predicates no rule reads
+    ++stats->recompute.iterations;
+    Database fresh = CollectNewFacts(db_, marks);
+    for (PredicateId pred : fresh.NonEmptyPredicates()) {
+      for (const Tuple& t : fresh.relation(pred).rows()) RecordAdd(pred, t);
+    }
+    cur = std::move(fresh);
+  }
+}
+
+void MaterializedView::UpdateRecompute(const SccPlan& plan,
+                                       CommitStats* stats) {
+  ++stats->sccs_recomputed;
+  // Negation makes deletion propagation non-monotonic (an insertion below
+  // can delete here and vice versa), so recompute just this SCC from its
+  // final inputs: every body predicate outside the SCC -- positive or
+  // negated -- lies in an earlier SCC and is already at its new state.
+  std::map<PredicateId, std::vector<Tuple>> old_rows;
+  for (PredicateId pred : plan.preds) {
+    old_rows[pred] = db_.relation(pred).rows();
+    db_.ClearRelation(pred);
+    for (const Tuple& t : base_.relation(pred).rows()) db_.AddFact(pred, t);
+  }
+  EvalStats run =
+      pool_ != nullptr
+          ? RunSemiNaiveFixpointParallel(plan.rules, &db_, pool_.get())
+          : RunSemiNaiveFixpoint(plan.rules, &db_);
+  run.per_rule.clear();
+  stats->recompute.Add(run);
+  for (auto& [pred, rows] : old_rows) {
+    std::unordered_set<Tuple, TupleHash> old_set(rows.begin(), rows.end());
+    for (const Tuple& t : rows) {
+      if (!db_.Contains(pred, t)) RecordRemove(pred, t);
+    }
+    for (const Tuple& t : db_.relation(pred).rows()) {
+      if (!old_set.contains(t)) RecordAdd(pred, t);
+    }
+  }
+}
+
+Result<CommitStats> MaterializedView::Apply(
+    const std::vector<std::pair<PredicateId, Tuple>>& inserts,
+    const std::vector<std::pair<PredicateId, Tuple>>& retracts) {
+  CommitStats stats;
+  // Net the batch against the current base: retracting an absent fact or
+  // inserting a present one is a no-op.
+  Database base_plus(symbols_);
+  Database base_minus(symbols_);
+  for (const auto& [pred, tuple] : retracts) {
+    if (base_.Contains(pred, tuple)) base_minus.AddFact(pred, tuple);
+  }
+  for (const auto& [pred, tuple] : inserts) {
+    if (!base_.Contains(pred, tuple)) base_plus.AddFact(pred, tuple);
+  }
+  stats.base_inserted = base_plus.NumFacts();
+  stats.base_retracted = base_minus.NumFacts();
+  if (base_plus.empty() && base_minus.empty()) return stats;
+
+  for (PredicateId pred : base_minus.NonEmptyPredicates()) {
+    base_.EraseFacts(pred, base_minus.relation(pred).rows());
+  }
+  base_.UnionWith(base_plus);
+
+  delta_plus_ = Database(symbols_);
+  delta_minus_ = Database(symbols_);
+
+  // Purely extensional predicates change exactly as the base does; their
+  // deltas then drive the SCC plans in dependency order.
+  UpdateExtensional(base_plus, base_minus, &stats);
+  for (const SccPlan& plan : plans_) {
+    if (!PlanTouched(plan, base_plus, base_minus)) continue;
+    ++stats.sccs_touched;
+    switch (plan.kind) {
+      case SccKind::kCounting:
+        UpdateCounting(plan, base_plus, base_minus, &stats);
+        break;
+      case SccKind::kDRed:
+        UpdateDRed(plan, base_plus, base_minus, &stats);
+        break;
+      case SccKind::kRecompute:
+        UpdateRecompute(plan, &stats);
+        break;
+    }
+  }
+  stats.derived_added = delta_plus_.NumFacts();
+  stats.derived_removed = delta_minus_.NumFacts();
+  return stats;
+}
+
+Transaction MaterializedView::Begin() { return Transaction(this); }
+
+Status Transaction::Buffer(bool insert, PredicateId pred, Tuple tuple) {
+  if (!active_) {
+    return Status::InvalidArgument("transaction is no longer active");
+  }
+  int arity = view_->symbols()->PredicateArity(pred);
+  if (arity != static_cast<int>(tuple.size())) {
+    return Status::InvalidArgument("arity mismatch for predicate " +
+                                   view_->symbols()->PredicateName(pred));
+  }
+  ops_.push_back(Op{insert, pred, std::move(tuple)});
+  return Status::OK();
+}
+
+Status Transaction::Buffer(bool insert, const Atom& fact) {
+  if (!fact.IsGround()) {
+    return Status::InvalidArgument("only ground atoms can be asserted");
+  }
+  Tuple tuple;
+  tuple.reserve(fact.args().size());
+  for (const Term& t : fact.args()) tuple.push_back(t.value());
+  return Buffer(insert, fact.predicate(), std::move(tuple));
+}
+
+Status Transaction::Insert(PredicateId pred, Tuple tuple) {
+  return Buffer(true, pred, std::move(tuple));
+}
+Status Transaction::Insert(const Atom& fact) { return Buffer(true, fact); }
+Status Transaction::Retract(PredicateId pred, Tuple tuple) {
+  return Buffer(false, pred, std::move(tuple));
+}
+Status Transaction::Retract(const Atom& fact) { return Buffer(false, fact); }
+
+Result<CommitStats> Transaction::Commit() {
+  if (!active_) {
+    return Status::InvalidArgument("transaction is no longer active");
+  }
+  active_ = false;
+  // Net the ops: the last operation on a fact wins.
+  std::map<PredicateId, std::unordered_map<Tuple, bool, TupleHash>> net;
+  for (Op& op : ops_) {
+    net[op.pred][std::move(op.tuple)] = op.insert;
+  }
+  ops_.clear();
+  std::vector<std::pair<PredicateId, Tuple>> inserts;
+  std::vector<std::pair<PredicateId, Tuple>> retracts;
+  for (auto& [pred, facts] : net) {
+    for (auto& [tuple, is_insert] : facts) {
+      (is_insert ? inserts : retracts).emplace_back(pred, tuple);
+    }
+  }
+  return view_->Apply(inserts, retracts);
+}
+
+void Transaction::Abort() {
+  ops_.clear();
+  active_ = false;
+}
+
+}  // namespace datalog

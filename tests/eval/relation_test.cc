@@ -143,6 +143,58 @@ TEST(RelationTest, EnsureIndexMatchesLazyLookup) {
   EXPECT_EQ(rel.Lookup({0}, {Value::Int(2)}).size(), 9u);
 }
 
+TEST(RelationTest, EraseAllRemovesOnlyPresentTuples) {
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  rel.Insert(T2(2, 3));
+  rel.Insert(T2(3, 4));
+  // One present, one absent, one present-but-listed-twice.
+  EXPECT_EQ(rel.EraseAll({T2(1, 2), T2(9, 9), T2(3, 4), T2(3, 4)}), 2u);
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_FALSE(rel.Contains(T2(1, 2)));
+  EXPECT_TRUE(rel.Contains(T2(2, 3)));
+  EXPECT_FALSE(rel.Contains(T2(3, 4)));
+  // Erasing nothing is a no-op that reports zero.
+  EXPECT_EQ(rel.EraseAll({T2(7, 7)}), 0u);
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(RelationTest, EraseAllPreservesSurvivorOrder) {
+  Relation rel(2);
+  rel.Insert(T2(5, 0));
+  rel.Insert(T2(1, 0));
+  rel.Insert(T2(3, 0));
+  rel.Insert(T2(2, 0));
+  rel.EraseAll({T2(1, 0)});
+  EXPECT_EQ(rel.row(0), T2(5, 0));
+  EXPECT_EQ(rel.row(1), T2(3, 0));
+  EXPECT_EQ(rel.row(2), T2(2, 0));
+}
+
+TEST(RelationTest, EraseAllInvalidatesLazyIndexes) {
+  // Build an index, erase rows (shifting row ids), and check that lookups
+  // on both the prebuilt and a fresh column set see exactly the
+  // survivors -- a stale index would return shifted or dangling row ids.
+  Relation rel(2);
+  for (std::int64_t i = 0; i < 8; ++i) rel.Insert(T2(i % 2, i));
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(0)}).size(), 4u);
+  rel.EnsureIndex({1});
+
+  EXPECT_EQ(rel.EraseAll({T2(0, 0), T2(0, 2), T2(1, 7)}), 3u);
+  const auto& zeros = rel.Lookup({0}, {Value::Int(0)});
+  EXPECT_EQ(zeros.size(), 2u);
+  for (std::uint32_t row_id : zeros) {
+    EXPECT_EQ(rel.row(row_id)[0], Value::Int(0));
+  }
+  EXPECT_TRUE(rel.Lookup({1}, {Value::Int(7)}).empty());
+  EXPECT_EQ(rel.Lookup({1}, {Value::Int(3)}).size(), 1u);
+  EXPECT_EQ(rel.Lookup({0, 1}, T2(1, 5)).size(), 1u);
+
+  // Indexes keep extending after the rebuild.
+  rel.Insert(T2(0, 100));
+  EXPECT_EQ(rel.Lookup({0}, {Value::Int(0)}).size(), 3u);
+}
+
 TEST(RelationTest, ConcurrentReadOnlyLookupsOnPrebuiltIndex) {
   // The parallel evaluator's frozen-snapshot contract: after EnsureIndex,
   // any number of threads may Lookup/Contains concurrently. Run enough

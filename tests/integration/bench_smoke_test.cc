@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,10 +53,37 @@ INSTANTIATE_TEST_SUITE_P(
     Binaries, BenchSmokeTest,
     ::testing::Values("bench_eval_speedup", "bench_minimize",
                       "bench_magic_sets", "bench_chase", "bench_engine",
-                      "bench_cq", "bench_ablation", "bench_parallel"),
+                      "bench_cq", "bench_ablation", "bench_parallel",
+                      "bench_incr"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       return std::string(info.param);
     });
+
+TEST(BenchJsonTest, JsonFlagWritesBenchmarkResults) {
+  // `--json PATH` must produce google-benchmark JSON at PATH while the
+  // console output still appears. bench_incr also carries the speedup
+  // counter the incremental-evaluation claim is tracked by.
+  const std::string path = ::testing::TempDir() + "/bench_incr_smoke.json";
+  std::remove(path.c_str());
+  const std::string binary = std::string(DATALOG_BENCH_DIR) + "/bench_incr";
+  std::string output;
+  int code = RunCommand(
+      binary +
+          " --json " + path +
+          " --benchmark_filter='BM_IncrCommitPair/n:64/delta:1$'"
+          " --benchmark_min_time=0.01",
+      &output);
+  ASSERT_EQ(code, 0) << output;
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good()) << "missing " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"benchmarks\""), std::string::npos);
+  EXPECT_NE(json.find("BM_IncrCommitPair"), std::string::npos);
+  EXPECT_NE(json.find("work_speedup"), std::string::npos);
+}
 
 }  // namespace
 }  // namespace datalog

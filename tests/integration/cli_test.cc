@@ -208,6 +208,55 @@ TEST(CliTest, AnalyzeReportsStructure) {
   EXPECT_NE(out.find("linear:       no"), std::string::npos) << out;
 }
 
+TEST(CliTest, IncrAppliesUpdateScriptAndAnswersQueries) {
+  std::string program = WriteTemp("incr.dl",
+                                  "path(x, y) :- edge(x, y).\n"
+                                  "path(x, z) :- path(x, y), edge(y, z).\n");
+  std::string facts = WriteTemp("incr_facts.dl", "edge(1, 2). edge(2, 3).");
+  std::string script = WriteTemp("incr.script",
+                                 "% extend the chain, then cut the middle\n"
+                                 "+edge(3, 4)\n"
+                                 "commit\n"
+                                 "?path(1, x)\n"
+                                 "-edge(2, 3)\n"
+                                 "?path(1, x)\n");
+  std::string out;
+  int code = RunCli("incr " + program + " " + facts + " " + script, &out);
+  EXPECT_EQ(code, 0);
+  // First query sees 1->{2,3,4}; after -edge(2,3) only path(1,2) is left.
+  EXPECT_NE(out.find("path(1, 4).\npath(1, 2).\n"), std::string::npos) << out;
+  std::size_t last = out.rfind("path(1, 2).");
+  EXPECT_NE(last, std::string::npos);
+  EXPECT_EQ(out.find("path(1, 3).", last), std::string::npos) << out;
+}
+
+TEST(CliTest, IncrThreadsFlagMatchesSequentialOutput) {
+  std::string program = WriteTemp("incr_t.dl",
+                                  "path(x, y) :- edge(x, y).\n"
+                                  "path(x, z) :- path(x, y), edge(y, z).\n");
+  std::string facts = WriteTemp("incr_t_facts.dl",
+                                "edge(1, 2). edge(2, 3). edge(3, 1).");
+  std::string script = WriteTemp("incr_t.script",
+                                 "-edge(2, 3)\n+edge(2, 4)\n?path(x, y)\n");
+  std::string seq;
+  std::string par;
+  EXPECT_EQ(
+      RunCli("incr " + program + " " + facts + " " + script, &seq), 0);
+  EXPECT_EQ(RunCli("incr --threads 4 " + program + " " + facts + " " + script,
+                   &par),
+            0);
+  EXPECT_EQ(seq, par);
+  EXPECT_FALSE(seq.empty());
+}
+
+TEST(CliTest, IncrRejectsMalformedScript) {
+  std::string program = WriteTemp("incr_bad.dl", "p(x) :- e(x).\n");
+  std::string facts = WriteTemp("incr_bad_facts.dl", "e(1).");
+  std::string script = WriteTemp("incr_bad.script", "e(2)\n");
+  std::string out;
+  EXPECT_NE(RunCli("incr " + program + " " + facts + " " + script, &out), 0);
+}
+
 TEST(CliTest, BadUsageExitsNonZero) {
   std::string out;
   EXPECT_NE(RunCli("", &out), 0);

@@ -2,44 +2,75 @@
 # Sanitizer check harness. Builds the library and tests under
 # ThreadSanitizer and runs the evaluation-engine suites (the ones that
 # exercise the parallel evaluator's frozen-snapshot contract), then
-# optionally repeats under ASan+UBSan.
+# repeats the incremental-maintenance fuzzer under ASan+UBSan.
 #
-#   tools/check.sh            # TSan build + eval/util/integration tests
-#   tools/check.sh thread     # same, explicit
-#   tools/check.sh address,undefined   # ASan+UBSan instead
+#   tools/check.sh            # TSan gate + ASan/UBSan incremental fuzzer
+#   tools/check.sh thread     # TSan gate only, explicit
+#   tools/check.sh address,undefined   # ASan+UBSan suites instead
 #   DATALOG_CHECK_ALL=1 tools/check.sh # run the full ctest suite
+#   DATALOG_CHECK_INCR_ASAN=0 tools/check.sh  # skip the extra ASan pass
 #
 # Benchmarks and examples are skipped: sanitizer builds are for
 # correctness, not measurement.
 
 set -euo pipefail
 
-SANITIZE="${1:-thread}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${ROOT}/build-sanitize-${SANITIZE//,/-}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== configuring (${SANITIZE}) into ${BUILD_DIR}"
-cmake -B "${BUILD_DIR}" -S "${ROOT}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDATALOG_SANITIZE="${SANITIZE}" \
-  -DDATALOG_BUILD_BENCHMARKS=OFF
+configure_and_build() {
+  local sanitize="$1"
+  local build_dir="${ROOT}/build-sanitize-${sanitize//,/-}"
 
-echo "== building"
-cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target util_test eval_test integration_test
+  echo "== configuring (${sanitize}) into ${build_dir}"
+  cmake -B "${build_dir}" -S "${ROOT}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDATALOG_SANITIZE="${sanitize}" \
+    -DDATALOG_BUILD_BENCHMARKS=OFF
 
-echo "== running tests under -fsanitize=${SANITIZE}"
-cd "${BUILD_DIR}"
-if [ "${DATALOG_CHECK_ALL:-0}" = "1" ]; then
-  ctest --output-on-failure -j "${JOBS}"
-else
-  # The thread-pool, parallel-evaluator, concurrent-relation, and
-  # differential tests all live in these three suites.
-  ./tests/util_test
-  ./tests/eval_test
-  ./tests/integration_test \
-    --gtest_filter='*DifferentialEngine*:*MethodsAgree*'
+  echo "== building (${sanitize})"
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target util_test eval_test incr_test integration_test
+}
+
+run_gate() {
+  local sanitize="$1"
+  local build_dir="${ROOT}/build-sanitize-${sanitize//,/-}"
+
+  echo "== running tests under -fsanitize=${sanitize}"
+  cd "${build_dir}"
+  if [ "${DATALOG_CHECK_ALL:-0}" = "1" ]; then
+    ctest --output-on-failure -j "${JOBS}"
+  else
+    # The thread-pool, parallel-evaluator, concurrent-relation,
+    # incremental-maintenance, and differential tests all live in
+    # these four suites.
+    ./tests/util_test
+    ./tests/eval_test
+    ./tests/incr_test
+    ./tests/integration_test \
+      --gtest_filter='*DifferentialEngine*:*MethodsAgree*:*Incremental*'
+  fi
+  cd "${ROOT}"
+
+  echo "== OK (${sanitize})"
+}
+
+SANITIZE="${1:-thread}"
+configure_and_build "${SANITIZE}"
+run_gate "${SANITIZE}"
+
+# With the default TSan gate, also fuzz the incremental engine under
+# ASan+UBSan: EraseAll invalidates lazy indexes and DRed erases and
+# re-adds rows within one commit, which is exactly the churn that
+# use-after-free bugs hide in. TSan cannot see those; ASan can.
+if [ "${SANITIZE}" = "thread" ] && [ "${DATALOG_CHECK_INCR_ASAN:-1}" = "1" ]; then
+  configure_and_build "address,undefined"
+  build_dir="${ROOT}/build-sanitize-address-undefined"
+  echo "== running incremental fuzzer under -fsanitize=address,undefined"
+  cd "${build_dir}"
+  ./tests/incr_test
+  ./tests/integration_test --gtest_filter='*Incremental*'
+  cd "${ROOT}"
+  echo "== OK (address,undefined incremental fuzzer)"
 fi
-
-echo "== OK (${SANITIZE})"

@@ -7,10 +7,12 @@
 //   datalog-opt contains  P1 P2              P2 subseteq^u P1? (with witness)
 //   datalog-opt prove     P1 P2 TGDS         Section X containment recipe
 //   datalog-opt explain   PROGRAM FACTS F    derivation tree of fact F
+//   datalog-opt incr      PROGRAM FACTS S    incremental update script S
 //   datalog-opt analyze   PROGRAM            structure report
 //
 // PROGRAM/FACTS/TGDS are file paths; pass '-' to read stdin.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +48,10 @@ int Usage() {
       "  minimize-sat PROGRAM TGDS minimize relative to databases\n"
       "                            satisfying the tgds (Section VIII)\n"
       "  explain PROGRAM FACTS F   print a derivation tree for fact F\n"
+      "  incr PROGRAM FACTS SCRIPT maintain the fixpoint incrementally\n"
+      "       [--threads N]        while applying the update script\n"
+      "                            (+fact / -fact / ?query / commit lines,\n"
+      "                            see docs/FILE_FORMAT.md)\n"
       "  plan PROGRAM Q            show the relevance -> Fig. 2 -> magic\n"
       "                            pipeline for query Q\n"
       "  analyze PROGRAM           recursion/linearity/strata report\n");
@@ -299,6 +305,124 @@ int CmdExplain(const std::string& program_text, const std::string& facts_text,
   return 0;
 }
 
+int CmdIncr(const std::string& program_text, const std::string& facts_text,
+            const std::string& script_text, std::size_t num_threads,
+            const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(program_text);
+  if (!Check(program, "parse program")) return 1;
+  Result<Database> db = ParseDatabase(symbols, facts_text);
+  if (!Check(db, "parse facts")) return 1;
+  IncrOptions options;
+  options.num_threads = num_threads;
+  Result<MaterializedView> view =
+      MaterializedView::Create(*program, *db, options);
+  if (!Check(view, "materialize")) return 1;
+  std::fprintf(
+      stderr, "materialized %zu facts (%llu joins)\n", view->db().NumFacts(),
+      static_cast<unsigned long long>(
+          view->initial_stats().match.substitutions));
+
+  Transaction txn = view->Begin();
+  int commit_number = 0;
+  // Commits the pending transaction (if it buffered anything) and starts
+  // a fresh one. Queries and end-of-script commit implicitly.
+  auto commit = [&]() -> bool {
+    if (txn.NumPendingOps() == 0) return true;
+    Result<CommitStats> stats = txn.Commit();
+    txn = view->Begin();
+    if (!Check(stats, "commit")) return false;
+    std::fprintf(stderr, "commit %d: %s\n", ++commit_number,
+                 stats->ToString().c_str());
+    return true;
+  };
+
+  std::istringstream lines(script_text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    // Strip a trailing %-comment (quote-aware) and surrounding blanks.
+    bool in_quote = false;
+    std::size_t cut = line.size();
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '\'') in_quote = !in_quote;
+      if (line[i] == '%' && !in_quote) {
+        cut = i;
+        break;
+      }
+    }
+    std::string body = line.substr(0, cut);
+    std::size_t start = body.find_first_not_of(" \t\r");
+    if (start == std::string::npos || body[start] == '#') continue;
+    std::size_t end = body.find_last_not_of(" \t\r");
+    body = body.substr(start, end - start + 1);
+    if (body == "commit") {
+      if (!commit()) return 1;
+      continue;
+    }
+    const char op = body[0];
+    std::string rest = body.substr(1);
+    if (!rest.empty() && rest.back() != '.') rest += '.';
+    if (op == '+' || op == '-') {
+      Result<std::vector<Atom>> atoms = parser.ParseGroundAtoms(rest);
+      if (!atoms.ok()) {
+        std::fprintf(stderr, "error (script line %d): %s\n", line_no,
+                     atoms.status().ToString().c_str());
+        return 1;
+      }
+      for (const Atom& atom : *atoms) {
+        Status status = op == '+' ? txn.Insert(atom) : txn.Retract(atom);
+        if (!status.ok()) {
+          std::fprintf(stderr, "error (script line %d): %s\n", line_no,
+                       status.ToString().c_str());
+          return 1;
+        }
+      }
+      continue;
+    }
+    if (op == '?') {
+      if (!commit()) return 1;  // queries see all preceding updates
+      Result<Atom> query = parser.ParseQuery("?- " + rest);
+      if (!query.ok()) {
+        std::fprintf(stderr, "error (script line %d): %s\n", line_no,
+                     query.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::string> answers;
+      EnumerateDeltaJoin(
+          {*query}, {AtomSourceSpec{&view->db(), nullptr, nullptr}}, {},
+          [&](const Binding& binding) {
+            Tuple tuple = InstantiateHead(*query, binding);
+            std::string text = symbols->PredicateName(query->predicate());
+            if (!tuple.empty()) {
+              text += "(";
+              for (std::size_t i = 0; i < tuple.size(); ++i) {
+                if (i != 0) text += ", ";
+                text += ToString(tuple[i], *symbols);
+              }
+              text += ")";
+            }
+            answers.push_back(std::move(text));
+            return true;
+          },
+          nullptr);
+      std::sort(answers.begin(), answers.end());
+      for (const std::string& answer : answers) {
+        std::printf("%s.\n", answer.c_str());
+      }
+      std::fprintf(stderr, "?%s %zu answers\n", rest.c_str(), answers.size());
+      continue;
+    }
+    std::fprintf(stderr,
+                 "error (script line %d): expected +fact, -fact, ?query, "
+                 "commit, or a %%-comment\n",
+                 line_no);
+    return 1;
+  }
+  return commit() ? 0 : 1;
+}
+
 int CmdPlan(const std::string& program_text, const std::string& query_text,
             const std::shared_ptr<SymbolTable>& symbols) {
   Parser parser(symbols);
@@ -412,6 +536,11 @@ int Main(int argc, char** argv) {
   if (argc < 5) return Usage();
   if (command == "query") return CmdQuery(first, second, argv[4], symbols);
   if (command == "explain") return CmdExplain(first, second, argv[4], symbols);
+  if (command == "incr") {
+    std::string third;
+    if (!ReadInput(argv[4], &third)) return 1;
+    return CmdIncr(first, second, third, num_threads, symbols);
+  }
   if (command == "prove") {
     std::string third;
     if (!ReadInput(argv[4], &third)) return 1;
