@@ -1,0 +1,10 @@
+// Shared main() for benchmark binaries: BENCHMARK_MAIN() plus the
+// `--json PATH` / `--metrics PATH` / `--trace PATH` flags (see
+// bench_util.h). Linked into every bench target in place of
+// benchmark::benchmark_main so all binaries expose the same surface.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  return datalog::bench::BenchmarkMainWithJson(argc, argv);
+}

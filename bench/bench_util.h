@@ -83,17 +83,31 @@ inline T MustOk(Result<T> result) {
 /// is unchanged; the JSON goes to the file). When `default_json` is
 /// non-null the binary emits JSON there even without the flag, so CI
 /// collects results by just running it.
+///
+/// Also accepts the observability flags:
+///   --metrics PATH   enable the MetricsRegistry for the run and write the
+///                    flat metrics JSON to PATH afterwards
+///   --trace PATH     enable the Tracer and write Chrome trace-event JSON
+///                    to PATH (beware: traces of a full benchmark run are
+///                    large; prefer --benchmark_filter to narrow the run)
 inline int BenchmarkMainWithJson(int argc, char** argv,
                                  const char* default_json = nullptr) {
   std::vector<std::string> args;
   std::string json_path = default_json == nullptr ? "" : default_json;
+  std::string metrics_path;
+  std::string trace_path;
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") {
+    std::string_view arg(argv[i]);
+    std::string* path_flag = arg == "--json"      ? &json_path
+                             : arg == "--metrics" ? &metrics_path
+                             : arg == "--trace"   ? &trace_path
+                                                  : nullptr;
+    if (path_flag != nullptr) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --json expects a path\n");
+        std::fprintf(stderr, "error: %s expects a path\n", argv[i]);
         return 2;
       }
-      json_path = argv[++i];
+      *path_flag = argv[++i];
       continue;
     }
     args.push_back(argv[i]);
@@ -110,9 +124,19 @@ inline int BenchmarkMainWithJson(int argc, char** argv,
   if (benchmark::ReportUnrecognizedArguments(adjusted_argc, ptrs.data())) {
     return 1;
   }
+  if (!metrics_path.empty()) MetricsRegistry::Get().Enable();
+  if (!trace_path.empty()) Tracer::Get().Enable();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  int code = 0;
+  if (!trace_path.empty() && !Tracer::Get().WriteJsonFile(trace_path)) {
+    code = 1;
+  }
+  if (!metrics_path.empty() &&
+      !MetricsRegistry::Get().WriteJsonFile(metrics_path)) {
+    code = 1;
+  }
+  return code;
 }
 
 }  // namespace bench

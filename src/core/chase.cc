@@ -5,6 +5,8 @@
 #include "ast/pretty_print.h"
 #include "ast/validate.h"
 #include "eval/seminaive.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace datalog {
 namespace {
@@ -78,6 +80,8 @@ Result<ChaseResult> Chase(const Program& program, const std::vector<Tgd>& tgds,
                           ChaseTranscript* transcript) {
   DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
 
+  TraceSpan span("chase");
+  span.Note("tgds", tgds.size());
   ChaseResult result;
   NullPool nulls;
   const std::size_t initial_facts = db->NumFacts();
@@ -100,11 +104,17 @@ Result<ChaseResult> Chase(const Program& program, const std::vector<Tgd>& tgds,
     }
     ++result.rounds;
 
+    TraceSpan round_span("chase/round");
+    round_span.Note("round", static_cast<std::uint64_t>(result.rounds));
     std::size_t before = db->NumFacts();
 
     // Rules to their fixpoint (always terminates: no new constants).
     Marks marks = Snapshot(*db);
-    RunSemiNaiveFixpoint(program.rules(), db);
+    {
+      TraceSpan rules_span("chase/rules");
+      RunSemiNaiveFixpoint(program.rules(), db);
+      rules_span.Note("facts", db->NumFacts());
+    }
     RecordStep(*db, marks, ChaseStep::Kind::kRules, 0, transcript);
     if (goal_reached()) {
       result.status = ChaseStatus::kGoalReached;
@@ -114,7 +124,11 @@ Result<ChaseResult> Chase(const Program& program, const std::vector<Tgd>& tgds,
     // One fair round of every tgd.
     for (std::size_t i = 0; i < tgds.size(); ++i) {
       marks = Snapshot(*db);
+      TraceSpan tgd_span("chase/tgd");
+      tgd_span.Note("tgd", i);
       ApplyTgdRound(tgds[i], db, &nulls);
+      tgd_span.Note("facts", db->NumFacts());
+      tgd_span.End();
       RecordStep(*db, marks, ChaseStep::Kind::kTgd, i, transcript);
     }
     if (goal_reached()) {
@@ -130,6 +144,19 @@ Result<ChaseResult> Chase(const Program& program, const std::vector<Tgd>& tgds,
 
   result.facts_added = db->NumFacts() - initial_facts;
   result.nulls_introduced = nulls.allocated();
+  if (span.active()) {
+    span.Note("rounds", static_cast<std::uint64_t>(result.rounds));
+    span.Note("facts_added", result.facts_added);
+    span.Note("nulls", static_cast<std::uint64_t>(result.nulls_introduced));
+  }
+  MetricsRegistry& metrics = MetricsRegistry::Get();
+  if (metrics.enabled()) {
+    metrics.Add("chase.runs", {}, 1);
+    metrics.Add("chase.rounds", {}, result.rounds);
+    metrics.Add("chase.facts_added", {}, result.facts_added);
+    metrics.Add("chase.nulls_introduced", {},
+                static_cast<std::uint64_t>(result.nulls_introduced));
+  }
   return result;
 }
 

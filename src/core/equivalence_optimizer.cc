@@ -5,6 +5,8 @@
 
 #include "ast/validate.h"
 #include "core/equivalence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace datalog {
 namespace {
@@ -118,6 +120,8 @@ std::vector<Tgd> CandidateTgds(const Rule& rule,
 Result<EquivalenceOptimizeResult> OptimizeUnderEquivalence(
     const Program& program, const EquivalenceOptimizerOptions& options) {
   DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
+  TraceSpan span("equivalence/optimize");
+  span.Note("rules", program.NumRules());
   EquivalenceOptimizeResult result{program, {}, 0};
 
   for (std::size_t rule_index = 0; rule_index < result.program.NumRules();
@@ -131,6 +135,8 @@ Result<EquivalenceOptimizeResult> OptimizeUnderEquivalence(
       std::vector<Tgd> candidates = CandidateTgds(rule, options);
       for (const Tgd& tgd : candidates) {
         ++result.candidates_tried;
+        TraceSpan candidate_span("equivalence/candidate");
+        candidate_span.Note("rule", rule_index);
         // Build the weakened rule: remove the tgd's RHS atoms (by value;
         // duplicates are removed once per occurrence in the RHS).
         Rule weakened = rule;
@@ -158,6 +164,7 @@ Result<EquivalenceOptimizeResult> OptimizeUnderEquivalence(
             ProveEquivalentWithTgds(result.program, candidate_program, {tgd},
                                     options.budget));
         if (proof.overall == ProofOutcome::kProved) {
+          candidate_span.Note("proved", 1);
           result.program = std::move(candidate_program);
           result.removals.push_back(
               EquivalenceRemoval{rule_index, tgd.rhs(), tgd});
@@ -166,6 +173,18 @@ Result<EquivalenceOptimizeResult> OptimizeUnderEquivalence(
         }
       }
     }
+  }
+  if (span.active()) {
+    span.Note("candidates_tried",
+              static_cast<std::uint64_t>(result.candidates_tried));
+    span.Note("removals", result.removals.size());
+  }
+  MetricsRegistry& metrics = MetricsRegistry::Get();
+  if (metrics.enabled()) {
+    metrics.Add("equivalence.runs", {}, 1);
+    metrics.Add("equivalence.candidates_tried", {},
+                static_cast<std::uint64_t>(result.candidates_tried));
+    metrics.Add("equivalence.removals", {}, result.removals.size());
   }
   return result;
 }

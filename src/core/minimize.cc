@@ -7,6 +7,8 @@
 
 #include "ast/validate.h"
 #include "core/uniform_containment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace datalog {
 namespace {
@@ -33,6 +35,8 @@ Result<MinimizeReport> MinimizeRuleAtoms(Program* program,
                                          std::size_t rule_index,
                                          const MinimizeOptions& options) {
   MinimizeReport report;
+  TraceSpan span("minimize/rule_atoms");
+  span.Note("rule", rule_index);
   const std::size_t original_size =
       program->rules()[rule_index].body().size();
   // `pending[i]` is the ORIGINAL position of the i-th body atom of the
@@ -64,6 +68,12 @@ Result<MinimizeReport> MinimizeRuleAtoms(Program* program,
       pending.erase(it);
       ++report.atoms_removed;
     }
+  }
+  if (span.active()) {
+    span.Note("containment_tests",
+              static_cast<std::uint64_t>(report.containment_tests));
+    span.Note("atoms_removed",
+              static_cast<std::uint64_t>(report.atoms_removed));
   }
   return report;
 }
@@ -128,6 +138,8 @@ Result<Program> MinimizeProgram(const Program& program,
                                 MinimizeReport* report,
                                 const MinimizeOptions& options) {
   DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
+  TraceSpan span("minimize/program");
+  span.Note("rules", program.NumRules());
   Program current = program;
   MinimizeReport total;
 
@@ -153,8 +165,12 @@ Result<Program> MinimizeProgram(const Program& program,
     const Rule rule = current.rules()[current_index];
     Program without = current.WithoutRule(current_index);
     ++total.containment_tests;
+    TraceSpan candidate_span("minimize/rule_candidate");
+    candidate_span.Note("rule", original_index);
     DATALOG_ASSIGN_OR_RETURN(bool redundant,
                              UniformlyContainsRule(without, rule));
+    candidate_span.Note("redundant", redundant ? 1 : 0);
+    candidate_span.End();
     if (redundant) {
       total.removed_rules.push_back(rule);
       current = std::move(without);
@@ -163,6 +179,24 @@ Result<Program> MinimizeProgram(const Program& program,
     }
   }
 
+  if (span.active()) {
+    span.Note("containment_tests",
+              static_cast<std::uint64_t>(total.containment_tests));
+    span.Note("atoms_removed",
+              static_cast<std::uint64_t>(total.atoms_removed));
+    span.Note("rules_removed",
+              static_cast<std::uint64_t>(total.rules_removed));
+  }
+  MetricsRegistry& metrics = MetricsRegistry::Get();
+  if (metrics.enabled()) {
+    metrics.Add("minimize.runs", {}, 1);
+    metrics.Add("minimize.containment_tests", {},
+                static_cast<std::uint64_t>(total.containment_tests));
+    metrics.Add("minimize.atoms_removed", {},
+                static_cast<std::uint64_t>(total.atoms_removed));
+    metrics.Add("minimize.rules_removed", {},
+                static_cast<std::uint64_t>(total.rules_removed));
+  }
   if (report != nullptr) report->Add(total);
   return current;
 }

@@ -2,17 +2,29 @@
 
 #include "core/equivalence_optimizer.h"
 #include "core/relevance.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
 Result<QueryPlan> PlanQuery(const Program& program, const Atom& query,
                             const PlanOptions& options) {
+  TraceSpan span("pipeline/plan");
+  span.Note("rules", program.NumRules());
   QueryPlan plan;
-  DATALOG_ASSIGN_OR_RETURN(plan.restricted,
-                           RestrictToQuery(program, query.predicate()));
-  DATALOG_ASSIGN_OR_RETURN(plan.optimized,
-                           MinimizeProgram(plan.restricted, &plan.report));
+  {
+    TraceSpan restrict_span("pipeline/restrict");
+    DATALOG_ASSIGN_OR_RETURN(plan.restricted,
+                             RestrictToQuery(program, query.predicate()));
+    restrict_span.Note("rules", plan.restricted.NumRules());
+  }
+  {
+    TraceSpan minimize_span("pipeline/minimize");
+    DATALOG_ASSIGN_OR_RETURN(plan.optimized,
+                             MinimizeProgram(plan.restricted, &plan.report));
+    minimize_span.Note("rules", plan.optimized.NumRules());
+  }
   if (options.equivalence_pass) {
+    TraceSpan eq_span("pipeline/equivalence");
     EquivalenceOptimizerOptions eq_options;
     eq_options.budget = options.budget;
     DATALOG_ASSIGN_OR_RETURN(EquivalenceOptimizeResult result,
@@ -21,10 +33,16 @@ Result<QueryPlan> PlanQuery(const Program& program, const Atom& query,
     for (const EquivalenceRemoval& removal : result.removals) {
       plan.report.atoms_removed += removal.removed.size();
     }
+    eq_span.Note("removals", result.removals.size());
     plan.optimized = std::move(result.program);
   }
-  DATALOG_ASSIGN_OR_RETURN(
-      plan.magic, MagicSetsTransform(plan.optimized, query, options.magic));
+  {
+    TraceSpan magic_span("pipeline/magic");
+    DATALOG_ASSIGN_OR_RETURN(
+        plan.magic, MagicSetsTransform(plan.optimized, query, options.magic));
+    magic_span.Note("rules", plan.magic.program.NumRules());
+  }
+  span.Note("optimized_rules", plan.optimized.NumRules());
   return plan;
 }
 

@@ -3,6 +3,8 @@
 #include "ast/validate.h"
 #include "core/freeze.h"
 #include "eval/seminaive.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -14,13 +16,24 @@ Result<bool> UniformlyContainsRule(const Program& p, const Rule& r) {
         "uniform containment requires positive rules");
   }
 
+  TraceSpan span("containment/check");
+  MetricsRegistry& metrics = MetricsRegistry::Get();
+  if (metrics.enabled()) metrics.Add("containment.checks", {}, 1);
   DATALOG_ASSIGN_OR_RETURN(FrozenRule frozen, FreezeRule(r, p.symbols()));
   // Compute P(b theta). The fixpoint is finite: rule application introduces
   // no constants beyond those of b theta and of P's rules.
   DATALOG_ASSIGN_OR_RETURN(EvalStats stats,
                            EvaluateSemiNaive(p, &frozen.body));
-  (void)stats;
-  return frozen.body.Contains(frozen.head_pred, frozen.head_tuple);
+  bool contained = frozen.body.Contains(frozen.head_pred, frozen.head_tuple);
+  if (span.active()) {
+    span.Note("iterations", static_cast<std::uint64_t>(stats.iterations));
+    span.Note("facts", stats.facts_derived);
+    span.Note("contained", contained ? 1 : 0);
+  }
+  if (metrics.enabled() && contained) {
+    metrics.Add("containment.holds", {}, 1);
+  }
+  return contained;
 }
 
 Result<std::optional<UniformContainmentWitness>>
@@ -31,6 +44,9 @@ RefuteUniformContainment(const Program& p, const Rule& r) {
     return Status::InvalidArgument(
         "uniform containment requires positive rules");
   }
+  TraceSpan span("containment/refute");
+  MetricsRegistry& metrics = MetricsRegistry::Get();
+  if (metrics.enabled()) metrics.Add("containment.checks", {}, 1);
   DATALOG_ASSIGN_OR_RETURN(FrozenRule frozen, FreezeRule(r, p.symbols()));
   Database input(p.symbols());
   input.UnionWith(frozen.body);

@@ -54,6 +54,9 @@
 #include "eval/topdown.h"         // IWYU pragma: export
 #include "incr/delta_join.h"      // IWYU pragma: export
 #include "incr/materialized_view.h"  // IWYU pragma: export
+#include "obs/metrics.h"          // IWYU pragma: export
+#include "obs/stats_export.h"     // IWYU pragma: export
+#include "obs/trace.h"            // IWYU pragma: export
 #include "util/result.h"          // IWYU pragma: export
 #include "version.h"              // IWYU pragma: export
 #include "util/status.h"          // IWYU pragma: export

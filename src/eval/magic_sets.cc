@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ast/validate.h"
+#include "obs/trace.h"
 
 namespace datalog {
 namespace {
@@ -93,6 +94,8 @@ Result<MagicProgram> MagicSetsTransform(const Program& program,
                                         const Atom& query,
                                         const MagicOptions& options) {
   DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
+  TraceSpan span("magic/rewrite");
+  span.Note("input_rules", program.NumRules());
   SymbolTable* symbols = program.symbols().get();
   std::set<PredicateId> intentional = program.IntentionalPredicates();
 

@@ -13,6 +13,8 @@
 #include "ast/validate.h"
 #include "eval/rule_matcher.h"
 #include "eval/seminaive.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 
 namespace datalog {
 namespace {
@@ -140,11 +142,14 @@ EvalStats RunSemiNaiveFixpointParallel(const std::vector<Rule>& rules,
 
   while (!delta.empty()) {
     ++stats.iterations;
+    TraceSpan round_span("parallel/round");
+    round_span.Note("round", static_cast<std::uint64_t>(stats.iterations));
     Watermarks marks = TakeWatermarks(*db);
 
     // --- Snapshot preparation (single-threaded). Shard the delta and
     // pre-build every index the round's plans will probe, so the fan-out
     // phase only reads the database, the shards, and the indexes.
+    TraceSpan prep_span("parallel/prepare");
     Clock::time_point prep_start = Clock::now();
     std::unordered_map<PredicateId, std::vector<Database>> shards;
     for (PredicateId pred : delta.NonEmptyPredicates()) {
@@ -188,27 +193,42 @@ EvalStats RunSemiNaiveFixpointParallel(const std::vector<Rule>& rules,
                            task.delta_pos);
     }
     stats.index_build_ns += ElapsedNs(prep_start);
+    prep_span.Note("tasks", tasks.size());
+    prep_span.End();
 
     // --- Parallel phase: every task matches against the frozen snapshot
-    // and derives into its own buffer; nothing shared is written.
+    // and derives into its own buffer; nothing shared is written. Each
+    // task opens its own span from the worker thread that runs it, so the
+    // trace shows the per-shard fan-out on separate tracks merging at the
+    // round barrier.
+    TraceSpan match_span("parallel/match");
     Clock::time_point match_start = Clock::now();
     ++stats.parallel_rounds;
     stats.parallel_tasks += tasks.size();
     const Database& frozen = *db;
     for (PassTask& task : tasks) {
       pool->Submit([&rules, &frozen, &old_limits, &task] {
+        TraceSpan task_span("parallel/task");
         ApplyRuleWithDelta(rules[task.rule_index], frozen, *task.delta_shard,
                            task.delta_pos, &task.out, &task.match,
                            &old_limits);
+        if (task_span.active()) {
+          task_span.Note("rule", task.rule_index);
+          task_span.Note("delta_pos", task.delta_pos);
+          task_span.Note("substitutions", task.match.substitutions);
+        }
       });
     }
     pool->Wait();
     stats.parallel_match_ns += ElapsedNs(match_start);
+    match_span.End();
 
     // --- Round barrier: merge buffers single-threaded in task order, so
     // the database contents and all counters come out identical no matter
     // how the tasks were scheduled.
+    TraceSpan merge_span("parallel/merge");
     Clock::time_point merge_start = Clock::now();
+    const std::uint64_t facts_before_merge = stats.facts_derived;
     for (const PassTask& task : tasks) {
       stats.match.Add(task.match);
       stats.per_rule[task.rule_index].substitutions +=
@@ -223,6 +243,9 @@ EvalStats RunSemiNaiveFixpointParallel(const std::vector<Rule>& rules,
       }
     }
     stats.merge_ns += ElapsedNs(merge_start);
+    merge_span.Note("facts", stats.facts_derived - facts_before_merge);
+    merge_span.End();
+    round_span.Note("facts", stats.facts_derived - facts_before_merge);
 
     old_limits = marks;
     delta = CollectNewFacts(*db, marks);
@@ -246,8 +269,14 @@ Result<EvalStats> EvaluateSemiNaiveParallel(const Program& program,
                                             Database* db,
                                             std::size_t num_threads) {
   DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
+  TraceSpan span("eval/parallel");
   ThreadPool pool(PoolWorkers(num_threads));
-  return RunSemiNaiveFixpointParallel(program.rules(), db, &pool);
+  EvalStats stats = RunSemiNaiveFixpointParallel(program.rules(), db, &pool);
+  span.Note("iterations", static_cast<std::uint64_t>(stats.iterations));
+  span.Note("facts", stats.facts_derived);
+  span.Note("tasks", stats.parallel_tasks);
+  RecordEvalStats("parallel", stats);
+  return stats;
 }
 
 Result<EvalStats> EvaluateSemiNaiveSccParallel(const Program& program,
@@ -264,10 +293,14 @@ Result<EvalStats> EvaluateSemiNaiveSccParallel(const Program& program,
     groups[graph.SccIndex(program.rules()[i].head().predicate())].push_back(i);
   }
 
+  TraceSpan span("eval/scc-parallel");
   ThreadPool pool(PoolWorkers(num_threads));
   EvalStats total;
   total.per_rule.resize(program.NumRules());
   for (const auto& [scc, rule_indices] : groups) {
+    TraceSpan scc_span("seminaive/scc");
+    scc_span.Note("scc", static_cast<std::uint64_t>(scc));
+    scc_span.Note("rules", rule_indices.size());
     std::vector<Rule> rules;
     for (std::size_t i : rule_indices) rules.push_back(program.rules()[i]);
     EvalStats group_stats = RunSemiNaiveFixpointParallel(rules, db, &pool);
@@ -276,8 +309,12 @@ Result<EvalStats> EvaluateSemiNaiveSccParallel(const Program& program,
       remapped[rule_indices[i]] = group_stats.per_rule[i];
     }
     group_stats.per_rule = std::move(remapped);
+    scc_span.Note("facts", group_stats.facts_derived);
     total.Add(group_stats);
   }
+  span.Note("iterations", static_cast<std::uint64_t>(total.iterations));
+  span.Note("facts", total.facts_derived);
+  RecordEvalStats("scc-parallel", total);
   return total;
 }
 

@@ -6,6 +6,8 @@
 #include "eval/seminaive.h"
 #include "eval/stratified.h"
 #include "eval/topdown.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 
 namespace datalog {
 namespace {
@@ -50,10 +52,14 @@ Result<std::vector<Tuple>> AnswerQuery(const Program& program,
       return SelectMatching(work, query.predicate(), query);
     }
     case EvalMethod::kMagicSemiNaive: {
+      TraceSpan span("query/magic");
       DATALOG_ASSIGN_OR_RETURN(MagicProgram magic,
                                MagicSetsTransform(program, query));
       DATALOG_ASSIGN_OR_RETURN(EvalStats s,
                                EvaluateSemiNaive(magic.program, &work));
+      span.Note("iterations", static_cast<std::uint64_t>(s.iterations));
+      span.Note("facts", s.facts_derived);
+      RecordEvalStats("magic", s);
       if (stats != nullptr) stats->Add(s);
       return SelectMatching(work, magic.answer_predicate, query);
     }

@@ -7,6 +7,8 @@
 
 #include "ast/dependence_graph.h"
 #include "ast/validate.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -74,6 +76,9 @@ EvalStats RunSemiNaiveFixpoint(const std::vector<Rule>& rules, Database* db) {
 
   while (!delta.empty()) {
     ++stats.iterations;
+    TraceSpan round_span("seminaive/round");
+    round_span.Note("round", static_cast<std::uint64_t>(stats.iterations));
+    const std::uint64_t facts_before_round = stats.facts_derived;
     Watermarks marks = TakeWatermarks(*db);
     for (std::size_t ri = 0; ri < rules.size(); ++ri) {
       const Rule& rule = rules[ri];
@@ -90,6 +95,7 @@ EvalStats RunSemiNaiveFixpoint(const std::vector<Rule>& rules, Database* db) {
         if (delta.relation(lit.atom.predicate()).empty()) continue;
         ++stats.rule_applications;
         ++stats.per_rule[ri].applications;
+        TraceSpan apply_span("seminaive/apply");
         MatchStats local;
         std::size_t added =
             ApplyRuleWithDelta(rule, *db, delta, p, db, &local, &old_limits);
@@ -97,8 +103,15 @@ EvalStats RunSemiNaiveFixpoint(const std::vector<Rule>& rules, Database* db) {
         stats.facts_derived += added;
         stats.per_rule[ri].facts += added;
         stats.per_rule[ri].substitutions += local.substitutions;
+        if (apply_span.active()) {
+          apply_span.Note("rule", ri);
+          apply_span.Note("delta_pos", p);
+          apply_span.Note("facts", added);
+          apply_span.Note("substitutions", local.substitutions);
+        }
       }
     }
+    round_span.Note("facts", stats.facts_derived - facts_before_round);
     old_limits = marks;
     delta = CollectNewFacts(*db, marks);
   }
@@ -107,7 +120,12 @@ EvalStats RunSemiNaiveFixpoint(const std::vector<Rule>& rules, Database* db) {
 
 Result<EvalStats> EvaluateSemiNaive(const Program& program, Database* db) {
   DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(program));
-  return RunSemiNaiveFixpoint(program.rules(), db);
+  TraceSpan span("eval/semi-naive");
+  EvalStats stats = RunSemiNaiveFixpoint(program.rules(), db);
+  span.Note("iterations", static_cast<std::uint64_t>(stats.iterations));
+  span.Note("facts", stats.facts_derived);
+  RecordEvalStats("semi-naive", stats);
+  return stats;
 }
 
 Result<EvalStats> EvaluateSemiNaiveScc(const Program& program, Database* db) {
@@ -124,9 +142,13 @@ Result<EvalStats> EvaluateSemiNaiveScc(const Program& program, Database* db) {
     groups[graph.SccIndex(program.rules()[i].head().predicate())].push_back(i);
   }
 
+  TraceSpan span("eval/scc-semi-naive");
   EvalStats total;
   total.per_rule.resize(program.NumRules());
   for (const auto& [scc, rule_indices] : groups) {
+    TraceSpan scc_span("seminaive/scc");
+    scc_span.Note("scc", static_cast<std::uint64_t>(scc));
+    scc_span.Note("rules", rule_indices.size());
     std::vector<Rule> rules;
     for (std::size_t i : rule_indices) rules.push_back(program.rules()[i]);
     EvalStats group_stats = RunSemiNaiveFixpoint(rules, db);
@@ -135,8 +157,12 @@ Result<EvalStats> EvaluateSemiNaiveScc(const Program& program, Database* db) {
       remapped[rule_indices[i]] = group_stats.per_rule[i];
     }
     group_stats.per_rule = std::move(remapped);
+    scc_span.Note("facts", group_stats.facts_derived);
     total.Add(group_stats);
   }
+  span.Note("iterations", static_cast<std::uint64_t>(total.iterations));
+  span.Note("facts", total.facts_derived);
+  RecordEvalStats("scc-semi-naive", total);
   return total;
 }
 

@@ -5,6 +5,8 @@
 #include "ast/dependence_graph.h"
 #include "ast/validate.h"
 #include "eval/seminaive.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -14,9 +16,11 @@ Result<EvalStats> EvaluateStratified(const Program& program, Database* db) {
   DATALOG_ASSIGN_OR_RETURN(std::vector<std::vector<PredicateId>> strata,
                            graph.Stratify());
 
+  TraceSpan span("eval/stratified");
   EvalStats total;
   total.per_rule.resize(program.NumRules());
-  for (const std::vector<PredicateId>& stratum : strata) {
+  for (std::size_t si = 0; si < strata.size(); ++si) {
+    const std::vector<PredicateId>& stratum = strata[si];
     std::set<PredicateId> preds(stratum.begin(), stratum.end());
     std::vector<Rule> rules;
     std::vector<std::size_t> original_index;  // stratum-local -> program
@@ -27,6 +31,9 @@ Result<EvalStats> EvaluateStratified(const Program& program, Database* db) {
       }
     }
     if (rules.empty()) continue;
+    TraceSpan stratum_span("stratified/stratum");
+    stratum_span.Note("stratum", si);
+    stratum_span.Note("rules", rules.size());
     EvalStats stratum_stats = RunSemiNaiveFixpoint(rules, db);
     // Remap the stratum-local per-rule rows onto program rule positions
     // before merging, so EvalStats::per_rule stays program-indexed.
@@ -35,8 +42,12 @@ Result<EvalStats> EvaluateStratified(const Program& program, Database* db) {
       remapped[original_index[i]] = stratum_stats.per_rule[i];
     }
     stratum_stats.per_rule = std::move(remapped);
+    stratum_span.Note("facts", stratum_stats.facts_derived);
     total.Add(stratum_stats);
   }
+  span.Note("iterations", static_cast<std::uint64_t>(total.iterations));
+  span.Note("facts", total.facts_derived);
+  RecordEvalStats("stratified", total);
   return total;
 }
 

@@ -7,6 +7,8 @@
 
 #include "ast/validate.h"
 #include "eval/rule_matcher.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 
 namespace datalog {
 namespace {
@@ -38,12 +40,16 @@ class Solver {
     do {
       changed_ = false;
       if (stats_ != nullptr) ++stats_->iterations;
+      TraceSpan round_span("topdown/round");
       // order_ may grow (and reallocate) while we iterate; index-based
       // loop over a copied key picks up new subgoals within the round.
       for (std::size_t i = 0; i < order_.size(); ++i) {
         SubgoalKey key = order_[i];
+        TraceSpan subgoal_span("topdown/subgoal");
+        subgoal_span.Note("subgoal", i);
         ProcessSubgoal(key);
       }
+      round_span.Note("subgoals", order_.size());
     } while (changed_);
 
     // Select the root table's rows that honor repeated variables in the
@@ -224,8 +230,21 @@ Result<std::vector<Tuple>> SolveTopDown(const Program& program,
       program.symbols()->PredicateArity(query.predicate())) {
     return Status::InvalidArgument("query arity mismatch");
   }
-  Solver solver(program, edb, stats);
-  return solver.Solve(query);
+  TraceSpan span("eval/topdown");
+  TopDownStats local;
+  Solver solver(program, edb, &local);
+  std::vector<Tuple> answers = solver.Solve(query);
+  span.Note("subgoals", static_cast<std::uint64_t>(local.subgoals));
+  span.Note("iterations", static_cast<std::uint64_t>(local.iterations));
+  span.Note("answers", local.answers);
+  RecordTopDownStats("topdown", local);
+  if (stats != nullptr) {
+    stats->subgoals += local.subgoals;
+    stats->iterations += local.iterations;
+    stats->answers += local.answers;
+    stats->body_matches += local.body_matches;
+  }
+  return answers;
 }
 
 }  // namespace datalog

@@ -14,6 +14,8 @@
 #include "eval/rule_matcher.h"
 #include "eval/seminaive.h"
 #include "incr/delta_join.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -548,6 +550,7 @@ void MaterializedView::UpdateRecompute(const SccPlan& plan,
 Result<CommitStats> MaterializedView::Apply(
     const std::vector<std::pair<PredicateId, Tuple>>& inserts,
     const std::vector<std::pair<PredicateId, Tuple>>& retracts) {
+  TraceSpan span("incr/commit");
   CommitStats stats;
   // Net the batch against the current base: retracting an absent fact or
   // inserting a present one is a no-op.
@@ -561,7 +564,10 @@ Result<CommitStats> MaterializedView::Apply(
   }
   stats.base_inserted = base_plus.NumFacts();
   stats.base_retracted = base_minus.NumFacts();
-  if (base_plus.empty() && base_minus.empty()) return stats;
+  if (base_plus.empty() && base_minus.empty()) {
+    RecordCommitStats("incr", stats);
+    return stats;
+  }
 
   for (PredicateId pred : base_minus.NonEmptyPredicates()) {
     base_.EraseFacts(pred, base_minus.relation(pred).rows());
@@ -574,23 +580,43 @@ Result<CommitStats> MaterializedView::Apply(
   // Purely extensional predicates change exactly as the base does; their
   // deltas then drive the SCC plans in dependency order.
   UpdateExtensional(base_plus, base_minus, &stats);
-  for (const SccPlan& plan : plans_) {
+  for (std::size_t pi = 0; pi < plans_.size(); ++pi) {
+    const SccPlan& plan = plans_[pi];
     if (!PlanTouched(plan, base_plus, base_minus)) continue;
     ++stats.sccs_touched;
     switch (plan.kind) {
-      case SccKind::kCounting:
+      case SccKind::kCounting: {
+        TraceSpan scc_span("incr/counting");
+        scc_span.Note("scc", pi);
         UpdateCounting(plan, base_plus, base_minus, &stats);
         break;
-      case SccKind::kDRed:
+      }
+      case SccKind::kDRed: {
+        TraceSpan scc_span("incr/dred");
+        scc_span.Note("scc", pi);
         UpdateDRed(plan, base_plus, base_minus, &stats);
         break;
-      case SccKind::kRecompute:
+      }
+      case SccKind::kRecompute: {
+        TraceSpan scc_span("incr/recompute");
+        scc_span.Note("scc", pi);
         UpdateRecompute(plan, &stats);
         break;
+      }
     }
   }
   stats.derived_added = delta_plus_.NumFacts();
   stats.derived_removed = delta_minus_.NumFacts();
+  if (span.active()) {
+    span.Note("base_inserted", stats.base_inserted);
+    span.Note("base_retracted", stats.base_retracted);
+    span.Note("derived_added", stats.derived_added);
+    span.Note("derived_removed", stats.derived_removed);
+    span.Note("overdeleted", stats.overdeleted);
+    span.Note("rederived", stats.rederived);
+    span.Note("sccs_touched", static_cast<std::uint64_t>(stats.sccs_touched));
+  }
+  RecordCommitStats("incr", stats);
   return stats;
 }
 

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace datalog {
+namespace {
+
+/// Minimal JSON string escaping (counter names and label values are
+/// library-chosen identifiers, but escape defensively).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+MetricLabels SortedLabels(const MetricLabels& labels) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsRegistry::Key(std::string_view name,
+                                 const MetricLabels& labels) {
+  std::string key(name);
+  key += '{';
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '=';
+    key += v;
+    key += ',';
+  }
+  key += '}';
+  return key;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+void MetricsRegistry::Add(std::string_view name, const MetricLabels& labels,
+                          std::uint64_t delta) {
+  if (!enabled()) return;
+  MetricLabels sorted = SortedLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(Key(name, sorted));
+  if (inserted) {
+    it->second.name = std::string(name);
+    it->second.labels = std::move(sorted);
+  }
+  it->second.value += delta;
+}
+
+void MetricsRegistry::Set(std::string_view name, const MetricLabels& labels,
+                          std::uint64_t value) {
+  if (!enabled()) return;
+  MetricLabels sorted = SortedLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(Key(name, sorted));
+  if (inserted) {
+    it->second.name = std::string(name);
+    it->second.labels = std::move(sorted);
+  }
+  it->second.value = value;
+}
+
+std::uint64_t MetricsRegistry::Value(std::string_view name,
+                                     const MetricLabels& labels) const {
+  std::string key = Key(name, SortedLabels(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, entry] : counters_) out.push_back(entry);
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::vector<Entry> entries = Snapshot();
+  std::string out = "{\"metrics\": [";
+  bool first = true;
+  for (const Entry& entry : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": \"" + JsonEscape(entry.name) + "\", \"labels\": {";
+    bool first_label = true;
+    for (const auto& [k, v] : entry.labels) {
+      if (!first_label) out += ", ";
+      first_label = false;
+      out += "\"" + JsonEscape(k) + "\": \"" + JsonEscape(v) + "\"";
+    }
+    out += "}, \"value\": " + std::to_string(entry.value) + "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  file << ToJson();
+  return file.good();
+}
+
+}  // namespace datalog

@@ -1,0 +1,88 @@
+#ifndef DATALOG_OBS_METRICS_H_
+#define DATALOG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace datalog {
+
+/// A label dimension attached to a counter, e.g. {"engine", "semi-naive"}
+/// or {"rule", "3"}. Labels distinguish series of the same counter name.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Process-wide registry of named monotonic counters with labeled
+/// dimensions, unifying the library's scattered work counters (EvalStats,
+/// MatchStats, CommitStats, TopDownStats) behind one export surface.
+///
+/// Disabled by default: every Add() starts with one relaxed atomic load
+/// and returns immediately, so instrumented hot paths pay a single
+/// predictable branch when observability is off. Enable() starts
+/// collection (the CLI's --metrics flag and the bench binaries'
+/// --metrics flag do this); ToJson() renders the flat metrics export.
+///
+/// Thread-safe: counters may be bumped from worker threads (the parallel
+/// engine's shard tasks); a mutex serializes the map. Counter VALUES are
+/// deterministic whenever the recorded stats are (see
+/// docs/observability.md); only ns-suffixed timing counters vary run to
+/// run.
+class MetricsRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    MetricLabels labels;  // sorted by key
+    std::uint64_t value = 0;
+  };
+
+  /// The process registry. Individual instances can also be constructed
+  /// for tests.
+  static MetricsRegistry& Get();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops every counter; the enabled flag is unchanged.
+  void Clear();
+
+  /// Adds `delta` to the counter `name` with the given labels. No-op when
+  /// the registry is disabled.
+  void Add(std::string_view name, const MetricLabels& labels,
+           std::uint64_t delta);
+
+  /// Overwrites the counter with `value` (for gauges snapshotted at the
+  /// end of a run, e.g. final EvalStats fields). No-op when disabled.
+  void Set(std::string_view name, const MetricLabels& labels,
+           std::uint64_t value);
+
+  /// Current value of a counter; 0 if it was never touched.
+  std::uint64_t Value(std::string_view name, const MetricLabels& labels) const;
+
+  /// All counters in deterministic (name, labels) order.
+  std::vector<Entry> Snapshot() const;
+
+  /// Flat metrics JSON:
+  ///   {"metrics": [{"name": "...", "labels": {...}, "value": N}, ...]}
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; false (with a perror-style message on
+  /// stderr) when the file cannot be written.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  /// Canonical map key: name + sorted serialized labels.
+  static std::string Key(std::string_view name, const MetricLabels& labels);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> counters_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_OBS_METRICS_H_

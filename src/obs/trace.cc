@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace datalog {
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  thread_ids_.clear();
+  epoch_ns_ = SteadyNowNs();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  thread_ids_.clear();
+  epoch_ns_ = SteadyNowNs();
+}
+
+int Tracer::ThreadId() {
+  auto [it, inserted] = thread_ids_.emplace(
+      std::this_thread::get_id(), static_cast<int>(thread_ids_.size()));
+  return it->second;
+}
+
+std::uint64_t Tracer::NowNs() const {
+  std::uint64_t now = SteadyNowNs();
+  return now >= epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+void Tracer::BeginSpan(const char* name) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kBegin;
+  event.name = name;
+  event.ts_ns = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = ThreadId();
+  events_.push_back(std::move(event));
+}
+
+void Tracer::EndSpan(
+    const char* name,
+    std::vector<std::pair<const char*, std::uint64_t>> args) {
+  // Recorded even if the tracer was disabled mid-span: the matching begin
+  // event is already in the buffer, and an unbalanced trace would be
+  // worse than one extra event.
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kEnd;
+  event.name = name;
+  event.ts_ns = NowNs();
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = ThreadId();
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::ToJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    // Chrome's ts unit is microseconds; keep nanosecond precision in the
+    // fraction.
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(event.ts_ns / 1000),
+                  static_cast<unsigned long long>(event.ts_ns % 1000));
+    out += "\n  {\"name\": \"";
+    out += event.name;
+    out += "\", \"ph\": \"";
+    out += event.phase == TraceEvent::Phase::kBegin ? "B" : "E";
+    out += "\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(event.tid);
+    out += ", \"ts\": ";
+    out += buf;
+    if (!event.args.empty()) {
+      out += ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out += ", ";
+        first_arg = false;
+        out += "\"";
+        out += key;
+        out += "\": ";
+        out += std::to_string(value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteJsonFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n", path.c_str());
+    return false;
+  }
+  file << ToJson();
+  return file.good();
+}
+
+}  // namespace datalog

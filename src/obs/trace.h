@@ -1,0 +1,128 @@
+#ifndef DATALOG_OBS_TRACE_H_
+#define DATALOG_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace datalog {
+
+/// One begin/end trace record. Spans are recorded as Chrome trace-event
+/// "B"/"E" pairs: a kBegin marks a span opening on a thread, the matching
+/// kEnd (same thread, stack discipline) closes it and carries the span's
+/// counters. Timestamps are steady-clock nanoseconds since Enable().
+struct TraceEvent {
+  enum class Phase { kBegin, kEnd };
+
+  Phase phase = Phase::kBegin;
+  const char* name = "";  // static string supplied by the instrumentation
+  int tid = 0;            // small sequential id assigned per OS thread
+  std::uint64_t ts_ns = 0;
+  /// Deterministic counters attached when the span closed (facts derived,
+  /// rule applications, substitutions, ...). Empty for kBegin.
+  std::vector<std::pair<const char*, std::uint64_t>> args;
+};
+
+/// Process-wide structured tracer. Records nested spans (engine ->
+/// stratum/SCC -> round -> rule application; chase -> step; minimizer ->
+/// candidate -> containment check) from any thread and exports them as
+/// Chrome trace-event JSON (load the file at chrome://tracing or
+/// https://ui.perfetto.dev).
+///
+/// Disabled by default; a disabled tracer costs one relaxed atomic load
+/// per TraceSpan construction and records nothing. Enable() clears the
+/// buffer and starts recording. Thread-safe: events from pool workers are
+/// appended under a mutex and distinguished by per-thread ids, so the
+/// parallel engine's per-shard task spans land on their own tracks and
+/// merge with the round barrier in the viewer.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  /// Starts recording into an empty buffer.
+  void Enable();
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events; the enabled flag is unchanged.
+  void Clear();
+
+  void BeginSpan(const char* name);
+  void EndSpan(const char* name,
+               std::vector<std::pair<const char*, std::uint64_t>> args);
+
+  /// The recorded events, in global append order (per-thread order is
+  /// preserved; cross-thread order follows the mutex).
+  std::vector<TraceEvent> Events() const;
+
+  /// Chrome trace-event JSON:
+  ///   {"traceEvents": [{"name":..., "ph":"B"|"E", "ts":..., ...}, ...]}
+  /// Timestamps are microseconds (Chrome's unit) with nanosecond
+  /// precision preserved as fractions.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; false (with a message on stderr) when the
+  /// file cannot be written.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  int ThreadId();  // caller must hold mu_
+  std::uint64_t NowNs() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> thread_ids_;
+  std::uint64_t epoch_ns_ = 0;
+};
+
+/// RAII span against the process tracer. Construction opens the span
+/// (no-op when tracing is disabled), destruction closes it; Note()
+/// attaches a named counter to the closing event. The enabled check is a
+/// single relaxed load, so spans may guard hot loops.
+///
+///   TraceSpan span("seminaive/round");
+///   ...
+///   span.Note("facts", added);
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), active_(Tracer::Get().enabled()) {
+    if (active_) Tracer::Get().BeginSpan(name_);
+  }
+  ~TraceSpan() { End(); }
+
+  /// Closes the span before the end of scope (phases of a loop body).
+  /// Later Note()/End() calls are no-ops.
+  void End() {
+    if (active_) {
+      Tracer::Get().EndSpan(name_, std::move(args_));
+      active_ = false;
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches `key: value` to the span's closing event. `key` must be a
+  /// static string.
+  void Note(const char* key, std::uint64_t value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  const char* name_;
+  bool active_;
+  std::vector<std::pair<const char*, std::uint64_t>> args_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_OBS_TRACE_H_

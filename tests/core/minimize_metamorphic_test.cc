@@ -1,0 +1,160 @@
+// Metamorphic fuzzing of the Fig. 2 minimizer, in the spirit of queryFuzz
+// (Mansur, Christakis, Wuestholz): generate programs with planted
+// redundancy from fixed seeds and hold MinimizeProgram to the relations
+// that make it correct, without knowing the expected output program:
+//
+//  1. Equivalence: minimize(P) ≡u P, checked in BOTH directions with the
+//     independent uniform-containment oracle (freezing, Corollary 2).
+//  2. Idempotence: minimize(minimize(P)) == minimize(P) -- a second pass
+//     finds nothing left to remove.
+//  3. Monotone size: the minimized program never has more rules, and no
+//     rule gained atoms.
+//  4. Semantic ground truth: P and minimize(P) compute identical IDB
+//     fixpoints over concrete random EDBs (uniform equivalence implies
+//     agreement on every database, so any divergence is a real bug).
+//  5. Completeness floor: at least the planted redundant atoms/rules are
+//     gone (the generator's lower bound on removable parts).
+
+#include <cstdint>
+#include <string>
+
+#include "datalog.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/graph_gen.h"
+#include "workload/program_gen.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+
+struct GeneratedCase {
+  std::shared_ptr<SymbolTable> symbols;
+  Program program;
+  std::size_t planted_atoms = 0;
+  std::size_t planted_rules = 0;
+  std::size_t num_extensional = 0;
+  std::size_t num_intentional = 0;
+
+  GeneratedCase() : symbols(MakeSymbols()) {}
+};
+
+/// Derives program structure from the seed alone, sweeping rule counts,
+/// chain lengths, recursion density, and the amount of planted redundancy.
+GeneratedCase MakeCase(std::uint64_t seed) {
+  GeneratedCase c;
+  PlantedProgramOptions options;
+  options.seed = seed * 6151 + 3;
+  options.num_extensional = 1 + seed % 3;
+  options.num_intentional = 1 + (seed / 2) % 3;
+  options.chain_rules = 1 + seed % 3;
+  options.chain_length = 2 + (seed / 3) % 3;
+  options.recursion_percent = 15 + static_cast<int>(seed % 6) * 14;
+  options.planted_atoms = seed % 4;
+  options.planted_rules = (seed / 4) % 3;
+  Result<PlantedProgram> planted = MakePlantedProgram(c.symbols, options);
+  EXPECT_TRUE(planted.ok()) << planted.status().ToString();
+  c.program = std::move(planted->program);
+  c.planted_atoms = planted->planted_atoms;
+  c.planted_rules = planted->planted_rules;
+  c.num_extensional = options.num_extensional;
+  c.num_intentional = options.num_intentional;
+  return c;
+}
+
+std::size_t TotalBodyAtoms(const Program& program) {
+  std::size_t atoms = 0;
+  for (const Rule& rule : program.rules()) atoms += rule.body().size();
+  return atoms;
+}
+
+class MinimizeMetamorphicTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinimizeMetamorphicTest, MinimizedProgramIsUniformlyEquivalent) {
+  GeneratedCase c = MakeCase(GetParam());
+  Result<Program> minimized = MinimizeProgram(c.program);
+  ASSERT_TRUE(minimized.ok()) << minimized.status().ToString();
+
+  // Both directions through the independent containment oracle. The
+  // minimizer only ever uses "P contains candidate", so the reverse
+  // direction is a genuine cross-check.
+  Result<bool> forward = UniformlyContains(c.program, *minimized);
+  ASSERT_TRUE(forward.ok()) << forward.status().ToString();
+  EXPECT_TRUE(*forward) << "minimize(P) not contained in P, seed "
+                        << GetParam();
+  Result<bool> backward = UniformlyContains(*minimized, c.program);
+  ASSERT_TRUE(backward.ok()) << backward.status().ToString();
+  EXPECT_TRUE(*backward) << "P not contained in minimize(P), seed "
+                         << GetParam();
+}
+
+TEST_P(MinimizeMetamorphicTest, MinimizationIsIdempotentAndMonotone) {
+  GeneratedCase c = MakeCase(GetParam());
+  MinimizeReport first_report;
+  Result<Program> once = MinimizeProgram(c.program, &first_report);
+  ASSERT_TRUE(once.ok()) << once.status().ToString();
+
+  // Monotone: no rule count or body size increase.
+  EXPECT_LE(once->NumRules(), c.program.NumRules());
+  EXPECT_LE(TotalBodyAtoms(*once), TotalBodyAtoms(c.program));
+
+  // Completeness floor: everything the generator planted must be gone.
+  EXPECT_GE(first_report.atoms_removed + first_report.rules_removed,
+            c.planted_atoms + c.planted_rules)
+      << "planted redundancy survived, seed " << GetParam();
+
+  // Idempotent: a second pass removes nothing and returns the same text.
+  MinimizeReport second_report;
+  Result<Program> twice = MinimizeProgram(*once, &second_report);
+  ASSERT_TRUE(twice.ok()) << twice.status().ToString();
+  EXPECT_EQ(second_report.atoms_removed, 0u)
+      << "second minimize pass removed atoms, seed " << GetParam();
+  EXPECT_EQ(second_report.rules_removed, 0u)
+      << "second minimize pass removed rules, seed " << GetParam();
+  EXPECT_EQ(ToString(*twice), ToString(*once))
+      << "second minimize pass changed the program, seed " << GetParam();
+}
+
+TEST_P(MinimizeMetamorphicTest, MinimizedProgramComputesTheSameFixpoint) {
+  const std::uint64_t seed = GetParam();
+  GeneratedCase c = MakeCase(seed);
+  Result<Program> minimized = MinimizeProgram(c.program);
+  ASSERT_TRUE(minimized.ok()) << minimized.status().ToString();
+
+  // Two EDB shapes per seed: uniform equivalence promises agreement on
+  // every database, so concrete disagreement is a hard bug regardless of
+  // what the containment oracle said.
+  const GraphShape shapes[] = {GraphShape::kChain, GraphShape::kCycle,
+                               GraphShape::kBinaryTree, GraphShape::kRandom};
+  for (int variant = 0; variant < 2; ++variant) {
+    Database edb(c.symbols);
+    for (std::size_t i = 0; i < c.num_extensional; ++i) {
+      PredicateId pred =
+          c.symbols->LookupPredicate("e" + std::to_string(i)).value();
+      GraphOptions graph;
+      graph.shape = shapes[(seed + i + static_cast<std::size_t>(variant)) % 4];
+      graph.num_nodes = 4 + (seed + 2 * i) % 5;
+      graph.num_edges = 6 + (seed + 3 * i + static_cast<std::size_t>(variant)) % 8;
+      graph.seed = seed * 97 + i + static_cast<std::size_t>(variant) * 13;
+      AddGraphFacts(graph, pred, &edb);
+    }
+
+    Database original_db = edb;
+    Database minimized_db = edb;
+    ASSERT_TRUE(EvaluateSemiNaive(c.program, &original_db).ok());
+    ASSERT_TRUE(EvaluateSemiNaive(*minimized, &minimized_db).ok());
+    EXPECT_EQ(original_db, minimized_db)
+        << "fixpoints diverge after minimization, seed " << seed
+        << " variant " << variant << "\noriginal program:\n"
+        << ToString(c.program) << "\nminimized:\n"
+        << ToString(*minimized);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeMetamorphicTest,
+                         ::testing::Range<std::uint64_t>(0, 100));
+
+}  // namespace
+}  // namespace datalog

@@ -1,6 +1,11 @@
 // Data-driven minimization regressions: every tests/corpus/<name>.in.dl
 // is minimized (Fig. 2, textual order) and compared against
-// <name>.out.dl. The corpus directory path is injected by CMake.
+// <name>.out.dl. When <name>.opt.dl also exists, the input is
+// additionally run through the full optimize pipeline (Fig. 2 followed by
+// the Section XI tgd-based equivalence optimizer) and compared against
+// that golden -- the equivalence pass can remove atoms that are NOT
+// uniformly redundant, so its output needs a separate file. The corpus
+// directory path is injected by CMake.
 
 #include <filesystem>
 #include <fstream>
@@ -9,6 +14,7 @@
 #include <vector>
 
 #include "ast/pretty_print.h"
+#include "core/equivalence_optimizer.h"
 #include "core/minimize.h"
 #include "core/uniform_containment.h"
 #include "gtest/gtest.h"
@@ -69,6 +75,39 @@ TEST_P(CorpusTest, MinimizesToGolden) {
   Result<Program> again = MinimizeProgram(expected);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again.value(), expected) << "golden file is not minimal";
+}
+
+TEST_P(CorpusTest, OptimizesToGolden) {
+  const std::string base = std::string(DATALOG_CORPUS_DIR) + "/" + GetParam();
+  if (!std::filesystem::exists(base + ".opt.dl")) {
+    GTEST_SKIP() << "no .opt.dl golden for " << GetParam();
+  }
+  auto symbols = testing::MakeSymbols();
+  Program input =
+      testing::ParseProgramOrDie(symbols, ReadFile(base + ".in.dl"));
+  Program expected =
+      testing::ParseProgramOrDie(symbols, ReadFile(base + ".opt.dl"));
+
+  Result<Program> minimized = MinimizeProgram(input);
+  ASSERT_TRUE(minimized.ok()) << minimized.status().ToString();
+  Result<EquivalenceOptimizeResult> optimized =
+      OptimizeUnderEquivalence(*minimized);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  EXPECT_EQ(optimized->program, expected)
+      << "got:\n"
+      << ToString(optimized->program) << "want:\n"
+      << ToString(expected);
+
+  // Cross-check the golden: a second optimize pass must be a fixpoint
+  // (nothing left for either the minimizer or the tgd pass to remove).
+  Result<Program> re_minimized = MinimizeProgram(expected);
+  ASSERT_TRUE(re_minimized.ok());
+  EXPECT_EQ(*re_minimized, expected) << "opt golden is not minimal";
+  Result<EquivalenceOptimizeResult> again =
+      OptimizeUnderEquivalence(*re_minimized);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->program, expected)
+      << "opt golden is not an optimizer fixpoint";
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, CorpusTest,

@@ -1,0 +1,109 @@
+// Unit tests for the MetricsRegistry: counter accumulation, label
+// dimensions, the disabled fast path, deterministic snapshots, and the
+// flat JSON export.
+
+#include "obs/metrics.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Get().Clear();
+    MetricsRegistry::Get().Enable();
+  }
+  void TearDown() override {
+    MetricsRegistry::Get().Disable();
+    MetricsRegistry::Get().Clear();
+  }
+};
+
+TEST_F(MetricsTest, AddAccumulatesAndValueReads) {
+  MetricsRegistry& m = MetricsRegistry::Get();
+  m.Add("test.counter", {}, 3);
+  m.Add("test.counter", {}, 4);
+  EXPECT_EQ(m.Value("test.counter", {}), 7u);
+  EXPECT_EQ(m.Value("test.untouched", {}), 0u);
+}
+
+TEST_F(MetricsTest, LabelsDistinguishSeries) {
+  MetricsRegistry& m = MetricsRegistry::Get();
+  m.Add("eval.iterations", {{"engine", "naive"}}, 5);
+  m.Add("eval.iterations", {{"engine", "semi-naive"}}, 2);
+  EXPECT_EQ(m.Value("eval.iterations", {{"engine", "naive"}}), 5u);
+  EXPECT_EQ(m.Value("eval.iterations", {{"engine", "semi-naive"}}), 2u);
+  EXPECT_EQ(m.Value("eval.iterations", {}), 0u);
+}
+
+TEST_F(MetricsTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry& m = MetricsRegistry::Get();
+  m.Add("eval.rule.facts", {{"engine", "naive"}, {"rule", "1"}}, 10);
+  m.Add("eval.rule.facts", {{"rule", "1"}, {"engine", "naive"}}, 1);
+  EXPECT_EQ(m.Value("eval.rule.facts", {{"rule", "1"}, {"engine", "naive"}}),
+            11u);
+}
+
+TEST_F(MetricsTest, SetOverwrites) {
+  MetricsRegistry& m = MetricsRegistry::Get();
+  m.Add("test.gauge", {}, 100);
+  m.Set("test.gauge", {}, 7);
+  EXPECT_EQ(m.Value("test.gauge", {}), 7u);
+}
+
+TEST_F(MetricsTest, DisabledRegistryIgnoresWrites) {
+  MetricsRegistry& m = MetricsRegistry::Get();
+  m.Disable();
+  m.Add("test.ghost", {}, 5);
+  m.Set("test.ghost2", {}, 5);
+  m.Enable();
+  EXPECT_EQ(m.Value("test.ghost", {}), 0u);
+  EXPECT_EQ(m.Value("test.ghost2", {}), 0u);
+  EXPECT_TRUE(m.Snapshot().empty());
+}
+
+TEST_F(MetricsTest, ClearDropsCountersButKeepsEnabled) {
+  MetricsRegistry& m = MetricsRegistry::Get();
+  m.Add("test.counter", {}, 1);
+  m.Clear();
+  EXPECT_TRUE(m.enabled());
+  EXPECT_EQ(m.Value("test.counter", {}), 0u);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByNameThenLabels) {
+  MetricsRegistry& m = MetricsRegistry::Get();
+  m.Add("b.counter", {}, 1);
+  m.Add("a.counter", {{"engine", "z"}}, 1);
+  m.Add("a.counter", {{"engine", "a"}}, 1);
+  std::vector<MetricsRegistry::Entry> entries = m.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "a.counter");
+  EXPECT_EQ(entries[0].labels[0].second, "a");
+  EXPECT_EQ(entries[1].name, "a.counter");
+  EXPECT_EQ(entries[1].labels[0].second, "z");
+  EXPECT_EQ(entries[2].name, "b.counter");
+}
+
+TEST_F(MetricsTest, ToJsonRendersNamesLabelsValues) {
+  MetricsRegistry& m = MetricsRegistry::Get();
+  m.Add("eval.facts_derived", {{"engine", "semi-naive"}}, 12);
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"eval.facts_derived\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine\": \"semi-naive\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 12"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ToJsonEscapesSpecialCharacters) {
+  MetricsRegistry& m = MetricsRegistry::Get();
+  m.Add("test.quote", {{"label", "a\"b\\c"}}, 1);
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,141 @@
+// Unit tests for the Tracer and TraceSpan: span recording, RAII close,
+// Note() attachment, the disabled fast path, and the Chrome trace-event
+// JSON export.
+
+#include "obs/trace.h"
+
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+/// The tracer is process-global; each test starts from a clean, enabled
+/// tracer and leaves it disabled for whoever runs next.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::Get().Enable(); }
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+};
+
+TEST_F(TracerTest, SpanRecordsBeginAndEndPair) {
+  { TraceSpan span("unit/span"); }
+  std::vector<TraceEvent> events = Tracer::Get().Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kBegin);
+  EXPECT_STREQ(events[0].name, "unit/span");
+  EXPECT_EQ(events[1].phase, TraceEvent::Phase::kEnd);
+  EXPECT_STREQ(events[1].name, "unit/span");
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+}
+
+TEST_F(TracerTest, NoteAttachesArgsToClosingEvent) {
+  {
+    TraceSpan span("unit/args");
+    span.Note("facts", 42);
+    span.Note("rounds", 7);
+  }
+  std::vector<TraceEvent> events = Tracer::Get().Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].args.empty());
+  ASSERT_EQ(events[1].args.size(), 2u);
+  EXPECT_STREQ(events[1].args[0].first, "facts");
+  EXPECT_EQ(events[1].args[0].second, 42u);
+  EXPECT_STREQ(events[1].args[1].first, "rounds");
+  EXPECT_EQ(events[1].args[1].second, 7u);
+}
+
+TEST_F(TracerTest, ExplicitEndClosesOnceAndMakesLaterCallsNoOps) {
+  {
+    TraceSpan span("unit/early");
+    span.Note("before", 1);
+    span.End();
+    EXPECT_FALSE(span.active());
+    span.Note("after", 2);  // dropped: span already closed
+    span.End();             // idempotent
+  }                         // destructor must not close again
+  std::vector<TraceEvent> events = Tracer::Get().Events();
+  ASSERT_EQ(events.size(), 2u);
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_STREQ(events[1].args[0].first, "before");
+}
+
+TEST_F(TracerTest, NestedSpansCloseInnermostFirst) {
+  {
+    TraceSpan outer("unit/outer");
+    { TraceSpan inner("unit/inner"); }
+  }
+  std::vector<TraceEvent> events = Tracer::Get().Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "unit/outer");
+  EXPECT_STREQ(events[1].name, "unit/inner");
+  EXPECT_STREQ(events[2].name, "unit/inner");
+  EXPECT_EQ(events[2].phase, TraceEvent::Phase::kEnd);
+  EXPECT_STREQ(events[3].name, "unit/outer");
+  EXPECT_EQ(events[3].phase, TraceEvent::Phase::kEnd);
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer::Get().Disable();
+  {
+    TraceSpan span("unit/ghost");
+    span.Note("facts", 1);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(Tracer::Get().Events().empty());
+}
+
+TEST_F(TracerTest, EnableClearsThePreviousBuffer) {
+  { TraceSpan span("unit/first"); }
+  EXPECT_EQ(Tracer::Get().Events().size(), 2u);
+  Tracer::Get().Enable();
+  EXPECT_TRUE(Tracer::Get().Events().empty());
+}
+
+TEST_F(TracerTest, SpanOpenedBeforeDisableStillCloses) {
+  // A span alive when the tracer is disabled must still record its end:
+  // per-thread B/E balance is an invariant of the export format.
+  {
+    TraceSpan span("unit/straddle");
+    Tracer::Get().Disable();
+  }
+  std::vector<TraceEvent> events = Tracer::Get().Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].phase, TraceEvent::Phase::kEnd);
+}
+
+TEST_F(TracerTest, ThreadsGetDistinctSequentialIds) {
+  { TraceSpan span("unit/main"); }
+  std::thread worker([] { TraceSpan span("unit/worker"); });
+  worker.join();
+  std::vector<TraceEvent> events = Tracer::Get().Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[2].tid, events[3].tid);
+  EXPECT_NE(events[0].tid, events[2].tid);
+}
+
+TEST_F(TracerTest, ToJsonEmitsChromeTraceEvents) {
+  {
+    TraceSpan span("unit/json");
+    span.Note("facts", 3);
+  }
+  std::string json = Tracer::Get().ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"unit/json\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"facts\": 3"), std::string::npos);
+  // Well-formed JSON object from start to end.
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+}  // namespace
+}  // namespace datalog

@@ -2,7 +2,9 @@
 # Sanitizer check harness. Builds the library and tests under
 # ThreadSanitizer and runs the evaluation-engine suites (the ones that
 # exercise the parallel evaluator's frozen-snapshot contract), then
-# repeats the incremental-maintenance fuzzer under ASan+UBSan.
+# repeats the incremental-maintenance fuzzer under ASan+UBSan. Also
+# smoke-tests the observability layer: the CLI's --trace/--metrics
+# output must be valid JSON.
 #
 #   tools/check.sh            # TSan gate + ASan/UBSan incremental fuzzer
 #   tools/check.sh thread     # TSan gate only, explicit
@@ -30,7 +32,30 @@ configure_and_build() {
 
   echo "== building (${sanitize})"
   cmake --build "${build_dir}" -j "${JOBS}" \
-    --target util_test eval_test incr_test integration_test
+    --target util_test eval_test incr_test obs_test core_test \
+             integration_test datalog-opt
+}
+
+# The tracer and metrics registry write their own JSON; make sure a real
+# CLI run produces files that actually parse.
+validate_obs_json() {
+  local build_dir="$1"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "== skipping trace/metrics JSON validation (no python3)"
+    return 0
+  fi
+  local tmp
+  tmp="$(mktemp -d)"
+  printf 't(x, y) :- e(x, y).\nt(x, z) :- t(x, y), e(y, z).\n' \
+    > "${tmp}/p.dl"
+  printf 'e(1, 2).\ne(2, 3).\ne(3, 1).\n' > "${tmp}/f.dl"
+  "${build_dir}/tools/datalog-opt" eval "${tmp}/p.dl" "${tmp}/f.dl" \
+    --trace="${tmp}/trace.json" --metrics="${tmp}/metrics.json" \
+    > /dev/null
+  python3 -m json.tool "${tmp}/trace.json" > /dev/null
+  python3 -m json.tool "${tmp}/metrics.json" > /dev/null
+  rm -rf "${tmp}"
+  echo "== OK (trace/metrics JSON parses)"
 }
 
 run_gate() {
@@ -44,14 +69,19 @@ run_gate() {
   else
     # The thread-pool, parallel-evaluator, concurrent-relation,
     # incremental-maintenance, and differential tests all live in
-    # these four suites.
+    # these suites. obs_test runs the trace-invariant checks (which
+    # drive the parallel engines with tracing enabled), and core_test's
+    # metamorphic filter runs the minimizer fuzzer.
     ./tests/util_test
     ./tests/eval_test
     ./tests/incr_test
+    ./tests/obs_test
+    ./tests/core_test --gtest_filter='*MinimizeMetamorphic*'
     ./tests/integration_test \
-      --gtest_filter='*DifferentialEngine*:*MethodsAgree*:*Incremental*'
+      --gtest_filter='*DifferentialEngine*:*MethodsAgree*:*Incremental*:*TabledTopDown*'
   fi
   cd "${ROOT}"
+  validate_obs_json "${build_dir}"
 
   echo "== OK (${sanitize})"
 }

@@ -54,7 +54,13 @@ int Usage() {
       "                            see docs/FILE_FORMAT.md)\n"
       "  plan PROGRAM Q            show the relevance -> Fig. 2 -> magic\n"
       "                            pipeline for query Q\n"
-      "  analyze PROGRAM           recursion/linearity/strata report\n");
+      "  analyze PROGRAM           recursion/linearity/strata report\n"
+      "\n"
+      "global flags (any command):\n"
+      "  --trace FILE              write a Chrome trace-event JSON of the\n"
+      "                            run (load at chrome://tracing)\n"
+      "  --metrics FILE            write flat metrics JSON (counters from\n"
+      "                            every engine and optimizer pass)\n");
   return 2;
 }
 
@@ -480,10 +486,31 @@ int CmdAnalyze(const std::string& text,
   return 0;
 }
 
+/// Consumes `--NAME FILE` or `--NAME=FILE` at args[i]; on a match stores
+/// the file into `*out` and returns the number of argv slots consumed
+/// (1 or 2). Returns 0 when args[i] is not this flag, -1 on a malformed
+/// occurrence (missing value).
+int MatchPathFlag(char** argv, int argc, int i, const char* flag_name,
+                  std::string* out) {
+  const std::size_t name_len = std::strlen(flag_name);
+  if (std::strncmp(argv[i], flag_name, name_len) != 0) return 0;
+  if (argv[i][name_len] == '=') {
+    *out = argv[i] + name_len + 1;
+    return out->empty() ? -1 : 1;
+  }
+  if (argv[i][name_len] != '\0') return 0;  // e.g. --tracey
+  if (i + 1 >= argc) return -1;
+  *out = argv[i + 1];
+  return 2;
+}
+
 int Main(int argc, char** argv) {
-  // Extract `--threads N` (anywhere after the command) before positional
-  // parsing; only `eval` currently consumes it.
+  // Extract `--threads N`, `--trace FILE`, and `--metrics FILE` (anywhere
+  // after the command) before positional parsing; only `eval`/`incr`
+  // consume --threads, while --trace/--metrics apply to every command.
   std::size_t num_threads = 1;
+  std::string trace_path;
+  std::string metrics_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
@@ -504,50 +531,81 @@ int Main(int argc, char** argv) {
       ++i;
       continue;
     }
+    int consumed = MatchPathFlag(argv, argc, i, "--trace", &trace_path);
+    if (consumed == 0) {
+      consumed = MatchPathFlag(argv, argc, i, "--metrics", &metrics_path);
+    }
+    if (consumed < 0) {
+      std::fprintf(stderr, "error: %s expects a file path\n", argv[i]);
+      return 2;
+    }
+    if (consumed > 0) {
+      i += consumed - 1;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   argc = static_cast<int>(args.size());
   argv = args.data();
 
-  if (argc < 3) return Usage();
-  const std::string command = argv[1];
-  auto symbols = std::make_shared<SymbolTable>();
+  if (!trace_path.empty()) Tracer::Get().Enable();
+  if (!metrics_path.empty()) MetricsRegistry::Get().Enable();
 
-  std::string first;
-  if (!ReadInput(argv[2], &first)) return 1;
+  // Dispatch through a lambda so the trace/metrics files are written on
+  // every exit path, including usage errors after flags were parsed.
+  auto dispatch = [&]() -> int {
+    if (argc < 3) return Usage();
+    const std::string command = argv[1];
+    auto symbols = std::make_shared<SymbolTable>();
 
-  if (command == "minimize") return CmdMinimize(first, symbols);
-  if (command == "optimize") return CmdOptimize(first, symbols);
-  if (command == "analyze") return CmdAnalyze(first, symbols);
+    std::string first;
+    if (!ReadInput(argv[2], &first)) return 1;
 
-  if (argc < 4) return Usage();
-  // plan's second argument is the query text itself, not a file.
-  if (command == "plan") return CmdPlan(first, argv[3], symbols);
+    if (command == "minimize") return CmdMinimize(first, symbols);
+    if (command == "optimize") return CmdOptimize(first, symbols);
+    if (command == "analyze") return CmdAnalyze(first, symbols);
 
-  std::string second;
-  if (!ReadInput(argv[3], &second)) return 1;
+    if (argc < 4) return Usage();
+    // plan's second argument is the query text itself, not a file.
+    if (command == "plan") return CmdPlan(first, argv[3], symbols);
 
-  if (command == "eval") return CmdEval(first, second, num_threads, symbols);
-  if (command == "contains") return CmdContains(first, second, symbols);
-  if (command == "minimize-sat") {
-    return CmdMinimizeSat(first, second, symbols);
+    std::string second;
+    if (!ReadInput(argv[3], &second)) return 1;
+
+    if (command == "eval") return CmdEval(first, second, num_threads, symbols);
+    if (command == "contains") return CmdContains(first, second, symbols);
+    if (command == "minimize-sat") {
+      return CmdMinimizeSat(first, second, symbols);
+    }
+
+    if (argc < 5) return Usage();
+    if (command == "query") return CmdQuery(first, second, argv[4], symbols);
+    if (command == "explain") {
+      return CmdExplain(first, second, argv[4], symbols);
+    }
+    if (command == "incr") {
+      std::string third;
+      if (!ReadInput(argv[4], &third)) return 1;
+      return CmdIncr(first, second, third, num_threads, symbols);
+    }
+    if (command == "prove") {
+      std::string third;
+      if (!ReadInput(argv[4], &third)) return 1;
+      bool verbose = argc > 5 && std::strcmp(argv[5], "-v") == 0;
+      return CmdProve(first, second, third, verbose, symbols);
+    }
+    return Usage();
+  };
+
+  int code = dispatch();
+  if (!trace_path.empty() && !Tracer::Get().WriteJsonFile(trace_path)) {
+    code = code == 0 ? 1 : code;
   }
-
-  if (argc < 5) return Usage();
-  if (command == "query") return CmdQuery(first, second, argv[4], symbols);
-  if (command == "explain") return CmdExplain(first, second, argv[4], symbols);
-  if (command == "incr") {
-    std::string third;
-    if (!ReadInput(argv[4], &third)) return 1;
-    return CmdIncr(first, second, third, num_threads, symbols);
+  if (!metrics_path.empty() &&
+      !MetricsRegistry::Get().WriteJsonFile(metrics_path)) {
+    code = code == 0 ? 1 : code;
   }
-  if (command == "prove") {
-    std::string third;
-    if (!ReadInput(argv[4], &third)) return 1;
-    bool verbose = argc > 5 && std::strcmp(argv[5], "-v") == 0;
-    return CmdProve(first, second, third, verbose, symbols);
-  }
-  return Usage();
+  return code;
 }
 
 }  // namespace
