@@ -67,6 +67,76 @@ void BM_LinearTcGrid_SemiNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearTcGrid_SemiNaive)->RangeMultiplier(4)->Range(16, 256);
 
+/// Compiled-plan A/B: the same workloads with the rule-compilation layer
+/// ablated, so one --json run carries both the before (LegacyMatcher) and
+/// after (the default compiled path) series for the TC and same-generation
+/// joins.
+template <typename Evaluator>
+void RunEngineLegacy(benchmark::State& state, const char* program_text,
+                     GraphShape shape, Evaluator evaluate) {
+  SetCompiledRulePlans(false);
+  RunEngine(state, program_text, shape, evaluate);
+  SetCompiledRulePlans(true);
+}
+
+void BM_LinearTcChain_SemiNaive_LegacyMatcher(benchmark::State& state) {
+  RunEngineLegacy(state, kLinearTc, GraphShape::kChain, EvaluateSemiNaive);
+}
+BENCHMARK(BM_LinearTcChain_SemiNaive_LegacyMatcher)
+    ->RangeMultiplier(2)
+    ->Range(16, 128);
+
+void BM_LinearTcRandom_SemiNaive_LegacyMatcher(benchmark::State& state) {
+  RunEngineLegacy(state, kLinearTc, GraphShape::kRandom, EvaluateSemiNaive);
+}
+BENCHMARK(BM_LinearTcRandom_SemiNaive_LegacyMatcher)
+    ->RangeMultiplier(2)
+    ->Range(32, 256);
+
+/// Same-generation: the classic non-linear two-sided join; each delta pass
+/// probes two indexed body atoms, so per-probe key-buffer reuse dominates.
+constexpr const char* kSameGen =
+    "sg(x, y) :- flat(x, y).\n"
+    "sg(x, y) :- up(x, u), sg(u, v), down(v, y).\n";
+
+template <typename Evaluator>
+void RunSameGen(benchmark::State& state, Evaluator evaluate) {
+  auto symbols = MakeSymbols();
+  Program program = MustParseProgram(symbols, kSameGen);
+  PredicateId up = MustOk(symbols->LookupPredicate("up"));
+  PredicateId down = MustOk(symbols->LookupPredicate("down"));
+  PredicateId flat = MustOk(symbols->LookupPredicate("flat"));
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Database edb(symbols);
+  AddGraphFacts({GraphShape::kBinaryTree, n, 2 * n, 7}, up, &edb);
+  AddGraphFacts({GraphShape::kBinaryTree, n, 2 * n, 7}, down, &edb);
+  AddGraphFacts({GraphShape::kRandom, n, n, 13}, flat, &edb);
+
+  EvalStats last;
+  for (auto _ : state) {
+    Database db(symbols);
+    db.UnionWith(edb);
+    last = MustOk(evaluate(program, &db));
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["joins"] = static_cast<double>(last.match.substitutions);
+  state.counters["iterations"] = static_cast<double>(last.iterations);
+}
+
+void BM_SameGen_SemiNaive(benchmark::State& state) {
+  RunSameGen(state, EvaluateSemiNaive);
+}
+BENCHMARK(BM_SameGen_SemiNaive)->RangeMultiplier(2)->Range(32, 256);
+
+void BM_SameGen_SemiNaive_LegacyMatcher(benchmark::State& state) {
+  SetCompiledRulePlans(false);
+  RunSameGen(state, EvaluateSemiNaive);
+  SetCompiledRulePlans(true);
+}
+BENCHMARK(BM_SameGen_SemiNaive_LegacyMatcher)
+    ->RangeMultiplier(2)
+    ->Range(32, 256);
+
 /// SCC-ordered vs flat semi-naive on a layered program: the upper layers
 /// must not pay for the closure's delta rounds.
 constexpr const char* kLayered =

@@ -43,6 +43,7 @@
 #include "core/relevance.h"     // IWYU pragma: export
 #include "core/unfold.h"        // IWYU pragma: export
 #include "core/uniform_containment.h"   // IWYU pragma: export
+#include "eval/compiled_rule.h"   // IWYU pragma: export
 #include "eval/database.h"        // IWYU pragma: export
 #include "eval/magic_sets.h"      // IWYU pragma: export
 #include "eval/naive.h"           // IWYU pragma: export

@@ -1,0 +1,233 @@
+#include "eval/compiled_rule.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace datalog {
+
+void MatchFrame::Reset(const CompiledRule& plan) {
+  slots.assign(static_cast<std::size_t>(plan.num_slots()), Value());
+  keys.resize(plan.num_steps());
+  sources.assign(plan.num_steps(), DepthSource());
+  for (std::size_t d = 0; d < plan.num_steps(); ++d) {
+    // Constants are baked into the buffer once; per-probe key_fill
+    // patches only the bound-variable positions.
+    keys[d] = plan.steps()[d].key_template;
+  }
+}
+
+CompiledRule CompiledRule::Compile(const Rule& rule, std::size_t delta_pos,
+                                   bool use_old, const Database& full,
+                                   const Database* delta) {
+  CompiledRule plan;
+  plan.atoms_ = BuildDeltaPassAtoms(rule, delta_pos, use_old);
+  plan.has_rule_ = true;
+  plan.head_ = rule.head();
+  plan.head_predicate_ = rule.head().predicate();
+  for (const Literal& lit : rule.body()) {
+    if (!lit.negated) continue;
+    plan.negated_.push_back(lit.atom);
+    plan.negated_preds_.push_back(lit.atom.predicate());
+  }
+  plan.BuildSchedules(full, delta);
+  return plan;
+}
+
+CompiledRule CompiledRule::CompileAtoms(std::vector<PlannedAtom> atoms,
+                                        const Database& full,
+                                        const Database* delta) {
+  CompiledRule plan;
+  plan.atoms_ = std::move(atoms);
+  plan.BuildSchedules(full, delta);
+  return plan;
+}
+
+void CompiledRule::BuildSchedules(const Database& full,
+                                  const Database* delta) {
+  greedy_ = GreedyJoinOrderingEnabled();
+  use_index_ = IndexLookupsEnabled();
+  steps_.clear();
+  var_slots_.clear();
+  num_slots_ = 0;
+
+  const std::vector<PlannedAtom> order = PlanJoinOrder(full, delta, atoms_);
+
+  std::unordered_map<VariableId, int> slot_of;
+  auto slot_for = [&](VariableId v) {
+    auto [it, inserted] = slot_of.emplace(v, num_slots_);
+    if (inserted) {
+      var_slots_.emplace_back(v, num_slots_);
+      ++num_slots_;
+    }
+    return it->second;
+  };
+
+  std::unordered_set<VariableId> bound_before;  // by atoms 0..d-1
+  steps_.reserve(order.size());
+  for (const PlannedAtom& planned : order) {
+    const Atom& atom = planned.atom;
+    CompiledAtomStep step;
+    step.predicate = atom.predicate();
+    step.arity = atom.arity();
+    step.source = planned.source;
+    const Database& src =
+        planned.source == AtomSource::kDelta && delta != nullptr ? *delta
+                                                                 : full;
+    step.planned_size = src.relation(atom.predicate()).size();
+
+    std::unordered_set<VariableId> written_here;
+    for (int i = 0; i < atom.arity(); ++i) {
+      const Term& t = atom.args()[static_cast<std::size_t>(i)];
+      if (t.is_constant()) {
+        step.key_cols.push_back(i);
+        step.key_template.push_back(t.value());
+        continue;
+      }
+      const VariableId v = t.var();
+      if (bound_before.contains(v)) {
+        step.key_cols.push_back(i);
+        step.key_template.push_back(Value());
+        step.key_fill.push_back(CompiledAtomStep::KeyFill{
+            static_cast<int>(step.key_template.size()) - 1, slot_for(v)});
+      } else if (written_here.insert(v).second) {
+        step.writes.push_back(CompiledAtomStep::SlotRef{i, slot_for(v)});
+      } else {
+        step.checks.push_back(CompiledAtomStep::SlotRef{i, slot_for(v)});
+      }
+    }
+    for (const Term& t : atom.args()) {
+      if (t.is_variable()) bound_before.insert(t.var());
+    }
+    steps_.push_back(std::move(step));
+  }
+
+  auto compile_terms = [&](const Atom& atom) {
+    std::vector<CompiledTerm> terms;
+    terms.reserve(atom.args().size());
+    for (const Term& t : atom.args()) {
+      CompiledTerm ct;
+      if (t.is_constant()) {
+        ct.is_constant = true;
+        ct.value = t.value();
+      } else {
+        auto it = slot_of.find(t.var());
+        // A variable the positive body never binds keeps slot -1; using
+        // it throws at match time, like the legacy Binding::at.
+        ct.slot = it == slot_of.end() ? -1 : it->second;
+      }
+      terms.push_back(ct);
+    }
+    return terms;
+  };
+  if (has_rule_) {
+    head_terms_ = compile_terms(head_);
+    negated_terms_.clear();
+    negated_terms_.reserve(negated_.size());
+    for (const Atom& atom : negated_) {
+      negated_terms_.push_back(compile_terms(atom));
+    }
+  }
+  compiled_ = true;
+}
+
+bool CompiledRule::NeedsReplan(const Database& full,
+                               const Database* delta) const {
+  if (greedy_ != GreedyJoinOrderingEnabled() ||
+      use_index_ != IndexLookupsEnabled()) {
+    return true;
+  }
+  if (!greedy_) return false;  // fixed textual order never changes
+  for (const CompiledAtomStep& step : steps_) {
+    const Database& src =
+        step.source == AtomSource::kDelta && delta != nullptr ? *delta
+                                                              : full;
+    // Clamp to 1 so empty relations compare on the same log scale
+    // instead of always forcing a replan.
+    const std::size_t now =
+        std::max<std::size_t>(src.relation(step.predicate).size(), 1);
+    const std::size_t then = std::max<std::size_t>(step.planned_size, 1);
+    if (now >= 4 * then || then >= 4 * now) return true;
+  }
+  return false;
+}
+
+void CompiledRule::Replan(const Database& full, const Database* delta) {
+  BuildSchedules(full, delta);
+}
+
+void CompiledRule::EnsureIndexes(const Database& full,
+                                 const Database* delta) const {
+  if (!use_index_) return;  // knob off: Execute only scans
+  for (const CompiledAtomStep& step : steps_) {
+    const Database& src =
+        step.source == AtomSource::kDelta && delta != nullptr ? *delta
+                                                              : full;
+    const Relation& rel = src.relation(step.predicate);
+    if (rel.empty() || rel.arity() != step.arity) continue;
+    // Partially bound probes use the index; fully bound probes use set
+    // membership except against the old snapshot, which needs row ids
+    // (including the zero-arity case, whose degenerate empty-column
+    // index maps the empty key to every row). Unbound non-old atoms are
+    // full scans and probe nothing.
+    const bool fully_bound =
+        static_cast<int>(step.key_cols.size()) == step.arity;
+    if (fully_bound ? step.source == AtomSource::kOld
+                    : !step.key_cols.empty()) {
+      rel.EnsureIndex(step.key_cols);
+    }
+  }
+}
+
+bool CompiledRule::NegationHolds(const Database& full, const MatchFrame& frame,
+                                 Tuple* scratch) const {
+  for (std::size_t i = 0; i < negated_terms_.size(); ++i) {
+    FillTerms(negated_terms_[i], frame, scratch);
+    if (full.Contains(negated_preds_[i], *scratch)) return false;
+  }
+  return true;
+}
+
+Tuple CompiledRule::InstantiateHeadFromFrame(const MatchFrame& frame) const {
+  Tuple tuple;
+  FillTerms(head_terms_, frame, &tuple);
+  return tuple;
+}
+
+std::size_t CompiledRule::Apply(const Database& full, const Database* delta,
+                                const OldLimits* old_limits, Database* out,
+                                MatchStats* stats) const {
+  // Derived tuples are buffered and inserted only after the enumeration
+  // finishes: `out` may alias `full`, and inserting while the matcher is
+  // iterating rows/indexes of the same relation would invalidate them.
+  std::vector<Tuple> derived;
+  MatchFrame frame(*this);
+  Tuple scratch;
+  Execute(full, delta, old_limits, &frame, stats,
+          [&](const MatchFrame& f) {
+            if (!NegationHolds(full, f, &scratch)) return true;
+            derived.push_back(InstantiateHeadFromFrame(f));
+            return true;
+          });
+  std::size_t new_facts = 0;
+  for (Tuple& tuple : derived) {
+    if (out->AddFact(head_predicate_, std::move(tuple))) ++new_facts;
+  }
+  return new_facts;
+}
+
+const CompiledRule& CompiledRuleCache::Get(std::size_t rule_index,
+                                           const Rule& rule,
+                                           std::size_t delta_pos,
+                                           bool use_old, const Database& full,
+                                           const Database* delta) {
+  CompiledRule& plan = plans_[std::make_tuple(rule_index, delta_pos, use_old)];
+  if (!plan.compiled()) {
+    plan = CompiledRule::Compile(rule, delta_pos, use_old, full, delta);
+  } else if (plan.NeedsReplan(full, delta)) {
+    plan.Replan(full, delta);
+  }
+  return plan;
+}
+
+}  // namespace datalog

@@ -1,0 +1,373 @@
+#ifndef DATALOG_EVAL_COMPILED_RULE_H_
+#define DATALOG_EVAL_COMPILED_RULE_H_
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "ast/rule.h"
+#include "eval/database.h"
+#include "eval/rule_matcher.h"
+
+namespace datalog {
+
+class CompiledRule;
+
+/// One body atom compiled against a fixed join order. Every argument
+/// position is classified once, at compile time:
+///   - constants sit pre-filled in `key_template`,
+///   - variables bound by earlier atoms are key positions patched from
+///     the frame per probe (`key_fill`),
+///   - the first occurrence of a free variable writes its frame slot
+///     (`writes`),
+///   - repeated occurrences within the same atom compare against the
+///     slot written moments earlier (`checks`).
+/// The enumeration loop therefore does no per-row classification, no
+/// hash-map binding churn, and no per-probe key allocation.
+struct CompiledAtomStep {
+  struct KeyFill {
+    int key_index;  // position in the key buffer
+    int slot;       // frame slot providing the value
+  };
+  struct SlotRef {
+    int col;   // column of the matched row
+    int slot;  // frame slot written (writes) or compared (checks)
+  };
+
+  PredicateId predicate = 0;
+  int arity = 0;
+  AtomSource source = AtomSource::kFull;
+  std::vector<int> key_cols;  // strictly increasing bound columns
+  Tuple key_template;         // constants filled, bound positions patched
+  std::vector<KeyFill> key_fill;
+  std::vector<SlotRef> writes;
+  std::vector<SlotRef> checks;
+  std::size_t planned_size = 0;  // source relation size at plan time
+};
+
+/// A head or negated-literal argument: a constant, or a frame slot. A
+/// negative slot marks a variable the positive body never binds; using it
+/// throws, exactly like the legacy Binding::at would on a match.
+struct CompiledTerm {
+  bool is_constant = false;
+  Value value;
+  int slot = -1;
+};
+
+/// Per-enumeration mutable state: the flat variable frame plus one
+/// reusable key buffer per join depth. Constructing (or Reset-ing) a
+/// frame is the only allocation a compiled enumeration performs; the
+/// inner loop is allocation-free.
+struct MatchFrame {
+  MatchFrame() = default;
+  explicit MatchFrame(const CompiledRule& plan) { Reset(plan); }
+  void Reset(const CompiledRule& plan);
+
+  /// Loop-invariant per-depth source state, resolved once per Execute
+  /// instead of once per visit: the relation pointer (a hash lookup in
+  /// Database), the scan limit, whether the depth can match at all, and
+  /// -- for indexed probes -- a direct view of the index, skipping the
+  /// per-probe index-map find inside Relation::Lookup.
+  struct DepthSource {
+    const Relation* rel = nullptr;
+    std::size_t limit = 0;
+    bool dead = false;
+    Relation::SingleIndexView single_index;
+    Relation::MultiIndexView multi_index;
+  };
+
+  std::vector<Value> slots;
+  std::vector<Tuple> keys;  // keys[d] belongs to join depth d
+  std::vector<DepthSource> sources;
+};
+
+/// A rule body compiled to slot-addressed join schedules: the
+/// (rule, delta position, use_old) variant of the legacy Matcher, planned
+/// once and executed many times. Immutable while executing; Replan (and
+/// the cache's Get) may rebuild the schedules between executions.
+///
+/// Thread safety: compiling and Replan-ing require exclusive access.
+/// Execute/Apply are read-only on the plan and on the databases provided
+/// EnsureIndexes ran since the last insert (the same frozen-snapshot
+/// contract as Relation::Lookup; see docs/join_compilation.md), so one
+/// plan can serve many worker threads concurrently.
+class CompiledRule {
+ public:
+  CompiledRule() = default;
+
+  /// Compiles the delta-pass variant of `rule` (see BuildDeltaPassAtoms).
+  static CompiledRule Compile(const Rule& rule, std::size_t delta_pos,
+                              bool use_old, const Database& full,
+                              const Database* delta);
+
+  /// Compiles a bare atom list (the MatchAtoms adapter): no head, no
+  /// negated literals.
+  static CompiledRule CompileAtoms(std::vector<PlannedAtom> atoms,
+                                   const Database& full,
+                                   const Database* delta);
+
+  bool compiled() const { return compiled_; }
+
+  /// True when the cached join order should be recomputed: an ablation
+  /// knob changed, or some participating relation's cardinality moved by
+  /// >= 4x since planning -- one step of the greedy planner's own
+  /// selectivity granularity (cost /= 4 per bound column), below which a
+  /// new plan could not change the order anyway.
+  bool NeedsReplan(const Database& full, const Database* delta) const;
+
+  /// Recomputes the join order and all schedules against current sizes.
+  void Replan(const Database& full, const Database* delta);
+
+  /// Pre-builds every index Execute can probe, making a subsequent
+  /// Execute/Apply read-only on the relations (frozen-snapshot contract).
+  void EnsureIndexes(const Database& full, const Database* delta) const;
+
+  /// Enumerates body matches and inserts instantiated heads into `out`
+  /// (negated literals are tested against `full`). Derived tuples are
+  /// buffered until the enumeration finishes, so `out` may alias `full`.
+  /// Returns the number of facts new in `out`. Only valid for plans
+  /// compiled from a Rule.
+  std::size_t Apply(const Database& full, const Database* delta,
+                    const OldLimits* old_limits, Database* out,
+                    MatchStats* stats) const;
+
+  /// Enumerates every complete match into `sink` (called with the frame;
+  /// return false to stop early). Counter semantics are identical to the
+  /// legacy Matcher, row for row.
+  template <typename Sink>
+  void Execute(const Database& full, const Database* delta,
+               const OldLimits* old_limits, MatchFrame* frame,
+               MatchStats* stats, Sink&& sink) const {
+    if (steps_.empty()) {
+      if (stats != nullptr) ++stats->substitutions;
+      sink(*frame);
+      return;
+    }
+    // Resolve each depth's relation, scan limit, and viability once: all
+    // three are invariant for the whole enumeration (no insert happens
+    // while matching), and resolving them per visit would cost a hash
+    // lookup per parent row per depth. A dead depth still lets shallower
+    // depths run -- and count -- exactly as the legacy matcher's early
+    // returns do.
+    for (std::size_t d = 0; d < steps_.size(); ++d) {
+      const CompiledAtomStep& step = steps_[d];
+      const Database& src =
+          step.source == AtomSource::kDelta ? *delta : full;
+      const Relation& rel = src.relation(step.predicate);
+      MatchFrame::DepthSource& ds = frame->sources[d];
+      ds.rel = &rel;
+      ds.limit = rel.size();
+      ds.dead = rel.empty() || rel.arity() != step.arity;
+      if (step.source == AtomSource::kOld && !ds.dead) {
+        ds.limit = OldLimitFor(old_limits, step.predicate);
+        ds.dead = ds.limit == 0;
+      }
+      // Prepare index views for exactly the probes Step will issue (the
+      // same condition EnsureIndexes pre-builds for): partially bound
+      // indexed probes, and fully bound ones on the old snapshot -- where
+      // "fully bound" includes the zero-arity case, whose degenerate
+      // empty-column index maps the empty key to every row, exactly as
+      // the legacy matcher's Lookup did. The current-state membership
+      // test uses Contains and needs no view.
+      const bool fully_bound =
+          static_cast<int>(step.key_cols.size()) == step.arity;
+      const bool probes_index =
+          use_index_ && (fully_bound ? step.source == AtomSource::kOld
+                                     : !step.key_cols.empty());
+      if (!ds.dead && probes_index) {
+        if (step.key_cols.size() == 1) {
+          ds.single_index = rel.PrepareSingleIndex(step.key_cols[0]);
+        } else {
+          ds.multi_index = rel.PrepareIndex(step.key_cols);
+        }
+      }
+    }
+    Step(0, *frame, stats, sink);
+  }
+
+  /// Materializes the frame into a Binding (the MatchAtoms adapter).
+  /// Every complete match binds the same variable set, so repeated calls
+  /// overwrite in place and allocate only on the first match.
+  void FillBinding(const MatchFrame& frame, Binding* binding) const {
+    for (const auto& [var, slot] : var_slots_) {
+      (*binding)[var] = frame.slots[static_cast<std::size_t>(slot)];
+    }
+  }
+
+  int num_slots() const { return num_slots_; }
+  std::size_t num_steps() const { return steps_.size(); }
+  const std::vector<CompiledAtomStep>& steps() const { return steps_; }
+  PredicateId head_predicate() const { return head_predicate_; }
+
+  /// True if every negated literal is absent from `full` under the frame.
+  bool NegationHolds(const Database& full, const MatchFrame& frame,
+                     Tuple* scratch) const;
+
+  Tuple InstantiateHeadFromFrame(const MatchFrame& frame) const;
+
+ private:
+  friend struct MatchFrame;
+
+  void BuildSchedules(const Database& full, const Database* delta);
+
+  static std::size_t OldLimitFor(const OldLimits* old_limits,
+                                 PredicateId pred) {
+    if (old_limits == nullptr) return 0;
+    auto it = old_limits->find(pred);
+    return it == old_limits->end() ? 0 : it->second;
+  }
+
+  static void FillTerms(const std::vector<CompiledTerm>& terms,
+                        const MatchFrame& frame, Tuple* out) {
+    out->clear();
+    out->reserve(terms.size());
+    for (const CompiledTerm& t : terms) {
+      if (t.is_constant) {
+        out->push_back(t.value);
+      } else {
+        if (t.slot < 0) throw std::out_of_range("unbound rule variable");
+        out->push_back(frame.slots[static_cast<std::size_t>(t.slot)]);
+      }
+    }
+  }
+
+  template <typename Sink>
+  bool Step(std::size_t depth, MatchFrame& frame, MatchStats* stats,
+            Sink& sink) const {
+    if (depth == steps_.size()) {
+      if (stats != nullptr) ++stats->substitutions;
+      return sink(frame);
+    }
+    const MatchFrame::DepthSource& ds = frame.sources[depth];
+    if (ds.dead) {
+      // Empty relation, arity mismatch, or an exhausted old snapshot: no
+      // matches, and no counter bump (matching the legacy early returns).
+      return true;
+    }
+    const CompiledAtomStep& step = steps_[depth];
+    const Relation& rel = *ds.rel;
+    const bool old_only = step.source == AtomSource::kOld;
+    const std::size_t limit = ds.limit;
+    if (stats != nullptr) ++stats->index_lookups;
+
+    Tuple& key = frame.keys[depth];
+    for (const CompiledAtomStep::KeyFill& kf : step.key_fill) {
+      key[static_cast<std::size_t>(kf.key_index)] =
+          frame.slots[static_cast<std::size_t>(kf.slot)];
+    }
+
+    if (use_index_ &&
+        static_cast<int>(step.key_cols.size()) == step.arity) {
+      // Fully bound: membership test. The old snapshot additionally
+      // needs the matching row to predate the limit.
+      if (stats != nullptr) ++stats->tuples_scanned;
+      if (old_only) {
+        const std::vector<std::uint32_t>& row_ids =
+            step.key_cols.size() == 1 ? ds.single_index.Find(key[0])
+                                      : ds.multi_index.Find(key);
+        for (std::uint32_t row_id : row_ids) {
+          if (row_id < limit) {
+            return Step(depth + 1, frame, stats, sink);
+          }
+        }
+        return true;
+      }
+      if (rel.Contains(key)) {
+        return Step(depth + 1, frame, stats, sink);
+      }
+      return true;
+    }
+
+    auto try_row = [&](const Tuple& row) -> bool {
+      for (const CompiledAtomStep::SlotRef& w : step.writes) {
+        frame.slots[static_cast<std::size_t>(w.slot)] =
+            row[static_cast<std::size_t>(w.col)];
+      }
+      for (const CompiledAtomStep::SlotRef& c : step.checks) {
+        if (frame.slots[static_cast<std::size_t>(c.slot)] !=
+            row[static_cast<std::size_t>(c.col)]) {
+          return true;  // repeated variable mismatch; keep enumerating
+        }
+      }
+      return Step(depth + 1, frame, stats, sink);
+    };
+
+    if (step.key_cols.empty()) {
+      for (std::size_t i = 0; i < limit; ++i) {
+        if (stats != nullptr) ++stats->tuples_scanned;
+        if (!try_row(rel.row(i))) return false;
+      }
+      return true;
+    }
+
+    if (!use_index_) {
+      for (std::size_t i = 0; i < limit; ++i) {
+        const Tuple& row = rel.row(i);
+        if (stats != nullptr) ++stats->tuples_scanned;
+        bool matches = true;
+        for (std::size_t k = 0; k < step.key_cols.size(); ++k) {
+          if (row[static_cast<std::size_t>(step.key_cols[k])] != key[k]) {
+            matches = false;
+            break;
+          }
+        }
+        if (matches && !try_row(row)) return false;
+      }
+      return true;
+    }
+
+    const std::vector<std::uint32_t>& row_ids =
+        step.key_cols.size() == 1 ? ds.single_index.Find(key[0])
+                                  : ds.multi_index.Find(key);
+    for (std::uint32_t row_id : row_ids) {
+      if (old_only && row_id >= limit) continue;
+      if (stats != nullptr) ++stats->tuples_scanned;
+      if (!try_row(rel.row(row_id))) return false;
+    }
+    return true;
+  }
+
+  bool compiled_ = false;
+  bool has_rule_ = false;
+  bool greedy_ = true;     // knob snapshot at plan time
+  bool use_index_ = true;  // knob snapshot at plan time
+  std::vector<PlannedAtom> atoms_;  // original order; Replan re-sorts
+  std::vector<CompiledAtomStep> steps_;
+  int num_slots_ = 0;
+  std::vector<std::pair<VariableId, int>> var_slots_;
+  PredicateId head_predicate_ = 0;
+  Atom head_;
+  std::vector<CompiledTerm> head_terms_;
+  std::vector<Atom> negated_;
+  std::vector<PredicateId> negated_preds_;
+  std::vector<std::vector<CompiledTerm>> negated_terms_;
+};
+
+/// Owns one CompiledRule per (rule index, delta position, use_old)
+/// variant, compiled on first use and revalidated on every Get: a
+/// changed ablation knob recompiles, a >= 4x cardinality drift replans.
+/// Engines keep one cache per fixpoint so join orders persist across
+/// rounds instead of being recomputed per rule application.
+///
+/// Not thread-safe: call Get only from single-threaded phases (the
+/// parallel evaluator resolves all plans during snapshot preparation and
+/// hands workers const pointers). Returned references stay valid for the
+/// cache's lifetime; Get never invalidates other entries.
+class CompiledRuleCache {
+ public:
+  const CompiledRule& Get(std::size_t rule_index, const Rule& rule,
+                          std::size_t delta_pos, bool use_old,
+                          const Database& full, const Database* delta);
+
+  std::size_t size() const { return plans_.size(); }
+
+ private:
+  std::map<std::tuple<std::size_t, std::size_t, bool>, CompiledRule> plans_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_COMPILED_RULE_H_

@@ -1,6 +1,7 @@
 #include "eval/naive.h"
 
 #include "ast/validate.h"
+#include "eval/compiled_rule.h"
 #include "obs/stats_export.h"
 #include "obs/trace.h"
 
@@ -11,6 +12,8 @@ Result<EvalStats> EvaluateNaive(const Program& program, Database* db) {
   TraceSpan span("eval/naive");
   EvalStats stats;
   stats.per_rule.resize(program.NumRules());
+  // Plans persist across naive rounds; only cardinality drift replans.
+  CompiledRuleCache cache;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -24,7 +27,7 @@ Result<EvalStats> EvaluateNaive(const Program& program, Database* db) {
       ++stats.per_rule[ri].applications;
       TraceSpan apply_span("naive/apply");
       MatchStats local;
-      std::size_t added = ApplyRule(rule, *db, db, &local);
+      std::size_t added = ApplyRule(rule, *db, db, &local, &cache, ri);
       stats.match.Add(local);
       stats.facts_derived += added;
       stats.per_rule[ri].facts += added;

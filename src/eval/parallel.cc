@@ -11,6 +11,7 @@
 
 #include "ast/dependence_graph.h"
 #include "ast/validate.h"
+#include "eval/compiled_rule.h"
 #include "eval/rule_matcher.h"
 #include "eval/seminaive.h"
 #include "obs/stats_export.h"
@@ -50,6 +51,9 @@ struct PassTask {
   const Database* delta_shard;
   Database out;       // task-local derivation buffer
   MatchStats match;   // task-local join counters
+  // Compiled plan resolved during prep (null on the legacy-matcher
+  // ablation path); shared read-only across all shards of the pass.
+  const CompiledRule* plan = nullptr;
 };
 
 /// Pre-builds every index the matcher can probe while running this pass,
@@ -140,6 +144,14 @@ EvalStats RunSemiNaiveFixpointParallel(const std::vector<Rule>& rules,
 
   OldLimits old_limits;
 
+  // Plans are resolved once per (rule, delta position) per round against
+  // the WHOLE round delta -- never against an individual shard -- so the
+  // plan (and therefore every counter) is a function of the round state
+  // alone, identical at any thread count. All shards of a pass share the
+  // resolved plan read-only. The cache outlives the rounds, so join
+  // orders persist until cardinalities drift >= 4x.
+  CompiledRuleCache cache;
+
   while (!delta.empty()) {
     ++stats.iterations;
     TraceSpan round_span("parallel/round");
@@ -188,9 +200,21 @@ EvalStats RunSemiNaiveFixpointParallel(const std::vector<Rule>& rules,
         }
       }
     }
-    for (const PassTask& task : tasks) {
-      EnsureIndexesForPass(*db, *task.delta_shard, rules[task.rule_index],
-                           task.delta_pos);
+    if (CompiledRulePlansEnabled()) {
+      for (PassTask& task : tasks) {
+        const CompiledRule& plan =
+            cache.Get(task.rule_index, rules[task.rule_index], task.delta_pos,
+                      /*use_old=*/true, *db, &delta);
+        task.plan = &plan;
+        // Per-shard index builds still happen here, single-threaded:
+        // after this, Execute is read-only on every relation it probes.
+        plan.EnsureIndexes(*db, task.delta_shard);
+      }
+    } else {
+      for (const PassTask& task : tasks) {
+        EnsureIndexesForPass(*db, *task.delta_shard, rules[task.rule_index],
+                             task.delta_pos);
+      }
     }
     stats.index_build_ns += ElapsedNs(prep_start);
     prep_span.Note("tasks", tasks.size());
@@ -209,9 +233,14 @@ EvalStats RunSemiNaiveFixpointParallel(const std::vector<Rule>& rules,
     for (PassTask& task : tasks) {
       pool->Submit([&rules, &frozen, &old_limits, &task] {
         TraceSpan task_span("parallel/task");
-        ApplyRuleWithDelta(rules[task.rule_index], frozen, *task.delta_shard,
-                           task.delta_pos, &task.out, &task.match,
-                           &old_limits);
+        if (task.plan != nullptr) {
+          task.plan->Apply(frozen, task.delta_shard, &old_limits, &task.out,
+                           &task.match);
+        } else {
+          ApplyRuleWithDelta(rules[task.rule_index], frozen, *task.delta_shard,
+                             task.delta_pos, &task.out, &task.match,
+                             &old_limits);
+        }
         if (task_span.active()) {
           task_span.Note("rule", task.rule_index);
           task_span.Note("delta_pos", task.delta_pos);

@@ -26,20 +26,51 @@ std::size_t Relation::EraseAll(const std::vector<Tuple>& tuples) {
   }
   rows_ = std::move(survivors);
   indexes_.clear();
+  single_indexes_.clear();
   return erased;
+}
+
+const std::vector<std::uint32_t>& Relation::EmptyRowIds() {
+  static const std::vector<std::uint32_t>* const kEmpty =
+      new std::vector<std::uint32_t>();
+  return *kEmpty;
 }
 
 const std::vector<std::uint32_t>& Relation::Lookup(
     const std::vector<int>& columns, const Tuple& key) const {
-  static const std::vector<std::uint32_t>* const kEmpty =
-      new std::vector<std::uint32_t>();
+  if (columns.size() == 1) return Lookup(columns[0], key[0]);
   ColumnIndex& index = indexes_[columns];
   ExtendIndex(columns, &index);
   auto it = index.map.find(key);
-  return it == index.map.end() ? *kEmpty : it->second;
+  return it == index.map.end() ? EmptyRowIds() : it->second;
+}
+
+const std::vector<std::uint32_t>& Relation::Lookup(int column,
+                                                   const Value& key) const {
+  SingleColumnIndex& index = single_indexes_[column];
+  ExtendSingleIndex(column, &index);
+  auto it = index.map.find(key);
+  return it == index.map.end() ? EmptyRowIds() : it->second;
+}
+
+Relation::SingleIndexView Relation::PrepareSingleIndex(int column) const {
+  SingleColumnIndex& index = single_indexes_[column];
+  ExtendSingleIndex(column, &index);
+  return SingleIndexView(&index.map);
+}
+
+Relation::MultiIndexView Relation::PrepareIndex(
+    const std::vector<int>& columns) const {
+  ColumnIndex& index = indexes_[columns];
+  ExtendIndex(columns, &index);
+  return MultiIndexView(&index.map);
 }
 
 void Relation::EnsureIndex(const std::vector<int>& columns) const {
+  if (columns.size() == 1) {
+    ExtendSingleIndex(columns[0], &single_indexes_[columns[0]]);
+    return;
+  }
   ExtendIndex(columns, &indexes_[columns]);
 }
 
@@ -55,6 +86,17 @@ void Relation::ExtendIndex(const std::vector<int>& columns,
       key.push_back(rows_[i][static_cast<std::size_t>(c)]);
     }
     index->map[std::move(key)].push_back(static_cast<std::uint32_t>(i));
+  }
+  index->built_up_to = rows_.size();
+}
+
+void Relation::ExtendSingleIndex(int column, SingleColumnIndex* index) const {
+  // Write-free when already current (frozen-snapshot contract), like
+  // ExtendIndex above.
+  if (index->built_up_to == rows_.size()) return;
+  for (std::size_t i = index->built_up_to; i < rows_.size(); ++i) {
+    index->map[rows_[i][static_cast<std::size_t>(column)]].push_back(
+        static_cast<std::uint32_t>(i));
   }
   index->built_up_to = rows_.size();
 }

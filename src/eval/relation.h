@@ -51,8 +51,14 @@ class Relation {
   /// Returns the row indices whose projection onto `columns` equals `key`
   /// (`key[i]` corresponds to `columns[i]`). `columns` must be strictly
   /// increasing and non-empty. Builds/extends the index on first use.
+  /// Single-column probes are routed to the Value-keyed fast path below.
   const std::vector<std::uint32_t>& Lookup(const std::vector<int>& columns,
                                            const Tuple& key) const;
+
+  /// Single-column fast path: the index is keyed directly on Value, so
+  /// neither the probe nor the per-row index entries allocate a
+  /// one-element Tuple. Agrees exactly with Lookup({column}, {key}).
+  const std::vector<std::uint32_t>& Lookup(int column, const Value& key) const;
 
   /// Builds (or extends to cover all current rows) the index on
   /// `columns`, making subsequent Lookup calls on that column set pure
@@ -60,20 +66,76 @@ class Relation {
   /// every column set its plans will probe before fanning out.
   void EnsureIndex(const std::vector<int>& columns) const;
 
+  /// Direct handles onto a built index, skipping the per-probe index-map
+  /// find and extend check that Lookup pays. Valid until the next Insert
+  /// or EraseAll; the compiled matcher prepares one per join depth per
+  /// enumeration (the relation is frozen while matching).
+  class SingleIndexView {
+   public:
+    SingleIndexView() = default;
+    bool valid() const { return map_ != nullptr; }
+    const std::vector<std::uint32_t>& Find(const Value& key) const {
+      auto it = map_->find(key);
+      return it == map_->end() ? EmptyRowIds() : it->second;
+    }
+
+   private:
+    friend class Relation;
+    explicit SingleIndexView(
+        const std::unordered_map<Value, std::vector<std::uint32_t>,
+                                 ValueHash>* map)
+        : map_(map) {}
+    const std::unordered_map<Value, std::vector<std::uint32_t>, ValueHash>*
+        map_ = nullptr;
+  };
+  class MultiIndexView {
+   public:
+    MultiIndexView() = default;
+    bool valid() const { return map_ != nullptr; }
+    const std::vector<std::uint32_t>& Find(const Tuple& key) const {
+      auto it = map_->find(key);
+      return it == map_->end() ? EmptyRowIds() : it->second;
+    }
+
+   private:
+    friend class Relation;
+    explicit MultiIndexView(
+        const std::unordered_map<Tuple, std::vector<std::uint32_t>,
+                                 TupleHash>* map)
+        : map_(map) {}
+    const std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash>*
+        map_ = nullptr;
+  };
+
+  /// Build/extend the index on `column` (resp. `columns`, size >= 2) and
+  /// return a view of it. Same laziness and thread-safety contract as
+  /// Lookup: write-free when the index already covers all rows.
+  SingleIndexView PrepareSingleIndex(int column) const;
+  MultiIndexView PrepareIndex(const std::vector<int>& columns) const;
+
+  static const std::vector<std::uint32_t>& EmptyRowIds();
+
  private:
   struct ColumnIndex {
     std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> map;
     std::size_t built_up_to = 0;  // rows_[0, built_up_to) are indexed
   };
+  struct SingleColumnIndex {
+    std::unordered_map<Value, std::vector<std::uint32_t>, ValueHash> map;
+    std::size_t built_up_to = 0;  // rows_[0, built_up_to) are indexed
+  };
 
   void ExtendIndex(const std::vector<int>& columns, ColumnIndex* index) const;
+  void ExtendSingleIndex(int column, SingleColumnIndex* index) const;
 
   int arity_;
   std::vector<Tuple> rows_;
   std::unordered_set<Tuple, TupleHash> set_;
-  // Ordered map keyed by column list; indexes are created lazily by Lookup
-  // and extended incrementally as rows are appended.
+  // Ordered maps keyed by column list (or single column); indexes are
+  // created lazily by Lookup and extended incrementally as rows are
+  // appended.
   mutable std::map<std::vector<int>, ColumnIndex> indexes_;
+  mutable std::map<int, SingleColumnIndex> single_indexes_;
 };
 
 }  // namespace datalog

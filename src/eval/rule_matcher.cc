@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <limits>
 
+#include "eval/compiled_rule.h"
+
 namespace datalog {
 
 namespace {
 bool greedy_join_ordering_enabled = true;
 bool index_lookups_enabled = true;
+bool compiled_rule_plans_enabled = true;
 }  // namespace
 
 void SetGreedyJoinOrdering(bool enabled) {
@@ -16,6 +19,10 @@ void SetGreedyJoinOrdering(bool enabled) {
 bool GreedyJoinOrderingEnabled() { return greedy_join_ordering_enabled; }
 void SetIndexLookups(bool enabled) { index_lookups_enabled = enabled; }
 bool IndexLookupsEnabled() { return index_lookups_enabled; }
+void SetCompiledRulePlans(bool enabled) {
+  compiled_rule_plans_enabled = enabled;
+}
+bool CompiledRulePlansEnabled() { return compiled_rule_plans_enabled; }
 
 namespace {
 
@@ -98,7 +105,12 @@ class Matcher {
 
     if (stats_ != nullptr) ++stats_->index_lookups;
 
-    if (static_cast<int>(bound_cols.size()) == atom.arity()) {
+    // The membership fast path below uses Lookup/Contains, so it must
+    // honor the index-lookups ablation knob too; with the knob off a
+    // fully bound atom falls through to the scan-and-filter loop like
+    // any other bound atom.
+    if (IndexLookupsEnabled() &&
+        static_cast<int>(bound_cols.size()) == atom.arity()) {
       // Fully bound: membership test. The old snapshot additionally needs
       // the matching row to predate the limit.
       if (stats_ != nullptr) ++stats_->tuples_scanned;
@@ -193,9 +205,22 @@ std::size_t ApplyRuleImpl(const Rule& rule, const Database& full,
                           const Database* delta,
                           std::size_t delta_pos,  // or npos
                           Database* out, MatchStats* stats,
-                          const OldLimits* old_limits) {
+                          const OldLimits* old_limits,
+                          CompiledRuleCache* cache, std::size_t rule_index) {
+  const bool use_old = old_limits != nullptr;
+  if (CompiledRulePlansEnabled()) {
+    if (cache != nullptr) {
+      const CompiledRule& plan =
+          cache->Get(rule_index, rule, delta_pos, use_old, full, delta);
+      return plan.Apply(full, delta, old_limits, out, stats);
+    }
+    CompiledRule plan =
+        CompiledRule::Compile(rule, delta_pos, use_old, full, delta);
+    return plan.Apply(full, delta, old_limits, out, stats);
+  }
+
   std::vector<PlannedAtom> atoms =
-      BuildDeltaPassAtoms(rule, delta_pos, old_limits != nullptr);
+      BuildDeltaPassAtoms(rule, delta_pos, use_old);
 
   // Derived tuples are buffered and inserted only after the enumeration
   // finishes: `out` may alias `full`, and inserting while the matcher is
@@ -224,6 +249,20 @@ void MatchAtoms(const Database& full, const Database* delta,
                 const std::vector<PlannedAtom>& atoms,
                 const std::function<bool(const Binding&)>& callback,
                 MatchStats* stats) {
+  if (CompiledRulePlansEnabled()) {
+    // Thin adapter over the compiled path: the enumeration runs on the
+    // flat frame and a Binding is materialized only per complete match
+    // (overwritten in place, so buckets are allocated once).
+    const CompiledRule plan = CompiledRule::CompileAtoms(atoms, full, delta);
+    MatchFrame frame(plan);
+    Binding binding;
+    plan.Execute(full, delta, /*old_limits=*/nullptr, &frame, stats,
+                 [&](const MatchFrame& f) {
+                   plan.FillBinding(f, &binding);
+                   return callback(binding);
+                 });
+    return;
+  }
   Matcher matcher(full, delta, atoms, callback, stats);
   matcher.Run();
 }
@@ -316,17 +355,21 @@ Tuple InstantiateHead(const Atom& atom, const Binding& binding) {
 }
 
 std::size_t ApplyRule(const Rule& rule, const Database& full, Database* out,
-                      MatchStats* stats) {
+                      MatchStats* stats, CompiledRuleCache* cache,
+                      std::size_t rule_index) {
   return ApplyRuleImpl(rule, full, /*delta=*/nullptr,
                        /*delta_pos=*/std::numeric_limits<std::size_t>::max(),
-                       out, stats, /*old_limits=*/nullptr);
+                       out, stats, /*old_limits=*/nullptr, cache, rule_index);
 }
 
 std::size_t ApplyRuleWithDelta(const Rule& rule, const Database& full,
                                const Database& delta, std::size_t delta_pos,
                                Database* out, MatchStats* stats,
-                               const OldLimits* old_limits) {
-  return ApplyRuleImpl(rule, full, &delta, delta_pos, out, stats, old_limits);
+                               const OldLimits* old_limits,
+                               CompiledRuleCache* cache,
+                               std::size_t rule_index) {
+  return ApplyRuleImpl(rule, full, &delta, delta_pos, out, stats, old_limits,
+                       cache, rule_index);
 }
 
 }  // namespace datalog

@@ -47,15 +47,21 @@ struct PlannedAtom {
 /// (the instantiation of Section III).
 using Binding = std::unordered_map<VariableId, Value>;
 
-/// Process-wide ablation switches used by bench_ablation to quantify two
+/// Process-wide ablation switches used by bench_ablation to quantify
 /// engine design choices. Not thread-safe; intended for benchmarks only.
 /// When greedy join ordering is off, body atoms are matched in their
 /// given (textual) order. When index lookups are off, every atom match
-/// scans the whole relation and filters.
+/// scans the whole relation and filters. When compiled rule plans are
+/// off, matching falls back to the legacy row-at-a-time Matcher instead
+/// of the slot-addressed compiled path (see eval/compiled_rule.h).
 void SetGreedyJoinOrdering(bool enabled);
 bool GreedyJoinOrderingEnabled();
 void SetIndexLookups(bool enabled);
 bool IndexLookupsEnabled();
+void SetCompiledRulePlans(bool enabled);
+bool CompiledRulePlansEnabled();
+
+class CompiledRuleCache;  // eval/compiled_rule.h
 
 /// Enumerates every binding that instantiates all `atoms` to facts of the
 /// indicated sources. Atoms are matched in a greedily chosen order
@@ -95,8 +101,15 @@ Tuple InstantiateHead(const Atom& atom, const Binding& binding);
 /// and inserts head facts into `out`. Returns the number of facts that
 /// were new in `out`. `out` may alias `full`'s storage only if the caller
 /// accepts immediate visibility of new facts (naive evaluation does).
+///
+/// With a non-null `cache`, the compiled plan for (`rule_index`,
+/// delta position, use_old) is fetched from it -- compiled on first use,
+/// replanned only when a participating relation's cardinality drifts --
+/// instead of being rebuilt per call. `rule_index` must identify `rule`
+/// stably for the cache's lifetime. A null cache compiles transiently.
 std::size_t ApplyRule(const Rule& rule, const Database& full, Database* out,
-                      MatchStats* stats);
+                      MatchStats* stats, CompiledRuleCache* cache = nullptr,
+                      std::size_t rule_index = 0);
 
 /// Semi-naive variant: like ApplyRule but the body atom at position
 /// `delta_pos` (an index into rule.body(), which must be positive there)
@@ -109,7 +122,9 @@ std::size_t ApplyRule(const Rule& rule, const Database& full, Database* out,
 std::size_t ApplyRuleWithDelta(const Rule& rule, const Database& full,
                                const Database& delta, std::size_t delta_pos,
                                Database* out, MatchStats* stats,
-                               const OldLimits* old_limits = nullptr);
+                               const OldLimits* old_limits = nullptr,
+                               CompiledRuleCache* cache = nullptr,
+                               std::size_t rule_index = 0);
 
 }  // namespace datalog
 

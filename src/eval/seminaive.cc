@@ -7,6 +7,7 @@
 
 #include "ast/dependence_graph.h"
 #include "ast/validate.h"
+#include "eval/compiled_rule.h"
 #include "obs/stats_export.h"
 #include "obs/trace.h"
 
@@ -74,6 +75,10 @@ EvalStats RunSemiNaiveFixpoint(const std::vector<Rule>& rules, Database* db) {
   // limits are "old". Round 0 has no old rows (everything is new).
   OldLimits old_limits;
 
+  // One compiled plan per (rule, delta position), reused across rounds;
+  // join orders are replanned only on >= 4x cardinality drift.
+  CompiledRuleCache cache;
+
   while (!delta.empty()) {
     ++stats.iterations;
     TraceSpan round_span("seminaive/round");
@@ -97,8 +102,8 @@ EvalStats RunSemiNaiveFixpoint(const std::vector<Rule>& rules, Database* db) {
         ++stats.per_rule[ri].applications;
         TraceSpan apply_span("seminaive/apply");
         MatchStats local;
-        std::size_t added =
-            ApplyRuleWithDelta(rule, *db, delta, p, db, &local, &old_limits);
+        std::size_t added = ApplyRuleWithDelta(rule, *db, delta, p, db,
+                                               &local, &old_limits, &cache, ri);
         stats.match.Add(local);
         stats.facts_derived += added;
         stats.per_rule[ri].facts += added;

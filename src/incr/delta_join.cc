@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 namespace datalog {
 namespace {
@@ -159,6 +160,220 @@ class DeltaMatcher {
   std::vector<std::size_t> order_;
 };
 
+/// Slot-addressed variant of DeltaMatcher (the incremental leg of the
+/// compiled-rule-plan work, see eval/compiled_rule.h): argument positions
+/// are classified once into key / write / check schedules against a flat
+/// Value frame, and every depth reuses one key buffer, so the inner loop
+/// performs no per-row binding churn and no per-probe allocation. Counter
+/// semantics mirror DeltaMatcher row for row; the enumeration order is
+/// identical (same greedy heuristic, same source sequence), so results
+/// AND MatchStats agree with the legacy path.
+class CompiledDeltaMatcher {
+ public:
+  CompiledDeltaMatcher(const std::vector<Atom>& atoms,
+                       const std::vector<AtomSourceSpec>& specs,
+                       const Binding& initial,
+                       const std::function<bool(const Binding&)>& callback,
+                       MatchStats* stats, bool fixed_order)
+      : specs_(specs), callback_(callback), stats_(stats), binding_(initial) {
+    std::vector<std::size_t> order(atoms.size());
+    for (std::size_t i = 0; i < atoms.size(); ++i) order[i] = i;
+    if (!fixed_order) order = GreedyOrder(atoms, specs, initial);
+
+    std::unordered_map<VariableId, int> slot_of;
+    auto slot_for = [&](VariableId v) {
+      auto [it, inserted] =
+          slot_of.emplace(v, static_cast<int>(slots_.size()));
+      if (inserted) slots_.push_back(Value());
+      return it->second;
+    };
+    std::set<VariableId> bound_before;
+    for (const auto& [var, value] : initial) {
+      slots_[static_cast<std::size_t>(slot_for(var))] = value;
+      bound_before.insert(var);
+    }
+
+    steps_.reserve(order.size());
+    for (std::size_t idx : order) {
+      const Atom& atom = atoms[idx];
+      Step step;
+      step.predicate = atom.predicate();
+      step.arity = atom.arity();
+      step.spec = idx;
+      std::set<VariableId> written_here;
+      for (int i = 0; i < atom.arity(); ++i) {
+        const Term& t = atom.args()[static_cast<std::size_t>(i)];
+        if (t.is_constant()) {
+          step.key_cols.push_back(i);
+          step.key.push_back(t.value());
+        } else if (bound_before.contains(t.var())) {
+          step.key_cols.push_back(i);
+          step.key.push_back(Value());
+          step.key_fill.push_back(
+              {static_cast<int>(step.key.size()) - 1, slot_for(t.var())});
+        } else if (written_here.insert(t.var()).second) {
+          step.writes.push_back({i, slot_for(t.var())});
+          var_slots_.emplace_back(t.var(), step.writes.back().slot);
+        } else {
+          step.checks.push_back({i, slot_for(t.var())});
+        }
+      }
+      for (const Term& t : atom.args()) {
+        if (t.is_variable()) bound_before.insert(t.var());
+      }
+      steps_.push_back(std::move(step));
+    }
+  }
+
+  void Run() {
+    if (steps_.empty()) {
+      if (stats_ != nullptr) ++stats_->substitutions;
+      callback_(binding_);
+      return;
+    }
+    Enumerate(0);
+  }
+
+ private:
+  struct SlotRef {
+    int col;
+    int slot;
+  };
+  struct KeyFill {
+    int key_index;
+    int slot;
+  };
+  struct Step {
+    PredicateId predicate = 0;
+    int arity = 0;
+    std::size_t spec = 0;
+    std::vector<int> key_cols;
+    Tuple key;  // constants pre-filled; bound positions patched per visit
+    std::vector<KeyFill> key_fill;
+    std::vector<SlotRef> writes;
+    std::vector<SlotRef> checks;
+  };
+
+  /// Same heuristic and tie-breaks as DeltaMatcher::GreedyOrder.
+  static std::vector<std::size_t> GreedyOrder(
+      const std::vector<Atom>& atoms, const std::vector<AtomSourceSpec>& specs,
+      const Binding& initial) {
+    std::set<VariableId> bound;
+    for (const auto& [var, value] : initial) bound.insert(var);
+    std::vector<std::size_t> remaining(atoms.size());
+    for (std::size_t i = 0; i < atoms.size(); ++i) remaining[i] = i;
+    std::vector<std::size_t> order;
+    while (!remaining.empty()) {
+      std::size_t best_pos = 0;
+      int best_bound = -1;
+      std::size_t best_size = 0;
+      for (std::size_t r = 0; r < remaining.size(); ++r) {
+        const Atom& atom = atoms[remaining[r]];
+        int n_bound = 0;
+        for (const Term& t : atom.args()) {
+          if (t.is_constant() || bound.contains(t.var())) ++n_bound;
+        }
+        std::size_t size =
+            specs[remaining[r]].primary->relation(atom.predicate()).size();
+        if (n_bound > best_bound ||
+            (n_bound == best_bound && size < best_size)) {
+          best_pos = r;
+          best_bound = n_bound;
+          best_size = size;
+        }
+      }
+      std::size_t chosen = remaining[best_pos];
+      order.push_back(chosen);
+      remaining.erase(remaining.begin() +
+                      static_cast<std::ptrdiff_t>(best_pos));
+      for (const Term& t : atoms[chosen].args()) {
+        if (t.is_variable()) bound.insert(t.var());
+      }
+    }
+    return order;
+  }
+
+  bool Enumerate(std::size_t depth) {
+    if (depth == steps_.size()) {
+      if (stats_ != nullptr) ++stats_->substitutions;
+      // Every complete match binds the same variable set, so the binding
+      // handed to the callback is refreshed in place (no per-match maps).
+      for (const auto& [var, slot] : var_slots_) {
+        binding_[var] = slots_[static_cast<std::size_t>(slot)];
+      }
+      return callback_(binding_);
+    }
+    Step& step = steps_[depth];
+    const AtomSourceSpec& spec = specs_[step.spec];
+    for (const KeyFill& kf : step.key_fill) {
+      step.key[static_cast<std::size_t>(kf.key_index)] =
+          slots_[static_cast<std::size_t>(kf.slot)];
+    }
+
+    auto try_row = [&](const Tuple& row, bool check_subtraction) {
+      if (stats_ != nullptr) ++stats_->tuples_scanned;
+      if (check_subtraction && spec.subtraction != nullptr &&
+          spec.subtraction->Contains(step.predicate, row)) {
+        return true;  // excluded; keep enumerating
+      }
+      for (const SlotRef& w : step.writes) {
+        slots_[static_cast<std::size_t>(w.slot)] =
+            row[static_cast<std::size_t>(w.col)];
+      }
+      for (const SlotRef& c : step.checks) {
+        if (slots_[static_cast<std::size_t>(c.slot)] !=
+            row[static_cast<std::size_t>(c.col)]) {
+          return true;  // repeated variable mismatch
+        }
+      }
+      return Enumerate(depth + 1);
+    };
+
+    auto scan_source = [&](const Database& db, bool check_subtraction) {
+      const Relation& rel = db.relation(step.predicate);
+      if (rel.empty() || rel.arity() != step.arity) return true;
+      if (step.key_cols.empty()) {
+        if (stats_ != nullptr) ++stats_->index_lookups;
+        for (const Tuple& row : rel.rows()) {
+          if (!try_row(row, check_subtraction)) return false;
+        }
+        return true;
+      }
+      if (stats_ != nullptr) ++stats_->index_lookups;
+      if (static_cast<int>(step.key_cols.size()) == step.arity) {
+        if (rel.Contains(step.key) &&
+            !try_row(step.key, check_subtraction)) {
+          return false;
+        }
+        return true;
+      }
+      const std::vector<std::uint32_t>& row_ids =
+          step.key_cols.size() == 1
+              ? rel.Lookup(step.key_cols[0], step.key[0])
+              : rel.Lookup(step.key_cols, step.key);
+      for (std::uint32_t row_id : row_ids) {
+        if (!try_row(rel.row(row_id), check_subtraction)) return false;
+      }
+      return true;
+    };
+
+    if (!scan_source(*spec.primary, /*check_subtraction=*/true)) return false;
+    if (spec.addition != nullptr &&
+        !scan_source(*spec.addition, /*check_subtraction=*/false)) {
+      return false;
+    }
+    return true;
+  }
+
+  const std::vector<AtomSourceSpec>& specs_;
+  const std::function<bool(const Binding&)>& callback_;
+  MatchStats* stats_;
+  Binding binding_;
+  std::vector<Value> slots_;
+  std::vector<std::pair<VariableId, int>> var_slots_;
+  std::vector<Step> steps_;
+};
+
 }  // namespace
 
 void EnumerateDeltaJoin(const std::vector<Atom>& atoms,
@@ -166,6 +381,11 @@ void EnumerateDeltaJoin(const std::vector<Atom>& atoms,
                         const Binding& initial,
                         const std::function<bool(const Binding&)>& callback,
                         MatchStats* stats, bool fixed_order) {
+  if (CompiledRulePlansEnabled()) {
+    CompiledDeltaMatcher(atoms, specs, initial, callback, stats, fixed_order)
+        .Run();
+    return;
+  }
   DeltaMatcher(atoms, specs, initial, callback, stats, fixed_order).Run();
 }
 

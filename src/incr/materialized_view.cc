@@ -10,6 +10,7 @@
 
 #include "ast/dependence_graph.h"
 #include "ast/validate.h"
+#include "eval/compiled_rule.h"
 #include "eval/parallel.h"
 #include "eval/rule_matcher.h"
 #include "eval/seminaive.h"
@@ -491,18 +492,21 @@ void MaterializedView::UpdateDRed(const SccPlan& plan,
       }
     }
   }
+  CompiledRuleCache insert_cache;  // plans persist across delta rounds
   while (!cur.empty()) {
     bool delta_used = false;
     Watermarks marks = TakeWatermarks(db_);
-    for (const Rule& rule : plan.rules) {
+    for (std::size_t ri = 0; ri < plan.rules.size(); ++ri) {
+      const Rule& rule = plan.rules[ri];
       if (rule.IsFact()) continue;
       for (std::size_t q = 0; q < rule.body().size(); ++q) {
         if (cur.relation(rule.body()[q].atom.predicate()).empty()) continue;
         ++stats->recompute.rule_applications;
         delta_used = true;
         MatchStats local;
-        std::size_t added =
-            ApplyRuleWithDelta(rule, db_, cur, q, &db_, &local, nullptr);
+        std::size_t added = ApplyRuleWithDelta(rule, db_, cur, q, &db_,
+                                               &local, nullptr, &insert_cache,
+                                               ri);
         stats->recompute.match.Add(local);
         stats->recompute.facts_derived += added;
       }

@@ -17,12 +17,14 @@ struct KnobGuard {
   ~KnobGuard() {
     SetGreedyJoinOrdering(true);
     SetIndexLookups(true);
+    SetCompiledRulePlans(true);
   }
 };
 
 TEST(AblationTest, KnobsDefaultOn) {
   EXPECT_TRUE(GreedyJoinOrderingEnabled());
   EXPECT_TRUE(IndexLookupsEnabled());
+  EXPECT_TRUE(CompiledRulePlansEnabled());
 }
 
 TEST(AblationTest, ResultsIdenticalWithKnobsOff) {
@@ -52,6 +54,30 @@ TEST(AblationTest, ResultsIdenticalWithKnobsOff) {
 
   EXPECT_EQ(d1, d2);
   EXPECT_EQ(d1, d3);
+}
+
+TEST(AblationTest, CompiledPlansMatchLegacyMatcher) {
+  KnobGuard guard;
+  auto symbols = MakeSymbols();
+  Program p = ParseProgramOrDie(symbols,
+                                "g(x, z) :- a(x, z).\n"
+                                "g(x, z) :- a(x, y), g(y, z).\n");
+  PredicateId a = symbols->LookupPredicate("a").value();
+
+  Database reference(symbols);
+  AddGraphFacts({GraphShape::kRandom, 12, 24, 9}, a, &reference);
+  Database d1(symbols), d2(symbols);
+  d1.UnionWith(reference);
+  d2.UnionWith(reference);
+
+  EvalStats compiled = EvaluateSemiNaive(p, &d1).value();
+
+  SetCompiledRulePlans(false);
+  EvalStats legacy = EvaluateSemiNaive(p, &d2).value();
+  SetCompiledRulePlans(true);
+
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(compiled.match.substitutions, legacy.match.substitutions);
 }
 
 TEST(AblationTest, IndexLookupsReduceScannedTuples) {

@@ -195,6 +195,47 @@ TEST(RelationTest, EraseAllInvalidatesLazyIndexes) {
   EXPECT_EQ(rel.Lookup({0}, {Value::Int(0)}).size(), 3u);
 }
 
+TEST(RelationTest, SingleAndMultiColumnLookupsAgree) {
+  // The Value-keyed single-column fast path must return exactly the row
+  // ids of the generic tuple-keyed index on the same column, across
+  // every column, key, and growth step (including misses).
+  Relation rel(2);
+  for (std::int64_t i = 0; i < 40; ++i) rel.Insert(T2(i % 5, i % 7));
+  for (int round = 0; round < 2; ++round) {
+    for (int col = 0; col < 2; ++col) {
+      for (std::int64_t v = -1; v < 9; ++v) {
+        const Value key = Value::Int(v);
+        // The single-column overload against a straight scan.
+        const std::vector<std::uint32_t>& fast = rel.Lookup(col, key);
+        std::vector<std::uint32_t> slow;
+        for (std::uint32_t id = 0; id < rel.size(); ++id) {
+          if (rel.row(id)[static_cast<std::size_t>(col)] == key) {
+            slow.push_back(id);
+          }
+        }
+        EXPECT_EQ(fast, slow) << "col " << col << " key " << v;
+        // The vector-of-columns spelling delegates to the same index.
+        EXPECT_EQ(rel.Lookup(std::vector<int>{col}, Tuple{key}), slow);
+      }
+    }
+    // Grow the relation between rounds: the single-column index must
+    // extend incrementally like the generic one.
+    for (std::int64_t i = 100; i < 120; ++i) rel.Insert(T2(i % 5, i));
+  }
+}
+
+TEST(RelationTest, SingleColumnIndexSurvivesEraseAll) {
+  Relation rel(2);
+  for (std::int64_t i = 0; i < 10; ++i) rel.Insert(T2(i % 2, i));
+  EXPECT_EQ(rel.Lookup(0, Value::Int(0)).size(), 5u);
+  rel.EraseAll({T2(0, 0), T2(0, 2)});
+  // Row ids shifted; the rebuilt index must reflect the survivors.
+  EXPECT_EQ(rel.Lookup(0, Value::Int(0)).size(), 3u);
+  for (std::uint32_t id : rel.Lookup(0, Value::Int(0))) {
+    EXPECT_EQ(rel.row(id)[0], Value::Int(0));
+  }
+}
+
 TEST(RelationTest, ConcurrentReadOnlyLookupsOnPrebuiltIndex) {
   // The parallel evaluator's frozen-snapshot contract: after EnsureIndex,
   // any number of threads may Lookup/Contains concurrently. Run enough

@@ -4,7 +4,9 @@
 # exercise the parallel evaluator's frozen-snapshot contract), then
 # repeats the incremental-maintenance fuzzer under ASan+UBSan. Also
 # smoke-tests the observability layer: the CLI's --trace/--metrics
-# output must be valid JSON.
+# output must be valid JSON, and runs a deterministic work-counter
+# regression gate (eval.tuples_scanned / eval.index_lookups on a fixed
+# corpus must stay at or below tools/work_counters.baseline).
 #
 #   tools/check.sh            # TSan gate + ASan/UBSan incremental fuzzer
 #   tools/check.sh thread     # TSan gate only, explicit
@@ -58,6 +60,105 @@ validate_obs_json() {
   echo "== OK (trace/metrics JSON parses)"
 }
 
+# Deterministic work-counter regression gate. Join-order plans are
+# resolved once per (rule, delta position) against whole-round sizes, so
+# eval.tuples_scanned / eval.index_lookups are exactly reproducible on a
+# fixed corpus; any increase over the checked-in baseline
+# (tools/work_counters.baseline) is a planner or matcher regression, not
+# noise. Regenerate the baseline by pasting this gate's "measured" output
+# after a deliberate change.
+run_work_counter_gate() {
+  local build_dir="$1"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "== skipping work-counter gate (no python3)"
+    return 0
+  fi
+  echo "== running work-counter regression gate"
+  local tmp
+  tmp="$(mktemp -d)"
+
+  # tc: linear transitive closure over a 48-node chain.
+  printf 't(x, y) :- e(x, y).\nt(x, z) :- t(x, y), e(y, z).\n' \
+    > "${tmp}/tc.dl"
+  : > "${tmp}/tc_facts.dl"
+  for i in $(seq 1 47); do
+    printf 'e(%d, %d).\n' "$i" $((i + 1)) >> "${tmp}/tc_facts.dl"
+  done
+
+  # sg: the classic two-sided same-generation join over a 31-node
+  # complete binary tree.
+  printf 'sg(x, y) :- flat(x, y).\nsg(x, y) :- up(x, u), sg(u, v), down(v, y).\n' \
+    > "${tmp}/sg.dl"
+  : > "${tmp}/sg_facts.dl"
+  for i in $(seq 2 31); do
+    printf 'up(%d, %d).\ndown(%d, %d).\n' "$i" $((i / 2)) $((i / 2)) "$i" \
+      >> "${tmp}/sg_facts.dl"
+  done
+  for i in $(seq 1 31); do
+    printf 'flat(%d, %d).\n' "$i" "$i" >> "${tmp}/sg_facts.dl"
+  done
+
+  # sel: a selective constant probe next to an unselective scan; greedy
+  # ordering must keep the probe first.
+  printf 'out(x, y) :- big(x, y), tiny(0, x).\n' > "${tmp}/sel.dl"
+  : > "${tmp}/sel_facts.dl"
+  for i in $(seq 0 63); do
+    printf 'big(%d, %d).\n' "$i" $(((i * 7 + 3) % 64)) >> "${tmp}/sel_facts.dl"
+  done
+  printf 'tiny(0, 5).\n' >> "${tmp}/sel_facts.dl"
+
+  local case_name
+  : > "${tmp}/measured.txt"
+  for case_name in tc sg sel; do
+    "${build_dir}/tools/datalog-opt" eval "${tmp}/${case_name}.dl" \
+      "${tmp}/${case_name}_facts.dl" \
+      --metrics="${tmp}/${case_name}_m.json" > /dev/null
+    python3 - "${case_name}" "${tmp}/${case_name}_m.json" \
+      >> "${tmp}/measured.txt" <<'PYEOF'
+import json, sys
+name, path = sys.argv[1], sys.argv[2]
+counters = {"eval.tuples_scanned": 0, "eval.index_lookups": 0}
+with open(path) as f:
+    for m in json.load(f)["metrics"]:
+        if m["name"] in counters:
+            counters[m["name"]] += m["value"]
+print(name, counters["eval.tuples_scanned"], counters["eval.index_lookups"])
+PYEOF
+  done
+
+  python3 - "${ROOT}/tools/work_counters.baseline" "${tmp}/measured.txt" <<'PYEOF'
+import sys
+def load(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            name, scanned, lookups = line.split()
+            rows[name] = (int(scanned), int(lookups))
+    return rows
+baseline = load(sys.argv[1])
+measured = load(sys.argv[2])
+failed = False
+for name, (scanned, lookups) in sorted(measured.items()):
+    if name not in baseline:
+        print(f"work-counter gate: no baseline for case '{name}'")
+        failed = True
+        continue
+    base_scanned, base_lookups = baseline[name]
+    tag = "OK"
+    if scanned > base_scanned or lookups > base_lookups:
+        tag = "REGRESSION"
+        failed = True
+    print(f"  {name}: tuples_scanned {scanned} (baseline {base_scanned}), "
+          f"index_lookups {lookups} (baseline {base_lookups}) {tag}")
+sys.exit(1 if failed else 0)
+PYEOF
+  rm -rf "${tmp}"
+  echo "== OK (work counters at or below baseline)"
+}
+
 run_gate() {
   local sanitize="$1"
   local build_dir="${ROOT}/build-sanitize-${sanitize//,/-}"
@@ -82,6 +183,7 @@ run_gate() {
   fi
   cd "${ROOT}"
   validate_obs_json "${build_dir}"
+  run_work_counter_gate "${build_dir}"
 
   echo "== OK (${sanitize})"
 }
