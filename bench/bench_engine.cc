@@ -93,6 +93,34 @@ BENCHMARK(BM_LinearTcRandom_SemiNaive_LegacyMatcher)
     ->RangeMultiplier(2)
     ->Range(32, 256);
 
+/// Storage-backend A/B: the same workloads on the legacy row store (still
+/// through compiled plans, so the delta is purely columnar layout + the
+/// vectorized batch probe path, not the matcher). The knob flips before
+/// RunEngine constructs anything, so every relation -- EDB and derived
+/// alike -- lands on the row store (backends are chosen per relation at
+/// construction).
+template <typename Evaluator>
+void RunEngineRowStore(benchmark::State& state, const char* program_text,
+                       GraphShape shape, Evaluator evaluate) {
+  SetColumnarStorage(false);
+  RunEngine(state, program_text, shape, evaluate);
+  SetColumnarStorage(true);
+}
+
+void BM_LinearTcChain_SemiNaive_RowStore(benchmark::State& state) {
+  RunEngineRowStore(state, kLinearTc, GraphShape::kChain, EvaluateSemiNaive);
+}
+BENCHMARK(BM_LinearTcChain_SemiNaive_RowStore)
+    ->RangeMultiplier(2)
+    ->Range(16, 128);
+
+void BM_LinearTcRandom_SemiNaive_RowStore(benchmark::State& state) {
+  RunEngineRowStore(state, kLinearTc, GraphShape::kRandom, EvaluateSemiNaive);
+}
+BENCHMARK(BM_LinearTcRandom_SemiNaive_RowStore)
+    ->RangeMultiplier(2)
+    ->Range(32, 256);
+
 /// Same-generation: the classic non-linear two-sided join; each delta pass
 /// probes two indexed body atoms, so per-probe key-buffer reuse dominates.
 constexpr const char* kSameGen =
@@ -134,6 +162,15 @@ void BM_SameGen_SemiNaive_LegacyMatcher(benchmark::State& state) {
   SetCompiledRulePlans(true);
 }
 BENCHMARK(BM_SameGen_SemiNaive_LegacyMatcher)
+    ->RangeMultiplier(2)
+    ->Range(32, 256);
+
+void BM_SameGen_SemiNaive_RowStore(benchmark::State& state) {
+  SetColumnarStorage(false);
+  RunSameGen(state, EvaluateSemiNaive);
+  SetColumnarStorage(true);
+}
+BENCHMARK(BM_SameGen_SemiNaive_RowStore)
     ->RangeMultiplier(2)
     ->Range(32, 256);
 

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/interning.h"
+
 namespace datalog {
 
 void MatchFrame::Reset(const CompiledRule& plan) {
@@ -82,12 +84,15 @@ void CompiledRule::BuildSchedules(const Database& full,
       if (t.is_constant()) {
         step.key_cols.push_back(i);
         step.key_template.push_back(t.value());
+        step.key_template_ids.push_back(
+            ValueDictionary::Global().Intern(t.value()));
         continue;
       }
       const VariableId v = t.var();
       if (bound_before.contains(v)) {
         step.key_cols.push_back(i);
         step.key_template.push_back(Value());
+        step.key_template_ids.push_back(ValueDictionary::kInvalidId);
         step.key_fill.push_back(CompiledAtomStep::KeyFill{
             static_cast<int>(step.key_template.size()) - 1, slot_for(v)});
       } else if (written_here.insert(v).second) {
@@ -98,6 +103,18 @@ void CompiledRule::BuildSchedules(const Database& full,
     }
     for (const Term& t : atom.args()) {
       if (t.is_variable()) bound_before.insert(t.var());
+    }
+    // Lower each repeated-variable check to a row-local column pair: the
+    // checked slot is always written by this same step (that is what
+    // made it a check instead of a key position), so the batch executor
+    // can compare the two raw columns of the candidate row directly.
+    for (const CompiledAtomStep::SlotRef& c : step.checks) {
+      for (const CompiledAtomStep::SlotRef& w : step.writes) {
+        if (w.slot == c.slot) {
+          step.id_checks.emplace_back(w.col, c.col);
+          break;
+        }
+      }
     }
     steps_.push_back(std::move(step));
   }
@@ -110,6 +127,7 @@ void CompiledRule::BuildSchedules(const Database& full,
       if (t.is_constant()) {
         ct.is_constant = true;
         ct.value = t.value();
+        ct.value_id = ValueDictionary::Global().Intern(t.value());
       } else {
         auto it = slot_of.find(t.var());
         // A variable the positive body never binds keeps slot -1; using
@@ -127,6 +145,20 @@ void CompiledRule::BuildSchedules(const Database& full,
     for (const Atom& atom : negated_) {
       negated_terms_.push_back(compile_terms(atom));
     }
+  }
+  // The batch executor instantiates heads and negation keys straight
+  // from the u32 frame, so it has no way to reproduce the unbound-
+  // variable throw; rules with a slot the positive body never binds
+  // stay on the depth-first path.
+  auto all_bound = [](const std::vector<CompiledTerm>& terms) {
+    for (const CompiledTerm& t : terms) {
+      if (!t.is_constant && t.slot < 0) return false;
+    }
+    return true;
+  };
+  batch_ok_ = has_rule_ && all_bound(head_terms_);
+  for (const std::vector<CompiledTerm>& terms : negated_terms_) {
+    if (!all_bound(terms)) batch_ok_ = false;
   }
   compiled_ = true;
 }
@@ -194,9 +226,238 @@ Tuple CompiledRule::InstantiateHeadFromFrame(const MatchFrame& frame) const {
   return tuple;
 }
 
+bool CompiledRule::ApplyBatch(const Database& full, const Database* delta,
+                              const OldLimits* old_limits, Database* out,
+                              MatchStats* stats,
+                              std::size_t* new_facts) const {
+  // Loop-invariant per-depth state, resolved exactly as Execute resolves
+  // MatchFrame::DepthSource -- same liveness rule, same limit, same
+  // index-preparation condition -- so the two executors probe the same
+  // structures in the same order.
+  struct BatchSource {
+    const Relation* rel = nullptr;
+    std::size_t limit = 0;
+    bool dead = false;
+    bool fully_bound = false;
+    Relation::SingleIndexView single_index;
+    Relation::MultiIndexView multi_index;
+  };
+  std::vector<BatchSource> sources(steps_.size());
+  for (std::size_t d = 0; d < steps_.size(); ++d) {
+    const CompiledAtomStep& step = steps_[d];
+    const Database& src =
+        step.source == AtomSource::kDelta ? *delta : full;
+    const Relation& rel = src.relation(step.predicate);
+    BatchSource& bs = sources[d];
+    bs.rel = &rel;
+    bs.limit = rel.size();
+    bs.dead = rel.empty() || rel.arity() != step.arity;
+    if (step.source == AtomSource::kOld && !bs.dead) {
+      bs.limit = OldLimitFor(old_limits, step.predicate);
+      bs.dead = bs.limit == 0;
+    }
+    // A live row-store relation (constructed before the knob flipped on)
+    // has no id columns to scan: bail out before any counter moves and
+    // let Apply run the depth-first path instead.
+    if (!bs.dead && !rel.columnar()) return false;
+    bs.fully_bound =
+        static_cast<int>(step.key_cols.size()) == step.arity;
+    const bool probes_index =
+        use_index_ && (bs.fully_bound ? step.source == AtomSource::kOld
+                                      : !step.key_cols.empty());
+    if (!bs.dead && probes_index) {
+      if (step.key_cols.size() == 1) {
+        bs.single_index = rel.PrepareSingleIndex(step.key_cols[0]);
+      } else {
+        bs.multi_index = rel.PrepareIndex(step.key_cols);
+      }
+    }
+  }
+
+  // The frontier: `cur_count` flat frames of `stride` u32 slots each,
+  // expanded one join depth at a time. Frames are appended in the order
+  // their parents are visited and, per parent, in the order the depth's
+  // rows are visited -- which is exactly the depth-first visit order, so
+  // the emit boundary sees complete matches in the same sequence Execute
+  // would produce.
+  const std::size_t stride = static_cast<std::size_t>(num_slots_);
+  std::vector<std::uint32_t> cur(stride, 0u);  // one root frame
+  std::size_t cur_count = 1;
+  std::vector<std::uint32_t> next;
+  std::vector<std::uint32_t> key;
+
+  for (std::size_t d = 0; d < steps_.size() && cur_count != 0; ++d) {
+    const CompiledAtomStep& step = steps_[d];
+    const BatchSource& bs = sources[d];
+    if (bs.dead) {
+      // Every parent frame dies here with no counter bump, matching the
+      // depth-first early return.
+      cur_count = 0;
+      break;
+    }
+    const Relation& rel = *bs.rel;
+    const bool old_only = step.source == AtomSource::kOld;
+    const std::size_t limit = bs.limit;
+    key = step.key_template_ids;  // constants pre-filled
+    next.clear();
+    std::size_t next_count = 0;
+
+    // The batch try_row: extend parent frame `slots` by candidate row
+    // `r` into `next`, dropping it on a repeated-variable mismatch. The
+    // checks compare two raw columns of the same row (see id_checks);
+    // the writes gather the row's free-variable columns into the child.
+    auto emit_row = [&](const std::uint32_t* slots, std::uint32_t r) {
+      for (const auto& [first_col, repeat_col] : step.id_checks) {
+        if (rel.column(first_col)[r] != rel.column(repeat_col)[r]) return;
+      }
+      next.resize((next_count + 1) * stride);
+      std::uint32_t* dst = next.data() + next_count * stride;
+      if (stride != 0) std::copy(slots, slots + stride, dst);
+      for (const CompiledAtomStep::SlotRef& w : step.writes) {
+        dst[static_cast<std::size_t>(w.slot)] = rel.column(w.col)[r];
+      }
+      ++next_count;
+    };
+
+    for (std::size_t f = 0; f < cur_count; ++f) {
+      const std::uint32_t* slots = cur.data() + f * stride;
+      if (stats != nullptr) ++stats->index_lookups;
+      for (const CompiledAtomStep::KeyFill& kf : step.key_fill) {
+        key[static_cast<std::size_t>(kf.key_index)] =
+            slots[static_cast<std::size_t>(kf.slot)];
+      }
+
+      if (use_index_ && bs.fully_bound) {
+        // Fully bound: membership test; the old snapshot additionally
+        // needs a matching row below the limit.
+        if (stats != nullptr) ++stats->tuples_scanned;
+        bool matched = false;
+        if (old_only) {
+          const std::vector<std::uint32_t>& row_ids =
+              step.key_cols.size() == 1 ? bs.single_index.FindId(key[0])
+                                        : bs.multi_index.FindIds(key);
+          for (std::uint32_t row_id : row_ids) {
+            if (row_id < limit) {
+              matched = true;
+              break;
+            }
+          }
+        } else {
+          // key_cols covers every column in order, so `key` is the full
+          // id row.
+          matched = rel.ContainsIds(key);
+        }
+        if (matched) {
+          // Survives unchanged: a fully bound atom writes no slot.
+          next.resize((next_count + 1) * stride);
+          if (stride != 0) {
+            std::copy(slots, slots + stride,
+                      next.data() + next_count * stride);
+          }
+          ++next_count;
+        }
+        continue;
+      }
+
+      if (step.key_cols.empty()) {
+        for (std::size_t i = 0; i < limit; ++i) {
+          if (stats != nullptr) ++stats->tuples_scanned;
+          emit_row(slots, static_cast<std::uint32_t>(i));
+        }
+        continue;
+      }
+
+      if (!use_index_) {
+        for (std::size_t i = 0; i < limit; ++i) {
+          if (stats != nullptr) ++stats->tuples_scanned;
+          bool matches = true;
+          for (std::size_t k = 0; k < step.key_cols.size(); ++k) {
+            if (rel.column(step.key_cols[k])[i] != key[k]) {
+              matches = false;
+              break;
+            }
+          }
+          if (matches) emit_row(slots, static_cast<std::uint32_t>(i));
+        }
+        continue;
+      }
+
+      const std::vector<std::uint32_t>& row_ids =
+          step.key_cols.size() == 1 ? bs.single_index.FindId(key[0])
+                                    : bs.multi_index.FindIds(key);
+      for (std::uint32_t row_id : row_ids) {
+        if (old_only && row_id >= limit) continue;
+        if (stats != nullptr) ++stats->tuples_scanned;
+        emit_row(slots, row_id);
+      }
+    }
+
+    cur.swap(next);
+    cur_count = next_count;
+  }
+
+  // Emit boundary: the only place ids meet Values again -- and even here
+  // only inside InsertIds for genuinely new rows. Negated literals are
+  // probed in id space against `full` (ContainsIds handles a row-store
+  // relation, so negation over a predicate the plan never steps through
+  // is safe on either backend). Derivations are buffered until the
+  // enumeration is fully consumed because `out` may alias `full`.
+  std::vector<std::uint32_t> derived_ids;
+  std::size_t derived_count = 0;
+  const std::size_t head_arity = head_terms_.size();
+  std::vector<std::uint32_t> neg_key;
+  for (std::size_t f = 0; f < cur_count; ++f) {
+    const std::uint32_t* slots = cur.data() + f * stride;
+    if (stats != nullptr) ++stats->substitutions;
+    bool excluded = false;
+    for (std::size_t i = 0; i < negated_terms_.size() && !excluded; ++i) {
+      neg_key.clear();
+      for (const CompiledTerm& t : negated_terms_[i]) {
+        neg_key.push_back(t.is_constant
+                              ? t.value_id
+                              : slots[static_cast<std::size_t>(t.slot)]);
+      }
+      if (full.relation(negated_preds_[i]).ContainsIds(neg_key)) {
+        excluded = true;
+      }
+    }
+    if (excluded) continue;
+    for (const CompiledTerm& t : head_terms_) {
+      derived_ids.push_back(t.is_constant
+                                ? t.value_id
+                                : slots[static_cast<std::size_t>(t.slot)]);
+    }
+    ++derived_count;
+  }
+
+  std::size_t added = 0;
+  std::vector<std::uint32_t> row(head_arity);
+  Relation& head_rel = out->MutableRelation(head_predicate_);
+  if (head_rel.columnar()) head_rel.ReserveRows(derived_count);
+  for (std::size_t i = 0; i < derived_count; ++i) {
+    for (std::size_t k = 0; k < head_arity; ++k) {
+      row[k] = derived_ids[i * head_arity + k];
+    }
+    if (head_rel.InsertIds(row)) ++added;
+  }
+  *new_facts = added;
+  return true;
+}
+
 std::size_t CompiledRule::Apply(const Database& full, const Database* delta,
                                 const OldLimits* old_limits, Database* out,
                                 MatchStats* stats) const {
+  // Vectorized fast path: only when the plan qualifies (batch_ok_), the
+  // columnar knob is on, and -- checked inside -- every live relation is
+  // columnar. An empty body stays on Execute, whose no-step epilogue
+  // already handles it. Counters, derivation order and results are
+  // bit-identical between the two paths.
+  if (batch_ok_ && !steps_.empty() && ColumnarStorageEnabled()) {
+    std::size_t batch_facts = 0;
+    if (ApplyBatch(full, delta, old_limits, out, stats, &batch_facts)) {
+      return batch_facts;
+    }
+  }
   // Derived tuples are buffered and inserted only after the enumeration
   // finishes: `out` may alias `full`, and inserting while the matcher is
   // iterating rows/indexes of the same relation would invalidate them.

@@ -46,6 +46,16 @@ struct CompiledAtomStep {
   std::vector<SlotRef> writes;
   std::vector<SlotRef> checks;
   std::size_t planned_size = 0;  // source relation size at plan time
+
+  // Columnar batch-probe mirrors of the schedules above, precomputed at
+  // compile time so the batch executor never touches a Value:
+  // `key_template_ids` is `key_template` with constants interned to
+  // dictionary ids (patched positions hold kInvalidId until key_fill
+  // overwrites them per probe), and `id_checks` lowers each repeated-
+  // variable check to a row-local column pair (first-occurrence column,
+  // repeat column) compared directly on the raw id arrays.
+  std::vector<std::uint32_t> key_template_ids;
+  std::vector<std::pair<int, int>> id_checks;
 };
 
 /// A head or negated-literal argument: a constant, or a frame slot. A
@@ -55,6 +65,9 @@ struct CompiledTerm {
   bool is_constant = false;
   Value value;
   int slot = -1;
+  // Dictionary id of `value` (constants only), interned at compile time
+  // so the batch path instantiates heads and negation keys in id space.
+  std::uint32_t value_id = 0;
 };
 
 /// Per-enumeration mutable state: the flat variable frame plus one
@@ -130,6 +143,15 @@ class CompiledRule {
   /// buffered until the enumeration finishes, so `out` may alias `full`.
   /// Returns the number of facts new in `out`. Only valid for plans
   /// compiled from a Rule.
+  ///
+  /// When the columnar storage knob is on and every relation the plan
+  /// touches is columnar, Apply dispatches to the vectorized batch-probe
+  /// executor (ApplyBatch): level-at-a-time enumeration over flat u32
+  /// frames with branch-light filters on the raw column arrays. The
+  /// batch path visits candidate rows in exactly the depth-first order
+  /// Execute does, replicates MatchStats bump for bump, and inserts
+  /// derived facts in the same order, so the two executors are
+  /// bit-for-bit interchangeable (tests/integration enforces this).
   std::size_t Apply(const Database& full, const Database* delta,
                     const OldLimits* old_limits, Database* out,
                     MatchStats* stats) const;
@@ -212,6 +234,15 @@ class CompiledRule {
   friend struct MatchFrame;
 
   void BuildSchedules(const Database& full, const Database* delta);
+
+  /// Vectorized executor behind Apply: per join depth, expand the whole
+  /// frontier of candidate frames at once against the raw id columns.
+  /// Returns false -- before bumping any counter or inserting anything --
+  /// when some live relation is not columnar (a knob flipped mid-stream),
+  /// in which case Apply falls back to the depth-first Execute path.
+  bool ApplyBatch(const Database& full, const Database* delta,
+                  const OldLimits* old_limits, Database* out,
+                  MatchStats* stats, std::size_t* new_facts) const;
 
   static std::size_t OldLimitFor(const OldLimits* old_limits,
                                  PredicateId pred) {
@@ -334,6 +365,9 @@ class CompiledRule {
   bool has_rule_ = false;
   bool greedy_ = true;     // knob snapshot at plan time
   bool use_index_ = true;  // knob snapshot at plan time
+  // True when every head/negated term is a constant or a bound slot, so
+  // the batch executor can run without the unbound-variable throw path.
+  bool batch_ok_ = false;
   std::vector<PlannedAtom> atoms_;  // original order; Replan re-sorts
   std::vector<CompiledAtomStep> steps_;
   int num_slots_ = 0;

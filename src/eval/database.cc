@@ -7,14 +7,41 @@
 
 namespace datalog {
 
-bool Database::AddFact(PredicateId pred, Tuple tuple) {
+Relation& Database::MutableRelation(PredicateId pred) {
   auto it = relations_.find(pred);
   if (it == relations_.end()) {
     it = relations_
              .emplace(pred, Relation(symbols_->PredicateArity(pred)))
              .first;
   }
-  return it->second.Insert(std::move(tuple));
+  return it->second;
+}
+
+bool Database::AddFact(PredicateId pred, Tuple tuple) {
+  return MutableRelation(pred).Insert(std::move(tuple));
+}
+
+bool Database::AddFactIds(PredicateId pred,
+                          const std::vector<std::uint32_t>& ids) {
+  return MutableRelation(pred).InsertIds(ids);
+}
+
+std::size_t Database::AddRowRange(PredicateId pred, const Relation& rel,
+                                  std::size_t begin, std::size_t end) {
+  if (begin >= end) return 0;
+  Relation& dst = MutableRelation(pred);
+  std::size_t added = 0;
+  if (rel.columnar() && dst.columnar()) {
+    dst.ReserveRows(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (dst.AppendRowFrom(rel, i)) ++added;
+    }
+    return added;
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    if (dst.Insert(rel.row(i))) ++added;
+  }
+  return added;
 }
 
 Status Database::AddAtom(const Atom& atom) {
@@ -76,9 +103,9 @@ std::size_t Database::NumFacts() const {
 std::size_t Database::UnionWith(const Database& other) {
   std::size_t added = 0;
   for (const auto& [pred, rel] : other.relations_) {
-    for (const Tuple& row : rel.rows()) {
-      if (AddFact(pred, row)) ++added;
-    }
+    // Id-space copy when both sides are columnar (AddRowRange falls
+    // back to Tuple insertion otherwise).
+    added += AddRowRange(pred, rel, 0, rel.size());
   }
   return added;
 }

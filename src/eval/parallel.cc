@@ -137,9 +137,7 @@ EvalStats RunSemiNaiveFixpointParallel(const std::vector<Rule>& rules,
   for (PredicateId pred : db->NonEmptyPredicates()) {
     if (!read_preds.contains(pred)) continue;
     const Relation& rel = db->relation(pred);
-    for (const Tuple& row : rel.rows()) {
-      delta.AddFact(pred, row);
-    }
+    delta.AddRowRange(pred, rel, 0, rel.size());
   }
 
   OldLimits old_limits;
@@ -173,9 +171,10 @@ EvalStats RunSemiNaiveFixpointParallel(const std::vector<Rule>& rules,
         const std::size_t begin = s * rel.size() / num_shards;
         const std::size_t end = (s + 1) * rel.size() / num_shards;
         Database shard(db->symbols());
-        for (std::size_t i = begin; i < end; ++i) {
-          shard.AddFact(pred, rel.row(i));
-        }
+        // Shards are cut in id space on the columnar backend: the shard
+        // relation shares the global dictionary, so the copy never
+        // hashes a Value.
+        shard.AddRowRange(pred, rel, begin, end);
         shard_dbs.push_back(std::move(shard));
       }
       shards.emplace(pred, std::move(shard_dbs));

@@ -1,32 +1,268 @@
 #include "eval/relation.h"
 
+#include <algorithm>
+
 namespace datalog {
 
-bool Relation::Insert(Tuple tuple) {
-  auto [it, inserted] = set_.insert(std::move(tuple));
-  if (inserted) {
-    rows_.push_back(*it);
+namespace {
+bool columnar_storage_enabled = true;
+
+/// Reusable id scratch buffers for Value->id key conversion on the
+/// columnar probe paths. Thread-local so concurrent frozen-snapshot
+/// readers never share them.
+std::vector<std::uint32_t>& IdScratch() {
+  thread_local std::vector<std::uint32_t> scratch;
+  return scratch;
+}
+}  // namespace
+
+void SetColumnarStorage(bool enabled) { columnar_storage_enabled = enabled; }
+bool ColumnarStorageEnabled() { return columnar_storage_enabled; }
+
+bool Relation::RowIdTable::InsertOrFind(const Columns& columns,
+                                        const std::vector<std::uint32_t>& ids,
+                                        std::uint32_t row_id) {
+  if ((size_ + 1) * 4 > slots_.size() * 3) Grow(columns);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t h = HashIds(ids) & mask;
+  while (slots_[h] != 0) {
+    if (RowEquals(columns, slots_[h] - 1, ids)) return false;
+    h = (h + 1) & mask;
   }
-  return inserted;
+  slots_[h] = row_id + 1;
+  ++size_;
+  return true;
+}
+
+bool Relation::RowIdTable::Contains(
+    const Columns& columns, const std::vector<std::uint32_t>& ids) const {
+  if (size_ == 0) return false;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t h = HashIds(ids) & mask;
+  while (slots_[h] != 0) {
+    if (RowEquals(columns, slots_[h] - 1, ids)) return true;
+    h = (h + 1) & mask;
+  }
+  return false;
+}
+
+void Relation::RowIdTable::Grow(const Columns& columns) {
+  ResizeTo(columns, slots_.empty() ? 16 : slots_.size() * 2);
+}
+
+void Relation::RowIdTable::Reserve(const Columns& columns,
+                                   std::size_t additional) {
+  const std::size_t needed = (size_ + additional) * 4 / 3 + 1;
+  std::size_t new_size = slots_.empty() ? 16 : slots_.size();
+  while (new_size < needed) new_size *= 2;
+  if (new_size > slots_.size()) ResizeTo(columns, new_size);
+}
+
+void Relation::RowIdTable::ResizeTo(const Columns& columns,
+                                    std::size_t new_size) {
+  std::vector<std::uint32_t> old = std::move(slots_);
+  slots_.assign(new_size, 0);
+  const std::size_t mask = new_size - 1;
+  // Deliberately a local buffer, not IdScratch(): the caller's key may
+  // alias the scratch vector while we are mid-insert.
+  std::vector<std::uint32_t> ids(columns.size());
+  for (std::uint32_t slot : old) {
+    if (slot == 0) continue;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      ids[c] = columns[c][slot - 1];
+    }
+    std::size_t h = HashIds(ids) & mask;
+    while (slots_[h] != 0) h = (h + 1) & mask;
+    slots_[h] = slot;
+  }
+}
+
+void Relation::RowIdTable::Rebuild(const Columns& columns,
+                                   std::size_t num_rows) {
+  slots_.clear();
+  size_ = 0;
+  if (num_rows == 0) return;
+  std::vector<std::uint32_t> ids(columns.size());
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      ids[c] = columns[c][i];
+    }
+    InsertOrFind(columns, ids, static_cast<std::uint32_t>(i));
+  }
+}
+
+bool Relation::Insert(Tuple tuple) {
+  if (!columnar_) {
+    auto [it, inserted] = set_.insert(std::move(tuple));
+    if (inserted) {
+      rows_.push_back(*it);
+    }
+    return inserted;
+  }
+  std::vector<std::uint32_t>& ids = IdScratch();
+  ValueDictionary::Global().InternRow(tuple, &ids);
+  if (!id_table_.InsertOrFind(columns_, ids,
+                              static_cast<std::uint32_t>(rows_.size()))) {
+    return false;
+  }
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(ids[c]);
+  }
+  rows_.push_back(std::move(tuple));
+  return true;
+}
+
+bool Relation::InsertIds(const std::vector<std::uint32_t>& ids) {
+  if (!columnar_) {
+    ValueDictionary& dict = ValueDictionary::Global();
+    Tuple tuple;
+    tuple.reserve(ids.size());
+    for (std::uint32_t id : ids) tuple.push_back(dict.Resolve(id));
+    return Insert(std::move(tuple));
+  }
+  if (!id_table_.InsertOrFind(columns_, ids,
+                              static_cast<std::uint32_t>(rows_.size()))) {
+    return false;
+  }
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(ids[c]);
+  }
+  // The Tuple row view is resolved from the dictionary only for rows
+  // that are genuinely new -- duplicates never touch a Value.
+  ValueDictionary& dict = ValueDictionary::Global();
+  Tuple tuple;
+  tuple.reserve(ids.size());
+  for (std::uint32_t id : ids) tuple.push_back(dict.Resolve(id));
+  rows_.push_back(std::move(tuple));
+  return true;
+}
+
+void Relation::ReserveRows(std::size_t additional) {
+  // Grow at least geometrically: reserve(size + additional) verbatim on
+  // every bulk copy into the same relation would pin capacity to the
+  // exact request each time and degrade repeated appends to O(n^2)
+  // element moves.
+  const std::size_t want = rows_.size() + additional;
+  if (want > rows_.capacity()) {
+    rows_.reserve(std::max(want, rows_.capacity() * 2));
+  }
+  if (!columnar_) return;
+  for (auto& col : columns_) {
+    if (want > col.capacity()) col.reserve(std::max(want, col.capacity() * 2));
+  }
+  id_table_.Reserve(columns_, additional);
+}
+
+bool Relation::AppendRowFrom(const Relation& src, std::size_t row) {
+  std::vector<std::uint32_t>& ids = IdScratch();
+  ids.resize(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    ids[c] = src.columns_[c][row];
+  }
+  if (!id_table_.InsertOrFind(columns_, ids,
+                              static_cast<std::uint32_t>(rows_.size()))) {
+    return false;
+  }
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(ids[c]);
+  }
+  // Copy src's materialized Tuple view instead of resolving the ids
+  // through the dictionary -- the whole point of this entry over
+  // InsertIds on the bulk copy path.
+  rows_.push_back(src.rows_[row]);
+  return true;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  if (!columnar_) return set_.contains(tuple);
+  if (rows_.empty()) return false;
+  std::vector<std::uint32_t>& ids = IdScratch();
+  // A tuple containing a value the dictionary has never seen cannot be
+  // stored in any columnar relation.
+  if (!ValueDictionary::Global().LookupRow(tuple, &ids)) return false;
+  return id_table_.Contains(columns_, ids);
+}
+
+bool Relation::ContainsIds(const std::vector<std::uint32_t>& ids) const {
+  if (columnar_) return id_table_.Contains(columns_, ids);
+  if (rows_.empty()) return false;
+  ValueDictionary& dict = ValueDictionary::Global();
+  Tuple tuple;
+  tuple.reserve(ids.size());
+  for (std::uint32_t id : ids) tuple.push_back(dict.Resolve(id));
+  return set_.contains(tuple);
 }
 
 std::size_t Relation::EraseAll(const std::vector<Tuple>& tuples) {
   std::size_t erased = 0;
-  for (const Tuple& tuple : tuples) {
-    erased += set_.erase(tuple);
+  if (!columnar_) {
+    for (const Tuple& tuple : tuples) {
+      erased += set_.erase(tuple);
+    }
+    if (erased == 0) return 0;
+    // Compact the row vector to the surviving tuples, preserving their
+    // relative order.
+    std::vector<Tuple> survivors;
+    survivors.reserve(rows_.size() - erased);
+    for (Tuple& row : rows_) {
+      if (set_.contains(row)) survivors.push_back(std::move(row));
+    }
+    rows_ = std::move(survivors);
+  } else {
+    // Collect the distinct stored rows to remove (erasure is cold: the
+    // incremental engine runs it between rounds with exclusive access,
+    // so a temporary node-based set here is fine).
+    std::unordered_set<std::vector<std::uint32_t>, IdRowHash> doomed;
+    std::vector<std::uint32_t>& ids = IdScratch();
+    ValueDictionary& dict = ValueDictionary::Global();
+    for (const Tuple& tuple : tuples) {
+      if (!dict.LookupRow(tuple, &ids)) continue;  // never stored
+      if (id_table_.Contains(columns_, ids)) {
+        if (doomed.insert(ids).second) ++erased;
+      }
+    }
+    if (erased == 0) return 0;
+    std::vector<Tuple> survivors;
+    survivors.reserve(rows_.size() - erased);
+    ids.resize(columns_.size());
+    std::vector<std::vector<std::uint32_t>> new_columns(columns_.size());
+    for (auto& col : new_columns) col.reserve(rows_.size() - erased);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        ids[c] = columns_[c][i];
+      }
+      if (doomed.contains(ids)) continue;
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        new_columns[c].push_back(ids[c]);
+      }
+      survivors.push_back(std::move(rows_[i]));
+    }
+    columns_ = std::move(new_columns);
+    rows_ = std::move(survivors);
+    id_table_.Rebuild(columns_, rows_.size());
   }
-  if (erased == 0) return 0;
-  // Compact the row vector to the surviving tuples, preserving their
-  // relative order, and invalidate every index: row ids shifted, so the
-  // incremental built_up_to watermarks are meaningless now.
-  std::vector<Tuple> survivors;
-  survivors.reserve(rows_.size() - erased);
-  for (Tuple& row : rows_) {
-    if (set_.contains(row)) survivors.push_back(std::move(row));
+  // Invalidate every index: row ids shifted, so the incremental
+  // built_up_to watermarks are meaningless now. The entries are emptied
+  // in place -- NOT erased -- so any outstanding Prepare{Single,}Index
+  // view still points at a live map and finds nothing, instead of
+  // dangling into freed nodes (the use-after-free the conformance
+  // suite's regression test pins down).
+  for (auto& [cols, index] : indexes_) {
+    index.map.clear();
+    index.built_up_to = 0;
   }
-  rows_ = std::move(survivors);
-  indexes_.clear();
-  single_indexes_.clear();
+  for (auto& [col, index] : single_indexes_) {
+    index.map.clear();
+    index.built_up_to = 0;
+  }
+  for (auto& [cols, index] : id_indexes_) {
+    index.map.clear();
+    index.built_up_to = 0;
+  }
+  for (auto& [col, index] : single_id_indexes_) {
+    index.map.clear();
+    index.built_up_to = 0;
+  }
   return erased;
 }
 
@@ -36,24 +272,47 @@ const std::vector<std::uint32_t>& Relation::EmptyRowIds() {
   return *kEmpty;
 }
 
+const std::vector<std::uint32_t>& Relation::SingleIndexView::Find(
+    const Value& key) const {
+  if (id_map_ != nullptr) {
+    const std::uint32_t id = ValueDictionary::Global().LookupId(key);
+    if (id == ValueDictionary::kInvalidId) return EmptyRowIds();
+    return FindId(id);
+  }
+  auto it = value_map_->find(key);
+  return it == value_map_->end() ? EmptyRowIds() : it->second;
+}
+
+const std::vector<std::uint32_t>& Relation::MultiIndexView::Find(
+    const Tuple& key) const {
+  if (id_map_ != nullptr) {
+    std::vector<std::uint32_t>& ids = IdScratch();
+    if (!ValueDictionary::Global().LookupRow(key, &ids)) {
+      return EmptyRowIds();
+    }
+    return FindIds(ids);
+  }
+  auto it = value_map_->find(key);
+  return it == value_map_->end() ? EmptyRowIds() : it->second;
+}
+
 const std::vector<std::uint32_t>& Relation::Lookup(
     const std::vector<int>& columns, const Tuple& key) const {
   if (columns.size() == 1) return Lookup(columns[0], key[0]);
-  ColumnIndex& index = indexes_[columns];
-  ExtendIndex(columns, &index);
-  auto it = index.map.find(key);
-  return it == index.map.end() ? EmptyRowIds() : it->second;
+  return PrepareIndex(columns).Find(key);
 }
 
 const std::vector<std::uint32_t>& Relation::Lookup(int column,
                                                    const Value& key) const {
-  SingleColumnIndex& index = single_indexes_[column];
-  ExtendSingleIndex(column, &index);
-  auto it = index.map.find(key);
-  return it == index.map.end() ? EmptyRowIds() : it->second;
+  return PrepareSingleIndex(column).Find(key);
 }
 
 Relation::SingleIndexView Relation::PrepareSingleIndex(int column) const {
+  if (columnar_) {
+    SingleIdColumnIndex& index = single_id_indexes_[column];
+    ExtendSingleIdIndex(column, &index);
+    return SingleIndexView(&index.map);
+  }
   SingleColumnIndex& index = single_indexes_[column];
   ExtendSingleIndex(column, &index);
   return SingleIndexView(&index.map);
@@ -61,6 +320,11 @@ Relation::SingleIndexView Relation::PrepareSingleIndex(int column) const {
 
 Relation::MultiIndexView Relation::PrepareIndex(
     const std::vector<int>& columns) const {
+  if (columnar_) {
+    IdColumnIndex& index = id_indexes_[columns];
+    ExtendIdIndex(columns, &index);
+    return MultiIndexView(&index.map);
+  }
   ColumnIndex& index = indexes_[columns];
   ExtendIndex(columns, &index);
   return MultiIndexView(&index.map);
@@ -68,10 +332,10 @@ Relation::MultiIndexView Relation::PrepareIndex(
 
 void Relation::EnsureIndex(const std::vector<int>& columns) const {
   if (columns.size() == 1) {
-    ExtendSingleIndex(columns[0], &single_indexes_[columns[0]]);
+    PrepareSingleIndex(columns[0]);
     return;
   }
-  ExtendIndex(columns, &indexes_[columns]);
+  PrepareIndex(columns);
 }
 
 void Relation::ExtendIndex(const std::vector<int>& columns,
@@ -97,6 +361,30 @@ void Relation::ExtendSingleIndex(int column, SingleColumnIndex* index) const {
   for (std::size_t i = index->built_up_to; i < rows_.size(); ++i) {
     index->map[rows_[i][static_cast<std::size_t>(column)]].push_back(
         static_cast<std::uint32_t>(i));
+  }
+  index->built_up_to = rows_.size();
+}
+
+void Relation::ExtendIdIndex(const std::vector<int>& columns,
+                             IdColumnIndex* index) const {
+  if (index->built_up_to == rows_.size()) return;
+  std::vector<std::uint32_t> key(columns.size());
+  for (std::size_t i = index->built_up_to; i < rows_.size(); ++i) {
+    for (std::size_t k = 0; k < columns.size(); ++k) {
+      key[k] = columns_[static_cast<std::size_t>(columns[k])][i];
+    }
+    index->map[key].push_back(static_cast<std::uint32_t>(i));
+  }
+  index->built_up_to = rows_.size();
+}
+
+void Relation::ExtendSingleIdIndex(int column,
+                                   SingleIdColumnIndex* index) const {
+  if (index->built_up_to == rows_.size()) return;
+  const std::vector<std::uint32_t>& col =
+      columns_[static_cast<std::size_t>(column)];
+  for (std::size_t i = index->built_up_to; i < rows_.size(); ++i) {
+    index->map[col[i]].push_back(static_cast<std::uint32_t>(i));
   }
   index->built_up_to = rows_.size();
 }

@@ -8,56 +8,128 @@
 #include <vector>
 
 #include "eval/tuple.h"
+#include "util/interning.h"
 
 namespace datalog {
+
+/// Storage-backend knob (an ablation/differential switch like the ones in
+/// eval/rule_matcher.h): when enabled -- the default -- relations
+/// constructed afterwards use the columnar backend (contiguous u32 id
+/// columns over the global ValueDictionary, id-keyed dedup set and
+/// id-keyed postings indexes); when disabled they use the legacy row
+/// store (Value tuples, Value/Tuple-keyed indexes). Both backends are
+/// bit-identical through every public API; the conformance suite in
+/// tests/eval/relation_conformance_test.cc runs against both. Not
+/// thread-safe; flip only between evaluations.
+void SetColumnarStorage(bool enabled);
+bool ColumnarStorageEnabled();
 
 /// A set of tuples of fixed arity with insertion-order iteration and lazy
 /// hash indexes on column subsets. Rows are append-only, which lets indexes
 /// extend incrementally and lets callers treat a row-count watermark as a
 /// stable snapshot boundary (used by semi-naive evaluation).
 ///
+/// Two storage backends (chosen per relation at construction from the
+/// SetColumnarStorage knob; see docs/columnar_storage.md):
+///
+///  - Row store (legacy): rows are `Tuple`s, dedup and membership go
+///    through a Tuple-keyed hash set, and indexes key on `Value`/`Tuple`.
+///  - Columnar: every inserted value is interned to a dense u32 id in the
+///    global ValueDictionary and each column is a contiguous
+///    `std::vector<std::uint32_t>`; dedup, membership and the postings
+///    indexes all key on ids, so probes compare 4-byte integers. The
+///    insertion-ordered `rows()` Tuple view is still maintained (it is
+///    the API every engine iterates), assembled from the dictionary at
+///    insert time; the columns are the substrate the compiled batch
+///    probe path scans (eval/compiled_rule.cc).
+///
 /// Thread safety: mutation (Insert) requires exclusive access, and Lookup
 /// lazily builds indexes, so it is not a pure read in general. Concurrent
 /// access from multiple threads is safe only under the frozen-snapshot
 /// contract: no Insert is in flight, and every column set that will be
 /// probed has been EnsureIndex'd since the last Insert. Under that
-/// contract Lookup, Contains, rows(), row() and size() are all read-only
-/// (see docs/parallel_eval.md).
+/// contract Lookup, Contains, rows(), row(), column() and size() are all
+/// read-only (see docs/parallel_eval.md).
 class Relation {
  public:
-  explicit Relation(int arity = 0) : arity_(arity) {}
+  explicit Relation(int arity = 0)
+      : arity_(arity), columnar_(ColumnarStorageEnabled()) {
+    if (columnar_) {
+      columns_.resize(static_cast<std::size_t>(arity));
+    }
+  }
 
   int arity() const { return arity_; }
   std::size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
+  /// True when this relation uses the columnar backend (decided at
+  /// construction; a later knob flip does not migrate existing storage).
+  bool columnar() const { return columnar_; }
+
   /// Inserts `tuple`; returns true if it was not already present.
   bool Insert(Tuple tuple);
 
+  /// Columnar-backend insert by dictionary ids (`ids.size()` must equal
+  /// arity()); returns true if the row was new. The Tuple row view is
+  /// assembled from the dictionary only for rows that are actually new,
+  /// which is what lets the batch probe path derive and dedup entirely
+  /// in id space. Falls back to Insert (resolving the ids) on a
+  /// row-store relation, so callers need not check the backend.
+  bool InsertIds(const std::vector<std::uint32_t>& ids);
+
+  /// Pre-sizes storage (columns, row views, and the dedup table) for
+  /// `additional` more rows, so bulk copies pay one table resize instead
+  /// of a doubling cascade. Purely an optimization; inserting more or
+  /// fewer rows than reserved is fine.
+  void ReserveRows(std::size_t additional);
+
+  /// Copies row `row` of `src` into this relation (both must be columnar
+  /// and share an arity); returns true if it was new. Unlike InsertIds
+  /// this reuses src's already-materialized Tuple view instead of
+  /// resolving ids through the dictionary -- the fast path under
+  /// Database::AddRowRange.
+  bool AppendRowFrom(const Relation& src, std::size_t row);
+
   /// Erases every tuple of `tuples` that is present; returns how many
   /// were removed. Removal compacts the row vector (later rows shift
-  /// down) and drops every index, which is rebuilt lazily on the next
-  /// Lookup -- so erasure breaks the append-only watermark contract and
-  /// must never run concurrently with readers. The incremental
-  /// materialization engine calls this between evaluation rounds, when
-  /// it has exclusive access (see docs/incremental_eval.md).
+  /// down) and invalidates every index -- including any outstanding
+  /// Prepare{Single,}Index views, which keep pointing at live (now
+  /// empty) index maps rather than freed memory -- so erasure breaks the
+  /// append-only watermark contract and must never run concurrently with
+  /// readers. The incremental materialization engine calls this between
+  /// evaluation rounds, when it has exclusive access (see
+  /// docs/incremental_eval.md).
   std::size_t EraseAll(const std::vector<Tuple>& tuples);
 
-  bool Contains(const Tuple& tuple) const { return set_.contains(tuple); }
+  bool Contains(const Tuple& tuple) const;
+
+  /// Columnar membership by dictionary ids; agrees with Contains on the
+  /// resolved tuple. Works on either backend (row store resolves the ids
+  /// and probes the Tuple set).
+  bool ContainsIds(const std::vector<std::uint32_t>& ids) const;
 
   const std::vector<Tuple>& rows() const { return rows_; }
   const Tuple& row(std::size_t i) const { return rows_[i]; }
 
+  /// The id column for `c` (columnar backend only): column(c)[i] is the
+  /// dictionary id of row(i)[c]. Contiguous, insertion-ordered, append-
+  /// only between erasures -- the batch probe path's scan substrate.
+  const std::vector<std::uint32_t>& column(int c) const {
+    return columns_[static_cast<std::size_t>(c)];
+  }
+
   /// Returns the row indices whose projection onto `columns` equals `key`
   /// (`key[i]` corresponds to `columns[i]`). `columns` must be strictly
   /// increasing and non-empty. Builds/extends the index on first use.
-  /// Single-column probes are routed to the Value-keyed fast path below.
+  /// Single-column probes are routed to the single-column fast path below.
   const std::vector<std::uint32_t>& Lookup(const std::vector<int>& columns,
                                            const Tuple& key) const;
 
-  /// Single-column fast path: the index is keyed directly on Value, so
-  /// neither the probe nor the per-row index entries allocate a
-  /// one-element Tuple. Agrees exactly with Lookup({column}, {key}).
+  /// Single-column fast path: the index is keyed directly on the value
+  /// (its dictionary id on the columnar backend), so neither the probe
+  /// nor the per-row index entries allocate a one-element Tuple. Agrees
+  /// exactly with Lookup({column}, {key}).
   const std::vector<std::uint32_t>& Lookup(int column, const Value& key) const;
 
   /// Builds (or extends to cover all current rows) the index on
@@ -66,56 +138,137 @@ class Relation {
   /// every column set its plans will probe before fanning out.
   void EnsureIndex(const std::vector<int>& columns) const;
 
+  /// Hashes an id row / id key the same way TupleHash hashes a Tuple.
+  struct IdRowHash {
+    std::size_t operator()(const std::vector<std::uint32_t>& ids) const {
+      std::size_t seed = ids.size();
+      for (std::uint32_t id : ids) {
+        HashCombine(seed, std::hash<std::uint32_t>{}(id));
+      }
+      return seed;
+    }
+  };
+
   /// Direct handles onto a built index, skipping the per-probe index-map
-  /// find and extend check that Lookup pays. Valid until the next Insert
-  /// or EraseAll; the compiled matcher prepares one per join depth per
-  /// enumeration (the relation is frozen while matching).
+  /// find and extend check that Lookup pays. Valid until the next Insert;
+  /// EraseAll empties the underlying maps in place, so a stale view
+  /// safely finds nothing instead of dangling. The compiled matcher
+  /// prepares one per join depth per enumeration (the relation is frozen
+  /// while matching). On a columnar relation the view wraps the id-keyed
+  /// index: Find converts the key through the dictionary, FindId probes
+  /// directly (the batch path's access).
   class SingleIndexView {
    public:
     SingleIndexView() = default;
-    bool valid() const { return map_ != nullptr; }
-    const std::vector<std::uint32_t>& Find(const Value& key) const {
-      auto it = map_->find(key);
-      return it == map_->end() ? EmptyRowIds() : it->second;
+    bool valid() const { return value_map_ != nullptr || id_map_ != nullptr; }
+    const std::vector<std::uint32_t>& Find(const Value& key) const;
+    const std::vector<std::uint32_t>& FindId(std::uint32_t id) const {
+      auto it = id_map_->find(id);
+      return it == id_map_->end() ? EmptyRowIds() : it->second;
     }
 
    private:
     friend class Relation;
-    explicit SingleIndexView(
-        const std::unordered_map<Value, std::vector<std::uint32_t>,
-                                 ValueHash>* map)
-        : map_(map) {}
-    const std::unordered_map<Value, std::vector<std::uint32_t>, ValueHash>*
-        map_ = nullptr;
+    using ValueMap =
+        std::unordered_map<Value, std::vector<std::uint32_t>, ValueHash>;
+    using IdMap = std::unordered_map<std::uint32_t,
+                                     std::vector<std::uint32_t>>;
+    explicit SingleIndexView(const ValueMap* map) : value_map_(map) {}
+    explicit SingleIndexView(const IdMap* map) : id_map_(map) {}
+    const ValueMap* value_map_ = nullptr;
+    const IdMap* id_map_ = nullptr;
   };
   class MultiIndexView {
    public:
     MultiIndexView() = default;
-    bool valid() const { return map_ != nullptr; }
-    const std::vector<std::uint32_t>& Find(const Tuple& key) const {
-      auto it = map_->find(key);
-      return it == map_->end() ? EmptyRowIds() : it->second;
+    bool valid() const { return value_map_ != nullptr || id_map_ != nullptr; }
+    const std::vector<std::uint32_t>& Find(const Tuple& key) const;
+    const std::vector<std::uint32_t>& FindIds(
+        const std::vector<std::uint32_t>& key) const {
+      auto it = id_map_->find(key);
+      return it == id_map_->end() ? EmptyRowIds() : it->second;
     }
 
    private:
     friend class Relation;
-    explicit MultiIndexView(
-        const std::unordered_map<Tuple, std::vector<std::uint32_t>,
-                                 TupleHash>* map)
-        : map_(map) {}
-    const std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash>*
-        map_ = nullptr;
+    using ValueMap =
+        std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash>;
+    using IdMap = std::unordered_map<std::vector<std::uint32_t>,
+                                     std::vector<std::uint32_t>, IdRowHash>;
+    explicit MultiIndexView(const ValueMap* map) : value_map_(map) {}
+    explicit MultiIndexView(const IdMap* map) : id_map_(map) {}
+    const ValueMap* value_map_ = nullptr;
+    const IdMap* id_map_ = nullptr;
   };
 
-  /// Build/extend the index on `column` (resp. `columns`, size >= 2) and
-  /// return a view of it. Same laziness and thread-safety contract as
-  /// Lookup: write-free when the index already covers all rows.
+  /// Build/extend the index on `column` (resp. `columns`, any size >= 0;
+  /// the degenerate empty-column index maps the empty key to every row)
+  /// and return a view of it. Same laziness and thread-safety contract
+  /// as Lookup: write-free when the index already covers all rows.
   SingleIndexView PrepareSingleIndex(int column) const;
   MultiIndexView PrepareIndex(const std::vector<int>& columns) const;
 
   static const std::vector<std::uint32_t>& EmptyRowIds();
 
  private:
+  /// Open-addressing dedup/membership table for the columnar backend.
+  /// Slots store row_id + 1 (0 marks an empty slot); the keys are the id
+  /// rows already sitting in columns_, so neither insert nor probe ever
+  /// allocates per row, and growth just re-scatters u32 indices --
+  /// unlike a node-based hash set of id vectors, which pays a node and a
+  /// vector allocation per row and re-links every node on rehash.
+  class RowIdTable {
+   public:
+    using Columns = std::vector<std::vector<std::uint32_t>>;
+
+    /// Appends `ids` (about to become row `row_id` of `columns`) unless
+    /// an equal row is already present; returns true if inserted. The
+    /// caller appends to `columns` after a true return; probing only
+    /// ever dereferences rows below `row_id`.
+    bool InsertOrFind(const Columns& columns,
+                      const std::vector<std::uint32_t>& ids,
+                      std::uint32_t row_id);
+    bool Contains(const Columns& columns,
+                  const std::vector<std::uint32_t>& ids) const;
+    /// Drops every entry and re-inserts rows [0, num_rows) of `columns`
+    /// (used after EraseAll compacts the columns).
+    void Rebuild(const Columns& columns, std::size_t num_rows);
+
+    /// Resizes the slot array once so `additional` more rows fit under
+    /// the 3/4 load factor (no-op when they already do).
+    void Reserve(const Columns& columns, std::size_t additional);
+
+   private:
+    static std::size_t HashIds(const std::vector<std::uint32_t>& ids) {
+      std::size_t seed = ids.size();
+      for (std::uint32_t id : ids) {
+        HashCombine(seed, std::hash<std::uint32_t>{}(id));
+      }
+      // Finalizer (murmur3 fmix64). HashCombine alone leaves dictionary
+      // ids -- dense, sequential -- poorly mixed in the low bits, and the
+      // table masks with a power of two, so without this the linear
+      // probes cluster into long runs on chain-shaped workloads.
+      seed ^= seed >> 33;
+      seed *= 0xff51afd7ed558ccdULL;
+      seed ^= seed >> 33;
+      seed *= 0xc4ceb9fe1a85ec53ULL;
+      seed ^= seed >> 33;
+      return seed;
+    }
+    static bool RowEquals(const Columns& columns, std::uint32_t row,
+                          const std::vector<std::uint32_t>& ids) {
+      for (std::size_t c = 0; c < ids.size(); ++c) {
+        if (columns[c][row] != ids[c]) return false;
+      }
+      return true;
+    }
+    void Grow(const Columns& columns);
+    void ResizeTo(const Columns& columns, std::size_t new_size);
+
+    std::vector<std::uint32_t> slots_;  // power-of-two size; 0 = empty
+    std::size_t size_ = 0;
+  };
+
   struct ColumnIndex {
     std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> map;
     std::size_t built_up_to = 0;  // rows_[0, built_up_to) are indexed
@@ -124,18 +277,45 @@ class Relation {
     std::unordered_map<Value, std::vector<std::uint32_t>, ValueHash> map;
     std::size_t built_up_to = 0;  // rows_[0, built_up_to) are indexed
   };
+  struct IdColumnIndex {
+    std::unordered_map<std::vector<std::uint32_t>,
+                       std::vector<std::uint32_t>, IdRowHash>
+        map;
+    std::size_t built_up_to = 0;
+  };
+  struct SingleIdColumnIndex {
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> map;
+    std::size_t built_up_to = 0;
+  };
 
   void ExtendIndex(const std::vector<int>& columns, ColumnIndex* index) const;
   void ExtendSingleIndex(int column, SingleColumnIndex* index) const;
+  void ExtendIdIndex(const std::vector<int>& columns,
+                     IdColumnIndex* index) const;
+  void ExtendSingleIdIndex(int column, SingleIdColumnIndex* index) const;
 
   int arity_;
+  bool columnar_;
+  // Insertion-ordered materialized rows: the iteration API of both
+  // backends. On the columnar backend this is the Value view assembled
+  // at insert time; columns_ is the probe substrate.
   std::vector<Tuple> rows_;
+  // Row-store dedup/membership set (row backend only).
   std::unordered_set<Tuple, TupleHash> set_;
+  // Columnar backend: one contiguous id vector per column, plus the
+  // allocation-free open-addressing dedup table over those columns.
+  std::vector<std::vector<std::uint32_t>> columns_;
+  RowIdTable id_table_;
   // Ordered maps keyed by column list (or single column); indexes are
   // created lazily by Lookup and extended incrementally as rows are
-  // appended.
+  // appended. The row backend fills the Value/Tuple-keyed families, the
+  // columnar backend the id-keyed ones. EraseAll empties entries in
+  // place (instead of erasing the nodes) so outstanding index views stay
+  // safely dereferenceable.
   mutable std::map<std::vector<int>, ColumnIndex> indexes_;
   mutable std::map<int, SingleColumnIndex> single_indexes_;
+  mutable std::map<std::vector<int>, IdColumnIndex> id_indexes_;
+  mutable std::map<int, SingleIdColumnIndex> single_id_indexes_;
 };
 
 }  // namespace datalog

@@ -53,7 +53,11 @@ using Binding = std::unordered_map<VariableId, Value>;
 /// given (textual) order. When index lookups are off, every atom match
 /// scans the whole relation and filters. When compiled rule plans are
 /// off, matching falls back to the legacy row-at-a-time Matcher instead
-/// of the slot-addressed compiled path (see eval/compiled_rule.h).
+/// of the slot-addressed compiled path (see eval/compiled_rule.h). A
+/// fourth knob of the same family, SetColumnarStorage in
+/// eval/relation.h, selects the relation storage backend and thereby
+/// whether compiled Apply takes the vectorized batch-probe path; all
+/// four knobs are bit-for-bit neutral on results and MatchStats.
 void SetGreedyJoinOrdering(bool enabled);
 bool GreedyJoinOrderingEnabled();
 void SetIndexLookups(bool enabled);

@@ -27,9 +27,8 @@ Database CollectNewFacts(const Database& db, const Watermarks& marks) {
     const Relation& rel = db.relation(pred);
     auto it = marks.find(pred);
     std::size_t from = it == marks.end() ? 0 : it->second;
-    for (std::size_t i = from; i < rel.size(); ++i) {
-      delta.AddFact(pred, rel.row(i));
-    }
+    // Id-space copy when both relations are columnar: no Value hashing.
+    delta.AddRowRange(pred, rel, from, rel.size());
   }
   return delta;
 }
@@ -66,9 +65,7 @@ EvalStats RunSemiNaiveFixpoint(const std::vector<Rule>& rules, Database* db) {
   for (PredicateId pred : db->NonEmptyPredicates()) {
     if (!read_preds.contains(pred)) continue;
     const Relation& rel = db->relation(pred);
-    for (const Tuple& row : rel.rows()) {
-      delta.AddFact(pred, row);
-    }
+    delta.AddRowRange(pred, rel, 0, rel.size());
   }
 
   // The snapshot from which the current delta was cut: rows below these

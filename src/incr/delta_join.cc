@@ -10,7 +10,10 @@ namespace {
 /// Backtracking join over source-annotated atoms, structured like the
 /// semi-naive Matcher in eval/rule_matcher.cc but with the three-part
 /// (primary \ subtraction) ∪ addition sources the incremental passes
-/// need.
+/// need. Probes go through Relation::Lookup/Contains, which route to
+/// the id-keyed indexes on the columnar backend -- the delta joins are
+/// storage-agnostic and work identically over either backend (the
+/// differential commit-script fuzzer pins this down).
 class DeltaMatcher {
  public:
   DeltaMatcher(const std::vector<Atom>& atoms,

@@ -31,6 +31,7 @@ struct KnobMatrixGuard {
     SetGreedyJoinOrdering(true);
     SetIndexLookups(true);
     SetCompiledRulePlans(true);
+    SetColumnarStorage(true);
   }
 };
 
@@ -228,12 +229,13 @@ TEST_P(DifferentialEngineTest, IncrementalViewMatchesFromScratchAfterCommits) {
 }
 
 TEST_P(DifferentialEngineTest, CompiledPlansAgreeAcrossKnobMatrix) {
-  // The compiled-vs-legacy matcher axis, crossed with both ablation knobs
-  // (greedy ordering on/off x index lookups on/off). Every configuration
-  // must reach the identical fixpoint, and -- because substitutions count
-  // complete body matches, which no join order or access path changes --
-  // the identical substitutions total, for semi-naive and for the
-  // parallel engine at 4 threads.
+  // The compiled-vs-legacy matcher axis, crossed with the other three
+  // ablation knobs (columnar storage on/off x greedy ordering on/off x
+  // index lookups on/off). Every configuration must reach the identical
+  // fixpoint, and -- because substitutions count complete body matches,
+  // which no join order, access path, or storage backend changes -- the
+  // identical substitutions total, for semi-naive and for the parallel
+  // engine at 4 threads.
   KnobMatrixGuard guard;
   GeneratedCase c = MakeCase(GetParam());
 
@@ -251,36 +253,45 @@ TEST_P(DifferentialEngineTest, CompiledPlansAgreeAcrossKnobMatrix) {
   ASSERT_TRUE(par_ref_stats.ok()) << par_ref_stats.status().ToString();
   ASSERT_EQ(par_reference, reference);
 
-  for (bool compiled : {true, false}) {
-    for (bool greedy : {true, false}) {
-      for (bool indexed : {true, false}) {
-        SetCompiledRulePlans(compiled);
-        SetGreedyJoinOrdering(greedy);
-        SetIndexLookups(indexed);
-        const std::string config = std::string("compiled=") +
-                                   (compiled ? "1" : "0") +
-                                   " greedy=" + (greedy ? "1" : "0") +
-                                   " index=" + (indexed ? "1" : "0") +
-                                   " seed=" + std::to_string(GetParam());
+  for (bool columnar : {true, false}) {
+    SetColumnarStorage(columnar);
+    // Regenerate the case under this backend: relations choose their
+    // storage at construction, so a fresh EDB puts every relation --
+    // base facts included -- on the backend under test. The generator
+    // is seed-deterministic, so the facts are identical.
+    GeneratedCase cc = MakeCase(GetParam());
+    for (bool compiled : {true, false}) {
+      for (bool greedy : {true, false}) {
+        for (bool indexed : {true, false}) {
+          SetCompiledRulePlans(compiled);
+          SetGreedyJoinOrdering(greedy);
+          SetIndexLookups(indexed);
+          const std::string config =
+              std::string("columnar=") + (columnar ? "1" : "0") +
+              " compiled=" + (compiled ? "1" : "0") +
+              " greedy=" + (greedy ? "1" : "0") +
+              " index=" + (indexed ? "1" : "0") +
+              " seed=" + std::to_string(GetParam());
 
-        Database seq = c.edb;
-        Result<EvalStats> seq_stats = EvaluateSemiNaive(c.program, &seq);
-        ASSERT_TRUE(seq_stats.ok())
-            << config << ": " << seq_stats.status().ToString();
-        EXPECT_EQ(seq, reference) << "semi-naive diverges, " << config;
-        EXPECT_EQ(seq_stats->match.substitutions,
-                  ref_stats->match.substitutions)
-            << "substitutions drift, " << config;
+          Database seq = cc.edb;
+          Result<EvalStats> seq_stats = EvaluateSemiNaive(cc.program, &seq);
+          ASSERT_TRUE(seq_stats.ok())
+              << config << ": " << seq_stats.status().ToString();
+          EXPECT_EQ(seq, reference) << "semi-naive diverges, " << config;
+          EXPECT_EQ(seq_stats->match.substitutions,
+                    ref_stats->match.substitutions)
+              << "substitutions drift, " << config;
 
-        Database par = c.edb;
-        Result<EvalStats> par_stats =
-            EvaluateSemiNaiveParallel(c.program, &par, 4);
-        ASSERT_TRUE(par_stats.ok())
-            << config << ": " << par_stats.status().ToString();
-        EXPECT_EQ(par, reference) << "parallel x4 diverges, " << config;
-        EXPECT_EQ(par_stats->match.substitutions,
-                  par_ref_stats->match.substitutions)
-            << "parallel substitutions drift, " << config;
+          Database par = cc.edb;
+          Result<EvalStats> par_stats =
+              EvaluateSemiNaiveParallel(cc.program, &par, 4);
+          ASSERT_TRUE(par_stats.ok())
+              << config << ": " << par_stats.status().ToString();
+          EXPECT_EQ(par, reference) << "parallel x4 diverges, " << config;
+          EXPECT_EQ(par_stats->match.substitutions,
+                    par_ref_stats->match.substitutions)
+              << "parallel substitutions drift, " << config;
+        }
       }
     }
   }
@@ -288,14 +299,14 @@ TEST_P(DifferentialEngineTest, CompiledPlansAgreeAcrossKnobMatrix) {
 
 TEST_P(DifferentialEngineTest, CompiledPlansAgreeOnIncrementalCommits) {
   // The incremental commit path (delta joins + DRed re-derivation) run
-  // twice over the same transaction script, once with compiled plans and
-  // once with the legacy matchers; the view must be identical after every
-  // commit.
+  // over the same transaction script under every (matcher, storage
+  // backend) combination; the view must be identical after every commit.
   KnobMatrixGuard guard;
   const std::uint64_t seed = GetParam();
 
-  auto run_script = [&](bool compiled) {
+  auto run_script = [&](bool compiled, bool columnar) {
     SetCompiledRulePlans(compiled);
+    SetColumnarStorage(columnar);
     GeneratedCase c = MakeCase(seed);
     IncrOptions options;
     options.num_threads = seed % 2 == 0 ? 1 : 2;
@@ -334,13 +345,22 @@ TEST_P(DifferentialEngineTest, CompiledPlansAgreeOnIncrementalCommits) {
     return snapshots;
   };
 
-  std::vector<Database> compiled = run_script(true);
-  std::vector<Database> legacy = run_script(false);
-  ASSERT_EQ(compiled.size(), legacy.size());
-  for (std::size_t i = 0; i < compiled.size(); ++i) {
-    EXPECT_EQ(compiled[i], legacy[i])
-        << "incremental commit path diverges on seed " << seed << ", batch "
-        << i;
+  const std::vector<Database> reference = run_script(true, true);
+  const struct {
+    bool compiled;
+    bool columnar;
+    const char* name;
+  } variants[] = {{false, true, "legacy/columnar"},
+                  {true, false, "compiled/rowstore"},
+                  {false, false, "legacy/rowstore"}};
+  for (const auto& v : variants) {
+    std::vector<Database> got = run_script(v.compiled, v.columnar);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], reference[i])
+          << "incremental commit path (" << v.name << ") diverges on seed "
+          << seed << ", batch " << i;
+    }
   }
 }
 

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Sanitizer check harness. Builds the library and tests under
 # ThreadSanitizer and runs the evaluation-engine suites (the ones that
-# exercise the parallel evaluator's frozen-snapshot contract), then
-# repeats the incremental-maintenance fuzzer under ASan+UBSan. Also
+# exercise the parallel evaluator's frozen-snapshot contract; eval_test
+# includes the storage-conformance suite that runs every relation
+# invariant against both the columnar and row-store backends, and
+# integration_test includes the differential fuzzer whose knob matrix
+# crosses columnar x compiled x {sequential, parallel, incremental}),
+# then repeats the incremental-maintenance fuzzer under ASan+UBSan. Also
 # smoke-tests the observability layer: the CLI's --trace/--metrics
 # output must be valid JSON, and runs a deterministic work-counter
 # regression gate (eval.tuples_scanned / eval.index_lookups on a fixed
