@@ -1,0 +1,102 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+
+#include "analysis/passes.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace datalog {
+
+SourceSpan SpanOfLiteral(const Program& program,
+                         const ProgramSourceMap* source,
+                         std::size_t rule_index, std::size_t body_pos) {
+  const Rule& rule = program.rules()[rule_index];
+  const bool is_head = body_pos == static_cast<std::size_t>(-1);
+  if (source != nullptr) {
+    const RuleSourceSpans* spans = source->rule(rule_index);
+    if (spans != nullptr) {
+      if (is_head && spans->head.span.valid()) return spans->head.span;
+      if (!is_head && body_pos < spans->body.size() &&
+          spans->body[body_pos].span.valid()) {
+        return spans->body[body_pos].span;
+      }
+    }
+  }
+  const Atom& atom = is_head ? rule.head() : rule.body()[body_pos].atom;
+  if (atom.span().valid()) return atom.span();
+  return rule.span();
+}
+
+SourceSpan SpanOfRule(const Program& program, const ProgramSourceMap* source,
+                      std::size_t rule_index) {
+  if (source != nullptr) {
+    const RuleSourceSpans* spans = source->rule(rule_index);
+    if (spans != nullptr && spans->span.valid()) return spans->span;
+  }
+  return program.rules()[rule_index].span();
+}
+
+AnalysisResult Analyze(const Program& program, const AnalyzerOptions& options,
+                       const ProgramSourceMap* source) {
+  TraceSpan span("analysis/run");
+  span.Note("rules", program.NumRules());
+  AnalysisResult result;
+
+  struct PassEntry {
+    const char* name;
+    bool enabled;
+    void (*run)(const Program&, const AnalyzerOptions&,
+                const ProgramSourceMap*, AnalysisResult*);
+  };
+  const PassEntry passes[] = {
+      {"safety", options.safety, RunSafetyPass},
+      {"stratification", options.stratification, RunStratificationPass},
+      {"dead_code", options.dead_code, RunDeadCodePass},
+      {"redundancy", options.redundancy, RunRedundancyPass},
+      {"binding", options.binding, RunBindingPass},
+  };
+  MetricsRegistry& metrics = MetricsRegistry::Get();
+  for (const PassEntry& pass : passes) {
+    if (!pass.enabled) continue;
+    TraceSpan pass_span("analysis/pass");
+    const std::size_t before = result.diagnostics.size();
+    pass.run(program, options, source, &result);
+    const std::uint64_t produced =
+        static_cast<std::uint64_t>(result.diagnostics.size() - before);
+    pass_span.Note("diagnostics", produced);
+    if (metrics.enabled()) {
+      metrics.Add("analysis.pass_runs", {{"pass", pass.name}}, 1);
+      metrics.Add("analysis.diagnostics", {{"pass", pass.name}}, produced);
+    }
+  }
+
+  // Order by source position so the report reads top to bottom; unknown
+  // locations sink to the end, and within one location the pass order
+  // (already severity-meaningful: errors-first passes run first) is kept
+  // by stable sort.
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     const bool a_known = a.span.valid();
+                     const bool b_known = b.span.valid();
+                     if (a_known != b_known) return a_known;
+                     if (a.span.line != b.span.line) {
+                       return a.span.line < b.span.line;
+                     }
+                     return a.span.col < b.span.col;
+                   });
+  span.Note("diagnostics",
+            static_cast<std::uint64_t>(result.diagnostics.size()));
+  span.Note("budget_exhausted", result.budget_exhausted ? 1 : 0);
+  return result;
+}
+
+AnalysisResult AnalyzeParsed(const ParsedProgram& parsed,
+                             AnalyzerOptions options) {
+  if (!options.query.has_value() && !parsed.queries.empty()) {
+    options.query = parsed.queries.front();
+  }
+  return Analyze(parsed.program, options, &parsed.source);
+}
+
+}  // namespace datalog

@@ -1,0 +1,89 @@
+#ifndef DATALOG_ANALYSIS_ANALYZER_H_
+#define DATALOG_ANALYSIS_ANALYZER_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ast/parser.h"
+#include "ast/program.h"
+#include "eval/magic_sets.h"
+#include "eval/rule_matcher.h"
+
+namespace datalog {
+
+/// Configuration for one analyzer run. Passes are independent and can be
+/// toggled individually; `datalog-opt check` exposes them via --pass.
+struct AnalyzerOptions {
+  bool safety = true;          // range restriction / groundness (Section II)
+  bool stratification = true;  // negation cycles, SCCs, recursion classes
+  bool dead_code = true;       // query-irrelevant rules, unused predicates
+  bool redundancy = true;      // Fig. 2 minimizer, report-only
+  bool binding = true;         // magic-set adornments + join-order hints
+
+  /// Work budget shared by the expensive passes: the redundancy pass
+  /// spends one unit per uniform-containment test (each a chase to
+  /// fixpoint), the binding pass one unit per registered adornment. The
+  /// cheap passes (safety, stratification, dead code) are linear and
+  /// ignore it. 0 means unlimited. When a pass hits the budget it stops
+  /// early, sets AnalysisResult::budget_exhausted, and reports what it
+  /// proved so far (never a wrong diagnostic, possibly fewer).
+  std::size_t budget = 2000;
+
+  /// The query the program will be asked, directing the dead-code and
+  /// binding passes. Defaults to the first `?- q(...)` statement of the
+  /// parsed source (see AnalyzeParsed); without any query those two
+  /// passes degrade gracefully (unused-predicate infos only, no
+  /// adornment analysis).
+  std::optional<Atom> query;
+
+  /// Sideways-information-passing strategy assumed by the binding pass;
+  /// bound-first matches what an optimizing magic-sets rewrite would do.
+  SipStrategy sip = SipStrategy::kBoundFirst;
+};
+
+/// Everything one analyzer run produced.
+struct AnalysisResult {
+  /// All diagnostics, ordered by source position (unknown locations
+  /// last), ties broken by pass registration order.
+  std::vector<Diagnostic> diagnostics;
+
+  /// True when some pass stopped early on AnalyzerOptions::budget.
+  bool budget_exhausted = false;
+
+  /// Per-body join-order hints from the binding pass, installable into
+  /// the evaluation engines via SetJoinOrderHints (the CLI's
+  /// `eval --hints` path). Empty when the binding pass did not run or
+  /// had no query to propagate bindings from.
+  JoinOrderHints join_hints;
+
+  bool HasErrors() const { return CountBySeverity(diagnostics).errors > 0; }
+};
+
+/// Runs the enabled passes over `program`. `source` (from
+/// ParseProgramWithSource) supplies exact token spans; with a null source
+/// diagnostics fall back to the spans the AST itself carries, which are
+/// invalid for programs built in memory. Purely static: no database is
+/// consulted and no evaluation engine runs, so the analyzer terminates on
+/// every input (the chase inside the redundancy pass is budgeted).
+AnalysisResult Analyze(const Program& program,
+                       const AnalyzerOptions& options = {},
+                       const ProgramSourceMap* source = nullptr);
+
+/// Analyze() over a parsed file: wires up the source map and, when
+/// `options.query` is unset, adopts the file's first `?- q(...)` query.
+AnalysisResult AnalyzeParsed(const ParsedProgram& parsed,
+                             AnalyzerOptions options = {});
+
+/// Join-order hints for every rule of `program` from a static SIP pass
+/// with no query bindings: only constants count as bound, so the order
+/// prefers constant-constrained atoms first. This is what `eval --hints`
+/// installs when no query is available to adorn from; with a query,
+/// prefer Analyze()'s AnalysisResult::join_hints.
+JoinOrderHints StaticJoinHints(const Program& program,
+                               SipStrategy sip = SipStrategy::kBoundFirst);
+
+}  // namespace datalog
+
+#endif  // DATALOG_ANALYSIS_ANALYZER_H_

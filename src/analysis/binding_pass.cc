@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/passes.h"
+#include "ast/pretty_print.h"
+
+namespace datalog {
+namespace {
+
+bool AllFree(const std::string& adornment) {
+  return std::all_of(adornment.begin(), adornment.end(),
+                     [](char c) { return c == 'f'; });
+}
+
+/// The (fingerprint, permutation) join hint for `rule` under a SIP visit
+/// `order` over its whole body: the order restricted to positive
+/// literals, re-expressed as positions into the planned-atom list the
+/// matcher builds (positive literals in textual order). The permutation
+/// is empty when the rule has fewer than two positive atoms (nothing to
+/// reorder).
+std::pair<std::uint64_t, std::vector<std::size_t>> HintForRule(
+    const Rule& rule, const std::vector<std::size_t>& order) {
+  std::vector<std::size_t> positive_index(rule.body().size(),
+                                          static_cast<std::size_t>(-1));
+  std::vector<PlannedAtom> planned;
+  for (std::size_t j = 0; j < rule.body().size(); ++j) {
+    if (rule.body()[j].negated) continue;
+    positive_index[j] = planned.size();
+    planned.push_back(PlannedAtom{rule.body()[j].atom, AtomSource::kFull});
+  }
+  std::vector<std::size_t> hint;
+  for (std::size_t pos : order) {
+    if (positive_index[pos] != static_cast<std::size_t>(-1)) {
+      hint.push_back(positive_index[pos]);
+    }
+  }
+  if (hint.size() < 2) hint.clear();
+  return {BodyFingerprint(planned), std::move(hint)};
+}
+
+}  // namespace
+
+JoinOrderHints StaticJoinHints(const Program& program, SipStrategy sip) {
+  JoinOrderHints hints;
+  for (const Rule& rule : program.rules()) {
+    auto [fingerprint, hint] =
+        HintForRule(rule, SipOrder(rule, /*initially_bound=*/{}, sip));
+    if (!hint.empty()) hints.order.emplace(fingerprint, std::move(hint));
+  }
+  return hints;
+}
+
+// Pass 5: binding/adornment analysis. Replays the adornment propagation a
+// magic-sets rewrite of the query would perform (same SipOrder, same
+// AdornmentFor -- shared with eval/magic_sets.cc so predictions match the
+// rewrite) without building the rewritten program. Two outputs: warnings
+// for predicates reached only with all-free adornments, where the magic
+// predicate degenerates to arity 0 and restricts nothing; and per-rule
+// join-order hints (the SIP visit order), keyed by body fingerprint for
+// PlanJoinOrder to consume when installed via SetJoinOrderHints.
+void RunBindingPass(const Program& program, const AnalyzerOptions& options,
+                    const ProgramSourceMap* source, AnalysisResult* result) {
+  if (!options.query.has_value() || program.NumRules() == 0) return;
+  const Atom& query = *options.query;
+  if (!program.IsIntentional(query.predicate())) return;  // dead_code warns
+  const SymbolTable& symbols = *program.symbols();
+  const std::set<PredicateId> intentional = program.IntentionalPredicates();
+
+  const std::string query_adornment = QueryAdornment(query);
+  const bool free_query = AllFree(query_adornment) && query.arity() > 0;
+  if (free_query) {
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "binding";
+    d.code = "free-query";
+    d.message = "query '" + ToString(query, symbols) +
+                "' binds no arguments (adornment '" + query_adornment +
+                "'); magic sets cannot restrict the computation";
+    d.note = "bind an argument to a constant to benefit from the rewrite";
+    result->diagnostics.push_back(std::move(d));
+  }
+
+  std::set<std::pair<PredicateId, std::string>> seen;
+  std::deque<std::pair<PredicateId, std::string>> work;
+  auto reach = [&](PredicateId pred, const std::string& adornment) {
+    if (seen.emplace(pred, adornment).second) {
+      work.emplace_back(pred, adornment);
+    }
+  };
+  reach(query.predicate(), query_adornment);
+
+  std::set<PredicateId> warned_unbindable;
+  std::set<std::size_t> rule_has_hint;
+  bool budget_hit = false;
+
+  while (!work.empty()) {
+    if (options.budget != 0 && seen.size() > options.budget) {
+      budget_hit = true;
+      break;
+    }
+    auto [head_pred, head_adornment] = work.front();
+    work.pop_front();
+
+    const auto& rules = program.rules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      const Rule& rule = rules[i];
+      if (rule.head().predicate() != head_pred) continue;
+
+      std::set<VariableId> bound;
+      for (std::size_t a = 0; a < head_adornment.size(); ++a) {
+        const Term& t = rule.head().args()[a];
+        if (head_adornment[a] == 'b' && t.is_variable()) bound.insert(t.var());
+      }
+      const std::vector<std::size_t> order =
+          SipOrder(rule, bound, options.sip);
+
+      for (std::size_t pos : order) {
+        const Literal& lit = rule.body()[pos];
+        const std::string adornment = AdornmentFor(lit.atom, bound);
+        if (intentional.contains(lit.atom.predicate())) {
+          // An all-free adornment of an intentional body atom means the
+          // rewrite's magic predicate has arity 0: pure overhead, no
+          // restriction. Suppressed for an all-free query, where every
+          // reached predicate would repeat the same story.
+          if (!free_query && AllFree(adornment) && lit.atom.arity() > 0 &&
+              warned_unbindable.insert(lit.atom.predicate()).second) {
+            Diagnostic d;
+            d.severity = Severity::kWarning;
+            d.pass = "binding";
+            d.code = "unbindable-adornment";
+            d.message =
+                "magic sets cannot restrict predicate '" +
+                symbols.PredicateName(lit.atom.predicate()) +
+                "': rule #" + std::to_string(i) + " for predicate '" +
+                symbols.PredicateName(head_pred) + "' (adornment '" +
+                head_adornment + "') reaches it with the all-free "
+                "adornment '" + adornment + "'";
+            d.note = "no binding passes sideways into this atom; reorder "
+                     "the body or bind a query argument";
+            d.rule_index = i;
+            d.span = SpanOfLiteral(program, source, i, pos);
+            result->diagnostics.push_back(std::move(d));
+          }
+          reach(lit.atom.predicate(), adornment);
+        }
+        // Negated literals test, they do not bind (their variables are
+        // already positively bound in a safe rule).
+        if (!lit.negated) {
+          for (VariableId v : lit.atom.Variables()) bound.insert(v);
+        }
+      }
+
+      // Join-order hint: the SIP visit order restricted to the positive
+      // literals, as a permutation of the planned-atom list the matcher
+      // builds (positive literals in textual order). First adornment
+      // processed wins; later ones rarely disagree and the hint is
+      // advisory anyway.
+      if (rule_has_hint.insert(i).second) {
+        auto [fingerprint, hint] = HintForRule(rule, order);
+        if (!hint.empty()) {
+          bool identity = true;
+          for (std::size_t j = 0; j < hint.size(); ++j) {
+            if (hint[j] != j) identity = false;
+          }
+          if (!identity) {
+            std::string positions;
+            for (std::size_t idx : hint) {
+              if (!positions.empty()) positions += ", ";
+              positions += std::to_string(idx);
+            }
+            Diagnostic d;
+            d.severity = Severity::kInfo;
+            d.pass = "binding";
+            d.code = "join-order";
+            d.message = "rule #" + std::to_string(i) + " for predicate '" +
+                        symbols.PredicateName(head_pred) +
+                        "': sideways information passing suggests visiting "
+                        "the positive body atoms in order [" +
+                        positions + "]";
+            d.note = "installed as a join hint by `eval --hints`";
+            d.rule_index = i;
+            d.span = SpanOfRule(program, source, i);
+            result->diagnostics.push_back(std::move(d));
+          }
+          result->join_hints.order.emplace(fingerprint, std::move(hint));
+        }
+      }
+    }
+  }
+
+  if (budget_hit) {
+    result->budget_exhausted = true;
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "binding";
+    d.code = "budget-exhausted";
+    d.message = "adornment propagation stopped after " +
+                std::to_string(seen.size()) +
+                " adornments (budget " + std::to_string(options.budget) +
+                "); further unbindable predicates may be unreported";
+    d.note = "raise --budget to propagate every binding pattern";
+    result->diagnostics.push_back(std::move(d));
+  }
+}
+
+}  // namespace datalog

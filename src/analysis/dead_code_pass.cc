@@ -1,0 +1,91 @@
+#include <set>
+#include <string>
+
+#include "analysis/passes.h"
+#include "ast/pretty_print.h"
+#include "core/relevance.h"
+
+namespace datalog {
+
+// Pass 3: dead code. With a query, the relevance restriction of
+// core/relevance decides exactly which rules can contribute to the answer
+// (the graph-reachability complement to the paper's semantic minimizer);
+// rules outside that set are dead for this query. Without a query the
+// pass degrades to the purely syntactic "defined but never used" check.
+void RunDeadCodePass(const Program& program, const AnalyzerOptions& options,
+                     const ProgramSourceMap* source, AnalysisResult* result) {
+  if (program.NumRules() == 0) return;
+  const SymbolTable& symbols = *program.symbols();
+
+  if (options.query.has_value()) {
+    const PredicateId query_pred = options.query->predicate();
+    if (!program.IsIntentional(query_pred)) {
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.pass = "dead_code";
+      d.code = "extensional-query";
+      d.message = "query predicate '" + symbols.PredicateName(query_pred) +
+                  "' is extensional: no rule derives it, so every rule of "
+                  "the program is irrelevant to the query";
+      result->diagnostics.push_back(std::move(d));
+      return;
+    }
+    std::set<PredicateId> relevant = RelevantPredicates(program, query_pred);
+    const auto& rules = program.rules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (relevant.contains(rules[i].head().predicate())) continue;
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.pass = "dead_code";
+      d.code = "irrelevant-rule";
+      d.message = "rule #" + std::to_string(i) + " for predicate '" +
+                  symbols.PredicateName(rules[i].head().predicate()) +
+                  "' cannot contribute to the query '" +
+                  ToString(*options.query, symbols) +
+                  "': " + ToString(rules[i], symbols);
+      d.note = "the relevance restriction (Section III) removes it without "
+               "changing the query answer";
+      d.rule_index = i;
+      d.span = SpanOfRule(program, source, i);
+      result->diagnostics.push_back(std::move(d));
+    }
+    return;
+  }
+
+  // No query: flag intentional predicates no rule body ever reads. They
+  // are only informational -- the program may be a library whose every
+  // predicate is a potential query target.
+  std::set<PredicateId> read;
+  for (const Rule& rule : program.rules()) {
+    for (const Literal& lit : rule.body()) {
+      read.insert(lit.atom.predicate());
+    }
+  }
+  for (PredicateId pred : program.IntentionalPredicates()) {
+    if (read.contains(pred)) continue;
+    const auto& rules = program.rules();
+    std::size_t first_rule = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i].head().predicate() == pred) {
+        first_rule = i;
+        break;
+      }
+    }
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "dead_code";
+    d.code = "unused-predicate";
+    d.message = "predicate '" + symbols.PredicateName(pred) +
+                "' is defined but never used by another rule";
+    d.note = "harmless if it is a query target; add a `?- ...` query to "
+             "let the analyzer check relevance precisely";
+    if (first_rule != static_cast<std::size_t>(-1)) {
+      d.rule_index = first_rule;
+      d.span = SpanOfLiteral(program, source, first_rule,
+                             /*body_pos=*/static_cast<std::size_t>(-1));
+    }
+    result->diagnostics.push_back(std::move(d));
+  }
+}
+
+}  // namespace datalog

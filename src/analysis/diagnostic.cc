@@ -1,0 +1,142 @@
+#include "analysis/diagnostic.h"
+
+#include "util/string_util.h"
+
+namespace datalog {
+namespace {
+
+void AppendSpanJson(std::string& out, const SourceSpan& span) {
+  out += "\"line\": " + std::to_string(span.line);
+  out += ", \"col\": " + std::to_string(span.col);
+  out += ", \"endLine\": " + std::to_string(span.end_line);
+  out += ", \"endCol\": " + std::to_string(span.end_col);
+}
+
+}  // namespace
+
+std::string_view ToString(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToText() const {
+  std::string out;
+  if (span.valid()) {
+    out += span.ToString();
+    out += ": ";
+  }
+  out += ToString(severity);
+  out += ": [";
+  out += pass;
+  out += '/';
+  out += code;
+  out += "] ";
+  out += message;
+  if (!note.empty()) {
+    out += "\n  note: ";
+    out += note;
+  }
+  return out;
+}
+
+Status Diagnostic::ToStatus() const {
+  return Status::InvalidArgument(ToText());
+}
+
+DiagnosticCounts CountBySeverity(const std::vector<Diagnostic>& diagnostics) {
+  DiagnosticCounts counts;
+  for (const Diagnostic& d : diagnostics) {
+    switch (d.severity) {
+      case Severity::kError: ++counts.errors; break;
+      case Severity::kWarning: ++counts.warnings; break;
+      case Severity::kInfo: ++counts.infos; break;
+    }
+  }
+  return counts;
+}
+
+std::string DiagnosticsToText(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToText();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view file, bool budget_exhausted) {
+  std::string out = "{\"version\": 1, \"file\": \"";
+  out += JsonEscape(file);
+  out += "\",\n \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"severity\": \"";
+    out += ToString(d.severity);
+    out += "\", \"pass\": \"" + JsonEscape(d.pass) + "\"";
+    out += ", \"code\": \"" + JsonEscape(d.code) + "\"";
+    out += ", ";
+    AppendSpanJson(out, d.span);
+    if (d.rule_index != Diagnostic::kNoRule) {
+      out += ", \"ruleIndex\": " + std::to_string(d.rule_index);
+    }
+    out += ", \"message\": \"" + JsonEscape(d.message) + "\"";
+    if (!d.note.empty()) {
+      out += ", \"note\": \"" + JsonEscape(d.note) + "\"";
+    }
+    out += "}";
+  }
+  DiagnosticCounts counts = CountBySeverity(diagnostics);
+  out += "\n ],\n \"summary\": {\"errors\": " + std::to_string(counts.errors);
+  out += ", \"warnings\": " + std::to_string(counts.warnings);
+  out += ", \"infos\": " + std::to_string(counts.infos);
+  out += ", \"budgetExhausted\": ";
+  out += budget_exhausted ? "true" : "false";
+  out += "}}\n";
+  return out;
+}
+
+std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diagnostics,
+                               std::string_view file) {
+  std::string out =
+      "{\"version\": \"2.1.0\", "
+      "\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      " \"runs\": [{\"tool\": {\"driver\": {\"name\": \"datalog-check\", "
+      "\"rules\": []}},\n  \"results\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) out += ",";
+    first = false;
+    // SARIF has no "info" result level; map it to "note".
+    std::string_view level =
+        d.severity == Severity::kInfo ? "note" : ToString(d.severity);
+    out += "\n   {\"ruleId\": \"" + JsonEscape(d.pass) + "/" +
+           JsonEscape(d.code) + "\"";
+    out += ", \"level\": \"";
+    out += level;
+    out += "\", \"message\": {\"text\": \"" + JsonEscape(d.message);
+    if (!d.note.empty()) out += " (note: " + JsonEscape(d.note) + ")";
+    out += "\"}";
+    out += ", \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           JsonEscape(file) + "\"}";
+    if (d.span.valid()) {
+      out += ", \"region\": {\"startLine\": " + std::to_string(d.span.line);
+      out += ", \"startColumn\": " + std::to_string(d.span.col);
+      out += ", \"endLine\": " + std::to_string(d.span.end_line);
+      out += ", \"endColumn\": " + std::to_string(d.span.end_col);
+      out += "}";
+    }
+    out += "}}]}";
+  }
+  out += "\n  ]}]}\n";
+  return out;
+}
+
+}  // namespace datalog

@@ -1,0 +1,82 @@
+#ifndef DATALOG_ANALYSIS_DIAGNOSTIC_H_
+#define DATALOG_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/source_span.h"
+#include "util/status.h"
+
+namespace datalog {
+
+/// How serious a diagnostic is. Errors make the program unsuitable for
+/// evaluation (unsafe rules, unstratifiable negation); warnings flag
+/// provable inefficiencies (redundant atoms/rules, dead code, unbindable
+/// adornments); infos carry structural findings (recursion class, SCC
+/// shape) that are useful but never actionable by themselves.
+enum class Severity {
+  kError,
+  kWarning,
+  kInfo,
+};
+
+std::string_view ToString(Severity severity);
+
+/// One finding of the static analyzer (src/analysis): which pass produced
+/// it, how severe it is, a stable machine-readable code, the source span
+/// it anchors to, and an optional fix-it note. Also the carrier for the
+/// upgraded ValidateRule/ValidateProgram messages, so the old Status
+/// surface and the new analyzer agree on wording.
+struct Diagnostic {
+  static constexpr std::size_t kNoRule = static_cast<std::size_t>(-1);
+
+  Severity severity = Severity::kError;
+  std::string pass;     // e.g. "safety", "stratification", "redundancy"
+  std::string code;     // stable slug, e.g. "unsafe-rule", "negative-cycle"
+  std::string message;  // human-readable, self-contained
+  SourceSpan span;      // invalid when the program was built in memory
+  std::string note;     // optional fix-it / explanation, may be empty
+  std::size_t rule_index = kNoRule;  // index into Program::rules(), if any
+
+  /// "3:5: error: [safety/unsafe-rule] message" (+ "\n  note: ..." when a
+  /// note is present). The span prefix is omitted when unknown.
+  std::string ToText() const;
+
+  /// An InvalidArgument Status carrying ToText()-style content, used to
+  /// keep the legacy Validate* surface intact.
+  Status ToStatus() const;
+};
+
+/// Totals per severity, in the order error/warning/info.
+struct DiagnosticCounts {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+};
+
+DiagnosticCounts CountBySeverity(const std::vector<Diagnostic>& diagnostics);
+
+/// One line per diagnostic, ToText()-formatted.
+std::string DiagnosticsToText(const std::vector<Diagnostic>& diagnostics);
+
+/// Machine-readable report:
+///   {"version": 1, "file": "...", "diagnostics": [{"severity": "error",
+///    "pass": "...", "code": "...", "message": "...", "line": 3, "col": 5,
+///    "endLine": 3, "endCol": 8, "ruleIndex": 2, "note": "..."}, ...],
+///    "summary": {"errors": N, "warnings": N, "infos": N,
+///                "budgetExhausted": bool}}
+/// Spans of unknown location render as line 0. `file` is whatever label
+/// the caller passes (a path, or "-" for stdin).
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view file, bool budget_exhausted);
+
+/// A minimal SARIF 2.1.0 document (one run, one result per diagnostic)
+/// accepted by code-scanning UIs.
+std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diagnostics,
+                               std::string_view file);
+
+}  // namespace datalog
+
+#endif  // DATALOG_ANALYSIS_DIAGNOSTIC_H_

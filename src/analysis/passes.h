@@ -1,0 +1,42 @@
+#ifndef DATALOG_ANALYSIS_PASSES_H_
+#define DATALOG_ANALYSIS_PASSES_H_
+
+#include "analysis/analyzer.h"
+
+namespace datalog {
+
+// The individual analyzer passes (internal interface; call Analyze()
+// instead). Each appends its diagnostics to `result->diagnostics` and may
+// set `result->budget_exhausted`. All take the same shape so the driver
+// can table them; `source` may be null.
+
+void RunSafetyPass(const Program& program, const AnalyzerOptions& options,
+                   const ProgramSourceMap* source, AnalysisResult* result);
+
+void RunStratificationPass(const Program& program,
+                           const AnalyzerOptions& options,
+                           const ProgramSourceMap* source,
+                           AnalysisResult* result);
+
+void RunDeadCodePass(const Program& program, const AnalyzerOptions& options,
+                     const ProgramSourceMap* source, AnalysisResult* result);
+
+void RunRedundancyPass(const Program& program, const AnalyzerOptions& options,
+                       const ProgramSourceMap* source, AnalysisResult* result);
+
+void RunBindingPass(const Program& program, const AnalyzerOptions& options,
+                    const ProgramSourceMap* source, AnalysisResult* result);
+
+/// Shared helper: the span of body literal `body_pos` of rule
+/// `rule_index`, preferring the source map, then the atom's own span,
+/// then the rule's. A `body_pos` of npos addresses the head atom.
+SourceSpan SpanOfLiteral(const Program& program, const ProgramSourceMap* source,
+                         std::size_t rule_index, std::size_t body_pos);
+
+/// Shared helper: the span of the whole rule `rule_index`.
+SourceSpan SpanOfRule(const Program& program, const ProgramSourceMap* source,
+                      std::size_t rule_index);
+
+}  // namespace datalog
+
+#endif  // DATALOG_ANALYSIS_PASSES_H_

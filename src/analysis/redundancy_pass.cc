@@ -1,0 +1,125 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.h"
+#include "ast/pretty_print.h"
+#include "ast/validate.h"
+#include "core/minimize.h"
+
+namespace datalog {
+namespace {
+
+/// The body position of the first not-yet-consumed positive literal of
+/// `rule` equal to `atom`, or npos. Deletions are reported atom-by-atom,
+/// so duplicate atoms are matched left to right.
+std::size_t FindAtomPosition(const Rule& rule, const Atom& atom,
+                             std::set<std::size_t>* consumed) {
+  const auto& body = rule.body();
+  for (std::size_t j = 0; j < body.size(); ++j) {
+    if (!body[j].negated && body[j].atom == atom && !consumed->contains(j)) {
+      consumed->insert(j);
+      return j;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+// Pass 4: report-only minimization. Runs the Fig. 2 algorithm (phase 1:
+// redundant atoms, phase 2: redundant rules, both under uniform
+// equivalence) against the positive rules and reports what IT WOULD
+// delete, without touching the program. Every warning is a theorem: the
+// deletion preserves the program's meaning on every database (Section
+// VII). The chase inside each containment test makes this the expensive
+// pass, so it spends the AnalyzerOptions::budget one containment test at
+// a time and stops early -- sound but possibly incomplete -- when the
+// budget runs out.
+void RunRedundancyPass(const Program& program, const AnalyzerOptions& options,
+                       const ProgramSourceMap* source,
+                       AnalysisResult* result) {
+  if (program.NumRules() == 0) return;
+  // Unsafe rules make uniform containment meaningless; the safety pass
+  // already reported them as errors.
+  if (!ValidateProgram(program).ok()) return;
+  const SymbolTable& symbols = *program.symbols();
+
+  // The minimizer handles positive rules only (the stratified extension
+  // keeps negation rules verbatim); analyze the positive subset and keep
+  // a map back to original indices.
+  Program positive(program.symbols());
+  std::vector<std::size_t> original_index;
+  const auto& rules = program.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].IsPositive()) {
+      positive.AddRule(rules[i]);
+      original_index.push_back(i);
+    }
+  }
+  if (positive.NumRules() == 0) return;
+
+  MinimizeOptions minimize_options;
+  minimize_options.max_containment_tests = options.budget;
+  MinimizeReport report;
+  auto minimized = MinimizeProgram(positive, &report, minimize_options);
+  if (!minimized.ok()) return;
+
+  std::vector<std::set<std::size_t>> consumed(rules.size());
+  for (const MinimizeReport::RemovedAtom& removed : report.removed_atoms) {
+    // Phase 1 never reorders rules, so the subset index is stable.
+    const std::size_t i = original_index[removed.rule_index];
+    const std::size_t body_pos =
+        FindAtomPosition(rules[i], removed.atom, &consumed[i]);
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.pass = "redundancy";
+    d.code = "redundant-atom";
+    d.message = "atom '" + ToString(removed.atom, symbols) + "' in rule #" +
+                std::to_string(i) + " for predicate '" +
+                symbols.PredicateName(rules[i].head().predicate()) +
+                "' is redundant under uniform equivalence";
+    d.note = "deleting it preserves the program's meaning on every "
+             "database (Fig. 1/2); `datalog-opt minimize` applies the "
+             "deletion";
+    d.rule_index = i;
+    d.span = body_pos != static_cast<std::size_t>(-1)
+                 ? SpanOfLiteral(program, source, i, body_pos)
+                 : SpanOfRule(program, source, i);
+    result->diagnostics.push_back(std::move(d));
+  }
+
+  for (std::size_t k = 0; k < report.removed_rule_indices.size(); ++k) {
+    const std::size_t i = original_index[report.removed_rule_indices[k]];
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.pass = "redundancy";
+    d.code = "redundant-rule";
+    d.message = "rule #" + std::to_string(i) + " for predicate '" +
+                symbols.PredicateName(rules[i].head().predicate()) +
+                "' is redundant: the remaining rules uniformly derive it: " +
+                ToString(rules[i], symbols);
+    d.note = "phase 2 of the Fig. 2 minimization deletes whole rules the "
+             "rest of the program subsumes";
+    d.rule_index = i;
+    d.span = SpanOfRule(program, source, i);
+    result->diagnostics.push_back(std::move(d));
+  }
+
+  if (report.budget_exhausted) {
+    result->budget_exhausted = true;
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "redundancy";
+    d.code = "budget-exhausted";
+    d.message = "minimization stopped after " +
+                std::to_string(report.containment_tests) +
+                " containment tests (budget " +
+                std::to_string(options.budget) +
+                "); further redundancies may be unreported";
+    d.note = "raise --budget to let the chase finish";
+    result->diagnostics.push_back(std::move(d));
+  }
+}
+
+}  // namespace datalog

@@ -1,0 +1,25 @@
+#include "analysis/passes.h"
+#include "ast/validate.h"
+
+namespace datalog {
+
+// Pass 1: range restriction / groundness (Section II), subsuming the
+// string-only ValidateProgram surface. The diagnostics come from the same
+// SafetyDiagnostics helper ValidateRule wraps, so the error wording and
+// the analyzer agree; here the full per-rule list is reported (ValidateRule
+// stops at the first) with exact token spans from the source map.
+void RunSafetyPass(const Program& program, const AnalyzerOptions& options,
+                   const ProgramSourceMap* source, AnalysisResult* result) {
+  (void)options;
+  const auto& rules = program.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const RuleSourceSpans* spans =
+        source != nullptr ? source->rule(i) : nullptr;
+    std::vector<Diagnostic> diagnostics =
+        SafetyDiagnostics(rules[i], *program.symbols(), i, spans);
+    result->diagnostics.insert(result->diagnostics.end(),
+                               diagnostics.begin(), diagnostics.end());
+  }
+}
+
+}  // namespace datalog

@@ -1,0 +1,147 @@
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.h"
+#include "ast/dependence_graph.h"
+
+namespace datalog {
+namespace {
+
+/// The index of the first rule whose head is `pred`, or npos.
+std::size_t FirstDefiningRule(const Program& program, PredicateId pred) {
+  const auto& rules = program.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].head().predicate() == pred) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Locates the negated body literal realizing the witness cycle's
+/// negative edge cycle[0] -> cycle[1]: a literal `not cycle[0](...)` in a
+/// rule whose head is cycle[1] (== cycle[0] for a self-loop). Returns
+/// (rule index, body position) or (npos, npos).
+std::pair<std::size_t, std::size_t> FindNegativeEdgeLiteral(
+    const Program& program, const std::vector<PredicateId>& cycle) {
+  const PredicateId from = cycle[0];
+  const PredicateId to = cycle.size() > 1 ? cycle[1] : cycle[0];
+  const auto& rules = program.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].head().predicate() != to) continue;
+    const auto& body = rules[i].body();
+    for (std::size_t j = 0; j < body.size(); ++j) {
+      if (body[j].negated && body[j].atom.predicate() == from) return {i, j};
+    }
+  }
+  return {static_cast<std::size_t>(-1), static_cast<std::size_t>(-1)};
+}
+
+}  // namespace
+
+// Pass 2: the dependence graph (Section III) viewed as a lint surface.
+// Reports an exact negative-cycle witness when the program is not
+// stratifiable, and structural infos otherwise: strata count, mutually
+// recursive components, and the linear/nonlinear classification that
+// decides which of the paper's Section V results apply.
+void RunStratificationPass(const Program& program,
+                           const AnalyzerOptions& options,
+                           const ProgramSourceMap* source,
+                           AnalysisResult* result) {
+  (void)options;
+  if (program.NumRules() == 0) return;
+  const SymbolTable& symbols = *program.symbols();
+  DependenceGraph graph(program);
+
+  bool has_negation = false;
+  for (const Rule& rule : program.rules()) {
+    for (const Literal& lit : rule.body()) {
+      if (lit.negated) has_negation = true;
+    }
+  }
+
+  auto strata = graph.Stratify();
+  if (!strata.ok()) {
+    std::vector<PredicateId> cycle = graph.NegativeCycleWitness();
+    std::string names;
+    for (PredicateId p : cycle) {
+      if (!names.empty()) names += " -> ";
+      names += symbols.PredicateName(p);
+    }
+    if (!cycle.empty()) names += " -> " + symbols.PredicateName(cycle[0]);
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = "stratification";
+    d.code = "negative-cycle";
+    d.message =
+        "program is not stratifiable: the negation of '" +
+        (cycle.empty() ? std::string("?") : symbols.PredicateName(cycle[0])) +
+        "' lies on the recursive cycle " + names;
+    d.note = "no stratum ordering can evaluate '" +
+             (cycle.empty() ? std::string("?")
+                            : symbols.PredicateName(cycle[0])) +
+             "' before it is negated; break the cycle or drop the negation";
+    auto [rule_index, body_pos] = FindNegativeEdgeLiteral(program, cycle);
+    if (rule_index != static_cast<std::size_t>(-1)) {
+      d.rule_index = rule_index;
+      d.span = SpanOfLiteral(program, source, rule_index, body_pos);
+    }
+    result->diagnostics.push_back(std::move(d));
+    return;  // SCC infos below would describe an unevaluable program
+  }
+
+  if (has_negation) {
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "stratification";
+    d.code = "strata";
+    d.message = "program stratifies into " +
+                std::to_string(strata.value().size()) + " strata";
+    result->diagnostics.push_back(std::move(d));
+  }
+
+  // Group the recursive intentional predicates by SCC.
+  std::map<int, std::vector<PredicateId>> components;
+  for (PredicateId p : program.IntentionalPredicates()) {
+    if (graph.IsPredicateRecursive(p)) {
+      components[graph.SccIndex(p)].push_back(p);
+    }
+  }
+  for (const auto& [scc, members] : components) {
+    (void)scc;
+    std::string names;
+    for (PredicateId p : members) {
+      if (!names.empty()) names += ", ";
+      names += "'" + symbols.PredicateName(p) + "'";
+    }
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "stratification";
+    d.code = "recursive-component";
+    d.message = members.size() == 1
+                    ? "predicate " + names + " is recursive"
+                    : "predicates " + names + " are mutually recursive";
+    const std::size_t rule_index = FirstDefiningRule(program, members[0]);
+    if (rule_index != static_cast<std::size_t>(-1)) {
+      d.rule_index = rule_index;
+      d.span = SpanOfLiteral(program, source, rule_index,
+                             /*body_pos=*/static_cast<std::size_t>(-1));
+    }
+    result->diagnostics.push_back(std::move(d));
+  }
+
+  if (!components.empty()) {
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "stratification";
+    d.code = graph.IsLinear(program) ? "linear" : "nonlinear";
+    d.message =
+        graph.IsLinear(program)
+            ? "the recursion is linear (at most one recursive atom per "
+              "body)"
+            : "the recursion is nonlinear (some body joins two atoms "
+              "mutually recursive with its head)";
+    result->diagnostics.push_back(std::move(d));
+  }
+}
+
+}  // namespace datalog

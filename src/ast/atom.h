@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "ast/source_span.h"
 #include "ast/symbol_table.h"
 #include "ast/term.h"
 
@@ -23,6 +24,11 @@ class Atom {
   const std::vector<Term>& args() const { return args_; }
   std::vector<Term>& mutable_args() { return args_; }
   int arity() const { return static_cast<int>(args_.size()); }
+
+  /// Where this atom came from in the source text (invalid for atoms built
+  /// programmatically). Ignored by equality, ordering, and hashing.
+  const SourceSpan& span() const { return span_; }
+  void set_span(const SourceSpan& span) { span_ = span; }
 
   /// True if every argument is a constant (the atom is a ground atom /
   /// fact, Section III).
@@ -52,6 +58,7 @@ class Atom {
  private:
   PredicateId predicate_;
   std::vector<Term> args_;
+  SourceSpan span_;
 };
 
 struct AtomHash {

@@ -166,6 +166,50 @@ bool DependenceGraph::MutuallyRecursive(PredicateId a, PredicateId b) const {
   return scc_[static_cast<std::size_t>(a)] == scc_[static_cast<std::size_t>(b)];
 }
 
+std::vector<PredicateId> DependenceGraph::NegativeCycleWitness() const {
+  for (int p = 0; p < num_preds_; ++p) {
+    for (int q : negative_edges_[static_cast<std::size_t>(p)]) {
+      if (scc_[static_cast<std::size_t>(p)] !=
+          scc_[static_cast<std::size_t>(q)]) {
+        continue;
+      }
+      if (p == q) return {p};
+      // Both endpoints share an SCC, so a path q -> ... -> p exists; BFS
+      // restricted to the SCC finds a shortest one.
+      std::vector<int> parent(static_cast<std::size_t>(num_preds_), -2);
+      parent[static_cast<std::size_t>(q)] = -1;
+      std::vector<int> frontier{q};
+      while (!frontier.empty() && parent[static_cast<std::size_t>(p)] == -2) {
+        std::vector<int> next;
+        for (int v : frontier) {
+          for (int w : adjacency_[static_cast<std::size_t>(v)]) {
+            if (scc_[static_cast<std::size_t>(w)] !=
+                    scc_[static_cast<std::size_t>(p)] ||
+                parent[static_cast<std::size_t>(w)] != -2) {
+              continue;
+            }
+            parent[static_cast<std::size_t>(w)] = v;
+            next.push_back(w);
+          }
+        }
+        frontier = std::move(next);
+      }
+      std::vector<PredicateId> path;
+      for (int v = p; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+        path.push_back(v);
+      }
+      // path is p, ..., q; reverse and rotate so the negative edge p -> q
+      // is the first edge of the cycle.
+      std::reverse(path.begin(), path.end());  // q, ..., p
+      std::vector<PredicateId> cycle;
+      cycle.push_back(p);
+      cycle.insert(cycle.end(), path.begin(), path.end() - 1);
+      return cycle;
+    }
+  }
+  return {};
+}
+
 Result<std::vector<std::vector<PredicateId>>> DependenceGraph::Stratify()
     const {
   // A program is stratifiable iff no negative edge stays inside an SCC.

@@ -44,6 +44,13 @@ class DependenceGraph {
   /// a == b with a self-loop).
   bool MutuallyRecursive(PredicateId a, PredicateId b) const;
 
+  /// When the program is not stratifiable, a witness cycle: predicates
+  /// c[0], c[1], ..., c[n-1] such that every consecutive pair (and the
+  /// closing pair c[n-1] -> c[0]) is an edge of the graph, and the edge
+  /// c[0] -> c[1] is negative. Empty when the program is stratifiable.
+  /// For a negative self-loop the witness is the single predicate.
+  std::vector<PredicateId> NegativeCycleWitness() const;
+
   /// Computes a stratification: predicates grouped into strata such that
   /// every positive edge stays within or climbs strata, and every negative
   /// edge strictly climbs. Fails with InvalidArgument if a negative edge

@@ -27,7 +27,13 @@ struct Token {
   TokenKind kind;
   std::string text;   // identifier or string payload
   std::int64_t value = 0;  // integer payload
-  int line = 0;
+  int line = 0;  // 1-based start line
+  int col = 0;   // 1-based start column
+  int end_col = 0;  // column one past the token's last character
+
+  /// The token's source region. Tokens never span lines (strings reject
+  /// embedded newlines), so end_line == line.
+  SourceSpan Span() const { return SourceSpan{line, col, line, end_col}; }
 };
 
 class Lexer {
@@ -59,31 +65,37 @@ class Lexer {
       } else if (c == '!') {
         tokens.push_back(Simple(TokenKind::kBang));
       } else if (c == '&') {
+        int col = Col();
         ++pos_;
         if (pos_ < text_.size() && text_[pos_] == '&') ++pos_;
-        tokens.push_back(Token{TokenKind::kAmp, "", 0, line_});
+        tokens.push_back(Make(TokenKind::kAmp, col));
       } else if (c == ':') {
         if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+          int col = Col();
           pos_ += 2;
-          tokens.push_back(Token{TokenKind::kColonDash, "", 0, line_});
+          tokens.push_back(Make(TokenKind::kColonDash, col));
         } else {
           return Error("expected ':-'");
         }
       } else if (c == '?') {
         if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+          int col = Col();
           pos_ += 2;
-          tokens.push_back(Token{TokenKind::kQueryDash, "", 0, line_});
+          tokens.push_back(Make(TokenKind::kQueryDash, col));
         } else {
           return Error("expected '?-'");
         }
       } else if (c == '-') {
         if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          int col = Col();
           pos_ += 2;
-          tokens.push_back(Token{TokenKind::kArrow, "", 0, line_});
+          tokens.push_back(Make(TokenKind::kArrow, col));
         } else if (pos_ + 1 < text_.size() &&
                    std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+          int col = Col();
           ++pos_;
           DATALOG_ASSIGN_OR_RETURN(Token t, LexInteger(/*negative=*/true));
+          t.col = col;
           tokens.push_back(t);
         } else {
           return Error("unexpected '-'");
@@ -92,17 +104,25 @@ class Lexer {
         return Error(std::string("unexpected character '") + c + "'");
       }
     }
-    tokens.push_back(Token{TokenKind::kEnd, "", 0, line_});
+    tokens.push_back(Make(TokenKind::kEnd, Col()));
     return tokens;
   }
 
  private:
+  /// 1-based column of the character at `pos_`.
+  int Col() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
+  Token Make(TokenKind kind, int col) const {
+    return Token{kind, "", 0, line_, col, Col()};
+  }
+
   void SkipWhitespaceAndComments() {
     while (pos_ < text_.size()) {
       char c = text_[pos_];
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '%' ||
@@ -115,23 +135,27 @@ class Lexer {
   }
 
   Token Simple(TokenKind kind) {
+    int col = Col();
     ++pos_;
-    return Token{kind, "", 0, line_};
+    return Make(kind, col);
   }
 
   Token LexIdent() {
     std::size_t start = pos_;
+    int col = Col();
     while (pos_ < text_.size() &&
            (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '_')) {
       ++pos_;
     }
-    return Token{TokenKind::kIdent, std::string(text_.substr(start, pos_ - start)),
-                 0, line_};
+    Token t = Make(TokenKind::kIdent, col);
+    t.text = std::string(text_.substr(start, pos_ - start));
+    return t;
   }
 
   Result<Token> LexInteger(bool negative) {
     std::size_t start = pos_;
+    int col = Col();
     while (pos_ < text_.size() &&
            std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
@@ -143,10 +167,13 @@ class Lexer {
     if (errno != 0 || end != digits.c_str() + digits.size()) {
       return Error("integer literal out of range: " + digits);
     }
-    return Token{TokenKind::kInteger, "", negative ? -v : v, line_};
+    Token t = Make(TokenKind::kInteger, col);
+    t.value = negative ? -v : v;
+    return t;
   }
 
   Result<Token> LexString(char quote) {
+    int col = Col();
     ++pos_;  // opening quote
     std::string out;
     while (pos_ < text_.size() && text_[pos_] != quote) {
@@ -155,16 +182,22 @@ class Lexer {
     }
     if (pos_ >= text_.size()) return Error("unterminated string literal");
     ++pos_;  // closing quote
-    return Token{TokenKind::kString, std::move(out), 0, line_};
+    Token t = Make(TokenKind::kString, col);
+    t.text = std::move(out);
+    return t;
   }
 
   Status Error(std::string message) const {
-    return Status::InvalidArgument("line " + std::to_string(line_) + ": " +
+    // "line L:C" keeps the historical "line L" prefix (older callers grep
+    // for it) while adding the column.
+    return Status::InvalidArgument("line " + std::to_string(line_) + ":" +
+                                   std::to_string(Col()) + ": " +
                                    std::move(message));
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
   int line_ = 1;
 };
 
@@ -175,26 +208,42 @@ class TokenParser {
       : tokens_(std::move(tokens)), symbols_(symbols) {}
 
   bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  bool AtQuery() const { return Peek().kind == TokenKind::kQueryDash; }
 
-  Result<Rule> ParseRuleOrFact() {
-    DATALOG_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+  /// Parses a rule or fact. When `source` is non-null, fills it with the
+  /// exact token spans of the rule, its atoms, and their arguments.
+  Result<Rule> ParseRuleOrFact(RuleSourceSpans* source = nullptr) {
+    const SourceSpan start = Peek().Span();
+    AtomSourceSpans head_spans;
+    DATALOG_ASSIGN_OR_RETURN(Atom head, ParseAtom(&head_spans));
+    if (source != nullptr) source->head = head_spans;
     if (Peek().kind == TokenKind::kPeriod) {
+      SourceSpan rule_span = SourceSpan::Join(start, Peek().Span());
       Advance();
-      return Rule(std::move(head), {});
+      Rule fact(std::move(head), {});
+      fact.set_span(rule_span);
+      if (source != nullptr) source->span = rule_span;
+      return fact;
     }
     DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kColonDash, "':-' or '.'"));
     std::vector<Literal> body;
     while (true) {
-      DATALOG_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      AtomSourceSpans literal_spans;
+      DATALOG_ASSIGN_OR_RETURN(Literal lit, ParseLiteral(&literal_spans));
       body.push_back(std::move(lit));
+      if (source != nullptr) source->body.push_back(std::move(literal_spans));
       if (Peek().kind == TokenKind::kComma || Peek().kind == TokenKind::kAmp) {
         Advance();
         continue;
       }
       break;
     }
+    SourceSpan rule_span = SourceSpan::Join(start, Peek().Span());
     DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
-    return Rule(std::move(head), std::move(body));
+    Rule rule(std::move(head), std::move(body));
+    rule.set_span(rule_span);
+    if (source != nullptr) source->span = rule_span;
+    return rule;
   }
 
   Result<Tgd> ParseTgd() {
@@ -241,33 +290,45 @@ class TokenParser {
     return atoms;
   }
 
-  Result<Literal> ParseLiteral() {
+  /// Parses a (possibly negated) body literal. The recorded span covers
+  /// the negation marker too, so diagnostics can point at `not p(x)` as a
+  /// whole.
+  Result<Literal> ParseLiteral(AtomSourceSpans* source = nullptr) {
     bool negated = false;
+    SourceSpan negation_span;
     if (Peek().kind == TokenKind::kBang) {
       negated = true;
+      negation_span = Peek().Span();
       Advance();
     } else if (Peek().kind == TokenKind::kIdent && Peek().text == "not") {
       // "not" followed by an atom is a negated literal; a bare ident "not"
       // followed by anything else would be a 0-ary predicate named "not",
       // which we reject for clarity.
       negated = true;
+      negation_span = Peek().Span();
       Advance();
     }
-    DATALOG_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    DATALOG_ASSIGN_OR_RETURN(Atom atom, ParseAtom(source));
+    if (negated && source != nullptr) {
+      source->span = SourceSpan::Join(negation_span, source->span);
+    }
     return Literal{std::move(atom), negated};
   }
 
-  Result<Atom> ParseAtom() {
+  Result<Atom> ParseAtom(AtomSourceSpans* source = nullptr) {
     if (Peek().kind != TokenKind::kIdent) {
       return ErrorHere("expected predicate name");
     }
     std::string name = Peek().text;
+    SourceSpan span = Peek().Span();
     Advance();
     std::vector<Term> args;
+    std::vector<SourceSpan> arg_spans;
     if (Peek().kind == TokenKind::kLParen) {
       Advance();
       if (Peek().kind != TokenKind::kRParen) {
         while (true) {
+          arg_spans.push_back(Peek().Span());
           DATALOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
           args.push_back(t);
           if (Peek().kind == TokenKind::kComma) {
@@ -277,12 +338,19 @@ class TokenParser {
           break;
         }
       }
+      span = SourceSpan::Join(span, Peek().Span());
       DATALOG_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
     }
     DATALOG_ASSIGN_OR_RETURN(
         PredicateId pred,
         symbols_->InternPredicate(name, static_cast<int>(args.size())));
-    return Atom(pred, std::move(args));
+    Atom atom(pred, std::move(args));
+    atom.set_span(span);
+    if (source != nullptr) {
+      source->span = span;
+      source->arg_spans = std::move(arg_spans);
+    }
+    return atom;
   }
 
   Result<Term> ParseTerm() {
@@ -320,8 +388,11 @@ class TokenParser {
   }
 
   Status ErrorHere(std::string message) const {
+    // "line L:C" keeps the historical "line L" prefix while reporting the
+    // exact column of the offending token.
     return Status::InvalidArgument("line " + std::to_string(Peek().line) +
-                                   ": " + std::move(message));
+                                   ":" + std::to_string(Peek().col) + ": " +
+                                   std::move(message));
   }
 
   std::vector<Token> tokens_;
@@ -347,6 +418,25 @@ Result<Program> Parser::ParseProgram(std::string_view text) {
     program.AddRule(std::move(rule));
   }
   return program;
+}
+
+Result<ParsedProgram> Parser::ParseProgramWithSource(std::string_view text) {
+  DATALOG_ASSIGN_OR_RETURN(TokenParser parser,
+                           MakeTokenParser(text, symbols_.get()));
+  ParsedProgram parsed(symbols_);
+  while (!parser.AtEnd()) {
+    if (parser.AtQuery()) {
+      DATALOG_ASSIGN_OR_RETURN(Atom query, parser.ParseQueryStatement());
+      parsed.query_spans.push_back(query.span());
+      parsed.queries.push_back(std::move(query));
+      continue;
+    }
+    RuleSourceSpans source;
+    DATALOG_ASSIGN_OR_RETURN(Rule rule, parser.ParseRuleOrFact(&source));
+    parsed.program.AddRule(std::move(rule));
+    parsed.source.rules.push_back(std::move(source));
+  }
+  return parsed;
 }
 
 Result<Rule> Parser::ParseRule(std::string_view text) {

@@ -8,6 +8,7 @@
 #include "ast/atom.h"
 #include "ast/program.h"
 #include "ast/rule.h"
+#include "ast/source_span.h"
 #include "ast/tgd.h"
 #include "util/result.h"
 
@@ -30,6 +31,21 @@ namespace datalog {
 /// notation, where G(x, y, 3, 10) has variables x, y and constants 3, 10.
 /// Negated body atoms are written `not A(x)` or `!A(x)` and are accepted by
 /// the evaluation engine only (stratified negation).
+/// A parsed program together with its fine-grained source locations and
+/// any inline queries (`?- atom.` statements). The source map is
+/// positional (rules[i] describes program.rules()[i]); transforms that
+/// reorder rules invalidate it. Inline queries are what `datalog check`
+/// uses to drive the query-directed analysis passes.
+struct ParsedProgram {
+  Program program;
+  ProgramSourceMap source;
+  std::vector<Atom> queries;
+  std::vector<SourceSpan> query_spans;  // parallel to `queries`
+
+  explicit ParsedProgram(std::shared_ptr<SymbolTable> symbols)
+      : program(std::move(symbols)) {}
+};
+
 class Parser {
  public:
   /// The parser interns names into `symbols`; callers that parse several
@@ -41,6 +57,12 @@ class Parser {
   /// Parses a whole program (sequence of rules and facts). Facts are
   /// represented as rules with empty bodies.
   Result<Program> ParseProgram(std::string_view text);
+
+  /// Like ParseProgram, but additionally accepts interleaved query
+  /// statements (`?- atom.`) and returns a per-rule source map with exact
+  /// token spans for every atom and argument. The map is what the static
+  /// analyzer (src/analysis) uses to report `line:col` diagnostics.
+  Result<ParsedProgram> ParseProgramWithSource(std::string_view text);
 
   /// Parses a single rule or fact (with trailing '.').
   Result<Rule> ParseRule(std::string_view text);

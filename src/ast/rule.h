@@ -25,6 +25,11 @@ class Rule {
   const std::vector<Literal>& body() const { return body_; }
   std::vector<Literal>& mutable_body() { return body_; }
 
+  /// Where this rule came from in the source text (invalid for rules built
+  /// programmatically). Ignored by equality.
+  const SourceSpan& span() const { return span_; }
+  void set_span(const SourceSpan& span) { span_ = span; }
+
   /// True if the body is empty (the rule is a ground fact).
   bool IsFact() const { return body_.empty(); }
 
@@ -57,6 +62,7 @@ class Rule {
  private:
   Atom head_;
   std::vector<Literal> body_;
+  SourceSpan span_;
 };
 
 }  // namespace datalog

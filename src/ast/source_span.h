@@ -1,0 +1,94 @@
+#ifndef DATALOG_AST_SOURCE_SPAN_H_
+#define DATALOG_AST_SOURCE_SPAN_H_
+
+#include <string>
+#include <vector>
+
+namespace datalog {
+
+/// A half-open region of the source text, in 1-based lines and columns.
+/// A default-constructed span (line 0) means "no source location": the
+/// AST node was built programmatically rather than parsed. Spans are
+/// carried alongside the AST for diagnostics only; they never participate
+/// in equality, ordering, or hashing of AST nodes.
+struct SourceSpan {
+  int line = 0;      // 1-based start line; 0 = unknown
+  int col = 0;       // 1-based start column
+  int end_line = 0;  // line of the last character
+  int end_col = 0;   // column one past the last character
+
+  bool valid() const { return line > 0; }
+
+  static SourceSpan Point(int line, int col) {
+    return SourceSpan{line, col, line, col + 1};
+  }
+
+  /// The smallest span covering both `a` and `b` (invalid inputs are
+  /// ignored; two invalid spans join to an invalid span).
+  static SourceSpan Join(const SourceSpan& a, const SourceSpan& b) {
+    if (!a.valid()) return b;
+    if (!b.valid()) return a;
+    SourceSpan out = a;
+    if (b.line < out.line || (b.line == out.line && b.col < out.col)) {
+      out.line = b.line;
+      out.col = b.col;
+    }
+    if (b.end_line > out.end_line ||
+        (b.end_line == out.end_line && b.end_col > out.end_col)) {
+      out.end_line = b.end_line;
+      out.end_col = b.end_col;
+    }
+    return out;
+  }
+
+  /// "3:5" for a point-like span, "3:5-3:12" otherwise, "?" when unknown.
+  std::string ToString() const {
+    if (!valid()) return "?";
+    std::string out = std::to_string(line) + ":" + std::to_string(col);
+    if (end_line != line || end_col > col + 1) {
+      out += "-" + std::to_string(end_line) + ":" + std::to_string(end_col);
+    }
+    return out;
+  }
+
+  friend bool operator==(const SourceSpan& a, const SourceSpan& b) {
+    return a.line == b.line && a.col == b.col && a.end_line == b.end_line &&
+           a.end_col == b.end_col;
+  }
+  friend bool operator!=(const SourceSpan& a, const SourceSpan& b) {
+    return !(a == b);
+  }
+};
+
+/// Fine-grained source locations for one parsed atom: the atom itself and
+/// each argument token. Kept OUTSIDE the Atom value type (which carries
+/// only its own span) so that copying atoms in the optimizer's inner
+/// loops stays allocation-free.
+struct AtomSourceSpans {
+  SourceSpan span;
+  std::vector<SourceSpan> arg_spans;  // parallel to Atom::args()
+};
+
+/// Source locations for one parsed rule.
+struct RuleSourceSpans {
+  SourceSpan span;
+  AtomSourceSpans head;
+  std::vector<AtomSourceSpans> body;  // parallel to Rule::body()
+};
+
+/// Per-rule source locations for a parsed program, parallel to
+/// Program::rules(). Produced by Parser::ParseProgramWithSource and
+/// consumed by the static analyzer (src/analysis) to attach exact token
+/// spans to diagnostics. The map is positional: program transforms that
+/// reorder or rewrite rules invalidate it.
+struct ProgramSourceMap {
+  std::vector<RuleSourceSpans> rules;
+
+  const RuleSourceSpans* rule(std::size_t index) const {
+    return index < rules.size() ? &rules[index] : nullptr;
+  }
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_AST_SOURCE_SPAN_H_

@@ -1,16 +1,33 @@
 #ifndef DATALOG_AST_VALIDATE_H_
 #define DATALOG_AST_VALIDATE_H_
 
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostic.h"
 #include "ast/program.h"
+#include "ast/source_span.h"
 #include "util/status.h"
 
 namespace datalog {
 
+/// Structured safety diagnostics for one rule: the paper's well-formedness
+/// assumptions from Section II (every head variable appears in a positive
+/// body literal; a rule with an empty body has a ground head), extended to
+/// negation in the usual way (every variable of a negated literal must be
+/// bound positively). When `spans` is provided (from ParseProgramWithSource)
+/// each diagnostic points at the exact offending variable token; otherwise
+/// spans fall back to whatever the rule itself carries.
+std::vector<Diagnostic> SafetyDiagnostics(
+    const Rule& rule, const SymbolTable& symbols,
+    std::size_t rule_index = Diagnostic::kNoRule,
+    const RuleSourceSpans* spans = nullptr);
+
 /// Checks the paper's well-formedness assumptions for a single rule
-/// (Section II): every head variable appears in the (positive) body, and a
-/// rule with an empty body has a ground head. With negation, every variable
-/// of a negated literal must appear in a positive literal.
-Status ValidateRule(const Rule& rule, const SymbolTable& symbols);
+/// (Section II). Returns the first safety diagnostic as an InvalidArgument
+/// Status naming the rule (and its index when known), or OK.
+Status ValidateRule(const Rule& rule, const SymbolTable& symbols,
+                    std::size_t rule_index = Diagnostic::kNoRule);
 
 /// Validates every rule of the program.
 Status ValidateProgram(const Program& program);

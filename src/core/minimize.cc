@@ -33,7 +33,8 @@ std::vector<std::size_t> ConsiderationOrder(std::size_t n,
 /// r-hat subseteq^u r). Mutates the rule in place.
 Result<MinimizeReport> MinimizeRuleAtoms(Program* program,
                                          std::size_t rule_index,
-                                         const MinimizeOptions& options) {
+                                         const MinimizeOptions& options,
+                                         std::size_t* remaining_tests) {
   MinimizeReport report;
   TraceSpan span("minimize/rule_atoms");
   span.Note("rule", rule_index);
@@ -58,6 +59,13 @@ Result<MinimizeReport> MinimizeRuleAtoms(Program* program,
     Rule candidate = rule.WithoutBodyLiteral(current_pos);
     if (!candidate.IsSafe()) continue;  // deletion would orphan a head variable
 
+    if (remaining_tests != nullptr) {
+      if (*remaining_tests == 0) {
+        report.budget_exhausted = true;
+        break;
+      }
+      --*remaining_tests;
+    }
     ++report.containment_tests;
     DATALOG_ASSIGN_OR_RETURN(bool redundant,
                              UniformlyContainsRule(*program, candidate));
@@ -87,8 +95,11 @@ Result<Rule> MinimizeRule(const Rule& rule,
   Program single(std::move(symbols));
   single.AddRule(rule);
   DATALOG_RETURN_IF_ERROR(ValidatePositiveProgram(single));
+  std::size_t remaining = options.max_containment_tests;
+  std::size_t* budget = options.max_containment_tests == 0 ? nullptr
+                                                           : &remaining;
   DATALOG_ASSIGN_OR_RETURN(MinimizeReport r,
-                           MinimizeRuleAtoms(&single, 0, options));
+                           MinimizeRuleAtoms(&single, 0, options, budget));
   if (report != nullptr) report->Add(r);
   return single.rules()[0];
 }
@@ -142,14 +153,18 @@ Result<Program> MinimizeProgram(const Program& program,
   span.Note("rules", program.NumRules());
   Program current = program;
   MinimizeReport total;
+  std::size_t remaining = options.max_containment_tests;
+  std::size_t* budget = options.max_containment_tests == 0 ? nullptr
+                                                           : &remaining;
 
   // Phase 1 (Fig. 2, first loop): remove redundant atoms from every rule.
   // This must complete before any rule is deleted; Theorem 2's proof
   // depends on rules keeping their bodies intact until phase 2.
   for (std::size_t i = 0; i < current.NumRules(); ++i) {
     DATALOG_ASSIGN_OR_RETURN(MinimizeReport r,
-                             MinimizeRuleAtoms(&current, i, options));
+                             MinimizeRuleAtoms(&current, i, options, budget));
     total.Add(r);
+    if (total.budget_exhausted) break;
   }
 
   // Phase 2 (Fig. 2, second loop): remove redundant rules, each considered
@@ -157,6 +172,14 @@ Result<Program> MinimizeProgram(const Program& program,
   std::vector<bool> alive(current.NumRules(), true);
   for (std::size_t original_index :
        ConsiderationOrder(current.NumRules(), options, /*salt=*/104729)) {
+    if (total.budget_exhausted) break;
+    if (budget != nullptr) {
+      if (*budget == 0) {
+        total.budget_exhausted = true;
+        break;
+      }
+      --*budget;
+    }
     // Current index of this rule = count of alive rules before it.
     std::size_t current_index = 0;
     for (std::size_t j = 0; j < original_index; ++j) {
@@ -173,6 +196,7 @@ Result<Program> MinimizeProgram(const Program& program,
     candidate_span.End();
     if (redundant) {
       total.removed_rules.push_back(rule);
+      total.removed_rule_indices.push_back(original_index);
       current = std::move(without);
       alive[original_index] = false;
       ++total.rules_removed;

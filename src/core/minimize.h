@@ -18,6 +18,15 @@ struct MinimizeOptions {
   /// order. The paper notes the final result may depend on this order
   /// (Section VII); the option exists to demonstrate that.
   std::optional<std::uint64_t> shuffle_seed;
+
+  /// Upper bound on uniform-containment tests for one minimization run
+  /// (0 = unlimited). Each test is a chase to fixpoint, so this is the
+  /// budget that keeps the analyzer's report-only minimization pass from
+  /// dominating `datalog check` on large recursive programs. When the
+  /// budget runs out the minimization stops early and reports
+  /// `budget_exhausted`; the partial result is still sound (every
+  /// committed deletion was proved redundant).
+  std::size_t max_containment_tests = 0;
 };
 
 /// What the minimizer removed. `removed_atoms`/`removed_rules` record the
@@ -35,6 +44,14 @@ struct MinimizeReport {
   std::size_t containment_tests = 0;
   std::vector<RemovedAtom> removed_atoms;
   std::vector<Rule> removed_rules;
+  /// Original program indices of `removed_rules` (parallel vector), which
+  /// the analyzer needs to anchor its redundant-rule diagnostics to source
+  /// spans. Unlike the at-deletion-time indices of `removed_atoms`, these
+  /// always refer to positions in the INPUT program.
+  std::vector<std::size_t> removed_rule_indices;
+  /// True when MinimizeOptions::max_containment_tests stopped the run
+  /// before every candidate deletion was considered.
+  bool budget_exhausted = false;
 
   void Add(const MinimizeReport& other) {
     atoms_removed += other.atoms_removed;
@@ -44,6 +61,10 @@ struct MinimizeReport {
                          other.removed_atoms.end());
     removed_rules.insert(removed_rules.end(), other.removed_rules.begin(),
                          other.removed_rules.end());
+    removed_rule_indices.insert(removed_rule_indices.end(),
+                                other.removed_rule_indices.begin(),
+                                other.removed_rule_indices.end());
+    budget_exhausted = budget_exhausted || other.budget_exhausted;
   }
 };
 

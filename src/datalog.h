@@ -19,6 +19,8 @@
 ///   datalog::Database db = edb;
 ///   datalog::EvaluateSemiNaive(minimized, &db).value();
 
+#include "analysis/analyzer.h"    // IWYU pragma: export
+#include "analysis/diagnostic.h"  // IWYU pragma: export
 #include "ast/atom.h"             // IWYU pragma: export
 #include "ast/dependence_graph.h" // IWYU pragma: export
 #include "ast/parser.h"           // IWYU pragma: export

@@ -49,6 +49,7 @@ void CompiledRule::BuildSchedules(const Database& full,
                                   const Database* delta) {
   greedy_ = GreedyJoinOrderingEnabled();
   use_index_ = IndexLookupsEnabled();
+  hints_version_ = JoinOrderHintsVersion();
   steps_.clear();
   var_slots_.clear();
   num_slots_ = 0;
@@ -166,7 +167,8 @@ void CompiledRule::BuildSchedules(const Database& full,
 bool CompiledRule::NeedsReplan(const Database& full,
                                const Database* delta) const {
   if (greedy_ != GreedyJoinOrderingEnabled() ||
-      use_index_ != IndexLookupsEnabled()) {
+      use_index_ != IndexLookupsEnabled() ||
+      hints_version_ != JoinOrderHintsVersion()) {
     return true;
   }
   if (!greedy_) return false;  // fixed textual order never changes

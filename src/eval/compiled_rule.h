@@ -365,6 +365,7 @@ class CompiledRule {
   bool has_rule_ = false;
   bool greedy_ = true;     // knob snapshot at plan time
   bool use_index_ = true;  // knob snapshot at plan time
+  std::uint64_t hints_version_ = 0;  // knob snapshot at plan time
   // True when every head/negated term is a constant or a bound slot, so
   // the batch executor can run without the unbound-variable throw path.
   bool batch_ok_ = false;

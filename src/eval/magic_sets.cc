@@ -23,17 +23,6 @@ struct AdornedIds {
   PredicateId magic;    // e.g. m_g_bf, arity = number of 'b's
 };
 
-std::string AdornmentFor(const Atom& atom,
-                         const std::set<VariableId>& bound) {
-  std::string adornment;
-  adornment.reserve(atom.args().size());
-  for (const Term& t : atom.args()) {
-    bool is_bound = t.is_constant() || bound.contains(t.var());
-    adornment.push_back(is_bound ? 'b' : 'f');
-  }
-  return adornment;
-}
-
 /// The terms of `atom` at the 'b' positions of `adornment`.
 std::vector<Term> BoundArgs(const Atom& atom, const std::string& adornment) {
   std::vector<Term> args;
@@ -45,9 +34,17 @@ std::vector<Term> BoundArgs(const Atom& atom, const std::string& adornment) {
 
 }  // namespace
 
-namespace {
+std::string AdornmentFor(const Atom& atom,
+                         const std::set<VariableId>& bound) {
+  std::string adornment;
+  adornment.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    bool is_bound = t.is_constant() || bound.contains(t.var());
+    adornment.push_back(is_bound ? 'b' : 'f');
+  }
+  return adornment;
+}
 
-/// The order in which a rule's body atoms are visited for adornment.
 std::vector<std::size_t> SipOrder(const Rule& rule,
                                   const std::set<VariableId>& initially_bound,
                                   SipStrategy strategy) {
@@ -83,8 +80,6 @@ std::vector<std::size_t> SipOrder(const Rule& rule,
   }
   return order;
 }
-
-}  // namespace
 
 std::string QueryAdornment(const Atom& query) {
   return AdornmentFor(query, /*bound=*/{});

@@ -1,7 +1,10 @@
 #ifndef DATALOG_EVAL_MAGIC_SETS_H_
 #define DATALOG_EVAL_MAGIC_SETS_H_
 
+#include <cstddef>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "ast/program.h"
 #include "util/result.h"
@@ -56,6 +59,18 @@ Result<MagicProgram> MagicSetsTransform(const Program& program,
 
 /// The 'b'/'f' adornment string the transformation derives for `query`.
 std::string QueryAdornment(const Atom& query);
+
+/// The order in which a rule's body atoms are visited for adornment under
+/// `strategy`, given the variables bound on entry (head variables at 'b'
+/// positions). Shared by the magic-sets rewrite and the binding analysis
+/// pass, so the analyzer's predictions match what the rewrite will do.
+std::vector<std::size_t> SipOrder(const Rule& rule,
+                                  const std::set<VariableId>& initially_bound,
+                                  SipStrategy strategy);
+
+/// The adornment of `atom` given the set of bound variables: 'b' for a
+/// constant or bound-variable argument, 'f' otherwise.
+std::string AdornmentFor(const Atom& atom, const std::set<VariableId>& bound);
 
 }  // namespace datalog
 

@@ -11,6 +11,8 @@ namespace {
 bool greedy_join_ordering_enabled = true;
 bool index_lookups_enabled = true;
 bool compiled_rule_plans_enabled = true;
+const JoinOrderHints* join_order_hints = nullptr;
+std::uint64_t join_order_hints_version = 0;
 }  // namespace
 
 void SetGreedyJoinOrdering(bool enabled) {
@@ -23,6 +25,21 @@ void SetCompiledRulePlans(bool enabled) {
   compiled_rule_plans_enabled = enabled;
 }
 bool CompiledRulePlansEnabled() { return compiled_rule_plans_enabled; }
+
+void SetJoinOrderHints(const JoinOrderHints* hints) {
+  join_order_hints = hints;
+  ++join_order_hints_version;
+}
+const JoinOrderHints* InstalledJoinOrderHints() { return join_order_hints; }
+std::uint64_t JoinOrderHintsVersion() { return join_order_hints_version; }
+
+std::uint64_t BodyFingerprint(const std::vector<PlannedAtom>& atoms) {
+  std::size_t seed = 0xda7a106u;
+  for (const PlannedAtom& planned : atoms) {
+    HashCombine(seed, std::hash<int>{}(planned.atom.predicate()));
+  }
+  return seed;
+}
 
 namespace {
 
@@ -293,6 +310,30 @@ std::vector<PlannedAtom> BuildDeltaPassAtoms(const Rule& rule,
 std::vector<PlannedAtom> PlanJoinOrder(const Database& full,
                                        const Database* delta,
                                        const std::vector<PlannedAtom>& atoms) {
+  // An installed hint overrides the greedy planner when it is a valid
+  // permutation of the body; anything malformed falls through, so hints
+  // affect join order only, never results.
+  if (join_order_hints != nullptr && !atoms.empty()) {
+    auto it = join_order_hints->order.find(BodyFingerprint(atoms));
+    if (it != join_order_hints->order.end() &&
+        it->second.size() == atoms.size()) {
+      std::vector<bool> seen(atoms.size(), false);
+      bool valid = true;
+      for (std::size_t idx : it->second) {
+        if (idx >= atoms.size() || seen[idx]) {
+          valid = false;
+          break;
+        }
+        seen[idx] = true;
+      }
+      if (valid) {
+        std::vector<PlannedAtom> order;
+        order.reserve(atoms.size());
+        for (std::size_t idx : it->second) order.push_back(atoms[idx]);
+        return order;
+      }
+    }
+  }
   if (!GreedyJoinOrderingEnabled()) return atoms;
   auto source_db = [&](AtomSource source) -> const Database& {
     return source == AtomSource::kDelta ? *delta : full;

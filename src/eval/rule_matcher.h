@@ -65,6 +65,37 @@ bool IndexLookupsEnabled();
 void SetCompiledRulePlans(bool enabled);
 bool CompiledRulePlansEnabled();
 
+/// Join-order hints produced by the analyzer's binding pass (see
+/// src/analysis/binding_pass.cc): for a body whose predicate-id sequence
+/// hashes to the key, the preferred visit order as a permutation of
+/// positions into the planned atom list. Keying by body fingerprint
+/// rather than rule index lets one hint table serve every engine and
+/// every (delta position, use_old) variant of a rule; two rules with the
+/// same predicate sequence share a hint, which is harmless because the
+/// hint was derived from that sequence alone.
+struct JoinOrderHints {
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> order;
+
+  bool empty() const { return order.empty(); }
+};
+
+/// The fingerprint `JoinOrderHints` keys on: a hash of the sequence of
+/// predicate ids of `atoms` (sources and argument patterns excluded).
+std::uint64_t BodyFingerprint(const std::vector<PlannedAtom>& atoms);
+
+/// Installs (or, with nullptr, clears) the process-wide hint table
+/// consulted by PlanJoinOrder. The pointed-to table must outlive the
+/// installation; like the other knobs above this is not thread-safe and
+/// intended for benchmarks and the CLI's --hints path. A malformed hint
+/// (wrong length, not a permutation) is ignored and the greedy planner
+/// runs as usual, so hints can never change results -- only join order.
+void SetJoinOrderHints(const JoinOrderHints* hints);
+const JoinOrderHints* InstalledJoinOrderHints();
+/// Bumped on every SetJoinOrderHints call; compiled plans snapshot it so
+/// CompiledRule::NeedsReplan notices a hint change (see
+/// eval/compiled_rule.h).
+std::uint64_t JoinOrderHintsVersion();
+
 class CompiledRuleCache;  // eval/compiled_rule.h
 
 /// Enumerates every binding that instantiates all `atoms` to facts of the

@@ -4,32 +4,10 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/string_util.h"
+
 namespace datalog {
 namespace {
-
-/// Minimal JSON string escaping (counter names and label values are
-/// library-chosen identifiers, but escape defensively).
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 MetricLabels SortedLabels(const MetricLabels& labels) {
   MetricLabels sorted = labels;

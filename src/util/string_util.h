@@ -14,6 +14,11 @@ std::string Join(const std::vector<std::string>& parts,
 /// True if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+/// Minimal JSON string escaping: quotes, backslashes, and control
+/// characters. Shared by the metrics exporter and the diagnostics
+/// renderers.
+std::string JsonEscape(std::string_view text);
+
 }  // namespace datalog
 
 #endif  // DATALOG_UTIL_STRING_UTIL_H_

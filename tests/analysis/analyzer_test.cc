@@ -1,0 +1,298 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ast/dependence_graph.h"
+#include "ast/parser.h"
+#include "eval/database.h"
+#include "eval/rule_matcher.h"
+#include "eval/seminaive.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/graph_gen.h"
+#include "workload/program_gen.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
+using testing::ParseQueryOrDie;
+
+std::size_t CountCode(const std::vector<Diagnostic>& diags,
+                      std::string_view code) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+TEST(AnalyzerTest, CleanProgramHasNoErrorsOrWarnings) {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols,
+                                      "path(x, z) :- edge(x, z).\n"
+                                      "path(x, z) :- path(x, y), edge(y, z).");
+  AnalysisResult result = Analyze(program);
+  EXPECT_FALSE(result.HasErrors());
+  DiagnosticCounts counts = CountBySeverity(result.diagnostics);
+  EXPECT_EQ(counts.errors, 0u);
+  EXPECT_EQ(counts.warnings, 0u);
+  EXPECT_FALSE(result.budget_exhausted);
+}
+
+TEST(AnalyzerTest, PassTogglesSelectWhichDiagnosticsAppear) {
+  auto symbols = MakeSymbols();
+  // Unsafe (head var y unbound) AND redundant (duplicated atom).
+  Program program = ParseProgramOrDie(symbols,
+                                      "g(x, y) :- a(x, z), a(x, z).");
+  AnalysisResult all = Analyze(program);
+  EXPECT_GE(CountCode(all.diagnostics, "unsafe-rule"), 1u);
+
+  AnalyzerOptions no_safety;
+  no_safety.safety = false;
+  AnalysisResult rest = Analyze(program, no_safety);
+  EXPECT_EQ(CountCode(rest.diagnostics, "unsafe-rule"), 0u);
+
+  AnalyzerOptions only_safety;
+  only_safety.stratification = only_safety.dead_code = only_safety.redundancy =
+      only_safety.binding = false;
+  AnalysisResult safety = Analyze(program, only_safety);
+  for (const Diagnostic& d : safety.diagnostics) {
+    EXPECT_EQ(d.pass, "safety") << d.ToText();
+  }
+}
+
+TEST(AnalyzerTest, RedundancySkippedWhileProgramIsInvalid) {
+  // The minimizer requires a safe positive program; with a safety error
+  // present the redundancy pass must not run (and not crash).
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols,
+                                      "g(x, y) :- a(x, z), a(x, z).");
+  AnalysisResult result = Analyze(program);
+  EXPECT_TRUE(result.HasErrors());
+  EXPECT_EQ(CountCode(result.diagnostics, "redundant-atom"), 0u);
+}
+
+TEST(AnalyzerTest, AnalyzeParsedAdoptsTheFirstQuery) {
+  Parser parser(MakeSymbols());
+  Result<ParsedProgram> parsed = parser.ParseProgramWithSource(
+      "path(x, z) :- edge(x, z).\n"
+      "island(x) :- sea(x).\n"
+      "?- path(1, w).");
+  ASSERT_TRUE(parsed.ok());
+  AnalysisResult result = AnalyzeParsed(*parsed);
+  EXPECT_EQ(CountCode(result.diagnostics, "irrelevant-rule"), 1u);
+  // Diagnostics carry exact token spans from the source map.
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == "irrelevant-rule") {
+      EXPECT_EQ(d.span.line, 2);
+      EXPECT_EQ(d.rule_index, 1u);
+    }
+  }
+}
+
+TEST(AnalyzerTest, ExplicitQueryOverridesTheParsedOne) {
+  Parser parser(MakeSymbols());
+  Result<ParsedProgram> parsed = parser.ParseProgramWithSource(
+      "path(x, z) :- edge(x, z).\n"
+      "island(x) :- sea(x).\n"
+      "?- path(1, w).");
+  ASSERT_TRUE(parsed.ok());
+  AnalyzerOptions options;
+  options.query = ParseQueryOrDie(parsed->program.symbols(), "?- island(3).");
+  AnalysisResult result = AnalyzeParsed(*parsed, options);
+  // Now the path rule is the irrelevant one.
+  ASSERT_EQ(CountCode(result.diagnostics, "irrelevant-rule"), 1u);
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == "irrelevant-rule") {
+      EXPECT_EQ(d.rule_index, 0u);
+    }
+  }
+}
+
+TEST(AnalyzerTest, ExtensionalQueryGetsItsOwnWarning) {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols, "p(x) :- e(x).");
+  AnalyzerOptions options;
+  options.query = ParseQueryOrDie(symbols, "?- e(1).");
+  AnalysisResult result = Analyze(program, options);
+  EXPECT_EQ(CountCode(result.diagnostics, "extensional-query"), 1u);
+  // The blanket warning subsumes per-rule irrelevance reports.
+  EXPECT_EQ(CountCode(result.diagnostics, "irrelevant-rule"), 0u);
+}
+
+TEST(AnalyzerTest, RedundancyBudgetStopsEarlyAndSaysSo) {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols,
+                                      "g(x, z) :- a(x, z).\n"
+                                      "g(x, z) :- g(x, y), g(y, z), g(y, z).");
+  AnalyzerOptions tight;
+  tight.budget = 1;  // one containment test, nowhere near enough
+  tight.binding = false;
+  AnalysisResult result = Analyze(program, tight);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_GE(CountCode(result.diagnostics, "budget-exhausted"), 1u);
+
+  AnalyzerOptions roomy;
+  roomy.budget = 0;  // unlimited
+  AnalysisResult full = Analyze(program, roomy);
+  EXPECT_FALSE(full.budget_exhausted);
+  EXPECT_EQ(CountCode(full.diagnostics, "redundant-atom"), 1u);
+}
+
+TEST(AnalyzerTest, PlantedRedundancyIsReportedWithoutMutatingTheProgram) {
+  // The generator plants provably redundant atoms and rules; the
+  // redundancy pass must report at least that many findings, while the
+  // program object itself stays untouched (the pass is report-only).
+  auto symbols = MakeSymbols();
+  PlantedProgramOptions options;
+  options.planted_atoms = 2;
+  options.planted_rules = 1;
+  options.seed = 7;
+  Result<PlantedProgram> planted = MakePlantedProgram(symbols, options);
+  ASSERT_TRUE(planted.ok()) << planted.status().ToString();
+  const Program copy = planted->program;
+
+  AnalyzerOptions analyzer_options;
+  analyzer_options.budget = 0;
+  AnalysisResult result = Analyze(planted->program, analyzer_options);
+  EXPECT_GE(CountCode(result.diagnostics, "redundant-atom") +
+                CountCode(result.diagnostics, "redundant-rule"),
+            planted->planted_atoms + planted->planted_rules);
+  EXPECT_EQ(planted->program, copy);
+}
+
+TEST(AnalyzerTest, DiagnosticsAreSortedBySourcePosition) {
+  Parser parser(MakeSymbols());
+  Result<ParsedProgram> parsed = parser.ParseProgramWithSource(
+      "fact(x).\n"
+      "g(x, y) :- a(x, z).\n");
+  ASSERT_TRUE(parsed.ok());
+  AnalysisResult result = AnalyzeParsed(*parsed);
+  int last_line = 0;
+  bool seen_invalid = false;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (!d.span.valid()) {
+      seen_invalid = true;
+      continue;
+    }
+    EXPECT_FALSE(seen_invalid) << "located diagnostic after spanless one";
+    EXPECT_GE(d.span.line, last_line);
+    last_line = d.span.line;
+  }
+}
+
+TEST(NegativeCycleWitnessTest, FindsACycleThroughTheNegativeEdge) {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols,
+                                      "p(x) :- e(x), not q(x).\n"
+                                      "q(x) :- r(x).\n"
+                                      "r(x) :- p(x).");
+  DependenceGraph graph(program);
+  ASSERT_FALSE(graph.Stratify().ok());
+  std::vector<PredicateId> cycle = graph.NegativeCycleWitness();
+  ASSERT_EQ(cycle.size(), 3u);
+  // The first edge of the cycle is the negative one: cycle[0] is the
+  // negated predicate, cycle[1] the head of the rule negating it, and the
+  // rest closes the loop back to cycle[0].
+  EXPECT_EQ(symbols->PredicateName(cycle[0]), "q");
+  EXPECT_EQ(symbols->PredicateName(cycle[1]), "p");
+  EXPECT_EQ(symbols->PredicateName(cycle[2]), "r");
+}
+
+TEST(NegativeCycleWitnessTest, EmptyOnStratifiablePrograms) {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols,
+                                      "p(x) :- e(x), not q(x).\n"
+                                      "q(x) :- r(x).");
+  DependenceGraph graph(program);
+  ASSERT_TRUE(graph.Stratify().ok());
+  EXPECT_TRUE(graph.NegativeCycleWitness().empty());
+}
+
+TEST(JoinOrderHintsTest, InstallBumpsVersionAndIsVisible) {
+  const std::uint64_t before = JoinOrderHintsVersion();
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(
+      symbols, "g(x, z) :- g(x, y), a(y, z).\ng(x, z) :- a(x, z).");
+  JoinOrderHints hints = StaticJoinHints(program);
+  SetJoinOrderHints(&hints);
+  EXPECT_EQ(InstalledJoinOrderHints(), &hints);
+  EXPECT_GT(JoinOrderHintsVersion(), before);
+  SetJoinOrderHints(nullptr);
+  EXPECT_EQ(InstalledJoinOrderHints(), nullptr);
+}
+
+TEST(JoinOrderHintsTest, EvaluationIsIdenticalWithHintsInstalled) {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(
+      symbols,
+      "g(x, z) :- a(x, z).\n"
+      "g(x, z) :- g(x, y), a(y, z).\n"
+      "h(x, z) :- a(x, y), g(y, z), a(z, w).");
+  Database edb(symbols);
+  PredicateId a = symbols->InternPredicate("a", 2).value();
+  AddGraphFacts(GraphOptions{GraphShape::kRandom, 8, 14, 3}, a, &edb);
+
+  Database reference = edb;
+  ASSERT_TRUE(EvaluateSemiNaive(program, &reference).ok());
+
+  JoinOrderHints hints = StaticJoinHints(program);
+  SetJoinOrderHints(&hints);
+  Database hinted = edb;
+  Result<EvalStats> stats = EvaluateSemiNaive(program, &hinted);
+  SetJoinOrderHints(nullptr);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(hinted, reference);
+}
+
+TEST(JoinOrderHintsTest, MalformedHintsAreIgnoredNotObeyed) {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(
+      symbols, "h(x, z) :- a(x, y), b(y, z).");
+  Database edb(symbols);
+  PredicateId a = symbols->InternPredicate("a", 2).value();
+  PredicateId b = symbols->InternPredicate("b", 2).value();
+  AddGraphFacts(GraphOptions{GraphShape::kChain, 6, 5, 1}, a, &edb);
+  AddGraphFacts(GraphOptions{GraphShape::kChain, 6, 5, 2}, b, &edb);
+
+  Database reference = edb;
+  ASSERT_TRUE(EvaluateSemiNaive(program, &reference).ok());
+
+  // Duplicate position, wrong size, out of range: all fall back to the
+  // default planner instead of corrupting the join.
+  std::vector<PlannedAtom> body;
+  for (const Literal& lit : program.rules()[0].body()) {
+    body.push_back(PlannedAtom{lit.atom, AtomSource::kFull});
+  }
+  const std::uint64_t key = BodyFingerprint(body);
+  for (const std::vector<std::size_t>& bogus :
+       {std::vector<std::size_t>{0, 0}, std::vector<std::size_t>{0},
+        std::vector<std::size_t>{1, 2}}) {
+    JoinOrderHints hints;
+    hints.order.emplace(key, bogus);
+    SetJoinOrderHints(&hints);
+    Database db = edb;
+    Result<EvalStats> stats = EvaluateSemiNaive(program, &db);
+    SetJoinOrderHints(nullptr);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(db, reference);
+  }
+}
+
+TEST(JoinOrderHintsTest, BindingPassEmitsHintsForTheQuery) {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(
+      symbols, "g(x, z) :- b(z, w), a(x, z).");
+  AnalyzerOptions options;
+  options.query = ParseQueryOrDie(symbols, "?- g(1, y).");
+  AnalysisResult result = Analyze(program, options);
+  // With x bound, bound-first SIP visits a(x, z) before b(z, w): a
+  // non-identity order over the planned atoms, so a hint is produced.
+  EXPECT_EQ(result.join_hints.order.size(), 1u);
+  EXPECT_GE(CountCode(result.diagnostics, "join-order"), 1u);
+}
+
+}  // namespace
+}  // namespace datalog

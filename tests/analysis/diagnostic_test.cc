@@ -1,0 +1,109 @@
+#include "analysis/diagnostic.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+Diagnostic Sample() {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.pass = "redundancy";
+  d.code = "redundant-atom";
+  d.message = "atom 'g(y, z)' is redundant";
+  d.span = SourceSpan{2, 21, 2, 28};
+  d.note = "deleting it preserves the meaning";
+  d.rule_index = 1;
+  return d;
+}
+
+TEST(DiagnosticTest, ToTextIncludesSpanSeverityPassCodeAndNote) {
+  EXPECT_EQ(Sample().ToText(),
+            "2:21-2:28: warning: [redundancy/redundant-atom] atom 'g(y, z)' "
+            "is redundant\n  note: deleting it preserves the meaning");
+}
+
+TEST(DiagnosticTest, ToTextOmitsUnknownSpanAndEmptyNote) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.pass = "safety";
+  d.code = "unsafe-rule";
+  d.message = "head variable 'y' is unbound";
+  EXPECT_EQ(d.ToText(),
+            "error: [safety/unsafe-rule] head variable 'y' is unbound");
+}
+
+TEST(DiagnosticTest, ToStatusIsInvalidArgumentWithFullText) {
+  Status status = Sample().ToStatus();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("redundancy/redundant-atom"),
+            std::string::npos);
+}
+
+TEST(DiagnosticTest, SeverityNames) {
+  EXPECT_EQ(ToString(Severity::kError), "error");
+  EXPECT_EQ(ToString(Severity::kWarning), "warning");
+  EXPECT_EQ(ToString(Severity::kInfo), "info");
+}
+
+TEST(DiagnosticTest, CountBySeverityTallies) {
+  std::vector<Diagnostic> diags(5);
+  diags[0].severity = Severity::kError;
+  diags[1].severity = Severity::kWarning;
+  diags[2].severity = Severity::kWarning;
+  diags[3].severity = Severity::kInfo;
+  diags[4].severity = Severity::kInfo;
+  DiagnosticCounts counts = CountBySeverity(diags);
+  EXPECT_EQ(counts.errors, 1u);
+  EXPECT_EQ(counts.warnings, 2u);
+  EXPECT_EQ(counts.infos, 2u);
+}
+
+TEST(DiagnosticTest, JsonCarriesSpanRuleIndexAndSummary) {
+  std::string json = DiagnosticsToJson({Sample()}, "example.dl",
+                                       /*budget_exhausted=*/true);
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"example.dl\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 2, \"col\": 21"), std::string::npos);
+  EXPECT_NE(json.find("\"ruleIndex\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"budgetExhausted\": true"), std::string::npos);
+}
+
+TEST(DiagnosticTest, JsonEscapesMessageContent) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.pass = "parse";
+  d.code = "syntax-error";
+  d.message = "unexpected '\"' at\nline break";
+  std::string json = DiagnosticsToJson({d}, "a\\b.dl",
+                                       /*budget_exhausted=*/false);
+  EXPECT_NE(json.find("unexpected '\\\"' at\\nline break"), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"a\\\\b.dl\""), std::string::npos);
+}
+
+TEST(DiagnosticTest, SarifMapsInfoToNoteLevel) {
+  Diagnostic d = Sample();
+  d.severity = Severity::kInfo;
+  std::string sarif = DiagnosticsToSarif({d}, "example.dl");
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"note\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"redundancy/redundant-atom\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 2"), std::string::npos);
+}
+
+TEST(DiagnosticTest, SarifOmitsRegionForUnknownSpans) {
+  Diagnostic d = Sample();
+  d.span = SourceSpan{};
+  std::string sarif = DiagnosticsToSarif({d}, "example.dl");
+  EXPECT_EQ(sarif.find("\"region\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,149 @@
+// Data-driven analyzer regressions: every tests/analysis/cases/*.dl file
+// is parsed with source spans and run through the default analyzer
+// configuration (AnalyzeParsed, which adopts the file's `?- ...` query
+// when present). Expected diagnostics are annotated in the file itself as
+//
+//   % expect: SEVERITY PASS/CODE @LINE:COL
+//   % expect: SEVERITY PASS/CODE @none
+//
+// and the comparison is exact in both directions: every annotation must
+// be emitted and every emitted diagnostic must be annotated, so a pass
+// that starts over- or under-reporting fails the corpus. The directory
+// path is injected by CMake.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "ast/parser.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+#ifndef DATALOG_ANALYSIS_CASES_DIR
+#define DATALOG_ANALYSIS_CASES_DIR "tests/analysis/cases"
+#endif
+
+std::vector<std::string> CaseNames() {
+  std::vector<std::string> names;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DATALOG_ANALYSIS_CASES_DIR)) {
+    std::string filename = entry.path().filename().string();
+    const std::string suffix = ".dl";
+    if (filename.size() > suffix.size() &&
+        filename.substr(filename.size() - suffix.size()) == suffix) {
+      names.push_back(filename.substr(0, filename.size() - suffix.size()));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A diagnostic reduced to what the golden annotations pin down:
+/// "severity pass/code @line:col" (or "@none" for spanless diagnostics).
+std::string Key(std::string_view severity, std::string_view pass,
+                std::string_view code, int line, int col) {
+  std::string key(severity);
+  key += ' ';
+  key += pass;
+  key += '/';
+  key += code;
+  key += " @";
+  if (line == 0) {
+    key += "none";
+  } else {
+    key += std::to_string(line) + ":" + std::to_string(col);
+  }
+  return key;
+}
+
+std::vector<std::string> ExpectedKeys(const std::string& text) {
+  std::vector<std::string> keys;
+  std::istringstream lines(text);
+  std::string line;
+  const std::string marker = "% expect: ";
+  while (std::getline(lines, line)) {
+    if (line.rfind(marker, 0) != 0) continue;
+    keys.push_back(line.substr(marker.size()));
+  }
+  return keys;
+}
+
+class GoldenDiagnosticsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenDiagnosticsTest, DiagnosticsMatchAnnotations) {
+  const std::string path = std::string(DATALOG_ANALYSIS_CASES_DIR) + "/" +
+                           GetParam() + ".dl";
+  const std::string text = ReadFile(path);
+
+  Parser parser(testing::MakeSymbols());
+  Result<ParsedProgram> parsed = parser.ParseProgramWithSource(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  AnalysisResult result = AnalyzeParsed(*parsed);
+  std::vector<std::string> got;
+  for (const Diagnostic& d : result.diagnostics) {
+    got.push_back(Key(ToString(d.severity), d.pass, d.code, d.span.line,
+                      d.span.col));
+  }
+  std::vector<std::string> want = ExpectedKeys(text);
+  ASSERT_FALSE(want.empty()) << path << " has no % expect: annotations";
+
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want) << "diagnostics drifted for " << path << "\nfull:\n"
+                       << DiagnosticsToText(result.diagnostics);
+}
+
+TEST_P(GoldenDiagnosticsTest, SpansPointIntoTheSource) {
+  // Every diagnostic with a location must point at a real position of the
+  // file: 1 <= line <= line count, and the column within that line.
+  const std::string path = std::string(DATALOG_ANALYSIS_CASES_DIR) + "/" +
+                           GetParam() + ".dl";
+  const std::string text = ReadFile(path);
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+
+  Parser parser(testing::MakeSymbols());
+  Result<ParsedProgram> parsed = parser.ParseProgramWithSource(text);
+  ASSERT_TRUE(parsed.ok());
+  AnalysisResult result = AnalyzeParsed(*parsed);
+  for (const Diagnostic& d : result.diagnostics) {
+    if (!d.span.valid()) continue;
+    ASSERT_GE(d.span.line, 1);
+    ASSERT_LE(static_cast<std::size_t>(d.span.line), lines.size())
+        << d.ToText();
+    EXPECT_LE(static_cast<std::size_t>(d.span.col),
+              lines[static_cast<std::size_t>(d.span.line) - 1].size() + 1)
+        << d.ToText();
+    EXPECT_GE(d.span.end_line, d.span.line) << d.ToText();
+    if (d.span.end_line == d.span.line) {
+      EXPECT_GE(d.span.end_col, d.span.col) << d.ToText();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, GoldenDiagnosticsTest,
+                         ::testing::ValuesIn(CaseNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace datalog

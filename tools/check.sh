@@ -8,9 +8,11 @@
 # crosses columnar x compiled x {sequential, parallel, incremental}),
 # then repeats the incremental-maintenance fuzzer under ASan+UBSan. Also
 # smoke-tests the observability layer: the CLI's --trace/--metrics
-# output must be valid JSON, and runs a deterministic work-counter
+# output must be valid JSON, runs a deterministic work-counter
 # regression gate (eval.tuples_scanned / eval.index_lookups on a fixed
-# corpus must stay at or below tools/work_counters.baseline).
+# corpus must stay at or below tools/work_counters.baseline), and runs
+# the datalog lint gate (tools/lint.sh: `datalog-opt check` over every
+# checked-in .dl program must report no error diagnostics).
 #
 #   tools/check.sh            # TSan gate + ASan/UBSan incremental fuzzer
 #   tools/check.sh thread     # TSan gate only, explicit
@@ -163,6 +165,16 @@ PYEOF
   echo "== OK (work counters at or below baseline)"
 }
 
+# Datalog lint gate: every checked-in .dl program must be free of
+# error-severity analyzer diagnostics (tools/lint.sh; warnings allowed,
+# corpus inputs carry planted redundancy by design).
+run_lint_gate() {
+  local build_dir="$1"
+  echo "== running datalog lint gate"
+  "${ROOT}/tools/lint.sh" "${build_dir}" | tail -1
+  echo "== OK (datalog lint)"
+}
+
 run_gate() {
   local sanitize="$1"
   local build_dir="${ROOT}/build-sanitize-${sanitize//,/-}"
@@ -188,6 +200,7 @@ run_gate() {
   cd "${ROOT}"
   validate_obs_json "${build_dir}"
   run_work_counter_gate "${build_dir}"
+  run_lint_gate "${build_dir}"
 
   echo "== OK (${sanitize})"
 }

@@ -9,6 +9,7 @@
 //   datalog-opt explain   PROGRAM FACTS F    derivation tree of fact F
 //   datalog-opt incr      PROGRAM FACTS S    incremental update script S
 //   datalog-opt analyze   PROGRAM            structure report
+//   datalog-opt check     PROGRAM            static analysis diagnostics
 //
 // PROGRAM/FACTS/TGDS are file paths; pass '-' to read stdin.
 
@@ -39,6 +40,8 @@ int Usage() {
       "  eval PROGRAM FACTS        compute the semi-naive fixpoint\n"
       "       [--threads N]        ... on N threads (positive programs;\n"
       "                            N=0 picks the hardware concurrency)\n"
+      "       [--hints]            ... with the analyzer's static\n"
+      "                            join-order hints installed\n"
       "  query PROGRAM FACTS Q     answer Q (e.g. 'g(1, x).') via magic sets\n"
       "  contains P1 P2            test P2 subseteq^u P1, print witness on\n"
       "                            failure\n"
@@ -55,6 +58,14 @@ int Usage() {
       "  plan PROGRAM Q            show the relevance -> Fig. 2 -> magic\n"
       "                            pipeline for query Q\n"
       "  analyze PROGRAM           recursion/linearity/strata report\n"
+      "  check PROGRAM             run the static analyzer (safety,\n"
+      "       [--format=FMT]       stratification, dead code, redundancy,\n"
+      "       [--budget N]         binding); FMT is text (default), json,\n"
+      "       [--werror]           or sarif; N bounds containment tests\n"
+      "       [--query Q]          and adornments (0 = unlimited); Q\n"
+      "       [--pass LIST]        directs dead-code/binding analysis;\n"
+      "                            LIST is a comma-separated pass subset;\n"
+      "                            --werror fails on warnings too\n"
       "\n"
       "global flags (any command):\n"
       "  --trace FILE              write a Chrome trace-event JSON of the\n"
@@ -157,7 +168,7 @@ int CmdMinimizeSat(const std::string& program_text,
 }
 
 int CmdEval(const std::string& program_text, const std::string& facts_text,
-            std::size_t num_threads,
+            std::size_t num_threads, bool use_hints,
             const std::shared_ptr<SymbolTable>& symbols) {
   Parser parser(symbols);
   Result<Program> program = parser.ParseProgram(program_text);
@@ -165,6 +176,15 @@ int CmdEval(const std::string& program_text, const std::string& facts_text,
   Result<Database> db = ParseDatabase(symbols, facts_text);
   if (!Check(db, "parse facts")) return 1;
   Database work = *db;
+  // With --hints, install the analyzer's static join-order hints for the
+  // duration of the run. Hints only reorder joins; results are identical.
+  JoinOrderHints hints;
+  if (use_hints) {
+    hints = StaticJoinHints(*program);
+    SetJoinOrderHints(&hints);
+    std::fprintf(stderr, "installed %zu join-order hints\n",
+                 hints.order.size());
+  }
   // The parallel engine handles positive programs; programs with
   // stratified negation stay on the sequential stratified engine.
   const bool parallel =
@@ -173,6 +193,7 @@ int CmdEval(const std::string& program_text, const std::string& facts_text,
       program->rules().empty() ? Result<EvalStats>(EvalStats{})
       : parallel ? EvaluateSemiNaiveParallel(*program, &work, num_threads)
                  : EvaluateStratified(*program, &work);
+  if (use_hints) SetJoinOrderHints(nullptr);  // `hints` dies with this frame
   if (!Check(stats, "evaluate")) return 1;
   std::printf("%s", work.ToString().c_str());
   std::fprintf(stderr, "%d iterations, %llu facts derived, %llu joins\n",
@@ -486,6 +507,140 @@ int CmdAnalyze(const std::string& text,
   return 0;
 }
 
+/// `datalog-opt check`: parse with exact token spans, run the analyzer,
+/// render diagnostics. Exit code 0 = clean (infos/warnings allowed),
+/// 1 = errors (or warnings under --werror), 2 = usage. A parse failure is
+/// itself reported as a diagnostic so --format=json stays machine-readable.
+int CmdCheck(const std::string& text, const std::string& label,
+             const std::vector<std::string>& flags,
+             const std::shared_ptr<SymbolTable>& symbols) {
+  std::string format = "text";
+  std::string query_text;
+  std::string pass_list;
+  bool werror = false;
+  AnalyzerOptions options;
+
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    const std::string& flag = flags[i];
+    auto value_of = [&](const std::string& name,
+                        std::string* out) -> int {
+      // --name=VALUE or --name VALUE; returns slots consumed (0 = no
+      // match, -1 = malformed).
+      if (flag.rfind(name + "=", 0) == 0) {
+        *out = flag.substr(name.size() + 1);
+        return out->empty() ? -1 : 1;
+      }
+      if (flag == name) {
+        if (i + 1 >= flags.size()) return -1;
+        *out = flags[i + 1];
+        return 2;
+      }
+      return 0;
+    };
+    if (flag == "--werror") {
+      werror = true;
+      continue;
+    }
+    std::string value;
+    int consumed = value_of("--format", &value);
+    if (consumed > 0) {
+      if (value != "text" && value != "json" && value != "sarif") {
+        std::fprintf(stderr, "error: unknown --format '%s'\n", value.c_str());
+        return 2;
+      }
+      format = value;
+      i += static_cast<std::size_t>(consumed) - 1;
+      continue;
+    }
+    if (consumed == 0 && (consumed = value_of("--budget", &value)) > 0) {
+      char* end = nullptr;
+      unsigned long budget = std::strtoul(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "error: --budget expects a number, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      options.budget = static_cast<std::size_t>(budget);
+      i += static_cast<std::size_t>(consumed) - 1;
+      continue;
+    }
+    if (consumed == 0) consumed = value_of("--query", &query_text);
+    if (consumed == 0) consumed = value_of("--pass", &pass_list);
+    if (consumed < 0) {
+      std::fprintf(stderr, "error: %s expects a value\n", flag.c_str());
+      return 2;
+    }
+    if (consumed > 0) {
+      i += static_cast<std::size_t>(consumed) - 1;
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown check flag '%s'\n", flag.c_str());
+    return 2;
+  }
+
+  if (!pass_list.empty()) {
+    options.safety = options.stratification = options.dead_code =
+        options.redundancy = options.binding = false;
+    std::size_t start = 0;
+    while (start <= pass_list.size()) {
+      std::size_t comma = pass_list.find(',', start);
+      if (comma == std::string::npos) comma = pass_list.size();
+      const std::string name = pass_list.substr(start, comma - start);
+      if (name == "safety") options.safety = true;
+      else if (name == "stratification") options.stratification = true;
+      else if (name == "dead_code") options.dead_code = true;
+      else if (name == "redundancy") options.redundancy = true;
+      else if (name == "binding") options.binding = true;
+      else {
+        std::fprintf(stderr, "error: unknown pass '%s'\n", name.c_str());
+        return 2;
+      }
+      start = comma + 1;
+    }
+  }
+
+  Parser parser(symbols);
+  std::vector<Diagnostic> diagnostics;
+  bool budget_exhausted = false;
+  Result<ParsedProgram> parsed = parser.ParseProgramWithSource(text);
+  if (!parsed.ok()) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = "parse";
+    d.code = "syntax-error";
+    d.message = parsed.status().message();
+    diagnostics.push_back(std::move(d));
+  } else {
+    if (!query_text.empty()) {
+      std::string q = query_text;
+      if (q.rfind("?-", 0) != 0) q = "?- " + q;
+      Result<Atom> query = parser.ParseQuery(q);
+      if (!Check(query, "parse query")) return 2;
+      options.query = *query;
+    }
+    AnalysisResult result = AnalyzeParsed(*parsed, options);
+    diagnostics = std::move(result.diagnostics);
+    budget_exhausted = result.budget_exhausted;
+  }
+
+  if (format == "json") {
+    std::printf("%s",
+                DiagnosticsToJson(diagnostics, label, budget_exhausted)
+                    .c_str());
+  } else if (format == "sarif") {
+    std::printf("%s", DiagnosticsToSarif(diagnostics, label).c_str());
+  } else {
+    std::printf("%s", DiagnosticsToText(diagnostics).c_str());
+  }
+  DiagnosticCounts counts = CountBySeverity(diagnostics);
+  std::fprintf(stderr, "%s: %zu errors, %zu warnings, %zu infos%s\n",
+               label.c_str(), counts.errors, counts.warnings, counts.infos,
+               budget_exhausted ? " (budget exhausted)" : "");
+  if (counts.errors > 0) return 1;
+  if (werror && counts.warnings > 0) return 1;
+  return 0;
+}
+
 /// Consumes `--NAME FILE` or `--NAME=FILE` at args[i]; on a match stores
 /// the file into `*out` and returns the number of argv slots consumed
 /// (1 or 2). Returns 0 when args[i] is not this flag, -1 on a malformed
@@ -509,10 +664,15 @@ int Main(int argc, char** argv) {
   // after the command) before positional parsing; only `eval`/`incr`
   // consume --threads, while --trace/--metrics apply to every command.
   std::size_t num_threads = 1;
+  bool use_hints = false;
   std::string trace_path;
   std::string metrics_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hints") == 0) {
+      use_hints = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --threads expects a number\n");
@@ -564,6 +724,12 @@ int Main(int argc, char** argv) {
     if (command == "minimize") return CmdMinimize(first, symbols);
     if (command == "optimize") return CmdOptimize(first, symbols);
     if (command == "analyze") return CmdAnalyze(first, symbols);
+    if (command == "check") {
+      const std::string label =
+          std::strcmp(argv[2], "-") == 0 ? "<stdin>" : argv[2];
+      std::vector<std::string> flags(argv + 3, argv + argc);
+      return CmdCheck(first, label, flags, symbols);
+    }
 
     if (argc < 4) return Usage();
     // plan's second argument is the query text itself, not a file.
@@ -572,7 +738,9 @@ int Main(int argc, char** argv) {
     std::string second;
     if (!ReadInput(argv[3], &second)) return 1;
 
-    if (command == "eval") return CmdEval(first, second, num_threads, symbols);
+    if (command == "eval") {
+      return CmdEval(first, second, num_threads, use_hints, symbols);
+    }
     if (command == "contains") return CmdContains(first, second, symbols);
     if (command == "minimize-sat") {
       return CmdMinimizeSat(first, second, symbols);

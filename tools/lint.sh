@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Datalog lint gate: run `datalog-opt check --format=json` over every
+# checked-in .dl program -- examples/ and the minimization corpus -- and
+# fail on any error-severity diagnostic. Warnings are allowed: corpus
+# inputs deliberately contain planted redundancy (that is what the
+# minimizer tests minimize), and the analyzer reporting it is correct
+# behavior, not a lint failure. The golden analyzer cases under
+# tests/analysis/cases are excluded: several of them are deliberately
+# broken programs with annotated expected errors, and the analysis_test
+# suite is their gate.
+#
+#   tools/lint.sh [BUILD_DIR]        # default build dir: ./build
+#   DATALOG_LINT_OUT=dir tools/lint.sh   # also keep per-file JSON reports
+#
+# Exit status: 0 when every file is error-free, 1 otherwise.
+
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build}"
+CLI="${BUILD_DIR}/tools/datalog-opt"
+OUT_DIR="${DATALOG_LINT_OUT:-}"
+
+if [ ! -x "${CLI}" ]; then
+  echo "lint: ${CLI} not built (run: cmake --build ${BUILD_DIR} --target datalog-opt)" >&2
+  exit 1
+fi
+if [ -n "${OUT_DIR}" ]; then
+  mkdir -p "${OUT_DIR}"
+fi
+
+failed=0
+checked=0
+while IFS= read -r file; do
+  checked=$((checked + 1))
+  rel="${file#"${ROOT}"/}"
+  json="$("${CLI}" check "${file}" --format=json 2>/dev/null)"
+  status=$?
+  if [ -n "${OUT_DIR}" ]; then
+    printf '%s\n' "${json}" > "${OUT_DIR}/$(echo "${rel}" | tr '/' '_').json"
+  fi
+  if [ "${status}" -ge 2 ]; then
+    echo "lint: FAIL ${rel} (datalog-opt check exited ${status})"
+    failed=1
+  elif [ "${status}" -eq 1 ]; then
+    echo "lint: FAIL ${rel}"
+    printf '%s\n' "${json}" | sed 's/^/    /'
+    failed=1
+  else
+    echo "lint: ok   ${rel}"
+  fi
+done < <(find "${ROOT}/examples" "${ROOT}/tests/corpus" -name '*.dl' | sort)
+
+if [ "${checked}" -eq 0 ]; then
+  echo "lint: no .dl files found" >&2
+  exit 1
+fi
+if [ "${failed}" -ne 0 ]; then
+  echo "lint: error diagnostics found (see above)"
+  exit 1
+fi
+echo "lint: ${checked} files clean"
