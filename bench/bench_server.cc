@@ -1,0 +1,163 @@
+// Datalog server throughput and latency over a live AF_UNIX socket.
+//
+// BM_ServerPing and BM_ServerQuery measure single-client round-trip
+// latency through the full stack (framing, poll loop, worker dispatch,
+// snapshot query, response). BM_ServerCommitPair measures the write path:
+// one insert+commit followed by the retract+commit that undoes it, so the
+// loop is steady-state. BM_ServerMixedQps is the headline number: C
+// parallel clients each running a 90/10 read/write mix against W workers;
+// items_per_second is the sustained request throughput (QPS).
+//
+// Emits BENCH_server.json by default (override with --json PATH).
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchmark/benchmark.h"
+
+namespace datalog {
+namespace bench {
+namespace {
+
+constexpr const char* kTc =
+    "path(x, y) :- edge(x, y).\n"
+    "path(x, z) :- path(x, y), edge(y, z).\n";
+
+std::string BenchSocketPath(const std::string& name) {
+  return "/tmp/dlbench_" + std::to_string(::getpid()) + "_" + name + ".sock";
+}
+
+/// A chain of n edges: a view with O(n^2) path facts to query against.
+std::string ChainFacts(int n) {
+  std::string facts;
+  for (int i = 0; i < n; ++i) {
+    facts += "edge(" + std::to_string(i) + ", " + std::to_string(i + 1) +
+             "). ";
+  }
+  return facts;
+}
+
+std::unique_ptr<DatalogServer> StartBenchServer(const std::string& name,
+                                                std::size_t workers, int n) {
+  auto symbols = MakeSymbols();
+  Program program = MustParseProgram(symbols, kTc);
+  Parser parser(symbols);
+  Database edb = MustOk(ParseDatabase(symbols, ChainFacts(n)));
+  ServerOptions options;
+  options.socket_path = BenchSocketPath(name);
+  options.num_workers = workers;
+  return MustOk(DatalogServer::Start(std::move(program), std::move(edb),
+                                     options));
+}
+
+void BM_ServerPing(benchmark::State& state) {
+  auto server = StartBenchServer("ping", 2, 32);
+  DatalogClient client = MustOk(DatalogClient::Connect(server->socket_path()));
+  for (auto _ : state) {
+    Reply reply = MustOk(client.Ping());
+    benchmark::DoNotOptimize(reply.epoch);
+  }
+  state.SetItemsProcessed(state.iterations());
+  client.Close();
+  server->Stop();
+}
+BENCHMARK(BM_ServerPing);
+
+void BM_ServerQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto server =
+      StartBenchServer("query_n" + std::to_string(n), 2, n);
+  DatalogClient client = MustOk(DatalogClient::Connect(server->socket_path()));
+  for (auto _ : state) {
+    Reply reply = MustOk(client.Query("path(1, x)"));
+    benchmark::DoNotOptimize(reply.body);
+  }
+  state.SetItemsProcessed(state.iterations());
+  client.Close();
+  server->Stop();
+}
+BENCHMARK(BM_ServerQuery)->ArgNames({"n"})->Arg(32)->Arg(128);
+
+void BM_ServerCommitPair(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto server =
+      StartBenchServer("commit_n" + std::to_string(n), 2, n);
+  DatalogClient client = MustOk(DatalogClient::Connect(server->socket_path()));
+  const std::string tail_edge = "edge(" + std::to_string(n + 10) + ", " +
+                                std::to_string(n + 11) + ").";
+  for (auto _ : state) {
+    MustOk(client.Insert(tail_edge));
+    Reply in = MustOk(client.Commit());
+    MustOk(client.Retract(tail_edge));
+    Reply out = MustOk(client.Commit());
+    benchmark::DoNotOptimize(out.epoch);
+  }
+  // Two published epochs per iteration.
+  state.SetItemsProcessed(2 * state.iterations());
+  client.Close();
+  server->Stop();
+}
+BENCHMARK(BM_ServerCommitPair)->ArgNames({"n"})->Arg(32)->Arg(128);
+
+/// One benchmark iteration = every client thread completing `kOpsPerRound`
+/// requests (90% snapshot queries, 10% insert+commit pairs), so
+/// items_per_second is the sustained mixed-workload QPS.
+void BM_ServerMixedQps(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  const int clients = static_cast<int>(state.range(1));
+  constexpr int kOpsPerRound = 50;
+  auto server = StartBenchServer(
+      "mixed_w" + std::to_string(workers) + "_c" + std::to_string(clients),
+      workers, 64);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&server, c] {
+        DatalogClient client =
+            MustOk(DatalogClient::Connect(server->socket_path()));
+        for (int i = 0; i < kOpsPerRound; ++i) {
+          if (i % 10 == 9) {  // write: private edge, committed and undone
+            const std::string fact = "edge(" + std::to_string(1000 + c) +
+                                     ", " + std::to_string(2000 + i) + ").";
+            MustOk(client.Insert(fact));
+            MustOk(client.Commit());
+            MustOk(client.Retract(fact));
+            MustOk(client.Commit());
+          } else {  // read from the pinned snapshot
+            Reply reply = MustOk(client.Query("path(1, x)"));
+            benchmark::DoNotOptimize(reply.body);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(clients) * kOpsPerRound);
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["clients"] = static_cast<double>(clients);
+  server->Stop();
+}
+BENCHMARK(BM_ServerMixedQps)
+    ->ArgNames({"workers", "clients"})
+    ->Args({1, 1})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({4, 4})
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace datalog
+
+int main(int argc, char** argv) {
+  return datalog::bench::BenchmarkMainWithJson(argc, argv,
+                                               "BENCH_server.json");
+}

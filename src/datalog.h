@@ -57,9 +57,15 @@
 #include "eval/topdown.h"         // IWYU pragma: export
 #include "incr/delta_join.h"      // IWYU pragma: export
 #include "incr/materialized_view.h"  // IWYU pragma: export
+#include "incr/script.h"          // IWYU pragma: export
 #include "obs/metrics.h"          // IWYU pragma: export
 #include "obs/stats_export.h"     // IWYU pragma: export
 #include "obs/trace.h"            // IWYU pragma: export
+#include "server/client.h"        // IWYU pragma: export
+#include "server/epoch.h"         // IWYU pragma: export
+#include "server/server.h"        // IWYU pragma: export
+#include "server/snapshot_query.h"  // IWYU pragma: export
+#include "server/wire.h"          // IWYU pragma: export
 #include "util/result.h"          // IWYU pragma: export
 #include "version.h"              // IWYU pragma: export
 #include "util/status.h"          // IWYU pragma: export

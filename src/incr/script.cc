@@ -1,0 +1,101 @@
+#include "incr/script.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace datalog {
+
+namespace {
+
+Status LineError(int line, const std::string& message) {
+  return Status::InvalidArgument("script line " + std::to_string(line) + ": " +
+                                 message);
+}
+
+}  // namespace
+
+Result<std::vector<ScriptOp>> ParseUpdateScript(std::string_view text,
+                                                Parser* parser,
+                                                ScriptDialect dialect) {
+  std::vector<ScriptOp> ops;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    // Strip a trailing %-comment (quote-aware) and surrounding blanks.
+    bool in_quote = false;
+    std::size_t cut = line.size();
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '\'') in_quote = !in_quote;
+      if (line[i] == '%' && !in_quote) {
+        cut = i;
+        break;
+      }
+    }
+    std::string body = line.substr(0, cut);
+    std::size_t start = body.find_first_not_of(" \t\r");
+    if (start == std::string::npos || body[start] == '#') continue;
+    std::size_t end = body.find_last_not_of(" \t\r");
+    body = body.substr(start, end - start + 1);
+
+    ScriptOp op;
+    op.line = line_no;
+    if (body == "commit") {
+      op.kind = ScriptOp::Kind::kCommit;
+      ops.push_back(std::move(op));
+      continue;
+    }
+    const bool client = dialect == ScriptDialect::kClient;
+    if (body == "ping" || body == "stats" || body == "base" ||
+        body == "shutdown") {
+      if (!client) {
+        return LineError(line_no, "'" + body +
+                                      "' is a client-mode verb; incr scripts "
+                                      "accept +fact, -fact, ?query, commit");
+      }
+      op.kind = body == "ping"    ? ScriptOp::Kind::kPing
+                : body == "stats" ? ScriptOp::Kind::kStats
+                : body == "base"  ? ScriptOp::Kind::kDumpBase
+                                  : ScriptOp::Kind::kShutdown;
+      ops.push_back(std::move(op));
+      continue;
+    }
+
+    const char verb = body[0];
+    std::string rest = body.substr(1);
+    if (verb == '+' || verb == '-' || verb == '?') {
+      if (rest.find_first_not_of(" \t") == std::string::npos) {
+        return LineError(line_no, "expected an atom after '" +
+                                      std::string(1, verb) + "'");
+      }
+      if (rest.back() != '.') rest += '.';
+    }
+    if (verb == '+' || verb == '-') {
+      Result<std::vector<Atom>> atoms = parser->ParseGroundAtoms(rest);
+      if (!atoms.ok()) {
+        return LineError(line_no, atoms.status().ToString());
+      }
+      op.kind = verb == '+' ? ScriptOp::Kind::kInsert : ScriptOp::Kind::kRetract;
+      op.facts = std::move(atoms).value();
+      ops.push_back(std::move(op));
+      continue;
+    }
+    if (verb == '?') {
+      Result<Atom> query = parser->ParseQuery("?- " + rest);
+      if (!query.ok()) {
+        return LineError(line_no, query.status().ToString());
+      }
+      op.kind = ScriptOp::Kind::kQuery;
+      op.query = std::move(query).value();
+      ops.push_back(std::move(op));
+      continue;
+    }
+    return LineError(line_no,
+                     "expected +fact, -fact, ?query, commit, or a %-comment");
+  }
+  return ops;
+}
+
+}  // namespace datalog

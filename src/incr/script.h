@@ -1,0 +1,58 @@
+#ifndef DATALOG_INCR_SCRIPT_H_
+#define DATALOG_INCR_SCRIPT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/parser.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// One operation of an update script (docs/FILE_FORMAT.md):
+///
+///   +fact.      buffer an insertion (several facts may share a line)
+///   -fact.      buffer a retraction
+///   ?query      commit pending ops, then answer the single-atom query
+///   commit      apply buffered ops as one transaction
+///
+/// The `datalog-opt client` batch mode accepts the same grammar plus the
+/// server-only verbs `ping`, `stats`, `base`, and `shutdown` (parsed only
+/// when ScriptDialect::kClient is requested; `incr` rejects them with the
+/// offending line number).
+struct ScriptOp {
+  enum class Kind {
+    kInsert,    // facts
+    kRetract,   // facts
+    kQuery,     // query
+    kCommit,
+    kPing,      // client dialect only
+    kStats,     // client dialect only
+    kDumpBase,  // client dialect only
+    kShutdown,  // client dialect only
+  };
+
+  Kind kind;
+  std::vector<Atom> facts;  // kInsert / kRetract
+  Atom query;               // kQuery
+  int line = 0;             // 1-based source line, for error reporting
+};
+
+enum class ScriptDialect {
+  kIncr,    // +/-/?/commit only
+  kClient,  // also ping / stats / base / shutdown
+};
+
+/// Parses an update script into its operation list. Comment lines start
+/// with '#'; a '%' starts a trailing comment (quote-aware, so constants
+/// like 'a%b' survive). Malformed lines produce an InvalidArgument Status
+/// naming the 1-based line number -- no line is ever silently skipped.
+/// Atoms are interned into `parser`'s symbol table.
+Result<std::vector<ScriptOp>> ParseUpdateScript(std::string_view text,
+                                                Parser* parser,
+                                                ScriptDialect dialect);
+
+}  // namespace datalog
+
+#endif  // DATALOG_INCR_SCRIPT_H_

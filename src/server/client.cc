@@ -1,0 +1,116 @@
+#include "server/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace datalog {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Internal("client: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<DatalogClient> DatalogClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("client: socket path too long: " +
+                                   socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket()");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.data(), socket_path.size());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = ErrnoStatus("connect(" + socket_path + ")");
+    ::close(fd);
+    return status;
+  }
+  return DatalogClient(fd);
+}
+
+DatalogClient::DatalogClient(DatalogClient&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+DatalogClient& DatalogClient::operator=(DatalogClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+DatalogClient::~DatalogClient() { Close(); }
+
+void DatalogClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Reply> DatalogClient::Call(Opcode op, std::string_view payload) {
+  if (fd_ < 0) return Status::Internal("client: not connected");
+  const std::string frame =
+      EncodeFrame(static_cast<std::uint8_t>(op), payload);
+  const char* data = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      data += n;
+      left -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const Status status = ErrnoStatus("send()");
+    Close();
+    return status;
+  }
+
+  std::uint8_t tag = 0;
+  std::string resp;
+  while (!reader_.Next(&tag, &resp)) {
+    if (!reader_.ok()) {
+      Close();
+      return Status::Internal("client: protocol error: " + reader_.error());
+    }
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const Status status =
+        n == 0 ? Status::Internal("client: server closed the connection")
+               : ErrnoStatus("recv()");
+    Close();
+    return status;
+  }
+  if (resp.size() < 8) {
+    Close();
+    return Status::Internal("client: short response payload (" +
+                            std::to_string(resp.size()) + " bytes)");
+  }
+  Reply reply;
+  reply.ok = tag == static_cast<std::uint8_t>(RespStatus::kOk);
+  reply.epoch = ReadU64(resp);
+  reply.body = resp.substr(8);
+  return reply;
+}
+
+}  // namespace datalog

@@ -1,0 +1,69 @@
+#ifndef DATALOG_SERVER_CLIENT_H_
+#define DATALOG_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/wire.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// One decoded server response: whether the server reported success, the
+/// epoch the request was served against, and the textual body (answers,
+/// an ack, stats JSON, or an error message when !ok).
+struct Reply {
+  bool ok = true;
+  std::uint64_t epoch = 0;
+  std::string body;
+};
+
+/// A blocking client for the Datalog server's wire protocol (one request
+/// in flight at a time, which is all the protocol allows per connection).
+/// Not thread-safe; open one client per thread.
+class DatalogClient {
+ public:
+  /// Connects to the server's AF_UNIX socket.
+  static Result<DatalogClient> Connect(const std::string& socket_path);
+
+  DatalogClient(DatalogClient&& other) noexcept;
+  DatalogClient& operator=(DatalogClient&& other) noexcept;
+  DatalogClient(const DatalogClient&) = delete;
+  DatalogClient& operator=(const DatalogClient&) = delete;
+  ~DatalogClient();
+
+  /// Round-trips one frame. The payload is Datalog text (see wire.h); the
+  /// returned Reply distinguishes server-side errors (Reply::ok == false)
+  /// from transport failures (non-OK Result).
+  Result<Reply> Call(Opcode op, std::string_view payload);
+
+  // Convenience wrappers.
+  Result<Reply> Ping() { return Call(Opcode::kPing, ""); }
+  Result<Reply> Query(std::string_view atom_text) {
+    return Call(Opcode::kQuery, atom_text);
+  }
+  Result<Reply> Insert(std::string_view facts_text) {
+    return Call(Opcode::kInsert, facts_text);
+  }
+  Result<Reply> Retract(std::string_view facts_text) {
+    return Call(Opcode::kRetract, facts_text);
+  }
+  Result<Reply> Commit() { return Call(Opcode::kCommit, ""); }
+  Result<Reply> Stats() { return Call(Opcode::kStats, ""); }
+  Result<Reply> DumpBase() { return Call(Opcode::kDumpBase, ""); }
+  Result<Reply> Shutdown() { return Call(Opcode::kShutdown, ""); }
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit DatalogClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_SERVER_CLIENT_H_

@@ -1,0 +1,71 @@
+#include "server/epoch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace datalog {
+
+void PrepareSnapshotIndexes(const Database& db) {
+  for (PredicateId pred : db.NonEmptyPredicates()) {
+    const Relation& rel = db.relation(pred);
+    for (int c = 0; c < rel.arity(); ++c) {
+      rel.PrepareSingleIndex(c);
+    }
+  }
+}
+
+EpochManager::EpochManager(Database db, Database base, CommitStats stats) {
+  PrepareSnapshotIndexes(db);
+  head_ = std::make_shared<const EpochSnapshot>(0, std::move(db),
+                                                std::move(base),
+                                                std::move(stats));
+  registry_.push_back(head_);
+  published_ = 1;
+}
+
+std::shared_ptr<const EpochSnapshot> EpochManager::head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+std::uint64_t EpochManager::head_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_->id;
+}
+
+std::shared_ptr<const EpochSnapshot> EpochManager::Publish(Database db,
+                                                           Database base,
+                                                           CommitStats stats) {
+  TraceSpan span("server/publish_epoch");
+  // Index building happens outside the lock: the snapshot is private
+  // until the swap below, and commits are already serialized upstream.
+  PrepareSnapshotIndexes(db);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto snapshot = std::make_shared<const EpochSnapshot>(
+      head_->id + 1, std::move(db), std::move(base), std::move(stats));
+  head_ = snapshot;
+  registry_.push_back(snapshot);
+  ++published_;
+  span.Note("epoch", snapshot->id);
+  return snapshot;
+}
+
+std::uint64_t EpochManager::epochs_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+std::size_t EpochManager::LiveEpochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.erase(
+      std::remove_if(registry_.begin(), registry_.end(),
+                     [](const std::weak_ptr<const EpochSnapshot>& w) {
+                       return w.expired();
+                     }),
+      registry_.end());
+  return registry_.size();
+}
+
+}  // namespace datalog

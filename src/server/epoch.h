@@ -1,0 +1,86 @@
+#ifndef DATALOG_SERVER_EPOCH_H_
+#define DATALOG_SERVER_EPOCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "eval/database.h"
+#include "incr/materialized_view.h"
+
+namespace datalog {
+
+/// One published epoch: an immutable snapshot of the materialized view
+/// (and the asserted base it was derived from) at a commit boundary.
+/// Snapshots are shared_ptr-pinned: a reader that opened epoch E keeps E
+/// alive for exactly as long as it holds the pointer, no matter how many
+/// newer epochs writers publish meanwhile. Nothing mutates a snapshot
+/// after Publish(), so readers touch it without locks; the single-column
+/// indexes every query probe are prebuilt before publication
+/// (PrepareSnapshotIndexes), keeping concurrent Lookups pure reads under
+/// the frozen-snapshot contract of eval/relation.h.
+struct EpochSnapshot {
+  std::uint64_t id = 0;  // 0 is the initial materialization
+  Database db;           // the materialized fixpoint at this epoch
+  Database base;         // the asserted EDB at this epoch (the oracle input)
+  CommitStats stats;     // work of the commit that produced this epoch
+
+  EpochSnapshot(std::uint64_t id_in, Database db_in, Database base_in,
+                CommitStats stats_in)
+      : id(id_in),
+        db(std::move(db_in)),
+        base(std::move(base_in)),
+        stats(std::move(stats_in)) {}
+};
+
+/// Builds (single-column) hash indexes on every column of every non-empty
+/// relation of `db`, so that concurrent snapshot queries probe them
+/// without triggering a lazy build. Called once per snapshot, before it
+/// is published; afterwards the snapshot is never written again.
+void PrepareSnapshotIndexes(const Database& db);
+
+/// MVCC-style epoch chain. Publish() atomically replaces the head with a
+/// new immutable snapshot -- an O(1) pointer swap, so writers never wait
+/// for readers -- and head() pins the current head for a reader. Old
+/// epochs are reclaimed automatically when their last pin drops;
+/// LiveEpochs() observes that through a weak registry (and is what the
+/// epoch-lifetime tests and the STATS frame report).
+///
+/// Thread-safe.
+class EpochManager {
+ public:
+  /// Starts the chain at epoch 0 with the initial materialization.
+  EpochManager(Database db, Database base, CommitStats stats);
+
+  /// Pins and returns the current head epoch.
+  std::shared_ptr<const EpochSnapshot> head() const;
+
+  std::uint64_t head_id() const;
+
+  /// Publishes a new head epoch (id = previous head id + 1) holding the
+  /// given state; returns the pinned new head. Prebuilds the snapshot's
+  /// query indexes before the swap. Callers serialize commits themselves
+  /// (the server's commit lock); Publish() only guards the swap.
+  std::shared_ptr<const EpochSnapshot> Publish(Database db, Database base,
+                                               CommitStats stats);
+
+  /// Number of epochs ever published, including epoch 0.
+  std::uint64_t epochs_published() const;
+
+  /// Number of snapshots still alive (pinned by a reader or the head).
+  /// Prunes expired registry entries as a side effect.
+  std::size_t LiveEpochs() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const EpochSnapshot> head_;
+  std::uint64_t published_ = 0;
+  /// Weak handles onto every published snapshot, pruned lazily: expired
+  /// entries are exactly the epochs that have been reclaimed.
+  mutable std::vector<std::weak_ptr<const EpochSnapshot>> registry_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_SERVER_EPOCH_H_

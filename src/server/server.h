@@ -1,0 +1,183 @@
+#ifndef DATALOG_SERVER_SERVER_H_
+#define DATALOG_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/database.h"
+#include "incr/materialized_view.h"
+#include "server/epoch.h"
+#include "server/wire.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace datalog {
+
+struct ServerOptions {
+  /// Filesystem path of the AF_UNIX listening socket. Created on Start()
+  /// (an existing stale socket file is replaced) and unlinked on Stop().
+  std::string socket_path;
+
+  /// Request-handler threads (the pool that runs QUERY/COMMIT/... frames).
+  /// Clamped to at least 1.
+  std::size_t num_workers = 2;
+
+  /// Maintenance parallelism handed to the MaterializedView (see
+  /// IncrOptions::num_threads). 1 keeps commits single-threaded.
+  std::size_t incr_threads = 1;
+};
+
+/// Deterministic-where-possible server counters, exported by the STATS
+/// frame (as JSON) and by Stats() for in-process tests.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t pings = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t retracts = 0;
+  std::uint64_t commits = 0;        // COMMIT frames that published an epoch
+  std::uint64_t empty_commits = 0;  // COMMIT frames that only re-pinned
+  std::uint64_t stats_requests = 0;
+  std::uint64_t errors = 0;  // error responses sent
+  std::uint64_t head_epoch = 0;
+  std::uint64_t epochs_published = 0;
+  std::uint64_t live_epochs = 0;
+  std::uint64_t base_facts = 0;  // at the head epoch
+  std::uint64_t view_facts = 0;  // at the head epoch
+
+  std::string ToJson() const;
+};
+
+/// A long-lived Datalog server: hosts one MaterializedView behind
+/// MVCC-style epoch snapshots and serves the wire protocol of
+/// server/wire.h over a local (AF_UNIX) stream socket.
+///
+/// Concurrency model (docs/server.md):
+///  - one I/O thread accepts connections and reassembles frames; each
+///    complete frame is dispatched to a ThreadPool of `num_workers`
+///    request handlers (one in-flight request per connection, so
+///    responses stay FIFO per client without per-connection queues);
+///  - readers resolve QUERY frames against the epoch snapshot their
+///    connection pinned (the head at first query, refreshed by COMMIT),
+///    entirely lock-free -- snapshots are immutable and their indexes
+///    prebuilt, so readers never block writers and vice versa;
+///  - writers buffer INSERT/RETRACT per connection and serialize COMMIT
+///    through one commit mutex: apply the batch to the incremental view,
+///    copy the maintained state, publish it as the next epoch (an O(1)
+///    shared_ptr swap), and re-pin the committing connection;
+///  - parsing interns into the shared SymbolTable under a writer lock;
+///    rendering and evaluation take the reader side.
+///
+/// Every request runs under an obs span (server/<op>) and bumps
+/// server.requests / server.latency_ns metrics labeled by op.
+class DatalogServer {
+ public:
+  /// Materializes `program` over `edb` (epoch 0), binds the socket, and
+  /// starts the I/O thread and worker pool.
+  static Result<std::unique_ptr<DatalogServer>> Start(Program program,
+                                                      Database edb,
+                                                      ServerOptions options);
+
+  ~DatalogServer();
+
+  DatalogServer(const DatalogServer&) = delete;
+  DatalogServer& operator=(const DatalogServer&) = delete;
+
+  /// Stops accepting, drains in-flight requests, closes connections, and
+  /// joins the I/O thread and workers. Idempotent.
+  void Stop();
+
+  /// Blocks until the server stops -- either a client sent SHUTDOWN or
+  /// another thread called Stop(). The CLI `serve` command parks here.
+  void WaitUntilStopped();
+
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  std::uint64_t head_epoch() const { return epochs_->head_id(); }
+  std::size_t live_epochs() const { return epochs_->LiveEpochs(); }
+
+  ServerStats Stats() const;
+
+ private:
+  struct Connection;
+
+  DatalogServer(Program program, ServerOptions options);
+
+  Status Initialize(Database edb);
+  void IoLoop();
+  void Wake();
+  void AcceptReady();
+  void ReadReady(Connection* conn);
+  /// Dispatches the next buffered frame of `conn` to the pool, if any.
+  void MaybeDispatch(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(int fd);
+
+  /// Runs on a pool worker: executes one request frame and writes the
+  /// response.
+  void HandleFrame(const std::shared_ptr<Connection>& conn, std::uint8_t tag,
+                   std::string payload);
+  void Respond(const std::shared_ptr<Connection>& conn, RespStatus status,
+               std::uint64_t epoch, std::string_view body);
+
+  std::string HandleQuery(const std::shared_ptr<Connection>& conn,
+                          const std::string& text, RespStatus* status,
+                          std::uint64_t* epoch);
+  std::string HandleUpdate(const std::shared_ptr<Connection>& conn,
+                           const std::string& text, bool insert,
+                           RespStatus* status, std::uint64_t* epoch);
+  std::string HandleCommit(const std::shared_ptr<Connection>& conn,
+                           RespStatus* status, std::uint64_t* epoch);
+
+  Program program_;
+  std::shared_ptr<SymbolTable> symbols_;
+  ServerOptions options_;
+
+  std::unique_ptr<MaterializedView> view_;  // guarded by commit_mu_
+  std::unique_ptr<EpochManager> epochs_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex commit_mu_;  // serializes Apply + Publish
+  /// Writer side: parsing (may intern). Reader side: arity checks,
+  /// rendering, and the maintenance passes inside Apply.
+  std::shared_mutex symbols_mu_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read, [1] write
+  std::thread io_thread_;
+
+  /// Connections, keyed by fd. Only the I/O thread touches the map.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+  bool teardown_done_ = false;  // guarded by stopped_mu_ (Stop idempotence)
+
+  // Request counters (relaxed atomics; exact because each op bumps once).
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> pings_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> retracts_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> empty_commits_{0};
+  std::atomic<std::uint64_t> stats_requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_SERVER_SERVER_H_

@@ -1,0 +1,38 @@
+#ifndef DATALOG_SERVER_SNAPSHOT_QUERY_H_
+#define DATALOG_SERVER_SNAPSHOT_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/symbol_table.h"
+#include "eval/database.h"
+#include "eval/eval_stats.h"
+#include "util/result.h"
+
+namespace datalog {
+
+/// Answers the single-atom query `pattern` (e.g. `g(1, x)`) against an
+/// immutable snapshot database: returns the matching tuples of the
+/// pattern's predicate, sorted (Value order), each with the pattern's
+/// arity.
+///
+/// Read-only by construction, so any number of threads may query the same
+/// snapshot concurrently: bound columns probe the prebuilt single-column
+/// indexes (PrepareSnapshotIndexes), unbound patterns scan rows(), and
+/// nothing is lazily built or cached. `stats`, when non-null, counts the
+/// probe work (tuples_scanned / index_lookups / substitutions) like every
+/// other engine.
+Result<std::vector<Tuple>> QuerySnapshot(const Database& db,
+                                         const Atom& pattern,
+                                         MatchStats* stats = nullptr);
+
+/// Renders answers the way the incr CLI prints them: one `pred(v, ...).`
+/// line per tuple, in the given order. The snapshot-isolation oracle
+/// compares these strings bit-for-bit against an offline evaluation.
+std::string RenderAnswers(PredicateId pred, const std::vector<Tuple>& tuples,
+                          const SymbolTable& symbols);
+
+}  // namespace datalog
+
+#endif  // DATALOG_SERVER_SNAPSHOT_QUERY_H_

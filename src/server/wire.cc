@@ -1,0 +1,78 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace datalog {
+
+namespace {
+
+std::uint32_t ReadU32(const char* data) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::uint8_t tag, std::string_view payload) {
+  std::string out;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size() + 1);
+  out.reserve(4 + length);
+  out.push_back(static_cast<char>(length & 0xff));
+  out.push_back(static_cast<char>((length >> 8) & 0xff));
+  out.push_back(static_cast<char>((length >> 16) & 0xff));
+  out.push_back(static_cast<char>((length >> 24) & 0xff));
+  out.push_back(static_cast<char>(tag));
+  out.append(payload);
+  return out;
+}
+
+void AppendU64(std::string* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t ReadU64(std::string_view data) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(data[static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+void FrameReader::Append(const char* data, std::size_t size) {
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+bool FrameReader::Next(std::uint8_t* tag, std::string* payload) {
+  if (!ok()) return false;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return false;
+  const std::uint32_t length = ReadU32(buffer_.data() + consumed_);
+  if (length == 0) {
+    error_ = "zero-length frame";
+    return false;
+  }
+  if (length > kMaxFrameBytes) {
+    error_ = "frame length " + std::to_string(length) + " exceeds limit " +
+             std::to_string(kMaxFrameBytes);
+    return false;
+  }
+  if (available < 4 + static_cast<std::size_t>(length)) return false;
+  *tag = static_cast<std::uint8_t>(buffer_[consumed_ + 4]);
+  payload->assign(buffer_, consumed_ + 5, length - 1);
+  consumed_ += 4 + static_cast<std::size_t>(length);
+  return true;
+}
+
+}  // namespace datalog

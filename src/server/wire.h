@@ -1,0 +1,88 @@
+#ifndef DATALOG_SERVER_WIRE_H_
+#define DATALOG_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace datalog {
+
+/// The Datalog server's wire protocol: length-prefixed binary frames over
+/// a local stream socket (docs/server.md).
+///
+/// Every frame is
+///
+///   [u32 length, little-endian] [u8 tag] [payload: length-1 bytes]
+///
+/// where `length` counts the tag byte plus the payload. In a request the
+/// tag is an Opcode and the payload is UTF-8 Datalog text (a fact list
+/// for INSERT/RETRACT, a query atom for QUERY, empty otherwise). In a
+/// response the tag is a RespStatus and the payload is
+///
+///   [u64 epoch id, little-endian] [UTF-8 body]
+///
+/// -- the epoch the request was served against (0 before any epoch is
+/// pinned), followed by answers / an ack / an error message. Keeping the
+/// payloads textual makes the protocol trivially scriptable while the
+/// framing stays binary-safe and cheap to parse incrementally.
+enum class Opcode : std::uint8_t {
+  kPing = 1,      // liveness + head-epoch probe
+  kQuery = 2,     // answer a single-atom query against the pinned epoch
+  kInsert = 3,    // buffer fact insertions in the connection's transaction
+  kRetract = 4,   // buffer fact retractions
+  kCommit = 5,    // apply the buffered transaction, publish a new epoch
+  kStats = 6,     // server counters as JSON
+  kDumpBase = 7,  // the pinned epoch's asserted base facts (oracle hook)
+  kShutdown = 8,  // ack, then stop the server
+};
+
+enum class RespStatus : std::uint8_t {
+  kOk = 0,
+  kError = 1,  // body is the error message; the connection stays usable
+};
+
+/// Frames larger than this are a protocol violation: the decoder reports
+/// an error and the server closes the connection instead of allocating
+/// unbounded memory on a corrupt length prefix.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 24;  // 16 MiB
+
+/// Encodes one frame (request or response) ready to write to the socket.
+std::string EncodeFrame(std::uint8_t tag, std::string_view payload);
+
+/// Appends `value` to `out` as 8 little-endian bytes (the epoch header of
+/// a response payload).
+void AppendU64(std::string* out, std::uint64_t value);
+
+/// Reads the little-endian u64 at data[0..8). `data` must hold >= 8 bytes.
+std::uint64_t ReadU64(std::string_view data);
+
+/// Incremental frame decoder: feed it raw socket bytes, take complete
+/// frames out. Tolerates frames split across arbitrarily many reads and
+/// multiple frames per read (the poll loop's natural input).
+class FrameReader {
+ public:
+  /// Appends raw bytes from the socket.
+  void Append(const char* data, std::size_t size);
+
+  /// If a complete frame is buffered, moves its tag/payload out and
+  /// returns true. Returns false when more bytes are needed. A malformed
+  /// frame (zero or oversized length) sets error() permanently; the
+  /// caller should drop the connection.
+  bool Next(std::uint8_t* tag, std::string* payload);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (for tests).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  std::string error_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_SERVER_WIRE_H_

@@ -11,23 +11,17 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  Wait();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
+ThreadPool::~ThreadPool() { Shutdown(DrainPolicy::kDrain); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   work_cv_.notify_one();
+  return true;
 }
 
 bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
@@ -60,6 +54,40 @@ void ThreadPool::Wait() {
   while (RunOneTask(lock)) {
   }
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::Shutdown(DrainPolicy policy) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // A second call still waits for teardown to finish (threads_ is
+      // only mutated below under the first caller, after workers joined).
+      done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+      return;
+    }
+    shutdown_ = true;  // Submit() rejects from here on
+    if (policy == DrainPolicy::kReject) {
+      // Queued-but-not-started tasks are dropped deterministically; tasks
+      // a worker already dequeued are mid-run and always complete.
+      in_flight_ -= queue_.size();
+      queue_.clear();
+      if (in_flight_ == 0) done_cv_.notify_all();
+    } else {
+      // Drain: run queued tasks here too, then wait out the stragglers.
+      while (RunOneTask(lock)) {
+      }
+    }
+    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+bool ThreadPool::shutdown() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return shutdown_;
 }
 
 }  // namespace datalog

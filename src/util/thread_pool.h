@@ -13,7 +13,9 @@ namespace datalog {
 
 /// A fixed-size worker pool with a shared FIFO task queue. Built for the
 /// parallel evaluator's round structure -- submit a batch of tasks, then
-/// Wait() for the round barrier -- but generic enough for any fan-out.
+/// Wait() for the round barrier -- but generic enough for any fan-out,
+/// including the long-lived request loop of the Datalog server
+/// (src/server), which needs a deterministic shutdown story.
 ///
 /// With zero workers the pool is still usable: Wait() drains the queue on
 /// the calling thread, so ThreadPool(0) gives a deterministic
@@ -21,10 +23,17 @@ namespace datalog {
 /// sanitizers and in tests).
 class ThreadPool {
  public:
+  /// What Shutdown() does with tasks that are queued but not yet running.
+  enum class DrainPolicy {
+    kDrain,   // run every queued task before the workers exit
+    kReject,  // drop queued tasks; only tasks already running finish
+  };
+
   /// Spawns `num_threads` workers (0 is allowed, see above).
   explicit ThreadPool(std::size_t num_threads);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Equivalent to Shutdown(kDrain): drains outstanding tasks, then joins
+  /// the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,14 +41,26 @@ class ThreadPool {
 
   std::size_t num_threads() const { return threads_.size(); }
 
-  /// Enqueues `task`. Tasks must not throw; they may Submit() further
-  /// tasks, which the same Wait() call will also drain.
-  void Submit(std::function<void()> task);
+  /// Enqueues `task` and returns true. Tasks must not throw; they may
+  /// Submit() further tasks, which the same Wait() call will also drain.
+  /// After Shutdown() the task is rejected (not run) and Submit returns
+  /// false -- the deterministic behavior a long-lived server needs when a
+  /// request races teardown.
+  bool Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished. With zero workers
   /// (or while workers are busy) the calling thread runs queued tasks
   /// itself instead of idling.
   void Wait();
+
+  /// Permanently shuts the pool down: no Submit() is accepted afterwards.
+  /// kDrain runs every queued task first; kReject discards tasks that
+  /// have not started (tasks already running always complete). Blocks
+  /// until the workers have joined. Idempotent; the policy of the first
+  /// call wins. Must not be called from inside a pool task.
+  void Shutdown(DrainPolicy policy = DrainPolicy::kDrain);
+
+  bool shutdown() const;
 
  private:
   void WorkerLoop();
@@ -47,12 +68,13 @@ class ThreadPool {
   /// empty. `lock` must hold `mu_` and is reacquired before returning.
   bool RunOneTask(std::unique_lock<std::mutex>& lock);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signalled when tasks arrive / stop
   std::condition_variable done_cv_;  // signalled when in_flight_ hits zero
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  // queued + currently running tasks
-  bool stop_ = false;
+  bool stop_ = false;          // workers should exit once the queue is empty
+  bool shutdown_ = false;      // Submit() rejects; set by Shutdown()
   std::vector<std::thread> threads_;
 };
 

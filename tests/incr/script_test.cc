@@ -1,0 +1,165 @@
+#include "incr/script.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+
+Result<std::vector<ScriptOp>> Parse(std::string_view text,
+                                    ScriptDialect dialect) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  return ParseUpdateScript(text, &parser, dialect);
+}
+
+TEST(ScriptTest, ParsesAllIncrOpKinds) {
+  Result<std::vector<ScriptOp>> ops = Parse(
+      "+edge(1, 2).\n"
+      "-edge(3, 4).\n"
+      "commit\n"
+      "?path(1, x)\n",
+      ScriptDialect::kIncr);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 4u);
+  EXPECT_EQ((*ops)[0].kind, ScriptOp::Kind::kInsert);
+  EXPECT_EQ((*ops)[0].facts.size(), 1u);
+  EXPECT_EQ((*ops)[1].kind, ScriptOp::Kind::kRetract);
+  EXPECT_EQ((*ops)[2].kind, ScriptOp::Kind::kCommit);
+  EXPECT_EQ((*ops)[3].kind, ScriptOp::Kind::kQuery);
+}
+
+TEST(ScriptTest, RecordsOneBasedLineNumbers) {
+  Result<std::vector<ScriptOp>> ops = Parse(
+      "# header comment\n"
+      "+edge(1, 2).\n"
+      "\n"
+      "commit\n",
+      ScriptDialect::kIncr);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 2u);
+  EXPECT_EQ((*ops)[0].line, 2);
+  EXPECT_EQ((*ops)[1].line, 4);
+}
+
+TEST(ScriptTest, MultipleFactsMayShareALine) {
+  Result<std::vector<ScriptOp>> ops =
+      Parse("+edge(1, 2). edge(2, 3). edge(3, 4).\n", ScriptDialect::kIncr);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 1u);
+  EXPECT_EQ((*ops)[0].kind, ScriptOp::Kind::kInsert);
+  EXPECT_EQ((*ops)[0].facts.size(), 3u);
+}
+
+TEST(ScriptTest, MissingPeriodIsAutoAppended) {
+  Result<std::vector<ScriptOp>> ops =
+      Parse("+edge(1, 2)\n", ScriptDialect::kIncr);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 1u);
+  EXPECT_EQ((*ops)[0].facts.size(), 1u);
+}
+
+TEST(ScriptTest, MalformedFactNamesTheLine) {
+  Result<std::vector<ScriptOp>> ops = Parse(
+      "+edge(1, 2).\n"
+      "+edge(1, \n"
+      "commit\n",
+      ScriptDialect::kIncr);
+  ASSERT_FALSE(ops.ok());
+  EXPECT_NE(ops.status().message().find("line 2"), std::string::npos)
+      << ops.status().ToString();
+}
+
+TEST(ScriptTest, UnknownDirectiveNamesTheLine) {
+  Result<std::vector<ScriptOp>> ops = Parse(
+      "+edge(1, 2).\n"
+      "commit\n"
+      "flush\n",
+      ScriptDialect::kIncr);
+  ASSERT_FALSE(ops.ok());
+  EXPECT_NE(ops.status().message().find("line 3"), std::string::npos)
+      << ops.status().ToString();
+}
+
+TEST(ScriptTest, NonGroundFactIsRejectedWithItsLine) {
+  Result<std::vector<ScriptOp>> ops =
+      Parse("+edge(1, x).\n", ScriptDialect::kIncr);
+  ASSERT_FALSE(ops.ok());
+  EXPECT_NE(ops.status().message().find("line 1"), std::string::npos)
+      << ops.status().ToString();
+}
+
+TEST(ScriptTest, ClientVerbsParseOnlyInClientDialect) {
+  const std::string script =
+      "ping\n"
+      "stats\n"
+      "base\n"
+      "shutdown\n";
+  Result<std::vector<ScriptOp>> client_ops =
+      Parse(script, ScriptDialect::kClient);
+  ASSERT_TRUE(client_ops.ok()) << client_ops.status().ToString();
+  ASSERT_EQ(client_ops->size(), 4u);
+  EXPECT_EQ((*client_ops)[0].kind, ScriptOp::Kind::kPing);
+  EXPECT_EQ((*client_ops)[1].kind, ScriptOp::Kind::kStats);
+  EXPECT_EQ((*client_ops)[2].kind, ScriptOp::Kind::kDumpBase);
+  EXPECT_EQ((*client_ops)[3].kind, ScriptOp::Kind::kShutdown);
+
+  Result<std::vector<ScriptOp>> incr_ops = Parse(script, ScriptDialect::kIncr);
+  ASSERT_FALSE(incr_ops.ok());
+  EXPECT_NE(incr_ops.status().message().find("line 1"), std::string::npos)
+      << incr_ops.status().ToString();
+}
+
+TEST(ScriptTest, CommentsAndBlankLinesAreIgnored) {
+  Result<std::vector<ScriptOp>> ops = Parse(
+      "# full-line comment\n"
+      "\n"
+      "   \n"
+      "+edge(1, 2).  % trailing comment\n"
+      "?path(x, y)   % another\n",
+      ScriptDialect::kIncr);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 2u);
+  EXPECT_EQ((*ops)[0].kind, ScriptOp::Kind::kInsert);
+  EXPECT_EQ((*ops)[1].kind, ScriptOp::Kind::kQuery);
+}
+
+TEST(ScriptTest, PercentInsideQuotedConstantIsNotAComment) {
+  auto symbols = MakeSymbols();
+  Parser parser(symbols);
+  Result<std::vector<ScriptOp>> ops = ParseUpdateScript(
+      "+label(1, 'a%b').\n", &parser, ScriptDialect::kIncr);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 1u);
+  ASSERT_EQ((*ops)[0].facts.size(), 1u);
+}
+
+TEST(ScriptTest, EmptyScriptYieldsNoOps) {
+  Result<std::vector<ScriptOp>> ops =
+      Parse("# nothing here\n\n", ScriptDialect::kIncr);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  EXPECT_TRUE(ops->empty());
+}
+
+TEST(ScriptTest, QueryBuffersThenCommitSemanticsAreCallerSide) {
+  // The parser itself does not reorder or merge ops: a query between
+  // buffered facts stays in place so the runner can commit-before-query.
+  Result<std::vector<ScriptOp>> ops = Parse(
+      "+edge(1, 2).\n"
+      "?path(1, x)\n"
+      "-edge(1, 2).\n",
+      ScriptDialect::kIncr);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 3u);
+  EXPECT_EQ((*ops)[0].kind, ScriptOp::Kind::kInsert);
+  EXPECT_EQ((*ops)[1].kind, ScriptOp::Kind::kQuery);
+  EXPECT_EQ((*ops)[2].kind, ScriptOp::Kind::kRetract);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,130 @@
+// End-to-end smoke test of `datalog-opt serve` / `datalog-opt client`: a
+// real server process on a real AF_UNIX socket, driven by a client batch
+// script, with a clean shutdown verified via the server's exit status.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+#ifndef DATALOG_CLI_PATH
+#define DATALOG_CLI_PATH "datalog-opt"
+#endif
+
+int RunCli(const std::string& args, std::string* stdout_text) {
+  std::string command = std::string(DATALOG_CLI_PATH) + " " + args +
+                        " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[4096];
+  stdout_text->clear();
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    *stdout_text += buffer;
+  }
+  int status = pclose(pipe);
+  return WEXITSTATUS(status);
+}
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  std::string path = ::testing::TempDir() + "/datalog_smoke_" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+/// Waits for the server to bind its socket (the socket file appearing is
+/// the signal; bind happens before the accept loop starts).
+bool WaitForSocket(const std::string& path, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    if (::access(path.c_str(), F_OK) == 0) return true;
+    ::usleep(20 * 1000);
+  }
+  return false;
+}
+
+TEST(ServerSmokeTest, ServeAnswersClientScriptAndShutsDownCleanly) {
+  const std::string program = WriteTemp("srv.dl",
+                                        "path(x, y) :- edge(x, y).\n"
+                                        "path(x, z) :- path(x, y), edge(y, z).\n");
+  const std::string facts = WriteTemp("srv_facts.dl", "edge(1, 2). edge(2, 3).");
+  const std::string socket_path =
+      ::testing::TempDir() + "/dlsmoke_" + std::to_string(::getpid()) + ".sock";
+  ::unlink(socket_path.c_str());
+
+  // Launch the server as a real child process; pclose() later both reaps
+  // it and surfaces its exit status.
+  const std::string serve_cmd = std::string(DATALOG_CLI_PATH) + " serve " +
+                                program + " " + facts + " " + socket_path +
+                                " --workers 2 2>/dev/null";
+  FILE* server = popen(serve_cmd.c_str(), "r");
+  ASSERT_NE(server, nullptr);
+  const bool socket_up = WaitForSocket(socket_path, /*timeout_ms=*/10000);
+
+  std::string out;
+  int client_code = -1;
+  if (socket_up) {
+    const std::string script = WriteTemp("srv_script.dl",
+                                         "ping\n"
+                                         "?path(1, x)\n"
+                                         "+edge(3, 4).\n"
+                                         "commit\n"
+                                         "?path(1, x)\n"
+                                         "stats\n"
+                                         "shutdown\n");
+    client_code = RunCli("client " + socket_path + " " + script, &out);
+    if (client_code != 0) {
+      // Best effort: make sure the server is told to exit so pclose below
+      // cannot hang, then fail on client_code.
+      const std::string bye = WriteTemp("srv_bye.dl", "shutdown\n");
+      std::string ignored;
+      RunCli("client " + socket_path + " " + bye, &ignored);
+    }
+  }
+
+  const int server_code = WEXITSTATUS(pclose(server));
+  ASSERT_TRUE(socket_up) << "server never bound " << socket_path;
+  ASSERT_EQ(client_code, 0) << out;
+  EXPECT_EQ(server_code, 0);
+
+  // Epoch 0 answers, then epoch 1 answers including the committed edge,
+  // then the stats JSON -- in script order on stdout.
+  const std::string before = "path(1, 2).\npath(1, 3).\n";
+  const std::string after = "path(1, 2).\npath(1, 3).\npath(1, 4).\n";
+  const std::size_t before_at = out.find(before);
+  ASSERT_NE(before_at, std::string::npos) << out;
+  const std::size_t after_at = out.find(after, before_at + before.size());
+  ASSERT_NE(after_at, std::string::npos) << out;
+  const std::size_t stats_at = out.find("\"head_epoch\": 1", after_at);
+  EXPECT_NE(stats_at, std::string::npos) << out;
+  EXPECT_NE(out.find("\"queries\": 2"), std::string::npos) << out;
+
+  // Clean shutdown removed the socket file.
+  EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
+}
+
+TEST(ServerSmokeTest, ClientAgainstMissingServerFailsFast) {
+  const std::string script = WriteTemp("noserver.dl", "ping\n");
+  const std::string socket_path = ::testing::TempDir() + "/dl_nosrv.sock";
+  ::unlink(socket_path.c_str());
+  std::string out;
+  int code = RunCli("client " + socket_path + " " + script, &out);
+  EXPECT_NE(code, 0);
+}
+
+TEST(ServerSmokeTest, MalformedClientScriptFailsWithoutAServer) {
+  // Script parse errors are caught before connecting.
+  const std::string script = WriteTemp("badscript.dl", "flush\n");
+  std::string out;
+  int code = RunCli("client /nonexistent.sock " + script, &out);
+  EXPECT_NE(code, 0);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,161 @@
+#include "server/epoch.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/snapshot_query.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseQueryOrDie;
+
+TEST(EpochManagerTest, StartsAtEpochZero) {
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(symbols, "e(1, 2).");
+  EpochManager epochs(db, db, CommitStats{});
+  EXPECT_EQ(epochs.head_id(), 0u);
+  EXPECT_EQ(epochs.epochs_published(), 1u);
+  EXPECT_EQ(epochs.LiveEpochs(), 1u);
+  EXPECT_EQ(epochs.head()->db.NumFacts(), 1u);
+}
+
+TEST(EpochManagerTest, PublishAdvancesTheHead) {
+  auto symbols = MakeSymbols();
+  Database db0 = ParseDatabaseOrDie(symbols, "e(1, 2).");
+  EpochManager epochs(db0, db0, CommitStats{});
+  Database db1 = ParseDatabaseOrDie(symbols, "e(1, 2). e(2, 3).");
+  auto snap = epochs.Publish(db1, db1, CommitStats{});
+  EXPECT_EQ(snap->id, 1u);
+  EXPECT_EQ(epochs.head_id(), 1u);
+  EXPECT_EQ(epochs.head()->db.NumFacts(), 2u);
+  EXPECT_EQ(epochs.epochs_published(), 2u);
+}
+
+TEST(EpochManagerTest, PinnedEpochSurvivesNewerCommits) {
+  auto symbols = MakeSymbols();
+  Database db0 = ParseDatabaseOrDie(symbols, "e(1, 2).");
+  EpochManager epochs(db0, db0, CommitStats{});
+  // A reader pins epoch 0...
+  std::shared_ptr<const EpochSnapshot> pinned = epochs.head();
+  // ...while three newer epochs are published.
+  for (int i = 0; i < 3; ++i) {
+    Database next = ParseDatabaseOrDie(symbols, "e(9, " + std::to_string(i) +
+                                                    ").");
+    epochs.Publish(next, next, CommitStats{});
+  }
+  EXPECT_EQ(epochs.head_id(), 3u);
+  // The pinned snapshot still holds its original state bit-for-bit.
+  EXPECT_EQ(pinned->id, 0u);
+  EXPECT_EQ(pinned->db.NumFacts(), 1u);
+  EXPECT_TRUE(pinned->db.Contains(
+      pinned->db.symbols()->InternPredicate("e", 2).value(),
+      Tuple{Value::Int(1), Value::Int(2)}));
+  // Epochs 1 and 2 had no pins and were reclaimed; 0 (pinned) and 3 (head)
+  // remain.
+  EXPECT_EQ(epochs.LiveEpochs(), 2u);
+  pinned.reset();
+  EXPECT_EQ(epochs.LiveEpochs(), 1u);
+}
+
+TEST(EpochManagerTest, DroppingTheLastPinReclaimsTheEpoch) {
+  auto symbols = MakeSymbols();
+  Database db0 = ParseDatabaseOrDie(symbols, "e(1, 1).");
+  EpochManager epochs(db0, db0, CommitStats{});
+  std::weak_ptr<const EpochSnapshot> observer;
+  {
+    std::shared_ptr<const EpochSnapshot> pin = epochs.head();
+    observer = pin;
+    Database db1 = ParseDatabaseOrDie(symbols, "e(2, 2).");
+    epochs.Publish(db1, db1, CommitStats{});
+    EXPECT_FALSE(observer.expired());  // pin keeps epoch 0 alive
+  }
+  EXPECT_TRUE(observer.expired());  // last pin gone -> reclaimed
+  EXPECT_EQ(epochs.LiveEpochs(), 1u);
+}
+
+TEST(EpochManagerTest, PreparedSnapshotAnswersQueriesWithoutIndexBuilds) {
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(symbols, "e(1, 2). e(1, 3). e(2, 3).");
+  EpochManager epochs(db, db, CommitStats{});
+  auto snap = epochs.head();
+  // Bound first column -> prebuilt index probe.
+  Atom q1 = ParseQueryOrDie(symbols, "?- e(1, x).");
+  Result<std::vector<Tuple>> r1 = QuerySnapshot(snap->db, q1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->size(), 2u);
+  // Bound second column -> that index is prebuilt too.
+  Atom q2 = ParseQueryOrDie(symbols, "?- e(x, 3).");
+  Result<std::vector<Tuple>> r2 = QuerySnapshot(snap->db, q2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 2u);
+  // All-variable pattern -> full scan.
+  Atom q3 = ParseQueryOrDie(symbols, "?- e(x, y).");
+  Result<std::vector<Tuple>> r3 = QuerySnapshot(snap->db, q3);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->size(), 3u);
+}
+
+TEST(EpochManagerTest, ConcurrentReadersOnOneSnapshotAgree) {
+  auto symbols = MakeSymbols();
+  std::string facts;
+  for (int i = 0; i < 64; ++i) {
+    facts += "e(" + std::to_string(i % 8) + ", " + std::to_string(i) + "). ";
+  }
+  Database db = ParseDatabaseOrDie(symbols, facts);
+  EpochManager epochs(db, db, CommitStats{});
+  auto snap = epochs.head();
+  Atom query = ParseQueryOrDie(symbols, "?- e(3, x).");
+  std::vector<std::thread> readers;
+  std::vector<std::size_t> counts(8, 0);
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    readers.emplace_back([&snap, &query, &counts, t] {
+      for (int i = 0; i < 50; ++i) {
+        Result<std::vector<Tuple>> r = QuerySnapshot(snap->db, query);
+        ASSERT_TRUE(r.ok());
+        counts[t] = r->size();
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  for (std::size_t c : counts) EXPECT_EQ(c, 8u);
+}
+
+TEST(EpochManagerTest, ConcurrentPinsAndPublishesAreSafe) {
+  auto symbols = MakeSymbols();
+  Database db0 = ParseDatabaseOrDie(symbols, "e(0, 0).");
+  auto epochs = std::make_unique<EpochManager>(db0, db0, CommitStats{});
+  std::vector<Database> versions;
+  for (int i = 1; i <= 20; ++i) {
+    versions.push_back(
+        ParseDatabaseOrDie(symbols, "e(" + std::to_string(i) + ", 0)."));
+  }
+  std::thread writer([&epochs, &versions] {
+    for (const Database& v : versions) {
+      epochs->Publish(v, v, CommitStats{});
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&epochs] {
+      for (int i = 0; i < 200; ++i) {
+        auto snap = epochs->head();
+        // Snapshot invariants hold no matter when the pin happened.
+        ASSERT_EQ(snap->db.NumFacts(), 1u);
+        ASSERT_LE(snap->id, 20u);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(epochs->head_id(), 20u);
+  EXPECT_EQ(epochs->epochs_published(), 21u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,367 @@
+// In-process tests of the Datalog server: wire round trips through a real
+// AF_UNIX socket, snapshot pinning, commit/publish, error handling, and
+// concurrent clients. The differential snapshot-isolation oracle lives in
+// server_oracle_test.cc.
+
+#include "server/server.h"
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/client.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseProgramOrDie;
+
+std::string SocketPath(const std::string& name) {
+  return ::testing::TempDir() + "dlsrv_" + std::to_string(::getpid()) + "_" +
+         name + ".sock";
+}
+
+/// Starts a transitive-closure server (path over edge) on a fresh socket.
+std::unique_ptr<DatalogServer> StartPathServer(const std::string& name,
+                                               std::size_t workers,
+                                               const std::string& edb =
+                                                   "edge(1, 2). edge(2, 3).") {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols,
+                                      "path(x, y) :- edge(x, y).\n"
+                                      "path(x, z) :- path(x, y), edge(y, z).\n");
+  Database db = ParseDatabaseOrDie(symbols, edb);
+  ServerOptions options;
+  options.socket_path = SocketPath(name);
+  options.num_workers = workers;
+  Result<std::unique_ptr<DatalogServer>> server =
+      DatalogServer::Start(std::move(program), std::move(db), options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return server.ok() ? std::move(server).value() : nullptr;
+}
+
+Reply CallOrDie(DatalogClient* client, Opcode op, std::string_view payload) {
+  Result<Reply> reply = client->Call(op, payload);
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  return reply.ok() ? std::move(reply).value() : Reply{};
+}
+
+TEST(ServerTest, PingReportsHeadEpoch) {
+  auto server = StartPathServer("ping", 2);
+  ASSERT_NE(server, nullptr);
+  Result<DatalogClient> client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Reply reply = CallOrDie(&*client, Opcode::kPing, "");
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.epoch, 0u);
+  EXPECT_EQ(reply.body, "pong");
+  server->Stop();
+}
+
+TEST(ServerTest, QueryAnswersAgainstInitialMaterialization) {
+  auto server = StartPathServer("query", 2);
+  ASSERT_NE(server, nullptr);
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  Reply reply = CallOrDie(&*client, Opcode::kQuery, "path(1, x)");
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.epoch, 0u);
+  EXPECT_EQ(reply.body, "path(1, 2).\npath(1, 3).\n");
+  // Queries accept the `?- atom.` form too, identically.
+  Reply reply2 = CallOrDie(&*client, Opcode::kQuery, "?- path(1, x).");
+  EXPECT_EQ(reply2.body, reply.body);
+  server->Stop();
+}
+
+TEST(ServerTest, CommitPublishesANewEpochVisibleToTheCommitter) {
+  auto server = StartPathServer("commit", 2);
+  ASSERT_NE(server, nullptr);
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  Reply buffered = CallOrDie(&*client, Opcode::kInsert, "edge(3, 4).");
+  EXPECT_TRUE(buffered.ok);
+  Reply committed = CallOrDie(&*client, Opcode::kCommit, "");
+  EXPECT_TRUE(committed.ok);
+  EXPECT_EQ(committed.epoch, 1u);
+  Reply reply = CallOrDie(&*client, Opcode::kQuery, "path(1, x)");
+  EXPECT_EQ(reply.epoch, 1u);
+  EXPECT_EQ(reply.body, "path(1, 2).\npath(1, 3).\npath(1, 4).\n");
+  EXPECT_EQ(server->head_epoch(), 1u);
+  server->Stop();
+}
+
+TEST(ServerTest, ReaderKeepsItsSnapshotWhileWritersCommit) {
+  auto server = StartPathServer("isolation", 2);
+  ASSERT_NE(server, nullptr);
+  auto reader = DatalogClient::Connect(server->socket_path());
+  auto writer = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(writer.ok());
+  // Reader pins epoch 0 with its first query.
+  Reply before = CallOrDie(&*reader, Opcode::kQuery, "path(1, x)");
+  EXPECT_EQ(before.epoch, 0u);
+  // Writer commits a change; head moves to epoch 1.
+  CallOrDie(&*writer, Opcode::kInsert, "edge(3, 4).");
+  Reply committed = CallOrDie(&*writer, Opcode::kCommit, "");
+  EXPECT_EQ(committed.epoch, 1u);
+  // The reader still sees epoch 0, bit-identically.
+  Reply after = CallOrDie(&*reader, Opcode::kQuery, "path(1, x)");
+  EXPECT_EQ(after.epoch, 0u);
+  EXPECT_EQ(after.body, before.body);
+  // An empty commit re-pins the reader to the newest epoch.
+  Reply repin = CallOrDie(&*reader, Opcode::kCommit, "");
+  EXPECT_EQ(repin.epoch, 1u);
+  Reply fresh = CallOrDie(&*reader, Opcode::kQuery, "path(1, x)");
+  EXPECT_EQ(fresh.epoch, 1u);
+  EXPECT_EQ(fresh.body, "path(1, 2).\npath(1, 3).\npath(1, 4).\n");
+  server->Stop();
+}
+
+TEST(ServerTest, EpochLifetimeReaderPinsAcrossThreeCommitsAndReclaim) {
+  auto server = StartPathServer("lifetime", 2);
+  ASSERT_NE(server, nullptr);
+  auto reader = DatalogClient::Connect(server->socket_path());
+  auto writer = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(writer.ok());
+  Reply pin = CallOrDie(&*reader, Opcode::kQuery, "path(1, x)");
+  EXPECT_EQ(pin.epoch, 0u);
+  const std::string pinned_body = pin.body;
+  // Three newer epochs publish while the reader holds epoch 0.
+  for (int i = 4; i <= 6; ++i) {
+    CallOrDie(&*writer, Opcode::kInsert,
+              "edge(" + std::to_string(i - 1) + ", " + std::to_string(i) +
+                  ").");
+    Reply committed = CallOrDie(&*writer, Opcode::kCommit, "");
+    EXPECT_EQ(committed.epoch, static_cast<std::uint64_t>(i - 3));
+  }
+  EXPECT_EQ(server->head_epoch(), 3u);
+  // Reclamation: epoch 0 (reader pin), epoch 3 (head), and possibly the
+  // writer's most recent pin remain -- the middle epochs are gone.
+  EXPECT_LE(server->live_epochs(), 3u);
+  EXPECT_GE(server->live_epochs(), 2u);
+  // The reader's snapshot is untouched by three rounds of maintenance.
+  for (int i = 0; i < 10; ++i) {
+    Reply again = CallOrDie(&*reader, Opcode::kQuery, "path(1, x)");
+    EXPECT_EQ(again.epoch, 0u);
+    EXPECT_EQ(again.body, pinned_body);
+  }
+  // Dropping the pin (re-pin to head) lets epoch 0 be reclaimed.
+  CallOrDie(&*reader, Opcode::kCommit, "");
+  writer->Close();
+  Reply head_view = CallOrDie(&*reader, Opcode::kQuery, "path(1, x)");
+  EXPECT_EQ(head_view.epoch, 3u);
+  EXPECT_EQ(head_view.body,
+            "path(1, 2).\npath(1, 3).\npath(1, 4).\npath(1, 5).\npath(1, "
+            "6).\n");
+  server->Stop();
+}
+
+TEST(ServerTest, RetractionsNetAgainstInsertsLastOpWins) {
+  auto server = StartPathServer("netting", 2);
+  ASSERT_NE(server, nullptr);
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  // Insert then retract the same fact in one transaction: net no-op.
+  CallOrDie(&*client, Opcode::kInsert, "edge(7, 8).");
+  CallOrDie(&*client, Opcode::kRetract, "edge(7, 8).");
+  // Retract then re-insert an existing fact: net insert (already present).
+  CallOrDie(&*client, Opcode::kRetract, "edge(1, 2).");
+  CallOrDie(&*client, Opcode::kInsert, "edge(1, 2).");
+  Reply committed = CallOrDie(&*client, Opcode::kCommit, "");
+  EXPECT_TRUE(committed.ok) << committed.body;
+  Reply reply = CallOrDie(&*client, Opcode::kQuery, "path(x, y)");
+  EXPECT_EQ(reply.body,
+            "path(1, 2).\npath(1, 3).\npath(2, 3).\n");
+  server->Stop();
+}
+
+TEST(ServerTest, MalformedQueryReturnsErrorAndConnectionSurvives) {
+  auto server = StartPathServer("badquery", 2);
+  ASSERT_NE(server, nullptr);
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  Reply bad = CallOrDie(&*client, Opcode::kQuery, "path(1, ");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.body.empty());
+  // Arity mismatch is a server-side error, not a crash.
+  Reply arity = CallOrDie(&*client, Opcode::kQuery, "path(1, 2, 3)");
+  EXPECT_FALSE(arity.ok);
+  // The connection keeps working.
+  Reply good = CallOrDie(&*client, Opcode::kQuery, "path(1, x)");
+  EXPECT_TRUE(good.ok);
+  EXPECT_EQ(good.body, "path(1, 2).\npath(1, 3).\n");
+  server->Stop();
+}
+
+TEST(ServerTest, NonGroundInsertIsRejectedAtBufferTime) {
+  auto server = StartPathServer("nonground", 2);
+  ASSERT_NE(server, nullptr);
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  Reply bad = CallOrDie(&*client, Opcode::kInsert, "edge(1, x).");
+  EXPECT_FALSE(bad.ok);
+  // Nothing was buffered; the commit is a no-op that re-pins.
+  Reply committed = CallOrDie(&*client, Opcode::kCommit, "");
+  EXPECT_TRUE(committed.ok);
+  EXPECT_EQ(committed.epoch, 0u);
+  server->Stop();
+}
+
+TEST(ServerTest, QueryOnUnknownPredicateReturnsNoAnswers) {
+  auto server = StartPathServer("unknown", 2);
+  ASSERT_NE(server, nullptr);
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  Reply reply = CallOrDie(&*client, Opcode::kQuery, "nosuch(x, y)");
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.body, "");
+  server->Stop();
+}
+
+TEST(ServerTest, StatsCountsRequestsAndEpochs) {
+  auto server = StartPathServer("stats", 2);
+  ASSERT_NE(server, nullptr);
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  CallOrDie(&*client, Opcode::kPing, "");
+  CallOrDie(&*client, Opcode::kQuery, "path(1, x)");
+  CallOrDie(&*client, Opcode::kInsert, "edge(3, 4).");
+  CallOrDie(&*client, Opcode::kCommit, "");
+  Reply stats = CallOrDie(&*client, Opcode::kStats, "");
+  EXPECT_TRUE(stats.ok);
+  EXPECT_NE(stats.body.find("\"pings\": 1"), std::string::npos) << stats.body;
+  EXPECT_NE(stats.body.find("\"queries\": 1"), std::string::npos);
+  EXPECT_NE(stats.body.find("\"commits\": 1"), std::string::npos);
+  EXPECT_NE(stats.body.find("\"head_epoch\": 1"), std::string::npos);
+  ServerStats s = server->Stats();
+  EXPECT_EQ(s.pings, 1u);
+  EXPECT_EQ(s.queries, 1u);
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.connections_accepted, 1u);
+  server->Stop();
+}
+
+TEST(ServerTest, DumpBaseReturnsThePinnedEpochsBase) {
+  auto server = StartPathServer("base", 2);
+  ASSERT_NE(server, nullptr);
+  auto reader = DatalogClient::Connect(server->socket_path());
+  auto writer = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(writer.ok());
+  CallOrDie(&*reader, Opcode::kQuery, "path(1, x)");  // pin epoch 0
+  CallOrDie(&*writer, Opcode::kInsert, "edge(9, 9).");
+  CallOrDie(&*writer, Opcode::kCommit, "");
+  Reply base = CallOrDie(&*reader, Opcode::kDumpBase, "");
+  EXPECT_EQ(base.epoch, 0u);
+  EXPECT_EQ(base.body, "edge(1, 2).\nedge(2, 3).\n");
+  Reply writer_base = CallOrDie(&*writer, Opcode::kDumpBase, "");
+  EXPECT_EQ(writer_base.epoch, 1u);
+  EXPECT_NE(writer_base.body.find("edge(9, 9).\n"), std::string::npos);
+  server->Stop();
+}
+
+TEST(ServerTest, ShutdownFrameStopsTheServer) {
+  auto server = StartPathServer("shutdown", 2);
+  ASSERT_NE(server, nullptr);
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  Reply bye = CallOrDie(&*client, Opcode::kShutdown, "");
+  EXPECT_TRUE(bye.ok);
+  EXPECT_EQ(bye.body, "bye");
+  server->WaitUntilStopped();
+  EXPECT_TRUE(server->stopped());
+  server->Stop();
+  // The socket file is gone; new connections fail.
+  Result<DatalogClient> late = DatalogClient::Connect(server->socket_path());
+  EXPECT_FALSE(late.ok());
+}
+
+TEST(ServerTest, StopWithConnectedClientsIsClean) {
+  auto server = StartPathServer("stopbusy", 2);
+  ASSERT_NE(server, nullptr);
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  CallOrDie(&*client, Opcode::kQuery, "path(1, x)");
+  server->Stop();  // connection dropped server-side; no hang, no crash
+  Result<Reply> reply = client->Call(Opcode::kPing, "");
+  EXPECT_FALSE(reply.ok());  // server is gone
+}
+
+TEST(ServerTest, ManyConcurrentClientsMixedReadWrite) {
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    auto server =
+        StartPathServer("mixed_w" + std::to_string(workers), workers);
+    ASSERT_NE(server, nullptr);
+    constexpr int kClients = 6;
+    constexpr int kOpsPerClient = 12;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&server, c] {
+        auto client = DatalogClient::Connect(server->socket_path());
+        ASSERT_TRUE(client.ok());
+        for (int i = 0; i < kOpsPerClient; ++i) {
+          if (c % 2 == 0) {  // writer: grow a private chain, then commit
+            const int node = 100 * (c + 1) + i;
+            Result<Reply> r = client->Insert(
+                "edge(" + std::to_string(node) + ", " +
+                std::to_string(node + 1) + ").");
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            ASSERT_TRUE((*r).ok) << (*r).body;
+            r = client->Commit();
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            ASSERT_TRUE((*r).ok) << (*r).body;
+          } else {  // reader: pinned-snapshot queries stay self-consistent
+            Result<Reply> r = client->Query("path(1, x)");
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            ASSERT_TRUE((*r).ok) << (*r).body;
+            ASSERT_EQ((*r).body, "path(1, 2).\npath(1, 3).\n");
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    ServerStats stats = server->Stats();
+    EXPECT_EQ(stats.commits, 3u * kOpsPerClient);
+    EXPECT_EQ(stats.head_epoch, 3u * kOpsPerClient);
+    EXPECT_EQ(stats.connections_accepted, kClients);
+    server->Stop();
+  }
+}
+
+TEST(ServerTest, PipelinedFramesAreAnsweredInOrder) {
+  auto server = StartPathServer("pipeline", 2);
+  ASSERT_NE(server, nullptr);
+  // Hand-roll a client that writes three frames back to back before
+  // reading any response; the server must answer them FIFO.
+  auto client = DatalogClient::Connect(server->socket_path());
+  ASSERT_TRUE(client.ok());
+  Reply a = CallOrDie(&*client, Opcode::kPing, "");
+  Reply b = CallOrDie(&*client, Opcode::kQuery, "path(2, x)");
+  Reply c = CallOrDie(&*client, Opcode::kPing, "");
+  EXPECT_EQ(a.body, "pong");
+  EXPECT_EQ(b.body, "path(2, 3).\n");
+  EXPECT_EQ(c.body, "pong");
+  server->Stop();
+}
+
+TEST(ServerTest, SocketPathTooLongFailsToStart) {
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols, "p(x) :- e(x).\n");
+  Database db = ParseDatabaseOrDie(symbols, "e(1).");
+  ServerOptions options;
+  options.socket_path = "/tmp/" + std::string(200, 'x') + ".sock";
+  Result<std::unique_ptr<DatalogServer>> server =
+      DatalogServer::Start(std::move(program), std::move(db), options);
+  EXPECT_FALSE(server.ok());
+}
+
+}  // namespace
+}  // namespace datalog

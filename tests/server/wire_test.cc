@@ -1,0 +1,154 @@
+#include "server/wire.h"
+
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace datalog {
+namespace {
+
+TEST(WireTest, EncodeFrameLayout) {
+  const std::string frame = EncodeFrame(0x02, "abc");
+  ASSERT_EQ(frame.size(), 8u);  // 4 length + 1 tag + 3 payload
+  // length = tag + payload = 4, little-endian
+  EXPECT_EQ(static_cast<unsigned char>(frame[0]), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[1]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[2]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[3]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[4]), 0x02u);
+  EXPECT_EQ(frame.substr(5), "abc");
+}
+
+TEST(WireTest, RoundTripSingleFrame) {
+  const std::string frame = EncodeFrame(7, "hello world");
+  FrameReader reader;
+  reader.Append(frame.data(), frame.size());
+  std::uint8_t tag = 0;
+  std::string payload;
+  ASSERT_TRUE(reader.Next(&tag, &payload));
+  EXPECT_EQ(tag, 7u);
+  EXPECT_EQ(payload, "hello world");
+  EXPECT_FALSE(reader.Next(&tag, &payload));
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireTest, EmptyPayloadRoundTrips) {
+  const std::string frame = EncodeFrame(3, "");
+  FrameReader reader;
+  reader.Append(frame.data(), frame.size());
+  std::uint8_t tag = 0;
+  std::string payload = "stale";
+  ASSERT_TRUE(reader.Next(&tag, &payload));
+  EXPECT_EQ(tag, 3u);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(WireTest, ReassemblesFrameFedOneByteAtATime) {
+  const std::string frame = EncodeFrame(5, "split across many reads");
+  FrameReader reader;
+  std::uint8_t tag = 0;
+  std::string payload;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.Append(&frame[i], 1);
+    EXPECT_FALSE(reader.Next(&tag, &payload)) << "at byte " << i;
+  }
+  reader.Append(&frame[frame.size() - 1], 1);
+  ASSERT_TRUE(reader.Next(&tag, &payload));
+  EXPECT_EQ(tag, 5u);
+  EXPECT_EQ(payload, "split across many reads");
+}
+
+TEST(WireTest, DecodesMultipleFramesFromOneAppend) {
+  std::string bytes = EncodeFrame(1, "first");
+  bytes += EncodeFrame(2, "second");
+  bytes += EncodeFrame(3, "third");
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  std::uint8_t tag = 0;
+  std::string payload;
+  ASSERT_TRUE(reader.Next(&tag, &payload));
+  EXPECT_EQ(tag, 1u);
+  EXPECT_EQ(payload, "first");
+  ASSERT_TRUE(reader.Next(&tag, &payload));
+  EXPECT_EQ(tag, 2u);
+  EXPECT_EQ(payload, "second");
+  ASSERT_TRUE(reader.Next(&tag, &payload));
+  EXPECT_EQ(tag, 3u);
+  EXPECT_EQ(payload, "third");
+  EXPECT_FALSE(reader.Next(&tag, &payload));
+}
+
+TEST(WireTest, ZeroLengthFrameIsAPermanentError) {
+  FrameReader reader;
+  const char zeros[4] = {0, 0, 0, 0};
+  reader.Append(zeros, sizeof(zeros));
+  std::uint8_t tag = 0;
+  std::string payload;
+  EXPECT_FALSE(reader.Next(&tag, &payload));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.error().empty());
+  // Even appending a valid frame afterwards cannot clear the error.
+  const std::string frame = EncodeFrame(1, "x");
+  reader.Append(frame.data(), frame.size());
+  EXPECT_FALSE(reader.Next(&tag, &payload));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WireTest, OversizedFrameIsRejectedBeforeAllocation) {
+  // A length prefix just above the cap must error out immediately, without
+  // waiting for (or buffering) 16 MiB of payload.
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  char header[5];
+  header[0] = static_cast<char>(huge & 0xff);
+  header[1] = static_cast<char>((huge >> 8) & 0xff);
+  header[2] = static_cast<char>((huge >> 16) & 0xff);
+  header[3] = static_cast<char>((huge >> 24) & 0xff);
+  header[4] = 1;  // tag
+  FrameReader reader;
+  reader.Append(header, sizeof(header));
+  std::uint8_t tag = 0;
+  std::string payload;
+  EXPECT_FALSE(reader.Next(&tag, &payload));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WireTest, MaxSizeFrameIsAccepted) {
+  const std::string payload_in(kMaxFrameBytes - 1, 'x');
+  const std::string frame = EncodeFrame(9, payload_in);
+  FrameReader reader;
+  reader.Append(frame.data(), frame.size());
+  std::uint8_t tag = 0;
+  std::string payload;
+  ASSERT_TRUE(reader.Next(&tag, &payload));
+  EXPECT_EQ(tag, 9u);
+  EXPECT_EQ(payload.size(), payload_in.size());
+}
+
+TEST(WireTest, U64RoundTrips) {
+  for (std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0x0123456789abcdef},
+        ~std::uint64_t{0}}) {
+    std::string bytes;
+    AppendU64(&bytes, value);
+    ASSERT_EQ(bytes.size(), 8u);
+    EXPECT_EQ(ReadU64(bytes), value);
+  }
+}
+
+TEST(WireTest, BufferedReportsUnconsumedBytes) {
+  const std::string frame = EncodeFrame(1, "abcdef");
+  FrameReader reader;
+  reader.Append(frame.data(), 3);  // partial header
+  EXPECT_EQ(reader.buffered(), 3u);
+  std::uint8_t tag = 0;
+  std::string payload;
+  EXPECT_FALSE(reader.Next(&tag, &payload));
+  reader.Append(frame.data() + 3, frame.size() - 3);
+  ASSERT_TRUE(reader.Next(&tag, &payload));
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace datalog

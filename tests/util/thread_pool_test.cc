@@ -87,5 +87,135 @@ TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
   EXPECT_EQ(sum, 63 * 64 / 2);
 }
 
+TEST(ThreadPoolShutdownTest, DrainRunsEveryQueuedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(pool.Submit(
+        [&count] { count.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  pool.Shutdown(ThreadPool::DrainPolicy::kDrain);
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_TRUE(pool.shutdown());
+}
+
+TEST(ThreadPoolShutdownTest, ShutdownWhileBusyWaitsForRunningTasks) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> finished{0};
+  // Occupy both workers with tasks that block until released, plus a
+  // queued backlog behind them.
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release, &finished] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit(
+        [&finished] { finished.fetch_add(1, std::memory_order_relaxed); });
+  }
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.store(true, std::memory_order_release);
+  });
+  pool.Shutdown(ThreadPool::DrainPolicy::kDrain);  // must not return early
+  releaser.join();
+  EXPECT_EQ(finished.load(), 12);
+}
+
+TEST(ThreadPoolShutdownTest, RejectDropsQueuedButFinishesRunningTasks) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.Submit([&started, &release, &ran] {
+    started.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  // Once the single worker is inside the blocking task, everything below
+  // is guaranteed to still be queued when Shutdown(kReject) runs.
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // These sit in the queue behind the blocked task and must be discarded.
+  for (int i = 0; i < 25; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.store(true, std::memory_order_release);
+  });
+  pool.Shutdown(ThreadPool::DrainPolicy::kReject);
+  releaser.join();
+  // The running task always completes; the queued 25 never start.
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolShutdownTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> count{0};
+  EXPECT_FALSE(pool.Submit(
+      [&count] { count.fetch_add(1, std::memory_order_relaxed); }));
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_TRUE(pool.shutdown());
+}
+
+TEST(ThreadPoolShutdownTest, ShutdownIsIdempotent) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Shutdown(ThreadPool::DrainPolicy::kDrain);
+  pool.Shutdown(ThreadPool::DrainPolicy::kDrain);   // no-op
+  pool.Shutdown(ThreadPool::DrainPolicy::kReject);  // first policy wins
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolShutdownTest, ConcurrentShutdownCallsAllReturn) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back(
+        [&pool] { pool.Shutdown(ThreadPool::DrainPolicy::kDrain); });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolShutdownTest, ZeroWorkerPoolShutsDownCleanly) {
+  ThreadPool pool(0);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.Shutdown(ThreadPool::DrainPolicy::kDrain);  // drains on this thread
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_FALSE(
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); }));
+}
+
+TEST(ThreadPoolShutdownTest, DestructorAfterShutdownIsSafe) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Shutdown();
+    // Destructor runs Shutdown(kDrain) again; must be a no-op.
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
 }  // namespace
 }  // namespace datalog

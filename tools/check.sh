@@ -41,7 +41,7 @@ configure_and_build() {
   echo "== building (${sanitize})"
   cmake --build "${build_dir}" -j "${JOBS}" \
     --target util_test eval_test incr_test obs_test core_test \
-             integration_test datalog-opt
+             integration_test server_test server_oracle_test datalog-opt
 }
 
 # The tracer and metrics registry write their own JSON; make sure a real
@@ -193,6 +193,11 @@ run_gate() {
     ./tests/eval_test
     ./tests/incr_test
     ./tests/obs_test
+    # The server suites are the epoch-snapshot concurrency gate: pinned
+    # readers racing commit publication, worker pools racing the I/O
+    # loop, and the 50-seed snapshot-isolation differential oracle.
+    ./tests/server_test
+    ./tests/server_oracle_test
     ./tests/core_test --gtest_filter='*MinimizeMetamorphic*'
     ./tests/integration_test \
       --gtest_filter='*DifferentialEngine*:*MethodsAgree*:*Incremental*:*TabledTopDown*'

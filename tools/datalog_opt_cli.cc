@@ -8,6 +8,8 @@
 //   datalog-opt prove     P1 P2 TGDS         Section X containment recipe
 //   datalog-opt explain   PROGRAM FACTS F    derivation tree of fact F
 //   datalog-opt incr      PROGRAM FACTS S    incremental update script S
+//   datalog-opt serve     PROGRAM FACTS SOCK epoch-snapshot server on SOCK
+//   datalog-opt client    SOCK SCRIPT        run a batch script against SOCK
 //   datalog-opt analyze   PROGRAM            structure report
 //   datalog-opt check     PROGRAM            static analysis diagnostics
 //
@@ -55,6 +57,14 @@ int Usage() {
       "       [--threads N]        while applying the update script\n"
       "                            (+fact / -fact / ?query / commit lines,\n"
       "                            see docs/FILE_FORMAT.md)\n"
+      "  serve PROGRAM FACTS SOCK  host the materialized fixpoint behind\n"
+      "       [--workers N]        epoch snapshots on the unix socket SOCK,\n"
+      "       [--threads N]        answering N clients concurrently\n"
+      "                            (docs/server.md); --threads sets the\n"
+      "                            view's maintenance parallelism\n"
+      "  client SOCK SCRIPT        run an update script (incr grammar plus\n"
+      "                            ping / stats / base / shutdown) against\n"
+      "                            a running server\n"
       "  plan PROGRAM Q            show the relevance -> Fig. 2 -> magic\n"
       "                            pipeline for query Q\n"
       "  analyze PROGRAM           recursion/linearity/strata report\n"
@@ -340,6 +350,10 @@ int CmdIncr(const std::string& program_text, const std::string& facts_text,
   if (!Check(program, "parse program")) return 1;
   Result<Database> db = ParseDatabase(symbols, facts_text);
   if (!Check(db, "parse facts")) return 1;
+  // The whole script is validated (with line numbers) before any work.
+  Result<std::vector<ScriptOp>> script =
+      ParseUpdateScript(script_text, &parser, ScriptDialect::kIncr);
+  if (!Check(script, "parse script")) return 1;
   IncrOptions options;
   options.num_threads = num_threads;
   Result<MaterializedView> view =
@@ -364,90 +378,193 @@ int CmdIncr(const std::string& program_text, const std::string& facts_text,
     return true;
   };
 
-  std::istringstream lines(script_text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(lines, line)) {
-    ++line_no;
-    // Strip a trailing %-comment (quote-aware) and surrounding blanks.
-    bool in_quote = false;
-    std::size_t cut = line.size();
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      if (line[i] == '\'') in_quote = !in_quote;
-      if (line[i] == '%' && !in_quote) {
-        cut = i;
+  for (const ScriptOp& op : *script) {
+    switch (op.kind) {
+      case ScriptOp::Kind::kCommit:
+        if (!commit()) return 1;
+        break;
+      case ScriptOp::Kind::kInsert:
+      case ScriptOp::Kind::kRetract:
+        for (const Atom& atom : op.facts) {
+          Status status = op.kind == ScriptOp::Kind::kInsert
+                              ? txn.Insert(atom)
+                              : txn.Retract(atom);
+          if (!status.ok()) {
+            std::fprintf(stderr, "error (script line %d): %s\n", op.line,
+                         status.ToString().c_str());
+            return 1;
+          }
+        }
+        break;
+      case ScriptOp::Kind::kQuery: {
+        if (!commit()) return 1;  // queries see all preceding updates
+        const Atom& query = op.query;
+        std::vector<std::string> answers;
+        EnumerateDeltaJoin(
+            {query}, {AtomSourceSpec{&view->db(), nullptr, nullptr}}, {},
+            [&](const Binding& binding) {
+              Tuple tuple = InstantiateHead(query, binding);
+              std::string text = symbols->PredicateName(query.predicate());
+              if (!tuple.empty()) {
+                text += "(";
+                for (std::size_t i = 0; i < tuple.size(); ++i) {
+                  if (i != 0) text += ", ";
+                  text += ToString(tuple[i], *symbols);
+                }
+                text += ")";
+              }
+              answers.push_back(std::move(text));
+              return true;
+            },
+            nullptr);
+        std::sort(answers.begin(), answers.end());
+        for (const std::string& answer : answers) {
+          std::printf("%s.\n", answer.c_str());
+        }
+        std::fprintf(stderr, "?%s %zu answers\n",
+                     ToString(query, *symbols).c_str(), answers.size());
+        break;
+      }
+      default:  // client-only verbs cannot appear in the kIncr dialect
+        break;
+    }
+  }
+  return commit() ? 0 : 1;
+}
+
+/// `datalog-opt serve`: materialize the program and host it behind epoch
+/// snapshots until a client sends `shutdown` (docs/server.md).
+int CmdServe(const std::string& program_text, const std::string& facts_text,
+             const std::string& socket_path, std::size_t num_workers,
+             std::size_t num_threads,
+             const std::shared_ptr<SymbolTable>& symbols) {
+  Parser parser(symbols);
+  Result<Program> program = parser.ParseProgram(program_text);
+  if (!Check(program, "parse program")) return 1;
+  Result<Database> db = ParseDatabase(symbols, facts_text);
+  if (!Check(db, "parse facts")) return 1;
+  ServerOptions options;
+  options.socket_path = socket_path;
+  options.num_workers = num_workers;
+  options.incr_threads = num_threads;
+  Result<std::unique_ptr<DatalogServer>> server =
+      DatalogServer::Start(*program, *db, options);
+  if (!Check(server, "serve")) return 1;
+  std::fprintf(stderr, "serving on %s: %zu facts, %zu worker(s)\n",
+               socket_path.c_str(), (*server)->Stats().view_facts,
+               num_workers == 0 ? std::size_t{1} : num_workers);
+  std::fflush(stderr);  // readiness line; smoke tests wait for the socket
+  (*server)->WaitUntilStopped();
+  (*server)->Stop();
+  ServerStats stats = (*server)->Stats();
+  std::fprintf(stderr, "server stopped: %s\n", stats.ToJson().c_str());
+  return 0;
+}
+
+/// `datalog-opt client`: run a batch script (the incr grammar plus the
+/// ping / stats / base / shutdown verbs) against a running server. Query
+/// answers, stats JSON, and base dumps go to stdout; acks to stderr.
+int CmdClient(const std::string& socket_path, const std::string& script_text) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Parser parser(symbols);
+  Result<std::vector<ScriptOp>> script =
+      ParseUpdateScript(script_text, &parser, ScriptDialect::kClient);
+  if (!Check(script, "parse script")) return 1;
+  Result<DatalogClient> client = DatalogClient::Connect(socket_path);
+  if (!Check(client, "connect")) return 1;
+
+  // Transport failures and server-side errors both abort the batch with a
+  // line-numbered message; nothing is silently skipped.
+  Reply last;
+  auto call = [&](const char* what, int line,
+                  Result<Reply> reply) -> const Reply* {
+    if (!reply.ok()) {
+      std::fprintf(stderr, "error (%s, script line %d): %s\n", what, line,
+                   reply.status().ToString().c_str());
+      return nullptr;
+    }
+    if (!reply->ok) {
+      std::fprintf(stderr, "error (%s, script line %d): %s\n", what, line,
+                   reply->body.c_str());
+      return nullptr;
+    }
+    last = *std::move(reply);
+    return &last;
+  };
+  auto facts_text_of = [&](const std::vector<Atom>& facts) {
+    std::string text;
+    for (const Atom& atom : facts) {
+      text += ToString(atom, *symbols);
+      text += ". ";
+    }
+    return text;
+  };
+
+  for (const ScriptOp& op : *script) {
+    switch (op.kind) {
+      case ScriptOp::Kind::kInsert:
+      case ScriptOp::Kind::kRetract: {
+        const bool insert = op.kind == ScriptOp::Kind::kInsert;
+        const Reply* reply =
+            call(insert ? "insert" : "retract", op.line,
+                 insert ? client->Insert(facts_text_of(op.facts))
+                        : client->Retract(facts_text_of(op.facts)));
+        if (reply == nullptr) return 1;
+        break;
+      }
+      case ScriptOp::Kind::kCommit: {
+        const Reply* reply = call("commit", op.line, client->Commit());
+        if (reply == nullptr) return 1;
+        std::fprintf(stderr, "commit @ epoch %llu: %s\n",
+                     static_cast<unsigned long long>(reply->epoch),
+                     reply->body.c_str());
+        break;
+      }
+      case ScriptOp::Kind::kQuery: {
+        // Same semantics as `incr`: a query first commits pending ops (an
+        // empty commit just refreshes the pinned snapshot).
+        if (call("commit", op.line, client->Commit()) == nullptr) return 1;
+        const std::string query_text = ToString(op.query, *symbols);
+        const Reply* reply = call("query", op.line, client->Query(query_text));
+        if (reply == nullptr) return 1;
+        std::fputs(reply->body.c_str(), stdout);
+        std::fprintf(stderr, "?%s %zu answers @ epoch %llu\n",
+                     query_text.c_str(),
+                     static_cast<std::size_t>(std::count(
+                         reply->body.begin(), reply->body.end(), '\n')),
+                     static_cast<unsigned long long>(reply->epoch));
+        break;
+      }
+      case ScriptOp::Kind::kPing: {
+        const Reply* reply = call("ping", op.line, client->Ping());
+        if (reply == nullptr) return 1;
+        std::fprintf(stderr, "%s @ epoch %llu\n", reply->body.c_str(),
+                     static_cast<unsigned long long>(reply->epoch));
+        break;
+      }
+      case ScriptOp::Kind::kStats: {
+        const Reply* reply = call("stats", op.line, client->Stats());
+        if (reply == nullptr) return 1;
+        std::printf("%s\n", reply->body.c_str());
+        break;
+      }
+      case ScriptOp::Kind::kDumpBase: {
+        const Reply* reply = call("base", op.line, client->DumpBase());
+        if (reply == nullptr) return 1;
+        std::fputs(reply->body.c_str(), stdout);
+        std::fprintf(stderr, "base @ epoch %llu\n",
+                     static_cast<unsigned long long>(reply->epoch));
+        break;
+      }
+      case ScriptOp::Kind::kShutdown: {
+        const Reply* reply = call("shutdown", op.line, client->Shutdown());
+        if (reply == nullptr) return 1;
+        std::fprintf(stderr, "%s\n", reply->body.c_str());
         break;
       }
     }
-    std::string body = line.substr(0, cut);
-    std::size_t start = body.find_first_not_of(" \t\r");
-    if (start == std::string::npos || body[start] == '#') continue;
-    std::size_t end = body.find_last_not_of(" \t\r");
-    body = body.substr(start, end - start + 1);
-    if (body == "commit") {
-      if (!commit()) return 1;
-      continue;
-    }
-    const char op = body[0];
-    std::string rest = body.substr(1);
-    if (!rest.empty() && rest.back() != '.') rest += '.';
-    if (op == '+' || op == '-') {
-      Result<std::vector<Atom>> atoms = parser.ParseGroundAtoms(rest);
-      if (!atoms.ok()) {
-        std::fprintf(stderr, "error (script line %d): %s\n", line_no,
-                     atoms.status().ToString().c_str());
-        return 1;
-      }
-      for (const Atom& atom : *atoms) {
-        Status status = op == '+' ? txn.Insert(atom) : txn.Retract(atom);
-        if (!status.ok()) {
-          std::fprintf(stderr, "error (script line %d): %s\n", line_no,
-                       status.ToString().c_str());
-          return 1;
-        }
-      }
-      continue;
-    }
-    if (op == '?') {
-      if (!commit()) return 1;  // queries see all preceding updates
-      Result<Atom> query = parser.ParseQuery("?- " + rest);
-      if (!query.ok()) {
-        std::fprintf(stderr, "error (script line %d): %s\n", line_no,
-                     query.status().ToString().c_str());
-        return 1;
-      }
-      std::vector<std::string> answers;
-      EnumerateDeltaJoin(
-          {*query}, {AtomSourceSpec{&view->db(), nullptr, nullptr}}, {},
-          [&](const Binding& binding) {
-            Tuple tuple = InstantiateHead(*query, binding);
-            std::string text = symbols->PredicateName(query->predicate());
-            if (!tuple.empty()) {
-              text += "(";
-              for (std::size_t i = 0; i < tuple.size(); ++i) {
-                if (i != 0) text += ", ";
-                text += ToString(tuple[i], *symbols);
-              }
-              text += ")";
-            }
-            answers.push_back(std::move(text));
-            return true;
-          },
-          nullptr);
-      std::sort(answers.begin(), answers.end());
-      for (const std::string& answer : answers) {
-        std::printf("%s.\n", answer.c_str());
-      }
-      std::fprintf(stderr, "?%s %zu answers\n", rest.c_str(), answers.size());
-      continue;
-    }
-    std::fprintf(stderr,
-                 "error (script line %d): expected +fact, -fact, ?query, "
-                 "commit, or a %%-comment\n",
-                 line_no);
-    return 1;
   }
-  return commit() ? 0 : 1;
+  return 0;
 }
 
 int CmdPlan(const std::string& program_text, const std::string& query_text,
@@ -664,6 +781,7 @@ int Main(int argc, char** argv) {
   // after the command) before positional parsing; only `eval`/`incr`
   // consume --threads, while --trace/--metrics apply to every command.
   std::size_t num_threads = 1;
+  std::size_t num_workers = 2;
   bool use_hints = false;
   std::string trace_path;
   std::string metrics_path;
@@ -673,9 +791,11 @@ int Main(int argc, char** argv) {
       use_hints = true;
       continue;
     }
-    if (std::strcmp(argv[i], "--threads") == 0) {
+    if (std::strcmp(argv[i], "--threads") == 0 ||
+        std::strcmp(argv[i], "--workers") == 0) {
+      const bool threads = std::strcmp(argv[i], "--threads") == 0;
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --threads expects a number\n");
+        std::fprintf(stderr, "error: %s expects a number\n", argv[i]);
         return 2;
       }
       char* end = nullptr;
@@ -683,11 +803,11 @@ int Main(int argc, char** argv) {
       // strtoul silently wraps negative input ("-1" parses as ULONG_MAX),
       // so cap at a sane thread count instead of trusting the raw value.
       if (end == argv[i + 1] || *end != '\0' || value > 1024) {
-        std::fprintf(stderr, "error: --threads expects a number, got '%s'\n",
-                     argv[i + 1]);
+        std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                     argv[i], argv[i + 1]);
         return 2;
       }
-      num_threads = static_cast<std::size_t>(value);
+      (threads ? num_threads : num_workers) = static_cast<std::size_t>(value);
       ++i;
       continue;
     }
@@ -718,6 +838,14 @@ int Main(int argc, char** argv) {
     const std::string command = argv[1];
     auto symbols = std::make_shared<SymbolTable>();
 
+    // client's second argument is a socket path, not an input file.
+    if (command == "client") {
+      if (argc < 4) return Usage();
+      std::string script;
+      if (!ReadInput(argv[3], &script)) return 1;
+      return CmdClient(argv[2], script);
+    }
+
     std::string first;
     if (!ReadInput(argv[2], &first)) return 1;
 
@@ -747,6 +875,11 @@ int Main(int argc, char** argv) {
     }
 
     if (argc < 5) return Usage();
+    // serve's third argument is the socket path to create, not a file.
+    if (command == "serve") {
+      return CmdServe(first, second, argv[4], num_workers, num_threads,
+                      symbols);
+    }
     if (command == "query") return CmdQuery(first, second, argv[4], symbols);
     if (command == "explain") {
       return CmdExplain(first, second, argv[4], symbols);
