@@ -7,6 +7,7 @@
 
 #include "analysis/passes.h"
 #include "ast/pretty_print.h"
+#include "eval/hypergraph.h"
 
 namespace datalog {
 namespace {
@@ -64,6 +65,39 @@ JoinOrderHints StaticJoinHints(const Program& program, SipStrategy sip) {
 // PlanJoinOrder to consume when installed via SetJoinOrderHints.
 void RunBindingPass(const Program& program, const AnalyzerOptions& options,
                     const ProgramSourceMap* source, AnalysisResult* result) {
+  // High-width bodies (query-independent, so reported before the early
+  // return below): a cyclic join hypergraph of estimated width >= 2 is
+  // exactly the shape where any left-deep plan enumerates intermediate
+  // results the output never needs; the evaluator selects the multiway
+  // intersection plan for these (see docs/multiway_joins.md). Info only:
+  // the body may well be intentional.
+  for (std::size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& rule = program.rules()[i];
+    std::vector<PlannedAtom> planned;
+    for (const Literal& lit : rule.body()) {
+      if (!lit.negated) {
+        planned.push_back(PlannedAtom{lit.atom, AtomSource::kFull});
+      }
+    }
+    if (!MultiwayEligibleBody(planned)) continue;
+    const int width = EstimateJoinWidth(BuildJoinHypergraph(planned));
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "binding";
+    d.code = "high-width-body";
+    d.message = "rule #" + std::to_string(i) + " for predicate '" +
+                program.symbols()->PredicateName(rule.head().predicate()) +
+                "' has a cyclic join hypergraph (estimated width " +
+                std::to_string(width) +
+                "); left-deep plans enumerate intermediate results the "
+                "output never needs";
+    d.note = "the evaluator uses the worst-case-optimal multiway "
+             "intersection for this body (SetMultiwayJoins)";
+    d.rule_index = i;
+    d.span = SpanOfRule(program, source, i);
+    result->diagnostics.push_back(std::move(d));
+  }
+
   if (!options.query.has_value() || program.NumRules() == 0) return;
   const Atom& query = *options.query;
   if (!program.IsIntentional(query.predicate())) return;  // dead_code warns

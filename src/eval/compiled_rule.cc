@@ -1,6 +1,8 @@
 #include "eval/compiled_rule.h"
 
 #include <algorithm>
+#include <deque>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -49,10 +51,14 @@ void CompiledRule::BuildSchedules(const Database& full,
                                   const Database* delta) {
   greedy_ = GreedyJoinOrderingEnabled();
   use_index_ = IndexLookupsEnabled();
+  multiway_ = MultiwayJoinsEnabled();
   hints_version_ = JoinOrderHintsVersion();
   steps_.clear();
   var_slots_.clear();
   num_slots_ = 0;
+  shape_ = PlanShape::kLeftDeep;
+  mw_candidate_ = false;
+  mw_steps_.clear();
 
   const std::vector<PlannedAtom> order = PlanJoinOrder(full, delta, atoms_);
 
@@ -161,17 +167,135 @@ void CompiledRule::BuildSchedules(const Database& full,
   for (const std::vector<CompiledTerm>& terms : negated_terms_) {
     if (!all_bound(terms)) batch_ok_ = false;
   }
+
+  // Plan-shape selection (docs/multiway_joins.md): cyclic bodies of
+  // estimated width >= 2 get the generic multiway-intersection shape --
+  // when the multiway and index knobs are on, the plan qualifies for
+  // id-space emission (batch_ok_), no explicit join-order hint covers
+  // the body (a hint is a request for a specific left-deep order), and
+  // every participating relation is non-empty. The size condition is
+  // what lets the >= 4x drift replanning flip the shape between rounds:
+  // a plan built while some relation was still empty stays left-deep
+  // and upgrades once the relation fills in.
+  if (batch_ok_ && MultiwayEligibleBody(atoms_)) {
+    const JoinOrderHints* hints = InstalledJoinOrderHints();
+    const bool hinted =
+        hints != nullptr && hints->order.contains(BodyFingerprint(atoms_));
+    // Structural candidacy is size-independent; it decides whether drift
+    // can ever flip this plan's shape (NeedsReplan consults it).
+    mw_candidate_ = !hinted;
+    if (multiway_ && use_index_ && !hinted) {
+      bool all_live = !steps_.empty();
+      for (const CompiledAtomStep& step : steps_) {
+        if (step.planned_size == 0 || step.arity == 0) all_live = false;
+      }
+      if (all_live) {
+        shape_ = PlanShape::kMultiway;
+        BuildMultiwaySchedules(order, slot_of);
+      }
+    }
+  }
   compiled_ = true;
+}
+
+void CompiledRule::BuildMultiwaySchedules(
+    const std::vector<PlannedAtom>& order,
+    const std::unordered_map<VariableId, int>& slot_of) {
+  // Gather, per variable (addressed by its frame slot), the atoms that
+  // mention it and the smallest participating relation.
+  struct VarInfo {
+    std::vector<std::size_t> atoms;
+    std::size_t min_size = std::numeric_limits<std::size_t>::max();
+  };
+  std::vector<VarInfo> info(static_cast<std::size_t>(num_slots_));
+  for (std::size_t d = 0; d < order.size(); ++d) {
+    for (const Term& t : order[d].atom.args()) {
+      if (!t.is_variable()) continue;
+      VarInfo& vi = info[static_cast<std::size_t>(slot_of.at(t.var()))];
+      if (vi.atoms.empty() || vi.atoms.back() != d) vi.atoms.push_back(d);
+      vi.min_size = std::min(vi.min_size, steps_[d].planned_size);
+    }
+  }
+
+  // Fixed variable order: most-constrained first (mentioned by the most
+  // atoms), then smallest participating relation, then slot index (the
+  // left-deep first-occurrence order) -- fully deterministic given the
+  // planned sizes. A triangle body orders its three variables x, y, z.
+  std::vector<int> var_order(static_cast<std::size_t>(num_slots_));
+  for (int s = 0; s < num_slots_; ++s) {
+    var_order[static_cast<std::size_t>(s)] = s;
+  }
+  std::sort(var_order.begin(), var_order.end(), [&](int a, int b) {
+    const VarInfo& va = info[static_cast<std::size_t>(a)];
+    const VarInfo& vb = info[static_cast<std::size_t>(b)];
+    if (va.atoms.size() != vb.atoms.size()) {
+      return va.atoms.size() > vb.atoms.size();
+    }
+    if (va.min_size != vb.min_size) return va.min_size < vb.min_size;
+    return a < b;
+  });
+
+  std::unordered_set<int> bound_slots;
+  for (int s : var_order) {
+    const VarInfo& vi = info[static_cast<std::size_t>(s)];
+    MultiwayStep step;
+    step.slot = s;
+    for (std::size_t d : vi.atoms) {
+      const Atom& atom = order[d].atom;
+      MultiwayProbe probe;
+      probe.atom = d;
+      for (int i = 0; i < atom.arity(); ++i) {
+        const Term& t = atom.args()[static_cast<std::size_t>(i)];
+        if (t.is_constant()) {
+          const std::uint32_t id = ValueDictionary::Global().Intern(t.value());
+          probe.bound_cols.push_back(i);
+          probe.key_template_ids.push_back(id);
+          probe.union_cols.push_back(i);
+          probe.union_template_ids.push_back(id);
+          continue;
+        }
+        const int ts = slot_of.at(t.var());
+        if (ts == s) {
+          probe.var_cols.push_back(i);
+          probe.union_cols.push_back(i);
+          probe.union_template_ids.push_back(ValueDictionary::kInvalidId);
+          probe.union_var_positions.push_back(
+              static_cast<int>(probe.union_template_ids.size()) - 1);
+        } else if (bound_slots.contains(ts)) {
+          probe.bound_cols.push_back(i);
+          probe.key_template_ids.push_back(ValueDictionary::kInvalidId);
+          probe.key_fill.push_back(CompiledAtomStep::KeyFill{
+              static_cast<int>(probe.key_template_ids.size()) - 1, ts});
+          probe.union_cols.push_back(i);
+          probe.union_template_ids.push_back(ValueDictionary::kInvalidId);
+          probe.union_key_fill.push_back(CompiledAtomStep::KeyFill{
+              static_cast<int>(probe.union_template_ids.size()) - 1, ts});
+        }
+        // Variables bound by later steps do not constrain this probe.
+      }
+      probe.unconditional = probe.bound_cols.empty();
+      step.probes.push_back(std::move(probe));
+    }
+    bound_slots.insert(s);
+    mw_steps_.push_back(std::move(step));
+  }
 }
 
 bool CompiledRule::NeedsReplan(const Database& full,
                                const Database* delta) const {
   if (greedy_ != GreedyJoinOrderingEnabled() ||
       use_index_ != IndexLookupsEnabled() ||
+      multiway_ != MultiwayJoinsEnabled() ||
       hints_version_ != JoinOrderHintsVersion()) {
     return true;
   }
-  if (!greedy_) return false;  // fixed textual order never changes
+  // With greedy ordering off, sizes matter only if drift could flip the
+  // plan's shape: shape selection requires every relation non-empty, so
+  // on a structurally multiway-candidate body a fill-in upgrades
+  // left-deep to multiway (and an EraseAll downgrades it back). Bodies
+  // that can never go multiway (too few atoms, acyclic, hinted) keep
+  // the fixed-order never-replan behavior.
+  if (!greedy_ && !(multiway_ && use_index_ && mw_candidate_)) return false;
   for (const CompiledAtomStep& step : steps_) {
     const Database& src =
         step.source == AtomSource::kDelta && delta != nullptr ? *delta
@@ -209,6 +333,34 @@ void CompiledRule::EnsureIndexes(const Database& full,
     if (fully_bound ? step.source == AtomSource::kOld
                     : !step.key_cols.empty()) {
       rel.EnsureIndex(step.key_cols);
+    }
+  }
+  // Multiway probes and root candidate lists (empty unless the plan
+  // shape is kMultiway): pre-built so the parallel fan-out stays
+  // read-only on the multiway path too. The left-deep loop above is
+  // still needed -- ApplyMultiway falls back to Execute when a relation
+  // turns out not to be columnar at run time.
+  for (const MultiwayStep& mw_step : mw_steps_) {
+    for (const MultiwayProbe& probe : mw_step.probes) {
+      const CompiledAtomStep& step = steps_[probe.atom];
+      const Database& src =
+          step.source == AtomSource::kDelta && delta != nullptr ? *delta
+                                                                : full;
+      const Relation& rel = src.relation(step.predicate);
+      if (rel.empty() || rel.arity() != step.arity) continue;
+      if (probe.unconditional) {
+        if (step.source != AtomSource::kOld && probe.var_cols.size() == 1 &&
+            rel.columnar()) {
+          rel.EnsureSortedKeys(probe.var_cols[0]);
+        }
+        // Old-snapshot and repeated-variable roots are built by scanning
+        // rows at Apply time: reads only, no index to pre-build.
+      } else {
+        rel.EnsureIndex(probe.bound_cols);
+        // Membership seeks for probes that are not the iteration source
+        // go through the index on bound-plus-variable columns.
+        rel.EnsureIndex(probe.union_cols);
+      }
     }
   }
 }
@@ -446,9 +598,305 @@ bool CompiledRule::ApplyBatch(const Database& full, const Database* delta,
   return true;
 }
 
+bool CompiledRule::ApplyMultiway(const Database& full, const Database* delta,
+                                 const OldLimits* old_limits, Database* out,
+                                 MatchStats* stats,
+                                 std::size_t* new_facts) const {
+  // Per-atom runtime state, resolved like ApplyBatch's BatchSource (same
+  // liveness rule, same old-snapshot limit).
+  struct AtomRt {
+    const Relation* rel = nullptr;
+    std::size_t limit = 0;
+    bool old_only = false;
+    bool dead = false;
+  };
+  std::vector<AtomRt> atoms_rt(steps_.size());
+  for (std::size_t d = 0; d < steps_.size(); ++d) {
+    const CompiledAtomStep& step = steps_[d];
+    const Database& src = step.source == AtomSource::kDelta ? *delta : full;
+    const Relation& rel = src.relation(step.predicate);
+    AtomRt& at = atoms_rt[d];
+    at.rel = &rel;
+    at.limit = rel.size();
+    at.old_only = step.source == AtomSource::kOld;
+    at.dead = rel.empty() || rel.arity() != step.arity;
+    if (at.old_only && !at.dead) {
+      at.limit = OldLimitFor(old_limits, step.predicate);
+      at.dead = at.limit == 0;
+    }
+    // A live row-store relation has no id columns to intersect: bail out
+    // before any counter moves and let Apply fall back to Execute.
+    if (!at.dead && !rel.columnar()) return false;
+  }
+  for (const AtomRt& at : atoms_rt) {
+    if (at.dead) {
+      // Every atom participates in every intersection, so one dead atom
+      // kills every match before any probe happens.
+      *new_facts = 0;
+      return true;
+    }
+  }
+
+  // Per-probe runtime state: an index view for bound probes, a root
+  // candidate list for unconditional ones. Root lists built by scanning
+  // (old snapshots, repeated variables) are owned by a deque so the
+  // pointers stay stable as more are added.
+  struct ProbeRt {
+    const std::vector<std::uint32_t>* root = nullptr;
+    Relation::SingleIndexView single;
+    Relation::MultiIndexView multi;
+    // Bound-plus-variable column index: membership seeks for probes that
+    // did not win the iteration-source election.
+    Relation::MultiIndexView union_index;
+  };
+  std::deque<std::vector<std::uint32_t>> owned_roots;
+  std::vector<std::vector<ProbeRt>> probes_rt(mw_steps_.size());
+  for (std::size_t s = 0; s < mw_steps_.size(); ++s) {
+    probes_rt[s].resize(mw_steps_[s].probes.size());
+    for (std::size_t p = 0; p < mw_steps_[s].probes.size(); ++p) {
+      const MultiwayProbe& probe = mw_steps_[s].probes[p];
+      const AtomRt& at = atoms_rt[probe.atom];
+      const Relation& rel = *at.rel;
+      ProbeRt& rt = probes_rt[s][p];
+      if (!probe.unconditional) {
+        if (probe.bound_cols.size() == 1) {
+          rt.single = rel.PrepareSingleIndex(probe.bound_cols[0]);
+        } else {
+          rt.multi = rel.PrepareIndex(probe.bound_cols);
+        }
+        rt.union_index = rel.PrepareIndex(probe.union_cols);
+        continue;
+      }
+      if (!at.old_only && probe.var_cols.size() == 1) {
+        // kFull/kDelta cover all rows, so the cached sorted distinct
+        // column keys are exactly the candidate list.
+        rt.root = &rel.SortedColumnKeys(probe.var_cols[0]);
+        continue;
+      }
+      // Old snapshot (limit may stop short of the cache) or repeated
+      // variable: scan rows [0, limit) once per Apply.
+      owned_roots.emplace_back();
+      std::vector<std::uint32_t>& list = owned_roots.back();
+      const std::vector<std::uint32_t>& c0 = rel.column(probe.var_cols[0]);
+      for (std::size_t i = 0; i < at.limit; ++i) {
+        const std::uint32_t id = c0[i];
+        bool ok = true;
+        for (std::size_t k = 1; k < probe.var_cols.size(); ++k) {
+          if (rel.column(probe.var_cols[k])[i] != id) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) list.push_back(id);
+      }
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+      rt.root = &list;
+    }
+  }
+
+  // Per-depth scratch, allocated once: projection buffers and key
+  // buffers (seek key plus union membership key) per probe, plus the
+  // per-probe seek-result pointer array.
+  std::vector<std::vector<std::vector<std::uint32_t>>> proj(mw_steps_.size());
+  std::vector<std::vector<std::vector<std::uint32_t>>> keys(mw_steps_.size());
+  std::vector<std::vector<std::vector<std::uint32_t>>> ukeys(mw_steps_.size());
+  std::vector<std::vector<const std::vector<std::uint32_t>*>> lists(
+      mw_steps_.size());
+  for (std::size_t s = 0; s < mw_steps_.size(); ++s) {
+    proj[s].resize(mw_steps_[s].probes.size());
+    keys[s].resize(mw_steps_[s].probes.size());
+    ukeys[s].resize(mw_steps_[s].probes.size());
+    lists[s].resize(mw_steps_[s].probes.size());
+  }
+
+  std::vector<std::uint32_t> slots(static_cast<std::size_t>(num_slots_), 0);
+  std::vector<std::uint32_t> derived_ids;
+  std::size_t derived_count = 0;
+  const std::size_t head_arity = head_terms_.size();
+  std::vector<std::uint32_t> neg_key;
+
+  // Emit boundary: identical in structure to ApplyBatch's -- bump
+  // substitutions per complete assignment, test negation in id space,
+  // buffer the head row (out may alias full).
+  auto emit = [&]() {
+    if (stats != nullptr) ++stats->substitutions;
+    for (std::size_t i = 0; i < negated_terms_.size(); ++i) {
+      neg_key.clear();
+      for (const CompiledTerm& t : negated_terms_[i]) {
+        neg_key.push_back(t.is_constant
+                              ? t.value_id
+                              : slots[static_cast<std::size_t>(t.slot)]);
+      }
+      if (full.relation(negated_preds_[i]).ContainsIds(neg_key)) return;
+    }
+    for (const CompiledTerm& t : head_terms_) {
+      derived_ids.push_back(t.is_constant
+                                ? t.value_id
+                                : slots[static_cast<std::size_t>(t.slot)]);
+    }
+    ++derived_count;
+  };
+
+  // Generic join: per variable, seek each containing atom's candidate
+  // set (the projection of its sigma-restricted rows), iterate the
+  // smallest one, and membership-test each surviving id against the
+  // others through their bound-plus-variable indexes. Only the smallest
+  // set is ever materialized, so per visit the work is proportional to
+  // the tightest atom, not the widest -- the property that makes the
+  // intersection worst-case optimal. Candidates are projections of real
+  // rows, so a surviving full assignment matches every atom with no
+  // final membership check needed.
+  auto enumerate = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == mw_steps_.size()) {
+      emit();
+      return;
+    }
+    const MultiwayStep& step = mw_steps_[depth];
+    const std::size_t num_probes = step.probes.size();
+
+    // Election pass: one seek per probe to size its candidate set. The
+    // posting size over-counts for old snapshots and repeated variables
+    // (filtering happens at projection time), but only as an estimate.
+    std::size_t smallest = 0;
+    std::size_t smallest_size = std::numeric_limits<std::size_t>::max();
+    for (std::size_t p = 0; p < num_probes; ++p) {
+      const MultiwayProbe& probe = step.probes[p];
+      const ProbeRt& rt = probes_rt[depth][p];
+      if (stats != nullptr) ++stats->index_lookups;
+      std::size_t est;
+      if (probe.unconditional) {
+        lists[depth][p] = rt.root;
+        est = rt.root->size();
+      } else {
+        std::vector<std::uint32_t>& key = keys[depth][p];
+        key = probe.key_template_ids;
+        for (const CompiledAtomStep::KeyFill& kf : probe.key_fill) {
+          key[static_cast<std::size_t>(kf.key_index)] =
+              slots[static_cast<std::size_t>(kf.slot)];
+        }
+        const std::vector<std::uint32_t>& row_ids =
+            probe.bound_cols.size() == 1 ? rt.single.FindId(key[0])
+                                         : rt.multi.FindIds(key);
+        lists[depth][p] = &row_ids;  // row ids, pending projection
+        est = row_ids.size();
+      }
+      if (est < smallest_size) {
+        smallest_size = est;
+        smallest = p;
+      }
+    }
+
+    // Materialize the winner only.
+    const MultiwayProbe& src_probe = step.probes[smallest];
+    const std::vector<std::uint32_t>* iter;
+    if (src_probe.unconditional) {
+      iter = lists[depth][smallest];
+    } else {
+      const AtomRt& at = atoms_rt[src_probe.atom];
+      const Relation& rel = *at.rel;
+      const std::vector<std::uint32_t>& c0 =
+          rel.column(src_probe.var_cols[0]);
+      std::vector<std::uint32_t>& out_list = proj[depth][smallest];
+      out_list.clear();
+      for (std::uint32_t row_id : *lists[depth][smallest]) {
+        if (at.old_only && row_id >= at.limit) continue;
+        if (stats != nullptr) ++stats->tuples_scanned;
+        const std::uint32_t id = c0[row_id];
+        bool ok = true;
+        for (std::size_t k = 1; k < src_probe.var_cols.size(); ++k) {
+          if (rel.column(src_probe.var_cols[k])[row_id] != id) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out_list.push_back(id);
+      }
+      std::sort(out_list.begin(), out_list.end());
+      out_list.erase(std::unique(out_list.begin(), out_list.end()),
+                     out_list.end());
+      iter = &out_list;
+    }
+
+    // Union membership keys change only at the candidate positions
+    // inside the loop; fill the bound positions once per visit.
+    for (std::size_t p = 0; p < num_probes; ++p) {
+      if (p == smallest || step.probes[p].unconditional) continue;
+      const MultiwayProbe& probe = step.probes[p];
+      std::vector<std::uint32_t>& ukey = ukeys[depth][p];
+      ukey = probe.union_template_ids;
+      for (const CompiledAtomStep::KeyFill& kf : probe.union_key_fill) {
+        ukey[static_cast<std::size_t>(kf.key_index)] =
+            slots[static_cast<std::size_t>(kf.slot)];
+      }
+    }
+
+    for (const std::uint32_t id : *iter) {
+      if (stats != nullptr) ++stats->tuples_scanned;
+      bool in_all = true;
+      for (std::size_t p = 0; p < num_probes && in_all; ++p) {
+        if (p == smallest) continue;
+        const MultiwayProbe& probe = step.probes[p];
+        const ProbeRt& rt = probes_rt[depth][p];
+        if (probe.unconditional) {
+          if (stats != nullptr) ++stats->tuples_scanned;
+          in_all = std::binary_search(rt.root->begin(), rt.root->end(), id);
+          continue;
+        }
+        if (stats != nullptr) ++stats->index_lookups;
+        std::vector<std::uint32_t>& ukey = ukeys[depth][p];
+        for (const int pos : probe.union_var_positions) {
+          ukey[static_cast<std::size_t>(pos)] = id;
+        }
+        const std::vector<std::uint32_t>& rows =
+            rt.union_index.FindIds(ukey);
+        const AtomRt& at = atoms_rt[probe.atom];
+        if (at.old_only) {
+          in_all = false;
+          for (const std::uint32_t row_id : rows) {
+            if (row_id < at.limit) {
+              in_all = true;
+              break;
+            }
+          }
+        } else {
+          in_all = !rows.empty();
+        }
+      }
+      if (!in_all) continue;
+      slots[static_cast<std::size_t>(step.slot)] = id;
+      self(self, depth + 1);
+    }
+  };
+  enumerate(enumerate, 0);
+
+  std::size_t added = 0;
+  std::vector<std::uint32_t> row(head_arity);
+  Relation& head_rel = out->MutableRelation(head_predicate_);
+  if (head_rel.columnar()) head_rel.ReserveRows(derived_count);
+  for (std::size_t i = 0; i < derived_count; ++i) {
+    for (std::size_t k = 0; k < head_arity; ++k) {
+      row[k] = derived_ids[i * head_arity + k];
+    }
+    if (head_rel.InsertIds(row)) ++added;
+  }
+  *new_facts = added;
+  return true;
+}
+
 std::size_t CompiledRule::Apply(const Database& full, const Database* delta,
                                 const OldLimits* old_limits, Database* out,
                                 MatchStats* stats) const {
+  // Multiway plan shape: the worst-case-optimal intersection executor.
+  // Derives the same fact set and the same substitution count as the
+  // left-deep executors (assignments, not row visits, are what both
+  // count), but probe/scan counters measure the shape's own work.
+  if (shape_ == PlanShape::kMultiway && ColumnarStorageEnabled()) {
+    std::size_t mw_facts = 0;
+    if (ApplyMultiway(full, delta, old_limits, out, stats, &mw_facts)) {
+      return mw_facts;
+    }
+  }
   // Vectorized fast path: only when the plan qualifies (batch_ok_), the
   // columnar knob is on, and -- checked inside -- every live relation is
   // columnar. An empty body stays on Execute, whose no-step epilogue

@@ -5,11 +5,13 @@
 #include <map>
 #include <stdexcept>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "ast/rule.h"
 #include "eval/database.h"
+#include "eval/hypergraph.h"
 #include "eval/rule_matcher.h"
 
 namespace datalog {
@@ -56,6 +58,44 @@ struct CompiledAtomStep {
   // repeat column) compared directly on the raw id arrays.
   std::vector<std::uint32_t> key_template_ids;
   std::vector<std::pair<int, int>> id_checks;
+};
+
+/// One (variable, atom) probe of the multiway plan shape: how to compute
+/// the candidate ids atom `atom` (an index into the plan's step list,
+/// which doubles as the multiway atom list) offers for the variable
+/// bound at this step. `bound_cols` are the atom's columns already fixed
+/// when the step runs -- constants plus variables bound by earlier
+/// steps; `var_cols` are the columns holding the step's variable
+/// (usually one; repeated occurrences must agree row-locally). A probe
+/// with no bound columns is `unconditional`: its candidate list is the
+/// atom's sorted distinct column ids, computed once per Apply.
+struct MultiwayProbe {
+  std::size_t atom = 0;
+  std::vector<int> var_cols;
+  std::vector<int> bound_cols;  // strictly increasing
+  // Parallel to bound_cols: constants interned (patched positions hold
+  // kInvalidId until key_fill overwrites them from the u32 frame).
+  std::vector<std::uint32_t> key_template_ids;
+  std::vector<CompiledAtomStep::KeyFill> key_fill;
+  bool unconditional = false;
+  // The union of bound_cols and var_cols (strictly increasing), with its
+  // own key template/fill plus the key positions that receive the
+  // candidate id. The executor materializes only the smallest probe's
+  // candidate list and membership-tests the rest through the index on
+  // these columns -- the seek that makes the intersection worst-case
+  // optimal instead of paying every probe's full posting size.
+  std::vector<int> union_cols;
+  std::vector<std::uint32_t> union_template_ids;
+  std::vector<CompiledAtomStep::KeyFill> union_key_fill;
+  std::vector<int> union_var_positions;
+};
+
+/// One variable of the multiway plan's fixed variable order: intersect
+/// the candidate lists of every atom containing the variable, bind the
+/// survivors into `slot`, recurse.
+struct MultiwayStep {
+  int slot = -1;
+  std::vector<MultiwayProbe> probes;
 };
 
 /// A head or negated-literal argument: a constant, or a frame slot. A
@@ -224,6 +264,17 @@ class CompiledRule {
   const std::vector<CompiledAtomStep>& steps() const { return steps_; }
   PredicateId head_predicate() const { return head_predicate_; }
 
+  /// The plan shape BuildSchedules selected (see docs/multiway_joins.md):
+  /// kMultiway when the body's join hypergraph is cyclic with estimated
+  /// width >= 2, the multiway and index knobs are on, every
+  /// participating relation is non-empty, and the plan qualifies for
+  /// id-space emission (batch_ok). Replan re-decides, so a >= 4x
+  /// cardinality drift can flip the shape between rounds.
+  PlanShape shape() const { return shape_; }
+  const std::vector<MultiwayStep>& multiway_steps() const {
+    return mw_steps_;
+  }
+
   /// True if every negated literal is absent from `full` under the frame.
   bool NegationHolds(const Database& full, const MatchFrame& frame,
                      Tuple* scratch) const;
@@ -243,6 +294,26 @@ class CompiledRule {
   bool ApplyBatch(const Database& full, const Database* delta,
                   const OldLimits* old_limits, Database* out,
                   MatchStats* stats, std::size_t* new_facts) const;
+
+  /// Builds the multiway variable order and per-step probe schedules
+  /// (called by BuildSchedules after it selects PlanShape::kMultiway).
+  /// `order` is the planned atom list steps_ was built from -- probe
+  /// atom indexes refer to it -- and `slot_of` the left-deep slot
+  /// assignment, reused so head and negation terms address the same
+  /// frame under either shape.
+  void BuildMultiwaySchedules(
+      const std::vector<PlannedAtom>& order,
+      const std::unordered_map<VariableId, int>& slot_of);
+
+  /// Generic worst-case-optimal executor behind Apply when the plan
+  /// shape is kMultiway: iterates variables in the plan's fixed order,
+  /// intersecting sorted candidate-id lists contributed by every atom
+  /// containing the variable. Returns false -- before bumping any
+  /// counter or inserting anything -- when some live relation is not
+  /// columnar, in which case Apply falls back to the left-deep path.
+  bool ApplyMultiway(const Database& full, const Database* delta,
+                     const OldLimits* old_limits, Database* out,
+                     MatchStats* stats, std::size_t* new_facts) const;
 
   static std::size_t OldLimitFor(const OldLimits* old_limits,
                                  PredicateId pred) {
@@ -365,7 +436,14 @@ class CompiledRule {
   bool has_rule_ = false;
   bool greedy_ = true;     // knob snapshot at plan time
   bool use_index_ = true;  // knob snapshot at plan time
+  bool multiway_ = true;   // knob snapshot at plan time
   std::uint64_t hints_version_ = 0;  // knob snapshot at plan time
+  PlanShape shape_ = PlanShape::kLeftDeep;
+  // Structural (size-independent) multiway candidacy: >= 3 atoms, cyclic,
+  // width >= 2, not hinted. Decides whether cardinality drift can flip
+  // the shape and hence whether NeedsReplan watches sizes at all.
+  bool mw_candidate_ = false;
+  std::vector<MultiwayStep> mw_steps_;
   // True when every head/negated term is a constant or a bound slot, so
   // the batch executor can run without the unbound-variable throw path.
   bool batch_ok_ = false;

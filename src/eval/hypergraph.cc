@@ -1,0 +1,192 @@
+#include "eval/hypergraph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace datalog {
+namespace {
+
+JoinHypergraph BuildFromVarLists(
+    const std::vector<std::vector<VariableId>>& var_lists) {
+  JoinHypergraph graph;
+  std::map<VariableId, int> vertex_of;
+  for (const std::vector<VariableId>& vars : var_lists) {
+    std::vector<int> edge;
+    for (VariableId v : vars) {
+      auto [it, inserted] =
+          vertex_of.emplace(v, static_cast<int>(vertex_of.size()));
+      edge.push_back(it->second);
+    }
+    std::sort(edge.begin(), edge.end());
+    edge.erase(std::unique(edge.begin(), edge.end()), edge.end());
+    graph.edges.push_back(std::move(edge));
+  }
+  graph.num_vertices = vertex_of.size();
+  return graph;
+}
+
+std::vector<VariableId> AtomVariables(const Atom& atom) {
+  std::vector<VariableId> vars;
+  for (const Term& t : atom.args()) {
+    if (t.is_variable()) vars.push_back(t.var());
+  }
+  return vars;
+}
+
+/// Live edges as sorted-unique vectors, dropping empty ones up front
+/// (a variable-free atom constrains no join variable).
+std::vector<std::vector<int>> LiveEdges(const JoinHypergraph& graph) {
+  std::vector<std::vector<int>> edges;
+  for (const std::vector<int>& e : graph.edges) {
+    if (!e.empty()) edges.push_back(e);
+  }
+  return edges;
+}
+
+bool Contains(const std::vector<int>& outer, const std::vector<int>& inner) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(), inner.end());
+}
+
+}  // namespace
+
+JoinHypergraph BuildJoinHypergraph(const std::vector<PlannedAtom>& atoms) {
+  std::vector<std::vector<VariableId>> var_lists;
+  var_lists.reserve(atoms.size());
+  for (const PlannedAtom& planned : atoms) {
+    var_lists.push_back(AtomVariables(planned.atom));
+  }
+  return BuildFromVarLists(var_lists);
+}
+
+JoinHypergraph BuildJoinHypergraph(const std::vector<Atom>& atoms) {
+  std::vector<std::vector<VariableId>> var_lists;
+  var_lists.reserve(atoms.size());
+  for (const Atom& atom : atoms) var_lists.push_back(AtomVariables(atom));
+  return BuildFromVarLists(var_lists);
+}
+
+JoinHypergraph BuildJoinHypergraph(
+    const std::vector<std::vector<VariableId>>& var_lists) {
+  return BuildFromVarLists(var_lists);
+}
+
+bool GyoAcyclic(const JoinHypergraph& graph) {
+  std::vector<std::vector<int>> edges = LiveEdges(graph);
+  bool changed = true;
+  while (changed && edges.size() > 1) {
+    changed = false;
+    // Ear vertices: drop every vertex that occurs in exactly one edge.
+    std::map<int, int> degree;
+    for (const std::vector<int>& e : edges) {
+      for (int v : e) ++degree[v];
+    }
+    for (std::vector<int>& e : edges) {
+      const std::size_t before = e.size();
+      e.erase(std::remove_if(e.begin(), e.end(),
+                             [&](int v) { return degree[v] == 1; }),
+              e.end());
+      if (e.size() != before) changed = true;
+    }
+    // Ear edges: drop empty edges and edges contained in another edge
+    // (of two equal edges, the later one is the duplicate).
+    for (std::size_t i = 0; i < edges.size();) {
+      bool drop = edges[i].empty();
+      for (std::size_t j = 0; j < edges.size() && !drop; ++j) {
+        if (i == j || !Contains(edges[j], edges[i])) continue;
+        if (edges[i] != edges[j] || j < i) drop = true;
+      }
+      if (drop) {
+        edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return edges.size() <= 1;
+}
+
+int EstimateJoinWidth(const JoinHypergraph& graph) {
+  const std::vector<std::vector<int>> edges = LiveEdges(graph);
+  if (edges.empty()) return 0;
+  if (edges.size() == 1 || GyoAcyclic(graph)) return 1;
+
+  // Primal-graph adjacency over the live vertices.
+  std::set<int> vertices;
+  std::map<int, std::set<int>> adjacent;
+  for (const std::vector<int>& e : edges) {
+    for (int v : e) {
+      vertices.insert(v);
+      for (int w : e) {
+        if (w != v) adjacent[v].insert(w);
+      }
+    }
+  }
+
+  // Min-degree elimination: each eliminated vertex yields the bag
+  // {v} + neighbors(v); cover the bag greedily with hyperedges. The
+  // width estimate is the largest cover needed. Ties break toward the
+  // smallest vertex index, keeping the estimate deterministic.
+  int width = 1;
+  while (!vertices.empty()) {
+    int best = *vertices.begin();
+    std::size_t best_degree = adjacent[best].size();
+    for (int v : vertices) {
+      if (adjacent[v].size() < best_degree) {
+        best = v;
+        best_degree = adjacent[v].size();
+      }
+    }
+
+    std::set<int> bag = adjacent[best];
+    bag.insert(best);
+    std::set<int> uncovered = bag;
+    int cover = 0;
+    while (!uncovered.empty()) {
+      std::size_t best_gain = 0;
+      std::size_t best_edge = edges.size();
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        std::size_t gain = 0;
+        for (int v : edges[e]) {
+          if (uncovered.contains(v)) ++gain;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_edge = e;
+        }
+      }
+      if (best_edge == edges.size()) break;  // unreachable: every vertex
+                                             // lives in some edge
+      for (int v : edges[best_edge]) uncovered.erase(v);
+      ++cover;
+    }
+    width = std::max(width, cover);
+
+    // Eliminate: connect the neighbors pairwise, remove the vertex.
+    for (int a : adjacent[best]) {
+      for (int b : adjacent[best]) {
+        if (a != b) adjacent[a].insert(b);
+      }
+      adjacent[a].erase(best);
+    }
+    adjacent.erase(best);
+    vertices.erase(best);
+  }
+  return width;
+}
+
+bool MultiwayEligibleBody(const std::vector<PlannedAtom>& atoms) {
+  if (atoms.size() < 3) return false;
+  for (const PlannedAtom& planned : atoms) {
+    bool has_variable = false;
+    for (const Term& t : planned.atom.args()) {
+      if (t.is_variable()) has_variable = true;
+    }
+    if (!has_variable) return false;
+  }
+  const JoinHypergraph graph = BuildJoinHypergraph(atoms);
+  return !GyoAcyclic(graph) && EstimateJoinWidth(graph) >= 2;
+}
+
+}  // namespace datalog

@@ -1,0 +1,62 @@
+#ifndef DATALOG_EVAL_HYPERGRAPH_H_
+#define DATALOG_EVAL_HYPERGRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "eval/rule_matcher.h"
+
+namespace datalog {
+
+/// The join hypergraph of a rule body: one vertex per distinct variable,
+/// one hyperedge per positive atom (the set of distinct variables the
+/// atom mentions; constants do not appear). Built once per plan by the
+/// compiled-rule planner to pick a plan shape, and by the analyzer's
+/// binding pass to flag high-width bodies (see docs/multiway_joins.md).
+struct JoinHypergraph {
+  std::size_t num_vertices = 0;
+  /// Sorted distinct vertex lists, one per atom, in atom order. An atom
+  /// with no variables contributes an empty edge.
+  std::vector<std::vector<int>> edges;
+};
+
+JoinHypergraph BuildJoinHypergraph(const std::vector<PlannedAtom>& atoms);
+JoinHypergraph BuildJoinHypergraph(const std::vector<Atom>& atoms);
+/// Explicit per-atom variable lists; used by the incremental delta joins
+/// to analyze the residual body (the variables still unbound after the
+/// initial binding is applied).
+JoinHypergraph BuildJoinHypergraph(
+    const std::vector<std::vector<VariableId>>& var_lists);
+
+/// GYO ear-removal acyclicity test: repeatedly drop vertices that occur
+/// in exactly one edge, then edges contained in another edge; the
+/// hypergraph is (alpha-)acyclic iff this reduces it to at most one
+/// edge. Paths, trees and star-shaped bodies are acyclic; triangles,
+/// k-cycles and cliques are not.
+bool GyoAcyclic(const JoinHypergraph& graph);
+
+/// A cheap upper-estimate of the body's hypertree width: 1 for acyclic
+/// hypergraphs; otherwise a min-degree elimination of the primal graph,
+/// covering each elimination bag greedily with hyperedges, and taking
+/// the largest cover size. Exact enough for the planner's purposes:
+/// triangles and k-cycles estimate 2, the clique K_n estimates
+/// ceil(n/2) (monotone in n).
+int EstimateJoinWidth(const JoinHypergraph& graph);
+
+/// The two join-plan shapes CompiledRule can build (see
+/// eval/compiled_rule.h): the greedy left-deep probe schedule, or the
+/// generic worst-case-optimal multiway intersection that iterates
+/// variables instead of atoms.
+enum class PlanShape { kLeftDeep, kMultiway };
+
+/// Structural half of the plan-shape heuristic, shared by the planner
+/// and the binding pass: true when the body has >= 3 positive atoms,
+/// every atom mentions at least one variable, and the join hypergraph
+/// is cyclic with estimated width >= 2. The planner layers knob and
+/// cardinality conditions on top (see CompiledRule::BuildSchedules);
+/// bodies with fewer than 3 atoms never qualify.
+bool MultiwayEligibleBody(const std::vector<PlannedAtom>& atoms);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_HYPERGRAPH_H_

@@ -263,7 +263,31 @@ std::size_t Relation::EraseAll(const std::vector<Tuple>& tuples) {
     index.map.clear();
     index.built_up_to = 0;
   }
+  for (auto& [col, cache] : sorted_keys_) {
+    cache.keys.clear();
+    cache.built_up_to = 0;
+  }
   return erased;
+}
+
+const std::vector<std::uint32_t>& Relation::SortedColumnKeys(
+    int column) const {
+  if (!columnar_) return EmptyRowIds();  // row store: no id columns
+  SortedKeyCache& cache = sorted_keys_[column];
+  if (cache.built_up_to != rows_.size()) {
+    // Appended (or erased-and-compacted) rows since the last build: a
+    // merge of the new ids is no cheaper than re-sorting the column, so
+    // rebuild from scratch. The fixpoint engines call this once per
+    // round per root probe, on relations that grow by whole deltas.
+    const std::vector<std::uint32_t>& col =
+        columns_[static_cast<std::size_t>(column)];
+    cache.keys.assign(col.begin(), col.end());
+    std::sort(cache.keys.begin(), cache.keys.end());
+    cache.keys.erase(std::unique(cache.keys.begin(), cache.keys.end()),
+                     cache.keys.end());
+    cache.built_up_to = rows_.size();
+  }
+  return cache.keys;
 }
 
 const std::vector<std::uint32_t>& Relation::EmptyRowIds() {

@@ -208,6 +208,16 @@ class Relation {
   SingleIndexView PrepareSingleIndex(int column) const;
   MultiIndexView PrepareIndex(const std::vector<int>& columns) const;
 
+  /// The sorted distinct dictionary ids stored in `column` (columnar
+  /// backend only): the root candidate list the multiway-intersection
+  /// plan shape intersects against (see docs/multiway_joins.md). Built
+  /// lazily and rebuilt when rows were appended since the last call;
+  /// same thread-safety contract as Lookup (write-free when current, so
+  /// EnsureSortedKeys before a parallel fan-out makes it a pure read).
+  /// EraseAll invalidates the cache in place, like the indexes above.
+  const std::vector<std::uint32_t>& SortedColumnKeys(int column) const;
+  void EnsureSortedKeys(int column) const { SortedColumnKeys(column); }
+
   static const std::vector<std::uint32_t>& EmptyRowIds();
 
  private:
@@ -287,6 +297,10 @@ class Relation {
     std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> map;
     std::size_t built_up_to = 0;
   };
+  struct SortedKeyCache {
+    std::vector<std::uint32_t> keys;  // sorted distinct ids
+    std::size_t built_up_to = 0;      // rows_[0, built_up_to) contributed
+  };
 
   void ExtendIndex(const std::vector<int>& columns, ColumnIndex* index) const;
   void ExtendSingleIndex(int column, SingleColumnIndex* index) const;
@@ -316,6 +330,9 @@ class Relation {
   mutable std::map<int, SingleColumnIndex> single_indexes_;
   mutable std::map<std::vector<int>, IdColumnIndex> id_indexes_;
   mutable std::map<int, SingleIdColumnIndex> single_id_indexes_;
+  // Sorted distinct per-column id lists for the multiway plan shape
+  // (columnar backend only); same in-place invalidation as the indexes.
+  mutable std::map<int, SortedKeyCache> sorted_keys_;
 };
 
 }  // namespace datalog

@@ -11,6 +11,7 @@ namespace {
 bool greedy_join_ordering_enabled = true;
 bool index_lookups_enabled = true;
 bool compiled_rule_plans_enabled = true;
+bool multiway_joins_enabled = true;
 const JoinOrderHints* join_order_hints = nullptr;
 std::uint64_t join_order_hints_version = 0;
 }  // namespace
@@ -25,6 +26,8 @@ void SetCompiledRulePlans(bool enabled) {
   compiled_rule_plans_enabled = enabled;
 }
 bool CompiledRulePlansEnabled() { return compiled_rule_plans_enabled; }
+void SetMultiwayJoins(bool enabled) { multiway_joins_enabled = enabled; }
+bool MultiwayJoinsEnabled() { return multiway_joins_enabled; }
 
 void SetJoinOrderHints(const JoinOrderHints* hints) {
   join_order_hints = hints;

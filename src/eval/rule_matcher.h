@@ -58,12 +58,24 @@ using Binding = std::unordered_map<VariableId, Value>;
 /// eval/relation.h, selects the relation storage backend and thereby
 /// whether compiled Apply takes the vectorized batch-probe path; all
 /// four knobs are bit-for-bit neutral on results and MatchStats.
+///
+/// SetMultiwayJoins gates the second compiled plan shape: the generic
+/// worst-case-optimal multiway intersection that CompiledRule selects
+/// for cyclic bodies of estimated width >= 2 (see eval/hypergraph.h and
+/// docs/multiway_joins.md). Disabling it pins every plan to the greedy
+/// left-deep shape. Multiway plans also require index lookups: with
+/// SetIndexLookups(false) the planner falls back to left-deep, keeping
+/// that knob a true ablation axis. Neutral on results and on the
+/// substitution count, but -- unlike the other knobs -- not on the
+/// probe/scan counters, which measure the work the shape saves.
 void SetGreedyJoinOrdering(bool enabled);
 bool GreedyJoinOrderingEnabled();
 void SetIndexLookups(bool enabled);
 bool IndexLookupsEnabled();
 void SetCompiledRulePlans(bool enabled);
 bool CompiledRulePlansEnabled();
+void SetMultiwayJoins(bool enabled);
+bool MultiwayJoinsEnabled();
 
 /// Join-order hints produced by the analyzer's binding pass (see
 /// src/analysis/binding_pass.cc): for a body whose predicate-id sequence

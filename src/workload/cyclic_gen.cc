@@ -1,0 +1,188 @@
+#include "workload/cyclic_gen.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace datalog {
+namespace {
+
+void AddEdge(Database* db, PredicateId pred, std::size_t a, std::size_t b) {
+  db->AddFact(pred, {Value::Int(static_cast<std::int64_t>(a)),
+                     Value::Int(static_cast<std::int64_t>(b))});
+}
+
+std::size_t EdgesOrDefault(const CyclicOptions& o) {
+  return o.num_edges != 0 ? o.num_edges : 4 * o.num_nodes;
+}
+
+std::size_t HubsOrDefault(const CyclicOptions& o) {
+  return o.num_hubs != 0 ? o.num_hubs
+                         : std::max<std::size_t>(1, o.num_nodes / 32);
+}
+
+std::size_t PlantedOrDefault(const CyclicOptions& o) {
+  return o.num_planted != 0 ? o.num_planted
+                            : std::max<std::size_t>(1, o.num_nodes / 8);
+}
+
+/// Hubs connected to every node in both directions. Left-deep plans pay
+/// for every wedge through a hub (degree ~2n); the multiway intersection
+/// touches only the smaller adjacency list of each pair.
+void AddHubEdges(const CyclicOptions& o, PredicateId e, Database* db) {
+  const std::size_t hubs = std::min(HubsOrDefault(o), o.num_nodes);
+  for (std::size_t h = 0; h < hubs; ++h) {
+    for (std::size_t i = 0; i < o.num_nodes; ++i) {
+      if (i == h) continue;
+      AddEdge(db, e, h, i);
+      AddEdge(db, e, i, h);
+    }
+  }
+}
+
+void AddRandomEdges(const CyclicOptions& o, PredicateId e, std::mt19937_64& rng,
+                    Database* db) {
+  if (o.num_nodes == 0) return;
+  std::uniform_int_distribution<std::size_t> node(0, o.num_nodes - 1);
+  for (std::size_t k = 0; k < EdgesOrDefault(o); ++k) {
+    AddEdge(db, e, node(rng), node(rng));
+  }
+}
+
+/// Picks `count` distinct nodes (resampling; callers keep count tiny
+/// relative to num_nodes).
+std::vector<std::size_t> PickDistinct(std::size_t count, std::size_t num_nodes,
+                                      std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> node(0, num_nodes - 1);
+  std::vector<std::size_t> picked;
+  while (picked.size() < count) {
+    const std::size_t n = node(rng);
+    if (std::find(picked.begin(), picked.end(), n) == picked.end()) {
+      picked.push_back(n);
+    }
+  }
+  return picked;
+}
+
+}  // namespace
+
+std::string CyclicProgramText(const CyclicOptions& options) {
+  switch (options.shape) {
+    case CyclicShape::kTriangle:
+      return "tri(x, y, z) :- e(x, y), e(y, z), e(z, x).\n";
+    case CyclicShape::kKCycle: {
+      const std::size_t k = std::max<std::size_t>(3, options.cycle_length);
+      std::string text = "cyc(v0) :- ";
+      for (std::size_t i = 0; i < k; ++i) {
+        if (i > 0) text += ", ";
+        text += "e(v" + std::to_string(i) + ", v" +
+                std::to_string((i + 1) % k) + ")";
+      }
+      return text + ".\n";
+    }
+    case CyclicShape::kClique:
+      return "clq(x, w) :- e(x, y), e(x, z), e(x, w), e(y, z), e(y, w), "
+             "e(z, w).\n";
+    case CyclicShape::kDenseSameGen:
+      return "sg(x, y) :- flat(x, y).\n"
+             "sg(x, y) :- up(x, u), sg(u, v), down(v, y), flat(x, y).\n";
+  }
+  return "";
+}
+
+std::string CyclicHeadName(CyclicShape shape) {
+  switch (shape) {
+    case CyclicShape::kTriangle:
+      return "tri";
+    case CyclicShape::kKCycle:
+      return "cyc";
+    case CyclicShape::kClique:
+      return "clq";
+    case CyclicShape::kDenseSameGen:
+      return "sg";
+  }
+  return "";
+}
+
+void AddCyclicFacts(const CyclicOptions& options, PredicateId edge_pred,
+                    Database* db) {
+  if (options.num_nodes == 0) return;
+  std::mt19937_64 rng(options.seed);
+  switch (options.shape) {
+    case CyclicShape::kTriangle: {
+      AddHubEdges(options, edge_pred, db);
+      AddRandomEdges(options, edge_pred, rng, db);
+      if (options.num_nodes < 3) break;
+      for (std::size_t t = 0; t < PlantedOrDefault(options); ++t) {
+        const std::vector<std::size_t> n =
+            PickDistinct(3, options.num_nodes, rng);
+        AddEdge(db, edge_pred, n[0], n[1]);
+        AddEdge(db, edge_pred, n[1], n[2]);
+        AddEdge(db, edge_pred, n[2], n[0]);
+      }
+      break;
+    }
+    case CyclicShape::kKCycle: {
+      AddRandomEdges(options, edge_pred, rng, db);
+      const std::size_t k = std::max<std::size_t>(3, options.cycle_length);
+      if (options.num_nodes < k) break;
+      for (std::size_t t = 0; t < PlantedOrDefault(options); ++t) {
+        const std::vector<std::size_t> n =
+            PickDistinct(k, options.num_nodes, rng);
+        for (std::size_t i = 0; i < k; ++i) {
+          AddEdge(db, edge_pred, n[i], n[(i + 1) % k]);
+        }
+      }
+      break;
+    }
+    case CyclicShape::kClique: {
+      AddHubEdges(options, edge_pred, db);
+      AddRandomEdges(options, edge_pred, rng, db);
+      if (options.num_nodes < 4) break;
+      for (std::size_t t = 0; t < PlantedOrDefault(options); ++t) {
+        std::vector<std::size_t> n = PickDistinct(4, options.num_nodes, rng);
+        // All six forward edges of the ordered 4-clique (the rule binds
+        // x, y, z, w in that orientation).
+        for (std::size_t i = 0; i < 4; ++i) {
+          for (std::size_t j = i + 1; j < 4; ++j) {
+            AddEdge(db, edge_pred, n[i], n[j]);
+          }
+        }
+      }
+      break;
+    }
+    case CyclicShape::kDenseSameGen:
+      // Needs three predicates; use AddDenseSameGenFacts.
+      break;
+  }
+}
+
+void AddDenseSameGenFacts(const CyclicOptions& options, PredicateId up,
+                          PredicateId down, PredicateId flat, Database* db) {
+  // A complete fanout-ary tree, levels numbered from the root. Unlike the
+  // sparse same-generation workload, `flat` densely connects every
+  // ordered pair of siblings (same parent), which makes the recursive
+  // body's 4-cycle hypergraph pay off for multiway intersection.
+  std::size_t level_start = 0;
+  std::size_t level_size = 1;
+  for (std::size_t level = 0; level + 1 < options.depth; ++level) {
+    const std::size_t next_start = level_start + level_size;
+    for (std::size_t i = 0; i < level_size; ++i) {
+      const std::size_t parent = level_start + i;
+      const std::size_t child0 = next_start + i * options.fanout;
+      for (std::size_t f = 0; f < options.fanout; ++f) {
+        AddEdge(db, up, child0 + f, parent);
+        AddEdge(db, down, parent, child0 + f);
+      }
+      for (std::size_t a = 0; a < options.fanout; ++a) {
+        for (std::size_t b = 0; b < options.fanout; ++b) {
+          if (a != b) AddEdge(db, flat, child0 + a, child0 + b);
+        }
+      }
+    }
+    level_start = next_start;
+    level_size *= options.fanout;
+  }
+}
+
+}  // namespace datalog

@@ -1,0 +1,62 @@
+#ifndef DATALOG_WORKLOAD_CYCLIC_GEN_H_
+#define DATALOG_WORKLOAD_CYCLIC_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "eval/database.h"
+
+namespace datalog {
+
+/// Cyclic-query workload family: rule bodies whose join hypergraphs are
+/// cyclic (triangle, k-cycle, clique, dense same-generation), the shapes
+/// where worst-case-optimal multiway joins beat any left-deep plan.
+/// Nodes are the integers 0..num_nodes-1.
+enum class CyclicShape {
+  kTriangle,      // tri(x,y,z) :- e(x,y), e(y,z), e(z,x).
+  kKCycle,        // cyc(x1) :- e(x1,x2), ..., e(xk,x1).
+  kClique,        // clq(x,w) :- the six edges of a 4-clique.
+  kDenseSameGen,  // sg over up/down/flat with a flat guard (4-cycle body).
+};
+
+struct CyclicOptions {
+  CyclicShape shape = CyclicShape::kTriangle;
+  std::size_t num_nodes = 64;
+  /// Random background edges (kTriangle, kKCycle, kClique). 0 means
+  /// 4 * num_nodes.
+  std::size_t num_edges = 0;
+  /// Hub nodes connected to every node in both directions (kTriangle,
+  /// kClique): the skew that blows up left-deep wedge enumeration. 0
+  /// means max(1, num_nodes / 32).
+  std::size_t num_hubs = 0;
+  /// Planted closed structures guaranteeing non-empty output. 0 means
+  /// num_nodes / 8 (at least one).
+  std::size_t num_planted = 0;
+  /// Cycle length k for kKCycle (clamped to >= 3).
+  std::size_t cycle_length = 4;
+  /// Tree depth/fanout for kDenseSameGen.
+  std::size_t depth = 4;
+  std::size_t fanout = 3;
+  std::uint64_t seed = 42;
+};
+
+/// The rule(s) of the shape as parseable program text. EDB predicates are
+/// named `e` (graph shapes) or `up`/`down`/`flat` (kDenseSameGen); the IDB
+/// head is `tri`/`cyc`/`clq`/`sg` respectively.
+std::string CyclicProgramText(const CyclicOptions& options);
+
+/// The head predicate name of the shape's program ("tri", "cyc", "clq",
+/// "sg").
+std::string CyclicHeadName(CyclicShape shape);
+
+/// Adds the EDB facts for the shape. Graph shapes take the binary edge
+/// predicate; kDenseSameGen ignores `edge_pred` and uses the three tree
+/// predicates (pass the ids interned for "up"/"down"/"flat").
+void AddCyclicFacts(const CyclicOptions& options, PredicateId edge_pred,
+                    Database* db);
+void AddDenseSameGenFacts(const CyclicOptions& options, PredicateId up,
+                          PredicateId down, PredicateId flat, Database* db);
+
+}  // namespace datalog
+
+#endif  // DATALOG_WORKLOAD_CYCLIC_GEN_H_

@@ -1,0 +1,163 @@
+// The join-hypergraph analysis (eval/hypergraph.h) drives plan-shape
+// selection: GYO ear removal classifies bodies as acyclic or cyclic, and
+// the greedy elimination width estimate separates width-1 (left-deep is
+// fine) from width >= 2 (multiway intersection pays off). The goldens
+// here pin the classification for the canonical shapes and the
+// invariants the selection heuristic relies on.
+
+#include "eval/hypergraph.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseRuleOrDie;
+
+std::vector<PlannedAtom> BodyOf(const std::shared_ptr<SymbolTable>& symbols,
+                                const std::string& rule_text) {
+  Rule rule = ParseRuleOrDie(symbols, rule_text);
+  std::vector<PlannedAtom> atoms;
+  for (const Literal& lit : rule.body()) {
+    if (!lit.negated) atoms.push_back({lit.atom, AtomSource::kFull});
+  }
+  return atoms;
+}
+
+TEST(HypergraphTest, PathsAndTreesAreAcyclic) {
+  auto symbols = MakeSymbols();
+  // Two-hop path.
+  auto path = BodyOf(symbols, "h(x, z) :- e(x, y), e(y, z).");
+  EXPECT_TRUE(GyoAcyclic(BuildJoinHypergraph(path)));
+  // Three-hop path.
+  auto path3 = BodyOf(symbols, "h(x, w) :- e(x, y), e(y, z), e(z, w).");
+  EXPECT_TRUE(GyoAcyclic(BuildJoinHypergraph(path3)));
+  // Star (tree of depth 1).
+  auto star = BodyOf(symbols, "st(x) :- e(x, a), e(x, b), e(x, c).");
+  EXPECT_TRUE(GyoAcyclic(BuildJoinHypergraph(star)));
+  // The guarded-TC body from the paper: g(x,y), g(y,z), a(y,w) is a
+  // tree around y.
+  auto guarded = BodyOf(symbols, "g(x, z) :- g(x, y), g(y, z), a(y, w).");
+  EXPECT_TRUE(GyoAcyclic(BuildJoinHypergraph(guarded)));
+}
+
+TEST(HypergraphTest, TriangleKCycleAndCliqueAreCyclic) {
+  auto symbols = MakeSymbols();
+  auto tri = BodyOf(symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).");
+  EXPECT_FALSE(GyoAcyclic(BuildJoinHypergraph(tri)));
+
+  auto cyc4 = BodyOf(
+      symbols, "c(a) :- e(a, b), e(b, c), e(c, d), e(d, a).");
+  EXPECT_FALSE(GyoAcyclic(BuildJoinHypergraph(cyc4)));
+
+  auto cyc5 = BodyOf(
+      symbols, "c(a) :- e(a, b), e(b, c), e(c, d), e(d, f), e(f, a).");
+  EXPECT_FALSE(GyoAcyclic(BuildJoinHypergraph(cyc5)));
+
+  auto clique = BodyOf(symbols,
+                       "k(x, w) :- e(x, y), e(x, z), e(x, w), e(y, z), "
+                       "e(y, w), e(z, w).");
+  EXPECT_FALSE(GyoAcyclic(BuildJoinHypergraph(clique)));
+}
+
+TEST(HypergraphTest, WidthGoldens) {
+  auto symbols = MakeSymbols();
+  // Acyclic bodies have width 1.
+  auto path = BodyOf(symbols, "h(x, z) :- e(x, y), e(y, z).");
+  EXPECT_EQ(EstimateJoinWidth(BuildJoinHypergraph(path)), 1);
+
+  // Triangle and the 4-cycle need two edges per eliminated vertex.
+  auto tri = BodyOf(symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).");
+  EXPECT_EQ(EstimateJoinWidth(BuildJoinHypergraph(tri)), 2);
+  auto cyc4 = BodyOf(
+      symbols, "c(a) :- e(a, b), e(b, c), e(c, d), e(d, a).");
+  EXPECT_EQ(EstimateJoinWidth(BuildJoinHypergraph(cyc4)), 2);
+
+  // The 4-clique: a bag holds all four vertices; ceil(4/2) binary edges
+  // cover it.
+  auto clique = BodyOf(symbols,
+                       "k(x, w) :- e(x, y), e(x, z), e(x, w), e(y, z), "
+                       "e(y, w), e(z, w).");
+  EXPECT_EQ(EstimateJoinWidth(BuildJoinHypergraph(clique)), 2);
+}
+
+/// Width never decreases when an edge is added to the same vertex set
+/// (monotonicity of the estimate under densification): spot-checked on
+/// the k-cycle family as k grows and as chords are added.
+TEST(HypergraphTest, WidthEstimateMonotoneUnderAddedEdges) {
+  auto symbols = MakeSymbols();
+  auto cyc4 = BodyOf(
+      symbols, "c(a) :- e(a, b), e(b, c), e(c, d), e(d, a).");
+  const int base = EstimateJoinWidth(BuildJoinHypergraph(cyc4));
+  // Add a chord: still cyclic, width can only stay or grow.
+  auto chord = BodyOf(
+      symbols, "c(a) :- e(a, b), e(b, c), e(c, d), e(d, a), e(a, c).");
+  EXPECT_GE(EstimateJoinWidth(BuildJoinHypergraph(chord)), base);
+  // Densify to the 4-clique.
+  auto k4 = BodyOf(symbols,
+                   "c(a) :- e(a, b), e(b, c), e(c, d), e(d, a), e(a, c), "
+                   "e(b, d).");
+  EXPECT_GE(EstimateJoinWidth(BuildJoinHypergraph(k4)),
+            EstimateJoinWidth(BuildJoinHypergraph(chord)));
+}
+
+TEST(HypergraphTest, DegenerateGraphs) {
+  JoinHypergraph empty;
+  EXPECT_TRUE(GyoAcyclic(empty));
+  EXPECT_EQ(EstimateJoinWidth(empty), 0);
+
+  JoinHypergraph single;
+  single.num_vertices = 3;
+  single.edges = {{0, 1, 2}};
+  EXPECT_TRUE(GyoAcyclic(single));
+  EXPECT_EQ(EstimateJoinWidth(single), 1);
+
+  // Two identical edges reduce to one.
+  JoinHypergraph dup;
+  dup.num_vertices = 2;
+  dup.edges = {{0, 1}, {0, 1}};
+  EXPECT_TRUE(GyoAcyclic(dup));
+}
+
+/// Property: the selection heuristic never chooses multiway for a body
+/// with fewer than three atoms, no matter how the two atoms overlap.
+TEST(HypergraphTest, NeverEligibleBelowThreeAtoms) {
+  auto symbols = MakeSymbols();
+  const char* two_atom_rules[] = {
+      "h(x, y) :- e(x, y), e(y, x).",        // 2-cycle
+      "h1(x) :- e(x, x), s(x).",             // self loop + guard
+      "h(x, z) :- e(x, y), e(y, z).",        // path
+      "h(x, y) :- e(x, y), f(x, y).",        // parallel edges
+  };
+  for (const char* text : two_atom_rules) {
+    auto body = BodyOf(symbols, text);
+    EXPECT_FALSE(MultiwayEligibleBody(body)) << text;
+  }
+  auto one = BodyOf(symbols, "h(x, y) :- e(x, y).");
+  EXPECT_FALSE(MultiwayEligibleBody(one));
+}
+
+TEST(HypergraphTest, EligibilityGoldens) {
+  auto symbols = MakeSymbols();
+  // Cyclic, width 2, three atoms: eligible.
+  auto tri = BodyOf(symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).");
+  EXPECT_TRUE(MultiwayEligibleBody(tri));
+  // Acyclic three-atom bodies are not.
+  auto path3 = BodyOf(symbols, "h(x, w) :- e(x, y), e(y, z), e(z, w).");
+  EXPECT_FALSE(MultiwayEligibleBody(path3));
+  auto guarded = BodyOf(symbols, "g(x, z) :- g(x, y), g(y, z), a(y, w).");
+  EXPECT_FALSE(MultiwayEligibleBody(guarded));
+  // A constant-only atom in an otherwise cyclic body kills eligibility
+  // (every atom must contribute a variable to intersect on).
+  auto with_const = BodyOf(
+      symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x), f(1, 2).");
+  EXPECT_FALSE(MultiwayEligibleBody(with_const));
+}
+
+}  // namespace
+}  // namespace datalog

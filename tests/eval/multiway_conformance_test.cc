@@ -1,0 +1,367 @@
+// Conformance of the multiway (worst-case-optimal intersection) plan
+// shape against the left-deep executors: identical derived sets and
+// substitution counts on every cyclic workload shape, deterministic
+// counters within a shape, drift-driven shape flips that never change
+// the fixpoint, and the knob interactions (multiway requires index
+// lookups; SetIndexLookups(false) must fall back to left-deep).
+
+#include <cstddef>
+#include <vector>
+
+#include "eval/compiled_rule.h"
+#include "eval/hypergraph.h"
+#include "eval/parallel.h"
+#include "eval/seminaive.h"
+#include "eval/stratified.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/cyclic_gen.h"
+
+namespace datalog {
+namespace {
+
+using testing::MakeSymbols;
+using testing::ParseDatabaseOrDie;
+using testing::ParseProgramOrDie;
+using testing::ParseRuleOrDie;
+
+struct KnobGuard {
+  ~KnobGuard() {
+    SetGreedyJoinOrdering(true);
+    SetIndexLookups(true);
+    SetCompiledRulePlans(true);
+    SetMultiwayJoins(true);
+    SetColumnarStorage(true);
+  }
+};
+
+Database MakeCyclicDb(const std::shared_ptr<SymbolTable>& symbols,
+                      const CyclicOptions& options) {
+  Database db(symbols);
+  if (options.shape == CyclicShape::kDenseSameGen) {
+    PredicateId up = symbols->InternPredicate("up", 2).value();
+    PredicateId down = symbols->InternPredicate("down", 2).value();
+    PredicateId flat = symbols->InternPredicate("flat", 2).value();
+    AddDenseSameGenFacts(options, up, down, flat, &db);
+  } else {
+    AddCyclicFacts(options, symbols->InternPredicate("e", 2).value(), &db);
+  }
+  return db;
+}
+
+TEST(MultiwayConformanceTest, MultiwayJoinsDefaultOn) {
+  EXPECT_TRUE(MultiwayJoinsEnabled());
+}
+
+TEST(MultiwayConformanceTest, TriangleBodySelectsMultiwayShape) {
+  KnobGuard guard;
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(
+      symbols, "e(1, 2). e(2, 3). e(3, 1). e(2, 4).");
+  Rule rule = ParseRuleOrDie(symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).");
+
+  CompiledRule plan = CompiledRule::Compile(
+      rule, /*delta_pos=*/std::size_t(-1), /*use_old=*/false, db, nullptr);
+  EXPECT_EQ(plan.shape(), PlanShape::kMultiway);
+  EXPECT_EQ(plan.multiway_steps().size(), 3u);  // one step per variable
+
+  // Acyclic bodies stay left-deep.
+  Rule path = ParseRuleOrDie(symbols, "h(x, w) :- e(x, y), e(y, z), e(z, w).");
+  CompiledRule path_plan = CompiledRule::Compile(
+      path, std::size_t(-1), false, db, nullptr);
+  EXPECT_EQ(path_plan.shape(), PlanShape::kLeftDeep);
+}
+
+/// Regression: multiway intersection is an index-only strategy, so
+/// SetIndexLookups(false) must force the left-deep (scan) shape, not
+/// silently keep probing indexes.
+TEST(MultiwayConformanceTest, IndexKnobOffDisablesMultiway) {
+  KnobGuard guard;
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(
+      symbols, "e(1, 2). e(2, 3). e(3, 1). e(2, 4). e(4, 2).");
+  Rule rule = ParseRuleOrDie(symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).");
+
+  SetIndexLookups(false);
+  CompiledRule plan = CompiledRule::Compile(
+      rule, std::size_t(-1), false, db, nullptr);
+  EXPECT_EQ(plan.shape(), PlanShape::kLeftDeep);
+
+  // And the knob flip on an existing multiway plan forces a replan.
+  SetIndexLookups(true);
+  CompiledRule mw_plan = CompiledRule::Compile(
+      rule, std::size_t(-1), false, db, nullptr);
+  ASSERT_EQ(mw_plan.shape(), PlanShape::kMultiway);
+  SetIndexLookups(false);
+  EXPECT_TRUE(mw_plan.NeedsReplan(db, nullptr));
+  mw_plan.Replan(db, nullptr);
+  EXPECT_EQ(mw_plan.shape(), PlanShape::kLeftDeep);
+
+  // Same fixpoint with the knob off as with it on.
+  auto run = [&](bool indexed) {
+    SetIndexLookups(indexed);
+    Database d(symbols);
+    d.UnionWith(db);
+    Program p = ParseProgramOrDie(
+        symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).\n");
+    EvalStats stats = EvaluateSemiNaive(p, &d).value();
+    return std::pair<Database, std::uint64_t>(std::move(d),
+                                              stats.match.substitutions);
+  };
+  auto [db_off, subs_off] = run(false);
+  auto [db_on, subs_on] = run(true);
+  EXPECT_EQ(db_off, db_on);
+  EXPECT_EQ(subs_off, subs_on);
+}
+
+TEST(MultiwayConformanceTest, MultiwayKnobOffKeepsLeftDeep) {
+  KnobGuard guard;
+  auto symbols = MakeSymbols();
+  Database db = ParseDatabaseOrDie(symbols, "e(1, 2). e(2, 3). e(3, 1).");
+  Rule rule = ParseRuleOrDie(symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).");
+  SetMultiwayJoins(false);
+  CompiledRule plan = CompiledRule::Compile(
+      rule, std::size_t(-1), false, db, nullptr);
+  EXPECT_EQ(plan.shape(), PlanShape::kLeftDeep);
+  SetMultiwayJoins(true);
+  EXPECT_TRUE(plan.NeedsReplan(db, nullptr));
+}
+
+/// Every cyclic workload shape: the multiway and left-deep shapes derive
+/// the same fixpoint with the same substitution count (assignments are
+/// shape-independent; probe/scan counters are not compared).
+TEST(MultiwayConformanceTest, IdenticalDerivedSetsAcrossShapes) {
+  KnobGuard guard;
+  const CyclicShape shapes[] = {CyclicShape::kTriangle, CyclicShape::kKCycle,
+                                CyclicShape::kClique,
+                                CyclicShape::kDenseSameGen};
+  for (CyclicShape shape : shapes) {
+    CyclicOptions options;
+    options.shape = shape;
+    options.num_nodes = 24;
+    options.num_edges = 72;
+    options.num_hubs = 2;
+    options.seed = 7;
+    auto symbols = MakeSymbols();
+    Program program =
+        ParseProgramOrDie(symbols, CyclicProgramText(options));
+    Database edb = MakeCyclicDb(symbols, options);
+
+    SetMultiwayJoins(true);
+    Database d1(symbols);
+    d1.UnionWith(edb);
+    EvalStats s1 = EvaluateSemiNaive(program, &d1).value();
+
+    SetMultiwayJoins(false);
+    Database d2(symbols);
+    d2.UnionWith(edb);
+    EvalStats s2 = EvaluateSemiNaive(program, &d2).value();
+
+    EXPECT_EQ(d1, d2) << "shape " << static_cast<int>(shape);
+    EXPECT_EQ(s1.match.substitutions, s2.match.substitutions)
+        << "shape " << static_cast<int>(shape);
+    EXPECT_GT(d1.NumFacts(), edb.NumFacts())
+        << "workload derived nothing; shape " << static_cast<int>(shape);
+  }
+}
+
+/// Within one shape the engine is deterministic: every counter and the
+/// result repeat bit for bit across runs (the frontier order is fixed).
+TEST(MultiwayConformanceTest, DeterministicWithinShape) {
+  KnobGuard guard;
+  CyclicOptions options;
+  options.num_nodes = 32;
+  options.seed = 11;
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols, CyclicProgramText(options));
+  Database edb = MakeCyclicDb(symbols, options);
+
+  EvalStats first;
+  Database d1(symbols);
+  d1.UnionWith(edb);
+  first = EvaluateSemiNaive(program, &d1).value();
+
+  EvalStats second;
+  Database d2(symbols);
+  d2.UnionWith(edb);
+  second = EvaluateSemiNaive(program, &d2).value();
+
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(first.match.substitutions, second.match.substitutions);
+  EXPECT_EQ(first.match.index_lookups, second.match.index_lookups);
+  EXPECT_EQ(first.match.tuples_scanned, second.match.tuples_scanned);
+}
+
+/// A plan compiled while a body relation is still empty stays left-deep;
+/// the >= 4x cardinality drift check notices the fill-in, the replan
+/// upgrades the shape, and the derived set is unchanged.
+TEST(MultiwayConformanceTest, DriftReplanFlipsShapeWithoutChangingFixpoint) {
+  KnobGuard guard;
+  auto symbols = MakeSymbols();
+  Database db(symbols);
+  PredicateId e = symbols->InternPredicate("e", 2).value();
+  Rule rule = ParseRuleOrDie(symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).");
+
+  CompiledRule plan = CompiledRule::Compile(
+      rule, std::size_t(-1), false, db, nullptr);
+  EXPECT_EQ(plan.shape(), PlanShape::kLeftDeep);  // e is empty
+
+  CyclicOptions options;
+  options.num_nodes = 16;
+  options.seed = 3;
+  AddCyclicFacts(options, e, &db);
+  ASSERT_TRUE(plan.NeedsReplan(db, nullptr));
+  plan.Replan(db, nullptr);
+  EXPECT_EQ(plan.shape(), PlanShape::kMultiway);
+
+  plan.EnsureIndexes(db, nullptr);
+  Database out_mw(symbols);
+  MatchStats stats_mw;
+  const std::size_t added_mw = plan.Apply(db, nullptr, nullptr, &out_mw,
+                                          &stats_mw);
+
+  SetMultiwayJoins(false);
+  CompiledRule left = CompiledRule::Compile(
+      rule, std::size_t(-1), false, db, nullptr);
+  ASSERT_EQ(left.shape(), PlanShape::kLeftDeep);
+  left.EnsureIndexes(db, nullptr);
+  Database out_ld(symbols);
+  MatchStats stats_ld;
+  const std::size_t added_ld = left.Apply(db, nullptr, nullptr, &out_ld,
+                                          &stats_ld);
+
+  EXPECT_EQ(added_mw, added_ld);
+  EXPECT_EQ(out_mw, out_ld);
+  EXPECT_EQ(stats_mw.substitutions, stats_ld.substitutions);
+  EXPECT_GT(added_mw, 0u);
+}
+
+TEST(MultiwayConformanceTest, EmptyRelationDerivesNothing) {
+  KnobGuard guard;
+  auto symbols = MakeSymbols();
+  Database db(symbols);
+  symbols->InternPredicate("e", 2).value();
+  Program program = ParseProgramOrDie(
+      symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).\n");
+  Database d(symbols);
+  d.UnionWith(db);
+  EvalStats stats = EvaluateSemiNaive(program, &d).value();
+  EXPECT_EQ(d.NumFacts(), 0u);
+  EXPECT_EQ(stats.match.substitutions, 0u);
+}
+
+TEST(MultiwayConformanceTest, SingleTupleEdgeCases) {
+  KnobGuard guard;
+  auto symbols = MakeSymbols();
+  // A single self-loop closes a triangle through itself.
+  Database loop_db = ParseDatabaseOrDie(symbols, "e(5, 5).");
+  Program program = ParseProgramOrDie(
+      symbols, "t(x, y, z) :- e(x, y), e(y, z), e(z, x).\n");
+  for (bool multiway : {true, false}) {
+    SetMultiwayJoins(multiway);
+    Database d(symbols);
+    d.UnionWith(loop_db);
+    EvaluateSemiNaive(program, &d).value();
+    PredicateId t = symbols->LookupPredicate("t").value();
+    EXPECT_EQ(d.relation(t).size(), 1u) << "multiway=" << multiway;
+  }
+  // A single plain edge closes nothing.
+  Database edge_db = ParseDatabaseOrDie(symbols, "e(1, 2).");
+  for (bool multiway : {true, false}) {
+    SetMultiwayJoins(multiway);
+    Database d(symbols);
+    d.UnionWith(edge_db);
+    EvalStats stats = EvaluateSemiNaive(program, &d).value();
+    EXPECT_EQ(stats.match.substitutions, 0u) << "multiway=" << multiway;
+  }
+}
+
+/// The parallel engines share CompiledRule plans (EnsureIndexes runs
+/// single-threaded, Apply is read-only): fixpoints and substitution
+/// counts match the sequential run on multiway-shaped rules.
+TEST(MultiwayConformanceTest, ParallelEnginesAgreeOnMultiwayRules) {
+  KnobGuard guard;
+  CyclicOptions options;
+  options.num_nodes = 24;
+  options.num_hubs = 2;
+  options.seed = 19;
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(symbols, CyclicProgramText(options));
+  Database edb = MakeCyclicDb(symbols, options);
+
+  Database seq(symbols);
+  seq.UnionWith(edb);
+  EvalStats seq_stats = EvaluateSemiNaive(program, &seq).value();
+
+  Database par(symbols);
+  par.UnionWith(edb);
+  EvalStats par_stats =
+      EvaluateSemiNaiveParallel(program, &par, /*num_threads=*/4).value();
+
+  EXPECT_EQ(seq, par);
+  EXPECT_EQ(seq_stats.match.substitutions, par_stats.match.substitutions);
+
+  Database scc(symbols);
+  scc.UnionWith(edb);
+  EvalStats scc_stats =
+      EvaluateSemiNaiveSccParallel(program, &scc, /*num_threads=*/4).value();
+  EXPECT_EQ(seq, scc);
+  EXPECT_EQ(seq_stats.match.substitutions, scc_stats.match.substitutions);
+}
+
+/// Stratified negation on top of a cyclic positive body: the negated
+/// literal is checked at the emit boundary in id space on the multiway
+/// path; the fixpoint must match the left-deep shape.
+TEST(MultiwayConformanceTest, StratifiedNegationAgreesAcrossShapes) {
+  KnobGuard guard;
+  auto symbols = MakeSymbols();
+  Program program = ParseProgramOrDie(
+      symbols,
+      "banned(1).\n"
+      "t(x, y, z) :- e(x, y), e(y, z), e(z, x), not banned(x).\n");
+  CyclicOptions options;
+  options.num_nodes = 16;
+  options.seed = 23;
+  Database edb(symbols);
+  AddCyclicFacts(options, symbols->LookupPredicate("e").value(), &edb);
+
+  SetMultiwayJoins(true);
+  Database d1(symbols);
+  d1.UnionWith(edb);
+  EvalStats s1 = EvaluateStratified(program, &d1).value();
+
+  SetMultiwayJoins(false);
+  Database d2(symbols);
+  d2.UnionWith(edb);
+  EvalStats s2 = EvaluateStratified(program, &d2).value();
+
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(s1.match.substitutions, s2.match.substitutions);
+}
+
+/// The workload generators themselves: planted structures guarantee a
+/// non-empty answer for every shape, so benchmark speedup ratios are
+/// never measured on empty outputs.
+TEST(MultiwayConformanceTest, CyclicWorkloadsDeriveNonEmptyAnswers) {
+  KnobGuard guard;
+  const CyclicShape shapes[] = {CyclicShape::kTriangle, CyclicShape::kKCycle,
+                                CyclicShape::kClique,
+                                CyclicShape::kDenseSameGen};
+  for (CyclicShape shape : shapes) {
+    CyclicOptions options;
+    options.shape = shape;
+    options.num_nodes = 20;
+    options.seed = 5;
+    auto symbols = MakeSymbols();
+    Program program = ParseProgramOrDie(symbols, CyclicProgramText(options));
+    Database d = MakeCyclicDb(symbols, options);
+    EvaluateSemiNaive(program, &d).value();
+    PredicateId head =
+        symbols->LookupPredicate(CyclicHeadName(shape)).value();
+    EXPECT_GT(d.relation(head).size(), 0u)
+        << "shape " << static_cast<int>(shape);
+  }
+}
+
+}  // namespace
+}  // namespace datalog

@@ -15,6 +15,7 @@
 #include "datalog.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "workload/cyclic_gen.h"
 #include "workload/graph_gen.h"
 #include "workload/program_gen.h"
 
@@ -22,6 +23,7 @@ namespace datalog {
 namespace {
 
 using testing::MakeSymbols;
+using testing::ParseProgramOrDie;
 using testing::ParseQueryOrDie;
 
 /// RAII reset for the full ablation-knob matrix so a failing assertion
@@ -32,6 +34,7 @@ struct KnobMatrixGuard {
     SetIndexLookups(true);
     SetCompiledRulePlans(true);
     SetColumnarStorage(true);
+    SetMultiwayJoins(true);
   }
 };
 
@@ -365,6 +368,199 @@ TEST_P(DifferentialEngineTest, CompiledPlansAgreeOnIncrementalCommits) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialEngineTest,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+// ---------------------------------------------------------------------------
+// Multiway-join differential matrix over the cyclic workload family.
+//
+// The cyclic generator produces exactly the bodies (triangles, k-cycles,
+// cliques, dense same-generation) where the planner selects the
+// worst-case-optimal multiway shape, so these cases exercise the
+// multiway executor on every seed instead of relying on the planted
+// generator to stumble into a cyclic body. Every knob combination --
+// multiway x left-deep x columnar x {sequential, parallel x4,
+// incremental commit scripts} -- must reach bit-identical fixpoints and
+// (within an engine) identical substitution counts.
+// ---------------------------------------------------------------------------
+
+struct CyclicCase {
+  std::shared_ptr<SymbolTable> symbols;
+  Program program;
+  Database edb;
+  /// EDB predicate names for transaction scripts ("e", or the three
+  /// tree predicates for kDenseSameGen).
+  std::vector<std::string> edb_preds;
+
+  explicit CyclicCase(std::shared_ptr<SymbolTable> s)
+      : symbols(std::move(s)), edb(symbols) {}
+};
+
+/// Derives a cyclic program/database pair from the seed alone: the shape
+/// rotates through the family and every size knob wiggles so the 50
+/// cases cover skewed hubs, different cycle lengths, and both tree
+/// geometries. Sizes stay small; the point is coverage, not load.
+CyclicCase MakeCyclicCase(std::uint64_t seed) {
+  CyclicCase c(MakeSymbols());
+  CyclicOptions options;
+  const CyclicShape shapes[] = {CyclicShape::kTriangle, CyclicShape::kKCycle,
+                                CyclicShape::kClique,
+                                CyclicShape::kDenseSameGen};
+  options.shape = shapes[seed % 4];
+  options.num_nodes = 6 + seed % 6;
+  options.num_edges = 2 * options.num_nodes + seed % 5;
+  options.num_hubs = 1;
+  options.num_planted = 1 + seed % 2;
+  options.cycle_length = 3 + (seed / 4) % 3;
+  options.depth = 2 + seed % 2;
+  options.fanout = 2 + (seed / 2) % 2;
+  options.seed = seed * 6364136223846793005ull + 3;
+  c.program = ParseProgramOrDie(c.symbols, CyclicProgramText(options));
+  if (options.shape == CyclicShape::kDenseSameGen) {
+    PredicateId up = c.symbols->LookupPredicate("up").value();
+    PredicateId down = c.symbols->LookupPredicate("down").value();
+    PredicateId flat = c.symbols->LookupPredicate("flat").value();
+    AddDenseSameGenFacts(options, up, down, flat, &c.edb);
+    c.edb_preds = {"up", "down", "flat"};
+  } else {
+    AddCyclicFacts(options, c.symbols->LookupPredicate("e").value(), &c.edb);
+    c.edb_preds = {"e"};
+  }
+  return c;
+}
+
+class DifferentialEngineMultiwayTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialEngineMultiwayTest, MultiwayAndLeftDeepShapesAgree) {
+  // Fixpoint + substitutions agreement across multiway on/off x columnar
+  // on/off, for sequential semi-naive and the parallel engine at 4
+  // threads. Substitutions count complete body matches, which no plan
+  // shape changes, so they must be bit-identical within each engine.
+  KnobMatrixGuard guard;
+  const std::uint64_t seed = GetParam();
+
+  // Reference: the left-deep shape (multiway off) on the default
+  // columnar backend.
+  SetMultiwayJoins(false);
+  CyclicCase ref_case = MakeCyclicCase(seed);
+  Database reference = ref_case.edb;
+  Result<EvalStats> ref_stats =
+      EvaluateSemiNaive(ref_case.program, &reference);
+  ASSERT_TRUE(ref_stats.ok()) << ref_stats.status().ToString();
+
+  Database par_reference = ref_case.edb;
+  Result<EvalStats> par_ref_stats =
+      EvaluateSemiNaiveParallel(ref_case.program, &par_reference, 4);
+  ASSERT_TRUE(par_ref_stats.ok()) << par_ref_stats.status().ToString();
+  ASSERT_EQ(par_reference, reference);
+
+  for (bool columnar : {true, false}) {
+    SetColumnarStorage(columnar);
+    // Regenerate under this backend: relations choose their storage at
+    // construction, and the generator is seed-deterministic.
+    CyclicCase c = MakeCyclicCase(seed);
+    for (bool multiway : {true, false}) {
+      SetMultiwayJoins(multiway);
+      const std::string config =
+          std::string("multiway=") + (multiway ? "1" : "0") +
+          " columnar=" + (columnar ? "1" : "0") +
+          " seed=" + std::to_string(seed);
+
+      Database seq = c.edb;
+      Result<EvalStats> seq_stats = EvaluateSemiNaive(c.program, &seq);
+      ASSERT_TRUE(seq_stats.ok())
+          << config << ": " << seq_stats.status().ToString();
+      EXPECT_EQ(seq, reference) << "semi-naive diverges, " << config;
+      EXPECT_EQ(seq_stats->match.substitutions,
+                ref_stats->match.substitutions)
+          << "substitutions drift, " << config;
+
+      Database par = c.edb;
+      Result<EvalStats> par_stats =
+          EvaluateSemiNaiveParallel(c.program, &par, 4);
+      ASSERT_TRUE(par_stats.ok())
+          << config << ": " << par_stats.status().ToString();
+      EXPECT_EQ(par, reference) << "parallel x4 diverges, " << config;
+      EXPECT_EQ(par_stats->match.substitutions,
+                par_ref_stats->match.substitutions)
+          << "parallel substitutions drift, " << config;
+    }
+  }
+}
+
+TEST_P(DifferentialEngineMultiwayTest, MultiwayIncrementalCommitScriptsAgree) {
+  // The incremental commit path over a cyclic program: the same random
+  // insert/retract script replayed under every (multiway, storage)
+  // combination must produce identical view snapshots after every
+  // commit, and each final view must equal a from-scratch fixpoint of
+  // its final base (so all variants cannot agree on a wrong answer).
+  KnobMatrixGuard guard;
+  const std::uint64_t seed = GetParam();
+
+  auto run_script = [&](bool multiway, bool columnar) {
+    SetMultiwayJoins(multiway);
+    SetColumnarStorage(columnar);
+    CyclicCase c = MakeCyclicCase(seed);
+    IncrOptions options;
+    options.num_threads = seed % 2 == 0 ? 1 : 4;
+    Result<MaterializedView> view =
+        MaterializedView::Create(c.program, c.edb, options);
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 13);
+    std::vector<Database> snapshots;
+    for (int batch = 0; batch < 8; ++batch) {
+      Transaction txn = view->Begin();
+      const int num_ops = 1 + static_cast<int>(rng() % 4);
+      for (int op = 0; op < num_ops; ++op) {
+        PredicateId pred =
+            c.symbols
+                ->LookupPredicate(c.edb_preds[rng() % c.edb_preds.size()])
+                .value();
+        const bool insert = rng() % 2 == 0;
+        const auto& rows = view->base().relation(pred).rows();
+        if (!insert && !rows.empty() && rng() % 4 != 0) {
+          EXPECT_TRUE(txn.Retract(pred, rows[rng() % rows.size()]).ok());
+          continue;
+        }
+        Tuple tuple = {Value::Int(static_cast<std::int64_t>(rng() % 16)),
+                       Value::Int(static_cast<std::int64_t>(rng() % 16))};
+        EXPECT_TRUE((insert ? txn.Insert(pred, std::move(tuple))
+                            : txn.Retract(pred, std::move(tuple)))
+                        .ok());
+      }
+      Result<CommitStats> stats = txn.Commit();
+      EXPECT_TRUE(stats.ok()) << "seed " << seed << " batch " << batch
+                              << ": " << stats.status().ToString();
+      snapshots.push_back(view->db());
+    }
+    Database ref = view->base();
+    EXPECT_TRUE(EvaluateSemiNaive(c.program, &ref).ok());
+    EXPECT_EQ(view->db(), ref)
+        << "incremental view diverges from from-scratch oracle, multiway="
+        << multiway << " columnar=" << columnar << " seed=" << seed;
+    return snapshots;
+  };
+
+  const std::vector<Database> reference = run_script(false, true);
+  const struct {
+    bool multiway;
+    bool columnar;
+    const char* name;
+  } variants[] = {{true, true, "multiway/columnar"},
+                  {true, false, "multiway/rowstore"},
+                  {false, false, "left-deep/rowstore"}};
+  for (const auto& v : variants) {
+    std::vector<Database> got = run_script(v.multiway, v.columnar);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], reference[i])
+          << "incremental commit path (" << v.name << ") diverges on seed "
+          << seed << ", batch " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialEngineMultiwayTest,
                          ::testing::Range<std::uint64_t>(0, 50));
 
 }  // namespace
