@@ -36,7 +36,10 @@ void RunEngine(benchmark::State& state, const char* program_text,
     benchmark::DoNotOptimize(db);
   }
   state.counters["joins"] = static_cast<double>(last.match.substitutions);
-  state.counters["iterations"] = static_cast<double>(last.iterations);
+  // Named to dodge google-benchmark's built-in "iterations" field: a
+  // counter with the same name made every JSON entry carry the key
+  // twice, which strict parsers reject.
+  state.counters["fixpoint_rounds"] = static_cast<double>(last.iterations);
 }
 
 void BM_LinearTcChain_Naive(benchmark::State& state) {
@@ -121,6 +124,35 @@ BENCHMARK(BM_LinearTcRandom_SemiNaive_RowStore)
     ->RangeMultiplier(2)
     ->Range(32, 256);
 
+/// Bytecode-VM A/B: the same workloads with bytecode execution ablated,
+/// so compiled plans run the struct interpreters (ApplyBatch /
+/// ApplyMultiway) instead of the computed-goto VM. Everything else --
+/// plans, columnar storage, indexes -- is identical, so the delta is
+/// purely dispatch + the fused innermost emission loop.
+template <typename Evaluator>
+void RunEngineStructInterp(benchmark::State& state, const char* program_text,
+                           GraphShape shape, Evaluator evaluate) {
+  SetBytecodeExecution(false);
+  RunEngine(state, program_text, shape, evaluate);
+  SetBytecodeExecution(true);
+}
+
+void BM_LinearTcChain_SemiNaive_StructInterp(benchmark::State& state) {
+  RunEngineStructInterp(state, kLinearTc, GraphShape::kChain,
+                        EvaluateSemiNaive);
+}
+BENCHMARK(BM_LinearTcChain_SemiNaive_StructInterp)
+    ->RangeMultiplier(2)
+    ->Range(16, 128);
+
+void BM_LinearTcRandom_SemiNaive_StructInterp(benchmark::State& state) {
+  RunEngineStructInterp(state, kLinearTc, GraphShape::kRandom,
+                        EvaluateSemiNaive);
+}
+BENCHMARK(BM_LinearTcRandom_SemiNaive_StructInterp)
+    ->RangeMultiplier(2)
+    ->Range(32, 256);
+
 /// Same-generation: the classic non-linear two-sided join; each delta pass
 /// probes two indexed body atoms, so per-probe key-buffer reuse dominates.
 constexpr const char* kSameGen =
@@ -148,7 +180,7 @@ void RunSameGen(benchmark::State& state, Evaluator evaluate) {
     benchmark::DoNotOptimize(db);
   }
   state.counters["joins"] = static_cast<double>(last.match.substitutions);
-  state.counters["iterations"] = static_cast<double>(last.iterations);
+  state.counters["fixpoint_rounds"] = static_cast<double>(last.iterations);
 }
 
 void BM_SameGen_SemiNaive(benchmark::State& state) {
@@ -162,6 +194,15 @@ void BM_SameGen_SemiNaive_LegacyMatcher(benchmark::State& state) {
   SetCompiledRulePlans(true);
 }
 BENCHMARK(BM_SameGen_SemiNaive_LegacyMatcher)
+    ->RangeMultiplier(2)
+    ->Range(32, 256);
+
+void BM_SameGen_SemiNaive_StructInterp(benchmark::State& state) {
+  SetBytecodeExecution(false);
+  RunSameGen(state, EvaluateSemiNaive);
+  SetBytecodeExecution(true);
+}
+BENCHMARK(BM_SameGen_SemiNaive_StructInterp)
     ->RangeMultiplier(2)
     ->Range(32, 256);
 

@@ -1,0 +1,235 @@
+#ifndef DATALOG_EVAL_BYTECODE_BYTECODE_H_
+#define DATALOG_EVAL_BYTECODE_BYTECODE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/value.h"
+#include "eval/rule_matcher.h"
+
+namespace datalog {
+
+class CompiledRule;
+
+namespace bytecode {
+
+/// The register-based instruction set compiled join plans lower to (see
+/// docs/bytecode_vm.md). Operands address the same flat u32 frame slots
+/// the struct executors use, so a bytecode run is bit-for-bit
+/// interchangeable with ApplyBatch/ApplyMultiway: same MatchStats bumps,
+/// same frontier emission order, same derived facts.
+///
+/// Generic opcodes pair an *open* (resolve the depth's candidate set,
+/// bump index_lookups) with a *next* (advance one candidate row, bump
+/// tuples_scanned); FILTER/LOAD ops act on the current row. The fused
+/// `...EmitAll` superinstructions run the innermost loop -- candidate
+/// iteration, filters, slot writes, negation and head emission -- without
+/// per-row dispatch; they are what buys the VM its wall-clock edge over
+/// the struct interpreter.
+enum class Op : std::uint8_t {
+  kHalt = 0,
+  // LOAD_KEY: keys[a][b] = slots[c]. Patches a bound-variable position
+  // of step a's probe key before the depth's open op runs.
+  kLoadKey,
+  // SCAN open: dead -> jump t; ++index_lookups; rewind step a's row
+  // cursor. LOOP in the ISA doc.
+  kLoop,
+  // SCAN next (END_LOOP edge): cursor exhausted -> jump t; else advance,
+  // ++tuples_scanned.
+  kLoopNext,
+  // INDEX_PROBE open: dead or no prepared view -> jump t;
+  // ++index_lookups; position on the posting list for keys[a].
+  kProbe,
+  // INDEX_PROBE next: list exhausted -> jump t; skips old-snapshot rows
+  // at or past the limit without bumping, else ++tuples_scanned.
+  kProbeNext,
+  // FILTER_CONST: column b of step a's current row != pool constant c ->
+  // jump t (continue the enclosing loop).
+  kFilterConst,
+  // FILTER_KEY: column b of step a's current row != keys[a][c] -> jump t.
+  kFilterKey,
+  // FILTER_EQ (repeated variable): columns b and c of step a's current
+  // row differ -> jump t.
+  kFilterEq,
+  // LOAD_COL: slots[c] = column b of step a's current row.
+  kLoad,
+  // Fully-bound membership against the current state: dead -> jump t;
+  // ++index_lookups; ++tuples_scanned; keys[a] not present -> jump t.
+  kMember,
+  // Fully-bound membership against the old snapshot: as kMember but the
+  // matching row must predate the old limit.
+  kMemberOld,
+  // EMIT: ++substitutions; negated literals absent -> buffer the head
+  // row ids; always jump t (the innermost loop's next op, or HALT).
+  kEmit,
+  kJump,  // unconditional jump to t
+  // MULTIWAY_SEEK open: elect the smallest candidate list among mw step
+  // a's probes (one index_lookups bump per probe), materialize only the
+  // winner's projection, fill the union membership keys.
+  kSeek,
+  // MULTIWAY_SEEK next: exhausted -> jump t; per candidate id
+  // ++tuples_scanned, membership-test the other probes (union-index
+  // seeks bump index_lookups, sorted-root probes bump tuples_scanned),
+  // bind survivors into the step's slot.
+  kSeekNext,
+  // Fused superinstructions: open + full candidate loop + emission for
+  // the innermost depth, then fall through.
+  kLoopEmitAll,   // innermost (filtered) scan
+  kProbeEmitAll,  // innermost indexed probe
+  kSeekEmitAll,   // innermost multiway intersection
+  kNumOps,        // sentinel, not a real opcode
+};
+
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kNumOps);
+
+const char* OpName(Op op);
+
+/// One instruction: opcode plus three small operands and a jump target
+/// (absolute instruction index). Unused fields are zero.
+struct Insn {
+  Op op = Op::kHalt;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::uint32_t t = 0;
+};
+
+/// Pool-reference sentinel for key-template positions patched per probe
+/// by kLoadKey (mirrors ValueDictionary::kInvalidId in the resolved
+/// arrays).
+inline constexpr std::uint32_t kPatched = 0xFFFFFFFFu;
+
+/// One body atom of the lowered plan: the serializable subset of
+/// CompiledAtomStep plus the resolved id arrays the VM reads. Constant
+/// key positions reference the program's constant pool so a decoded
+/// program re-interns them into the decoding process's dictionary.
+struct StepDesc {
+  std::uint32_t predicate = 0;
+  std::uint32_t arity = 0;
+  std::uint8_t source = 0;         // AtomSource
+  std::vector<int> key_cols;       // strictly increasing bound columns
+  std::vector<std::uint32_t> key_template;  // pool refs; kPatched holes
+  // Repeated-variable checks as row-local column pairs, and free-
+  // variable writes as (column, slot) pairs -- same layout as
+  // CompiledAtomStep::id_checks / writes.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> id_checks;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> writes;
+  // Resolved from key_template by ResolveConstants (not serialized).
+  std::vector<std::uint32_t> key_template_ids;
+};
+
+/// A head or negated-literal argument: pool constant or frame slot.
+struct TermDesc {
+  bool is_constant = false;
+  std::uint32_t index = 0;  // pool index (constant) or slot
+  std::uint32_t id = 0;     // resolved constant id (not serialized)
+};
+
+struct NegDesc {
+  std::uint32_t predicate = 0;
+  std::vector<TermDesc> terms;
+};
+
+/// Serializable mirror of MultiwayProbe (see eval/compiled_rule.h), with
+/// constants as pool references.
+struct ProbeDesc {
+  std::uint32_t atom = 0;  // index into Program::steps
+  std::vector<int> var_cols;
+  std::vector<int> bound_cols;  // strictly increasing
+  std::vector<std::uint32_t> key_template;  // pool refs; kPatched holes
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> key_fill;
+  bool unconditional = false;
+  std::vector<int> union_cols;  // strictly increasing
+  std::vector<std::uint32_t> union_template;  // pool refs; kPatched holes
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> union_key_fill;
+  std::vector<std::uint32_t> union_var_positions;
+  // Resolved by ResolveConstants (not serialized).
+  std::vector<std::uint32_t> key_template_ids;
+  std::vector<std::uint32_t> union_template_ids;
+};
+
+struct MwStepDesc {
+  std::uint32_t slot = 0;
+  std::vector<ProbeDesc> probes;
+};
+
+inline constexpr std::uint32_t kBytecodeMagic = 0x43424c44u;  // "DLBC"
+inline constexpr std::uint32_t kBytecodeVersion = 1;
+
+/// A lowered join plan: self-contained (constant pool, step and probe
+/// descriptor tables, code) so it can be serialized, shipped, validated
+/// and executed without the CompiledRule it came from. Symbol-kind
+/// constants reference SymbolTable ids, so cross-process transport
+/// additionally requires the processes to share a symbol table (the
+/// server's workers do; see docs/bytecode_vm.md).
+struct Program {
+  std::uint32_t version = kBytecodeVersion;
+  std::uint8_t shape = 0;  // 0 = left-deep, 1 = multiway
+  bool use_index = true;   // knob snapshot at lowering time
+  std::uint32_t num_slots = 0;
+  std::vector<Value> const_pool;
+  std::vector<StepDesc> steps;
+  std::uint32_t head_predicate = 0;
+  std::vector<TermDesc> head;
+  std::vector<NegDesc> negated;
+  std::vector<MwStepDesc> mw_steps;
+  std::vector<Insn> code;
+  // Pool constants interned into this process's dictionary; parallel to
+  // const_pool. Rebuilt by ResolveConstants, never serialized.
+  std::vector<std::uint32_t> const_ids;
+
+  bool empty() const { return code.empty(); }
+
+  /// Interns the constant pool into the global ValueDictionary and
+  /// fills every resolved id array (const_ids, key_template_ids, term
+  /// ids). Must run after construction or Decode, before Run.
+  void ResolveConstants();
+};
+
+/// Lowers a compiled plan to bytecode. Returns an empty program when the
+/// plan does not qualify for id-space execution (not batch_ok, empty
+/// body, or compiled without a rule head).
+Program Lower(const CompiledRule& plan);
+
+/// Static safety check: operand bounds (pc targets, slots, columns,
+/// pool references), descriptor-table consistency (strictly increasing
+/// key columns, probe shapes), loop nesting via a row-validity dataflow
+/// over the control-flow graph. A program that validates executes
+/// without undefined behavior on any database; lowered programs always
+/// validate. Returns false and fills `error` (if non-null) on rejection.
+bool Validate(const Program& program, std::string* error = nullptr);
+
+/// Versioned binary serialization (format v1, little-endian; see
+/// docs/bytecode_vm.md). Decode checks structural well-formedness and
+/// re-interns the constant pool, but run Validate before executing a
+/// program from an untrusted source.
+std::vector<std::uint8_t> Encode(const Program& program);
+bool Decode(const std::uint8_t* data, std::size_t size, Program* out,
+            std::string* error = nullptr);
+
+/// Per-opcode dispatch tallies for the obs layer (bytecode.dispatch).
+using DispatchCounts = std::array<std::uint64_t, kNumOps>;
+
+/// Executes a validated program: enumerates body matches and inserts
+/// instantiated heads into `out` (which may alias `full`), mirroring
+/// CompiledRule::Apply's batch/multiway executors bump for bump.
+/// Returns false -- before bumping any counter or inserting anything --
+/// when the program cannot run against these databases (a live relation
+/// is not columnar, or a relation's arity contradicts the program), in
+/// which case the caller falls back to the struct interpreter. When
+/// `dispatch` is non-null every executed instruction is tallied per
+/// opcode.
+bool Run(const Program& program, const Database& full, const Database* delta,
+         const OldLimits* old_limits, Database* out, MatchStats* stats,
+         std::size_t* new_facts, DispatchCounts* dispatch = nullptr);
+
+/// Publishes a run's dispatch tallies to the process MetricsRegistry as
+/// `bytecode.dispatch{op=...}` counters. No-op when metrics are off.
+void PublishDispatchCounts(const DispatchCounts& counts);
+
+}  // namespace bytecode
+}  // namespace datalog
+
+#endif  // DATALOG_EVAL_BYTECODE_BYTECODE_H_

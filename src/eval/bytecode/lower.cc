@@ -1,0 +1,278 @@
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "eval/bytecode/bytecode.h"
+#include "eval/compiled_rule.h"
+#include "util/interning.h"
+
+namespace datalog {
+namespace bytecode {
+namespace {
+
+// Jump-target sentinel meaning "the final kHalt"; the emitter does not
+// know that pc until the whole body is laid out, so continuations that
+// leave the outermost loop carry it and get patched at the end.
+constexpr std::uint32_t kHaltSentinel = 0xFFFFFFFFu;
+
+// Interns plan constants into the program's pool, deduplicating by
+// (kind, payload) so a constant reused across steps, head, and negation
+// serializes once.
+class PoolBuilder {
+ public:
+  explicit PoolBuilder(Program* program) : program_(program) {}
+
+  std::uint32_t Ref(const Value& v) {
+    const std::pair<int, std::int64_t> key(static_cast<int>(v.kind()),
+                                           v.payload());
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const auto ref = static_cast<std::uint32_t>(program_->const_pool.size());
+    program_->const_pool.push_back(v);
+    index_.emplace(key, ref);
+    return ref;
+  }
+
+  // Pool-interns a value known only by its dictionary id (the multiway
+  // schedules drop the Value form at compile time).
+  std::uint32_t RefId(std::uint32_t id) {
+    return Ref(ValueDictionary::Global().Resolve(id));
+  }
+
+ private:
+  Program* program_;
+  std::map<std::pair<int, std::int64_t>, std::uint32_t> index_;
+};
+
+std::vector<TermDesc> LowerTerms(const std::vector<CompiledTerm>& terms,
+                                 PoolBuilder* pool) {
+  std::vector<TermDesc> out;
+  out.reserve(terms.size());
+  for (const CompiledTerm& t : terms) {
+    TermDesc td;
+    td.is_constant = t.is_constant;
+    td.index = t.is_constant ? pool->Ref(t.value)
+                             : static_cast<std::uint32_t>(t.slot);
+    out.push_back(td);
+  }
+  return out;
+}
+
+}  // namespace
+
+Program Lower(const CompiledRule& plan) {
+  Program p;
+  // Mirror Apply's id-space gating: plans that cannot run the batch or
+  // multiway executors stay on the struct/value-space paths, so there is
+  // nothing to lower.
+  if (!plan.has_rule_ || !plan.batch_ok_ || plan.steps_.empty()) return p;
+
+  p.shape = plan.shape_ == PlanShape::kMultiway ? 1 : 0;
+  p.use_index = plan.use_index_;
+  p.num_slots = static_cast<std::uint32_t>(plan.num_slots_);
+  p.head_predicate = static_cast<std::uint32_t>(plan.head_predicate_);
+
+  PoolBuilder pool(&p);
+
+  // --- Descriptor tables -------------------------------------------------
+  p.steps.reserve(plan.steps_.size());
+  for (const CompiledAtomStep& cs : plan.steps_) {
+    StepDesc sd;
+    sd.predicate = static_cast<std::uint32_t>(cs.predicate);
+    sd.arity = static_cast<std::uint32_t>(cs.arity);
+    sd.source = static_cast<std::uint8_t>(cs.source);
+    sd.key_cols = cs.key_cols;
+    sd.key_template.reserve(cs.key_template_ids.size());
+    for (std::size_t k = 0; k < cs.key_template_ids.size(); ++k) {
+      sd.key_template.push_back(cs.key_template_ids[k] ==
+                                        ValueDictionary::kInvalidId
+                                    ? kPatched
+                                    : pool.Ref(cs.key_template[k]));
+    }
+    for (const auto& [first_col, repeat_col] : cs.id_checks) {
+      sd.id_checks.emplace_back(static_cast<std::uint32_t>(first_col),
+                                static_cast<std::uint32_t>(repeat_col));
+    }
+    for (const CompiledAtomStep::SlotRef& w : cs.writes) {
+      sd.writes.emplace_back(static_cast<std::uint32_t>(w.col),
+                             static_cast<std::uint32_t>(w.slot));
+    }
+    p.steps.push_back(std::move(sd));
+  }
+
+  p.head = LowerTerms(plan.head_terms_, &pool);
+  for (std::size_t i = 0; i < plan.negated_preds_.size(); ++i) {
+    NegDesc nd;
+    nd.predicate = static_cast<std::uint32_t>(plan.negated_preds_[i]);
+    nd.terms = LowerTerms(plan.negated_terms_[i], &pool);
+    p.negated.push_back(std::move(nd));
+  }
+
+  if (p.shape == 1) {
+    p.mw_steps.reserve(plan.mw_steps_.size());
+    for (const MultiwayStep& ms : plan.mw_steps_) {
+      MwStepDesc md;
+      md.slot = static_cast<std::uint32_t>(ms.slot);
+      md.probes.reserve(ms.probes.size());
+      for (const MultiwayProbe& mp : ms.probes) {
+        ProbeDesc pd;
+        pd.atom = static_cast<std::uint32_t>(mp.atom);
+        pd.var_cols = mp.var_cols;
+        pd.bound_cols = mp.bound_cols;
+        pd.unconditional = mp.unconditional;
+        pd.union_cols = mp.union_cols;
+        pd.key_template.reserve(mp.key_template_ids.size());
+        for (std::uint32_t id : mp.key_template_ids) {
+          pd.key_template.push_back(
+              id == ValueDictionary::kInvalidId ? kPatched : pool.RefId(id));
+        }
+        pd.union_template.reserve(mp.union_template_ids.size());
+        for (std::uint32_t id : mp.union_template_ids) {
+          pd.union_template.push_back(
+              id == ValueDictionary::kInvalidId ? kPatched : pool.RefId(id));
+        }
+        for (const CompiledAtomStep::KeyFill& kf : mp.key_fill) {
+          pd.key_fill.emplace_back(static_cast<std::uint32_t>(kf.key_index),
+                                   static_cast<std::uint32_t>(kf.slot));
+        }
+        for (const CompiledAtomStep::KeyFill& kf : mp.union_key_fill) {
+          pd.union_key_fill.emplace_back(
+              static_cast<std::uint32_t>(kf.key_index),
+              static_cast<std::uint32_t>(kf.slot));
+        }
+        for (int pos : mp.union_var_positions) {
+          pd.union_var_positions.push_back(static_cast<std::uint32_t>(pos));
+        }
+        md.probes.push_back(std::move(pd));
+      }
+      p.mw_steps.push_back(std::move(md));
+    }
+  }
+
+  // --- Code emission -----------------------------------------------------
+  // One loop per non-membership depth; `loop_next` tracks the pc of each
+  // enclosing loop's advance op, so a filter failure or emission continues
+  // the innermost loop and an exhausted loop continues the next one out.
+  std::vector<std::uint32_t> loop_next;
+  auto emit = [&](Op op, std::uint32_t a = 0, std::uint32_t b = 0,
+                  std::uint32_t c = 0, std::uint32_t t = 0) {
+    p.code.push_back(Insn{op, a, b, c, t});
+    return static_cast<std::uint32_t>(p.code.size() - 1);
+  };
+  auto cont = [&] {
+    return loop_next.empty() ? kHaltSentinel : loop_next.back();
+  };
+
+  if (p.shape == 0) {
+    bool fused = false;
+    const std::size_t n = plan.steps_.size();
+    for (std::size_t d = 0; d < n; ++d) {
+      const CompiledAtomStep& cs = plan.steps_[d];
+      const auto da = static_cast<std::uint32_t>(d);
+      for (const CompiledAtomStep::KeyFill& kf : cs.key_fill) {
+        emit(Op::kLoadKey, da, static_cast<std::uint32_t>(kf.key_index),
+             static_cast<std::uint32_t>(kf.slot));
+      }
+      const bool fully_bound =
+          static_cast<int>(cs.key_cols.size()) == cs.arity;
+      if (plan.use_index_ && fully_bound) {
+        emit(cs.source == AtomSource::kOld ? Op::kMemberOld : Op::kMember,
+             da, 0, 0, cont());
+        continue;
+      }
+      const bool indexed = plan.use_index_ && !cs.key_cols.empty();
+      if (d + 1 == n) {
+        emit(indexed ? Op::kProbeEmitAll : Op::kLoopEmitAll, da);
+        fused = true;
+        continue;
+      }
+      const std::uint32_t parent = cont();
+      emit(indexed ? Op::kProbe : Op::kLoop, da, 0, 0, parent);
+      const std::uint32_t next_pc =
+          emit(indexed ? Op::kProbeNext : Op::kLoopNext, da, 0, 0, parent);
+      if (!indexed && !cs.key_cols.empty()) {
+        // Unindexed filtered scan: compare each bound column against the
+        // baked constant or the patched key position, in key order.
+        for (std::size_t k = 0; k < cs.key_cols.size(); ++k) {
+          const auto col = static_cast<std::uint32_t>(cs.key_cols[k]);
+          if (cs.key_template_ids[k] != ValueDictionary::kInvalidId) {
+            emit(Op::kFilterConst, da, col, pool.Ref(cs.key_template[k]),
+                 next_pc);
+          } else {
+            emit(Op::kFilterKey, da, col, static_cast<std::uint32_t>(k),
+                 next_pc);
+          }
+        }
+      }
+      for (const auto& [first_col, repeat_col] : cs.id_checks) {
+        emit(Op::kFilterEq, da, static_cast<std::uint32_t>(first_col),
+             static_cast<std::uint32_t>(repeat_col), next_pc);
+      }
+      for (const CompiledAtomStep::SlotRef& w : cs.writes) {
+        emit(Op::kLoad, da, static_cast<std::uint32_t>(w.col),
+             static_cast<std::uint32_t>(w.slot));
+      }
+      loop_next.push_back(next_pc);
+    }
+    if (fused) {
+      emit(Op::kJump, 0, 0, 0, cont());
+    } else {
+      emit(Op::kEmit, 0, 0, 0, cont());
+    }
+  } else {
+    const std::size_t n = p.mw_steps.size();
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto sa = static_cast<std::uint32_t>(s);
+      if (s + 1 == n) {
+        emit(Op::kSeekEmitAll, sa);
+        emit(Op::kJump, 0, 0, 0, cont());
+        continue;
+      }
+      emit(Op::kSeek, sa);
+      loop_next.push_back(emit(Op::kSeekNext, sa, 0, 0, cont()));
+    }
+  }
+
+  const std::uint32_t halt_pc = emit(Op::kHalt);
+  for (Insn& insn : p.code) {
+    if (insn.t == kHaltSentinel) insn.t = halt_pc;
+  }
+
+  p.ResolveConstants();
+  return p;
+}
+
+void Program::ResolveConstants() {
+  ValueDictionary& dict = ValueDictionary::Global();
+  const_ids.resize(const_pool.size());
+  for (std::size_t i = 0; i < const_pool.size(); ++i) {
+    const_ids[i] = dict.Intern(const_pool[i]);
+  }
+  auto resolve = [&](const std::vector<std::uint32_t>& refs,
+                     std::vector<std::uint32_t>* out) {
+    out->assign(refs.size(), ValueDictionary::kInvalidId);
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      if (refs[i] < const_ids.size()) (*out)[i] = const_ids[refs[i]];
+    }
+  };
+  auto resolve_terms = [&](std::vector<TermDesc>* terms) {
+    for (TermDesc& t : *terms) {
+      if (t.is_constant && t.index < const_ids.size()) {
+        t.id = const_ids[t.index];
+      }
+    }
+  };
+  for (StepDesc& sd : steps) resolve(sd.key_template, &sd.key_template_ids);
+  resolve_terms(&head);
+  for (NegDesc& nd : negated) resolve_terms(&nd.terms);
+  for (MwStepDesc& ms : mw_steps) {
+    for (ProbeDesc& pr : ms.probes) {
+      resolve(pr.key_template, &pr.key_template_ids);
+      resolve(pr.union_template, &pr.union_template_ids);
+    }
+  }
+}
+
+}  // namespace bytecode
+}  // namespace datalog

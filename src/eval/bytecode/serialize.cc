@@ -1,0 +1,336 @@
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ast/value.h"
+#include "eval/bytecode/bytecode.h"
+
+namespace datalog {
+namespace bytecode {
+namespace {
+
+// Format v1 (little-endian): magic, version, shape, use_index, num_slots,
+// constant pool (kind byte + 8-byte payload each), step table, head
+// predicate + terms, negated literals, multiway step table, code. Every
+// count is a u32; columns are serialized as u32 even where the in-memory
+// type is int (the validator re-checks ranges on the decoded program).
+
+void PutU8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU32Vec(std::vector<std::uint8_t>* out,
+               const std::vector<std::uint32_t>& v) {
+  PutU32(out, static_cast<std::uint32_t>(v.size()));
+  for (std::uint32_t x : v) PutU32(out, x);
+}
+
+void PutColVec(std::vector<std::uint8_t>* out, const std::vector<int>& v) {
+  PutU32(out, static_cast<std::uint32_t>(v.size()));
+  for (int x : v) PutU32(out, static_cast<std::uint32_t>(x));
+}
+
+void PutPairVec(
+    std::vector<std::uint8_t>* out,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& v) {
+  PutU32(out, static_cast<std::uint32_t>(v.size()));
+  for (const auto& [a, b] : v) {
+    PutU32(out, a);
+    PutU32(out, b);
+  }
+}
+
+void PutTerms(std::vector<std::uint8_t>* out,
+              const std::vector<TermDesc>& terms) {
+  PutU32(out, static_cast<std::uint32_t>(terms.size()));
+  for (const TermDesc& t : terms) {
+    PutU8(out, t.is_constant ? 1 : 0);
+    PutU32(out, t.index);
+  }
+}
+
+// Bounds-checked reader; every Get reports failure instead of reading
+// past the buffer, and element counts are capped so hostile input cannot
+// trigger giant allocations before validation.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool GetU8(std::uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool GetU32(std::uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    std::uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+
+  bool GetU64(std::uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+
+  bool GetCount(std::uint32_t* n) {
+    if (!GetU32(n)) return false;
+    return *n <= (1u << 20);
+  }
+
+  bool GetU32Vec(std::vector<std::uint32_t>* v) {
+    std::uint32_t n;
+    if (!GetCount(&n)) return false;
+    v->resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!GetU32(&(*v)[i])) return false;
+    }
+    return true;
+  }
+
+  bool GetColVec(std::vector<int>* v) {
+    std::uint32_t n;
+    if (!GetCount(&n)) return false;
+    v->resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint32_t x;
+      if (!GetU32(&x)) return false;
+      (*v)[i] = static_cast<int>(x);
+    }
+    return true;
+  }
+
+  bool GetPairVec(std::vector<std::pair<std::uint32_t, std::uint32_t>>* v) {
+    std::uint32_t n;
+    if (!GetCount(&n)) return false;
+    v->resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!GetU32(&(*v)[i].first) || !GetU32(&(*v)[i].second)) return false;
+    }
+    return true;
+  }
+
+  bool GetTerms(std::vector<TermDesc>* terms) {
+    std::uint32_t n;
+    if (!GetCount(&n)) return false;
+    terms->resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint8_t is_const;
+      if (!GetU8(&is_const) || is_const > 1) return false;
+      (*terms)[i].is_constant = is_const == 1;
+      if (!GetU32(&(*terms)[i].index)) return false;
+    }
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> Encode(const Program& p) {
+  std::vector<std::uint8_t> out;
+  PutU32(&out, kBytecodeMagic);
+  PutU32(&out, p.version);
+  PutU8(&out, p.shape);
+  PutU8(&out, p.use_index ? 1 : 0);
+  PutU32(&out, p.num_slots);
+
+  PutU32(&out, static_cast<std::uint32_t>(p.const_pool.size()));
+  for (const Value& v : p.const_pool) {
+    PutU8(&out, static_cast<std::uint8_t>(v.kind()));
+    PutU64(&out, static_cast<std::uint64_t>(v.payload()));
+  }
+
+  PutU32(&out, static_cast<std::uint32_t>(p.steps.size()));
+  for (const StepDesc& sd : p.steps) {
+    PutU32(&out, sd.predicate);
+    PutU32(&out, sd.arity);
+    PutU8(&out, sd.source);
+    PutColVec(&out, sd.key_cols);
+    PutU32Vec(&out, sd.key_template);
+    PutPairVec(&out, sd.id_checks);
+    PutPairVec(&out, sd.writes);
+  }
+
+  PutU32(&out, p.head_predicate);
+  PutTerms(&out, p.head);
+
+  PutU32(&out, static_cast<std::uint32_t>(p.negated.size()));
+  for (const NegDesc& nd : p.negated) {
+    PutU32(&out, nd.predicate);
+    PutTerms(&out, nd.terms);
+  }
+
+  PutU32(&out, static_cast<std::uint32_t>(p.mw_steps.size()));
+  for (const MwStepDesc& ms : p.mw_steps) {
+    PutU32(&out, ms.slot);
+    PutU32(&out, static_cast<std::uint32_t>(ms.probes.size()));
+    for (const ProbeDesc& probe : ms.probes) {
+      PutU32(&out, probe.atom);
+      PutColVec(&out, probe.var_cols);
+      PutColVec(&out, probe.bound_cols);
+      PutU32Vec(&out, probe.key_template);
+      PutPairVec(&out, probe.key_fill);
+      PutU8(&out, probe.unconditional ? 1 : 0);
+      PutColVec(&out, probe.union_cols);
+      PutU32Vec(&out, probe.union_template);
+      PutPairVec(&out, probe.union_key_fill);
+      PutU32Vec(&out, probe.union_var_positions);
+    }
+  }
+
+  PutU32(&out, static_cast<std::uint32_t>(p.code.size()));
+  for (const Insn& insn : p.code) {
+    PutU8(&out, static_cast<std::uint8_t>(insn.op));
+    PutU32(&out, insn.a);
+    PutU32(&out, insn.b);
+    PutU32(&out, insn.c);
+    PutU32(&out, insn.t);
+  }
+  return out;
+}
+
+bool Decode(const std::uint8_t* data, std::size_t size, Program* out,
+            std::string* error) {
+  auto fail = [&](const char* message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  Reader r(data, size);
+  *out = Program{};
+
+  std::uint32_t magic;
+  if (!r.GetU32(&magic) || magic != kBytecodeMagic) return fail("bad magic");
+  if (!r.GetU32(&out->version) || out->version != kBytecodeVersion) {
+    return fail("unsupported version");
+  }
+  std::uint8_t use_index;
+  if (!r.GetU8(&out->shape) || out->shape > 1) return fail("bad shape");
+  if (!r.GetU8(&use_index) || use_index > 1) return fail("bad use_index");
+  out->use_index = use_index == 1;
+  if (!r.GetU32(&out->num_slots)) return fail("truncated header");
+
+  std::uint32_t n;
+  if (!r.GetCount(&n)) return fail("bad pool count");
+  out->const_pool.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint8_t kind;
+    std::uint64_t payload;
+    if (!r.GetU8(&kind) || !r.GetU64(&payload)) return fail("truncated pool");
+    const auto p64 = static_cast<std::int64_t>(payload);
+    const auto p32 = static_cast<std::int32_t>(p64);
+    switch (static_cast<ValueKind>(kind)) {
+      case ValueKind::kInt:
+        out->const_pool.push_back(Value::Int(p64));
+        break;
+      case ValueKind::kSymbol:
+        out->const_pool.push_back(Value::Symbol(p32));
+        break;
+      case ValueKind::kFrozen:
+        out->const_pool.push_back(Value::Frozen(p32));
+        break;
+      case ValueKind::kNull:
+        out->const_pool.push_back(Value::Null(p32));
+        break;
+      default:
+        return fail("bad value kind");
+    }
+  }
+
+  if (!r.GetCount(&n)) return fail("bad step count");
+  out->steps.resize(n);
+  for (StepDesc& sd : out->steps) {
+    if (!r.GetU32(&sd.predicate) || !r.GetU32(&sd.arity) ||
+        !r.GetU8(&sd.source) || !r.GetColVec(&sd.key_cols) ||
+        !r.GetU32Vec(&sd.key_template) || !r.GetPairVec(&sd.id_checks) ||
+        !r.GetPairVec(&sd.writes)) {
+      return fail("truncated step table");
+    }
+  }
+
+  if (!r.GetU32(&out->head_predicate) || !r.GetTerms(&out->head)) {
+    return fail("truncated head");
+  }
+
+  if (!r.GetCount(&n)) return fail("bad negation count");
+  out->negated.resize(n);
+  for (NegDesc& nd : out->negated) {
+    if (!r.GetU32(&nd.predicate) || !r.GetTerms(&nd.terms)) {
+      return fail("truncated negation table");
+    }
+  }
+
+  if (!r.GetCount(&n)) return fail("bad multiway step count");
+  out->mw_steps.resize(n);
+  for (MwStepDesc& ms : out->mw_steps) {
+    std::uint32_t num_probes;
+    if (!r.GetU32(&ms.slot) || !r.GetCount(&num_probes)) {
+      return fail("truncated multiway table");
+    }
+    ms.probes.resize(num_probes);
+    for (ProbeDesc& probe : ms.probes) {
+      std::uint8_t unconditional;
+      if (!r.GetU32(&probe.atom) || !r.GetColVec(&probe.var_cols) ||
+          !r.GetColVec(&probe.bound_cols) ||
+          !r.GetU32Vec(&probe.key_template) ||
+          !r.GetPairVec(&probe.key_fill) || !r.GetU8(&unconditional) ||
+          unconditional > 1 || !r.GetColVec(&probe.union_cols) ||
+          !r.GetU32Vec(&probe.union_template) ||
+          !r.GetPairVec(&probe.union_key_fill) ||
+          !r.GetU32Vec(&probe.union_var_positions)) {
+        return fail("truncated probe table");
+      }
+      probe.unconditional = unconditional == 1;
+    }
+  }
+
+  if (!r.GetCount(&n)) return fail("bad code count");
+  out->code.resize(n);
+  for (Insn& insn : out->code) {
+    std::uint8_t op;
+    if (!r.GetU8(&op) || op >= kNumOps) return fail("bad opcode");
+    insn.op = static_cast<Op>(op);
+    if (!r.GetU32(&insn.a) || !r.GetU32(&insn.b) || !r.GetU32(&insn.c) ||
+        !r.GetU32(&insn.t)) {
+      return fail("truncated code");
+    }
+  }
+
+  if (!r.AtEnd()) return fail("trailing bytes");
+  out->ResolveConstants();
+  return true;
+}
+
+}  // namespace bytecode
+}  // namespace datalog

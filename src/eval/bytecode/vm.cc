@@ -1,0 +1,770 @@
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "eval/bytecode/bytecode.h"
+#include "eval/database.h"
+#include "eval/relation.h"
+#include "obs/metrics.h"
+#include "util/interning.h"
+
+// Computed-goto dispatch threads each handler directly into the next
+// opcode's jump, giving the branch predictor one indirect-branch site per
+// opcode instead of one shared site for the whole switch. Define
+// DATALOG_BYTECODE_SWITCH_DISPATCH to force the portable switch loop
+// (MSVC, or for A/B-ing the dispatch strategies).
+#if !defined(DATALOG_BYTECODE_SWITCH_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define DATALOG_BYTECODE_COMPUTED_GOTO 1
+#else
+#define DATALOG_BYTECODE_COMPUTED_GOTO 0
+#endif
+
+namespace datalog {
+namespace bytecode {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHalt:
+      return "halt";
+    case Op::kLoadKey:
+      return "load_key";
+    case Op::kLoop:
+      return "loop";
+    case Op::kLoopNext:
+      return "loop_next";
+    case Op::kProbe:
+      return "probe";
+    case Op::kProbeNext:
+      return "probe_next";
+    case Op::kFilterConst:
+      return "filter_const";
+    case Op::kFilterKey:
+      return "filter_key";
+    case Op::kFilterEq:
+      return "filter_eq";
+    case Op::kLoad:
+      return "load";
+    case Op::kMember:
+      return "member";
+    case Op::kMemberOld:
+      return "member_old";
+    case Op::kEmit:
+      return "emit";
+    case Op::kJump:
+      return "jump";
+    case Op::kSeek:
+      return "seek";
+    case Op::kSeekNext:
+      return "seek_next";
+    case Op::kLoopEmitAll:
+      return "loop_emit_all";
+    case Op::kProbeEmitAll:
+      return "probe_emit_all";
+    case Op::kSeekEmitAll:
+      return "seek_emit_all";
+    case Op::kNumOps:
+      break;
+  }
+  return "invalid";
+}
+
+void PublishDispatchCounts(const DispatchCounts& counts) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  if (!registry.enabled()) return;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    if (counts[i] == 0) continue;
+    registry.Add("bytecode.dispatch",
+                 {{"op", OpName(static_cast<Op>(i))}}, counts[i]);
+  }
+}
+
+namespace {
+
+// Loop-invariant per-step source state, resolved once per Run with
+// exactly ApplyBatch's rules (see eval/compiled_rule.cc): relation,
+// old-snapshot limit, liveness, and -- when the step probes an index --
+// a direct view. `limit` is clamped to 0 for dead steps so a validated
+// but hand-written program that enters a dead step's Next op yields no
+// rows instead of touching mismatched columns.
+struct StepRt {
+  const Relation* rel = nullptr;
+  std::size_t limit = 0;
+  bool dead = false;
+  bool old_only = false;
+  bool has_view = false;
+  bool single_key = false;
+  Relation::SingleIndexView single;
+  Relation::MultiIndexView multi;
+  // Column bases hoisted out of the fused inner loops: relation columns
+  // are append-only for the duration of a Run, so raw data pointers stay
+  // valid and spare the loops a columns-vector indirection per access
+  // (which the optimizer cannot hoist itself past opaque index calls).
+  std::vector<const std::uint32_t*> key_ptrs;
+  std::vector<std::pair<const std::uint32_t*, const std::uint32_t*>>
+      check_ptrs;
+  std::vector<std::pair<const std::uint32_t*, std::uint32_t>> write_ptrs;
+};
+
+// Per-step enumeration cursor: the posting list (indexed probes), the
+// next position to try, and the current row.
+struct IterRt {
+  const std::vector<std::uint32_t>* list = nullptr;
+  std::size_t pos = 0;
+  std::uint32_t row = 0;
+};
+
+struct MwProbeRt {
+  Relation::SingleIndexView single;
+  Relation::MultiIndexView multi;
+  Relation::MultiIndexView union_index;
+  const std::vector<std::uint32_t>* root = nullptr;
+};
+
+// Per-multiway-step scratch, mirroring ApplyMultiway's per-depth state:
+// election keys, union membership keys, per-probe candidate lists, the
+// winner's materialized projection, and the iteration cursor.
+struct MwStepRt {
+  std::vector<MwProbeRt> probes;
+  std::vector<std::vector<std::uint32_t>> keys;
+  std::vector<std::vector<std::uint32_t>> ukeys;
+  std::vector<std::vector<std::uint32_t>> proj;
+  std::vector<const std::vector<std::uint32_t>*> lists;
+  const std::vector<std::uint32_t>* iter = nullptr;
+  std::size_t pos = 0;
+  std::size_t smallest = 0;
+};
+
+struct NegRt {
+  const Relation* rel = nullptr;
+  bool row_store = false;
+};
+
+std::size_t OldLimitFor(const OldLimits* old_limits, PredicateId pred) {
+  if (old_limits == nullptr) return 0;
+  auto it = old_limits->find(pred);
+  return it == old_limits->end() ? 0 : it->second;
+}
+
+template <bool kCount>
+bool RunImpl(const Program& p, const Database& full, const Database* delta,
+             const OldLimits* old_limits, Database* out, MatchStats* stats,
+             std::size_t* new_facts, DispatchCounts* dispatch) {
+  if (p.code.empty() || p.shape > 1) return false;
+  if (p.const_ids.size() != p.const_pool.size()) return false;  // unresolved
+
+  // ---- Guards (no counter bumps, no side effects) -----------------------
+  const auto head_pred = static_cast<PredicateId>(p.head_predicate);
+  if (head_pred < 0 || head_pred >= out->symbols()->NumPredicates()) {
+    return false;
+  }
+  if (out->symbols()->PredicateArity(head_pred) !=
+      static_cast<int>(p.head.size())) {
+    return false;
+  }
+  std::vector<NegRt> negs;
+  negs.reserve(p.negated.size());
+  for (const NegDesc& nd : p.negated) {
+    const Relation& nr =
+        full.relation(static_cast<PredicateId>(nd.predicate));
+    if (!nr.empty() && nr.arity() != static_cast<int>(nd.terms.size())) {
+      return false;
+    }
+    negs.push_back(NegRt{&nr, !nr.columnar()});
+  }
+
+  // ---- Step sources (ApplyBatch's per-depth resolution, verbatim) -------
+  const std::size_t nsteps = p.steps.size();
+  std::vector<StepRt> srt(nsteps);
+  for (std::size_t d = 0; d < nsteps; ++d) {
+    const StepDesc& sd = p.steps[d];
+    const auto source = static_cast<AtomSource>(sd.source);
+    if (source == AtomSource::kDelta && delta == nullptr) return false;
+    const Database& src = source == AtomSource::kDelta ? *delta : full;
+    const Relation& rel = src.relation(static_cast<PredicateId>(sd.predicate));
+    StepRt& rt = srt[d];
+    rt.rel = &rel;
+    rt.limit = rel.size();
+    rt.dead = rel.empty() || rel.arity() != static_cast<int>(sd.arity);
+    rt.old_only = source == AtomSource::kOld;
+    if (rt.old_only && !rt.dead) {
+      rt.limit = OldLimitFor(old_limits, static_cast<PredicateId>(sd.predicate));
+      rt.dead = rt.limit == 0;
+    }
+    if (!rt.dead && !rel.columnar()) return false;
+    if (rt.dead) {
+      rt.limit = 0;
+      continue;
+    }
+    if (p.shape != 0) continue;  // multiway code never runs left-deep probes
+    const bool fully_bound = sd.key_cols.size() == sd.arity;
+    const bool probes_index =
+        p.use_index &&
+        (fully_bound ? rt.old_only : !sd.key_cols.empty());
+    if (probes_index) {
+      rt.single_key = sd.key_cols.size() == 1;
+      if (rt.single_key) {
+        rt.single = rel.PrepareSingleIndex(sd.key_cols[0]);
+      } else {
+        rt.multi = rel.PrepareIndex(sd.key_cols);
+      }
+      rt.has_view = true;
+    }
+    rt.key_ptrs.reserve(sd.key_cols.size());
+    for (int col : sd.key_cols) rt.key_ptrs.push_back(rel.column(col).data());
+    rt.check_ptrs.reserve(sd.id_checks.size());
+    for (const auto& [first_col, repeat_col] : sd.id_checks) {
+      rt.check_ptrs.emplace_back(
+          rel.column(static_cast<int>(first_col)).data(),
+          rel.column(static_cast<int>(repeat_col)).data());
+    }
+    rt.write_ptrs.reserve(sd.writes.size());
+    for (const auto& [col, slot] : sd.writes) {
+      rt.write_ptrs.emplace_back(rel.column(static_cast<int>(col)).data(),
+                                 slot);
+    }
+  }
+
+  // ---- Multiway probe state (ApplyMultiway's prologue, verbatim) --------
+  std::deque<std::vector<std::uint32_t>> owned_roots;
+  std::vector<MwStepRt> mrt;
+  if (p.shape == 1) {
+    if (p.mw_steps.empty()) return false;
+    // Any dead atom empties the whole intersection: report zero new facts
+    // without touching the head relation, exactly like ApplyMultiway.
+    for (const StepRt& rt : srt) {
+      if (rt.dead) {
+        *new_facts = 0;
+        return true;
+      }
+    }
+    mrt.resize(p.mw_steps.size());
+    for (std::size_t s = 0; s < p.mw_steps.size(); ++s) {
+      const MwStepDesc& ms = p.mw_steps[s];
+      if (ms.probes.empty()) return false;
+      MwStepRt& mr = mrt[s];
+      const std::size_t num_probes = ms.probes.size();
+      mr.probes.resize(num_probes);
+      mr.keys.resize(num_probes);
+      mr.ukeys.resize(num_probes);
+      mr.proj.resize(num_probes);
+      mr.lists.assign(num_probes, nullptr);
+      mr.iter = &Relation::EmptyRowIds();
+      for (std::size_t pi = 0; pi < num_probes; ++pi) {
+        const ProbeDesc& probe = ms.probes[pi];
+        if (probe.atom >= nsteps || probe.var_cols.empty()) return false;
+        if (probe.unconditional != probe.bound_cols.empty()) return false;
+        const StepRt& at = srt[probe.atom];
+        const Relation& rel = *at.rel;
+        MwProbeRt& prt = mr.probes[pi];
+        // Pre-size the key scratch so a hand-written program that skips
+        // the open op still finds correctly-sized buffers.
+        mr.keys[pi].assign(probe.key_template_ids.size(), 0);
+        mr.ukeys[pi].assign(probe.union_template_ids.size(), 0);
+        if (!probe.unconditional) {
+          if (probe.bound_cols.size() == 1) {
+            prt.single = rel.PrepareSingleIndex(probe.bound_cols[0]);
+          } else {
+            prt.multi = rel.PrepareIndex(probe.bound_cols);
+          }
+          prt.union_index = rel.PrepareIndex(probe.union_cols);
+          continue;
+        }
+        if (!at.old_only && probe.var_cols.size() == 1) {
+          prt.root = &rel.SortedColumnKeys(probe.var_cols[0]);
+          continue;
+        }
+        // Old snapshot or repeated variable: project the qualifying
+        // prefix once per Run, sorted and deduplicated.
+        owned_roots.emplace_back();
+        std::vector<std::uint32_t>& list = owned_roots.back();
+        const std::vector<std::uint32_t>& c0 = rel.column(probe.var_cols[0]);
+        for (std::size_t i = 0; i < at.limit; ++i) {
+          const std::uint32_t id = c0[i];
+          bool ok = true;
+          for (std::size_t k = 1; k < probe.var_cols.size(); ++k) {
+            if (rel.column(probe.var_cols[k])[i] != id) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) list.push_back(id);
+        }
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+        prt.root = &list;
+      }
+    }
+  }
+
+  // ---- Mutable machine state --------------------------------------------
+  const std::uint32_t dict_size = ValueDictionary::Global().size();
+  std::vector<std::uint32_t> slots(p.num_slots, 0);
+  std::vector<std::vector<std::uint32_t>> keys(nsteps);
+  std::vector<IterRt> iters(nsteps);
+  for (std::size_t d = 0; d < nsteps; ++d) {
+    keys[d] = p.steps[d].key_template_ids;
+    iters[d].list = &Relation::EmptyRowIds();
+  }
+  MatchStats local;
+  std::vector<std::uint32_t> derived;
+  std::size_t derived_count = 0;
+  const std::size_t head_arity = p.head.size();
+  std::vector<std::uint32_t> neg_key;
+
+  // Emit boundary, shared by kEmit and the fused superinstructions:
+  // ApplyBatch/ApplyMultiway's per-match tail bump for bump.
+  auto emit_match = [&]() {
+    ++local.substitutions;
+    for (std::size_t ni = 0; ni < negs.size(); ++ni) {
+      const NegDesc& nd = p.negated[ni];
+      neg_key.clear();
+      for (const TermDesc& t : nd.terms) {
+        neg_key.push_back(t.is_constant ? t.id : slots[t.index]);
+      }
+      if (negs[ni].row_store) {
+        // Row-store membership resolves ids through the dictionary; an
+        // id no value ever interned cannot be in any relation.
+        bool ids_ok = true;
+        for (std::uint32_t id : neg_key) {
+          if (id >= dict_size) {
+            ids_ok = false;
+            break;
+          }
+        }
+        if (ids_ok && negs[ni].rel->ContainsIds(neg_key)) return;
+      } else if (negs[ni].rel->ContainsIds(neg_key)) {
+        return;
+      }
+    }
+    for (const TermDesc& t : p.head) {
+      derived.push_back(t.is_constant ? t.id : slots[t.index]);
+    }
+    ++derived_count;
+  };
+
+  // Multiway open: elect the smallest candidate list among the step's
+  // probes, materialize only the winner's projection, fill the union
+  // membership keys of the losers.
+  auto seek_open = [&](std::uint32_t s) {
+    const MwStepDesc& ms = p.mw_steps[s];
+    MwStepRt& mr = mrt[s];
+    const std::size_t num_probes = ms.probes.size();
+    std::size_t smallest = 0;
+    std::size_t smallest_size = std::numeric_limits<std::size_t>::max();
+    for (std::size_t pi = 0; pi < num_probes; ++pi) {
+      const ProbeDesc& probe = ms.probes[pi];
+      const MwProbeRt& prt = mr.probes[pi];
+      ++local.index_lookups;
+      std::size_t est;
+      if (probe.unconditional) {
+        mr.lists[pi] = prt.root;
+        est = prt.root->size();
+      } else {
+        std::vector<std::uint32_t>& key = mr.keys[pi];
+        key = probe.key_template_ids;
+        for (const auto& [key_index, slot] : probe.key_fill) {
+          key[key_index] = slots[slot];
+        }
+        const std::vector<std::uint32_t>& rows =
+            probe.bound_cols.size() == 1 ? prt.single.FindId(key[0])
+                                         : prt.multi.FindIds(key);
+        mr.lists[pi] = &rows;
+        est = rows.size();
+      }
+      if (est < smallest_size) {
+        smallest_size = est;
+        smallest = pi;
+      }
+    }
+    const ProbeDesc& sp = ms.probes[smallest];
+    if (sp.unconditional) {
+      mr.iter = mr.lists[smallest];
+    } else {
+      const StepRt& at = srt[sp.atom];
+      const Relation& rel = *at.rel;
+      const std::vector<std::uint32_t>& c0 = rel.column(sp.var_cols[0]);
+      std::vector<std::uint32_t>& proj = mr.proj[smallest];
+      proj.clear();
+      for (std::uint32_t row_id : *mr.lists[smallest]) {
+        if (at.old_only && row_id >= at.limit) continue;
+        ++local.tuples_scanned;
+        const std::uint32_t id = c0[row_id];
+        bool ok = true;
+        for (std::size_t k = 1; k < sp.var_cols.size(); ++k) {
+          if (rel.column(sp.var_cols[k])[row_id] != id) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) proj.push_back(id);
+      }
+      std::sort(proj.begin(), proj.end());
+      proj.erase(std::unique(proj.begin(), proj.end()), proj.end());
+      mr.iter = &proj;
+    }
+    for (std::size_t pi = 0; pi < num_probes; ++pi) {
+      if (pi == smallest || ms.probes[pi].unconditional) continue;
+      const ProbeDesc& probe = ms.probes[pi];
+      std::vector<std::uint32_t>& ukey = mr.ukeys[pi];
+      ukey = probe.union_template_ids;
+      for (const auto& [key_index, slot] : probe.union_key_fill) {
+        ukey[key_index] = slots[slot];
+      }
+    }
+    mr.pos = 0;
+    mr.smallest = smallest;
+  };
+
+  // Multiway membership: does every non-winner probe accept `id`?
+  auto seek_accept = [&](MwStepRt& mr, const MwStepDesc& ms,
+                         std::uint32_t id) {
+    const std::size_t num_probes = ms.probes.size();
+    for (std::size_t pi = 0; pi < num_probes; ++pi) {
+      if (pi == mr.smallest) continue;
+      const ProbeDesc& probe = ms.probes[pi];
+      const MwProbeRt& prt = mr.probes[pi];
+      if (probe.unconditional) {
+        ++local.tuples_scanned;
+        if (!std::binary_search(prt.root->begin(), prt.root->end(), id)) {
+          return false;
+        }
+        continue;
+      }
+      ++local.index_lookups;
+      std::vector<std::uint32_t>& ukey = mr.ukeys[pi];
+      for (std::uint32_t pos : probe.union_var_positions) ukey[pos] = id;
+      const std::vector<std::uint32_t>& rows = prt.union_index.FindIds(ukey);
+      const StepRt& at = srt[probe.atom];
+      if (at.old_only) {
+        bool found = false;
+        for (std::uint32_t row_id : rows) {
+          if (row_id < at.limit) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      } else if (rows.empty()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // ---- Dispatch ---------------------------------------------------------
+  const Insn* const code = p.code.data();
+  const Insn* ip = code;
+
+#if DATALOG_BYTECODE_COMPUTED_GOTO
+  static const void* const kLabels[kNumOps] = {
+      &&lbl_kHalt,        &&lbl_kLoadKey,     &&lbl_kLoop,
+      &&lbl_kLoopNext,    &&lbl_kProbe,       &&lbl_kProbeNext,
+      &&lbl_kFilterConst, &&lbl_kFilterKey,   &&lbl_kFilterEq,
+      &&lbl_kLoad,        &&lbl_kMember,      &&lbl_kMemberOld,
+      &&lbl_kEmit,        &&lbl_kJump,        &&lbl_kSeek,
+      &&lbl_kSeekNext,    &&lbl_kLoopEmitAll, &&lbl_kProbeEmitAll,
+      &&lbl_kSeekEmitAll};
+#define VM_DISPATCH()                                          \
+  do {                                                         \
+    if constexpr (kCount) {                                    \
+      ++(*dispatch)[static_cast<std::size_t>(ip->op)];         \
+    }                                                          \
+    goto* kLabels[static_cast<std::size_t>(ip->op)];           \
+  } while (0)
+#define VM_CASE(name) lbl_##name:
+#define VM_NEXT()   \
+  do {              \
+    ++ip;           \
+    VM_DISPATCH(); \
+  } while (0)
+#define VM_JUMP(target)  \
+  do {                   \
+    ip = code + (target); \
+    VM_DISPATCH();      \
+  } while (0)
+  VM_DISPATCH();
+#else
+#define VM_CASE(name) case Op::name:
+#define VM_NEXT()         \
+  do {                    \
+    ++ip;                 \
+    goto vm_dispatch;     \
+  } while (0)
+#define VM_JUMP(target)    \
+  do {                     \
+    ip = code + (target);  \
+    goto vm_dispatch;      \
+  } while (0)
+vm_dispatch:
+  if constexpr (kCount) {
+    ++(*dispatch)[static_cast<std::size_t>(ip->op)];
+  }
+  switch (ip->op) {
+#endif
+
+  VM_CASE(kHalt) { goto vm_done; }
+
+  VM_CASE(kLoadKey) {
+    keys[ip->a][ip->b] = slots[ip->c];
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoop) {
+    const StepRt& rt = srt[ip->a];
+    if (rt.dead) VM_JUMP(ip->t);
+    ++local.index_lookups;
+    iters[ip->a].pos = 0;
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoopNext) {
+    const StepRt& rt = srt[ip->a];
+    IterRt& it = iters[ip->a];
+    if (it.pos >= rt.limit) VM_JUMP(ip->t);
+    it.row = static_cast<std::uint32_t>(it.pos++);
+    ++local.tuples_scanned;
+    VM_NEXT();
+  }
+
+  VM_CASE(kProbe) {
+    const StepRt& rt = srt[ip->a];
+    if (rt.dead || !rt.has_view) VM_JUMP(ip->t);
+    ++local.index_lookups;
+    const std::vector<std::uint32_t>& key = keys[ip->a];
+    IterRt& it = iters[ip->a];
+    it.list = rt.single_key ? &rt.single.FindId(key[0])
+                            : &rt.multi.FindIds(key);
+    it.pos = 0;
+    VM_NEXT();
+  }
+
+  VM_CASE(kProbeNext) {
+    const StepRt& rt = srt[ip->a];
+    IterRt& it = iters[ip->a];
+    const std::vector<std::uint32_t>& list = *it.list;
+    for (;;) {
+      if (it.pos >= list.size()) VM_JUMP(ip->t);
+      const std::uint32_t r = list[it.pos++];
+      if (rt.old_only && r >= rt.limit) continue;
+      it.row = r;
+      break;
+    }
+    ++local.tuples_scanned;
+    VM_NEXT();
+  }
+
+  VM_CASE(kFilterConst) {
+    if (srt[ip->a].rel->column(static_cast<int>(ip->b))[iters[ip->a].row] !=
+        p.const_ids[ip->c]) {
+      VM_JUMP(ip->t);
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kFilterKey) {
+    if (srt[ip->a].rel->column(static_cast<int>(ip->b))[iters[ip->a].row] !=
+        keys[ip->a][ip->c]) {
+      VM_JUMP(ip->t);
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kFilterEq) {
+    const Relation& rel = *srt[ip->a].rel;
+    const std::uint32_t row = iters[ip->a].row;
+    if (rel.column(static_cast<int>(ip->b))[row] !=
+        rel.column(static_cast<int>(ip->c))[row]) {
+      VM_JUMP(ip->t);
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoad) {
+    slots[ip->c] = srt[ip->a].rel->column(static_cast<int>(ip->b))
+        [iters[ip->a].row];
+    VM_NEXT();
+  }
+
+  VM_CASE(kMember) {
+    const StepRt& rt = srt[ip->a];
+    if (rt.dead) VM_JUMP(ip->t);
+    ++local.index_lookups;
+    ++local.tuples_scanned;
+    if (!rt.rel->ContainsIds(keys[ip->a])) VM_JUMP(ip->t);
+    VM_NEXT();
+  }
+
+  VM_CASE(kMemberOld) {
+    const StepRt& rt = srt[ip->a];
+    if (rt.dead || !rt.has_view) VM_JUMP(ip->t);
+    ++local.index_lookups;
+    ++local.tuples_scanned;
+    const std::vector<std::uint32_t>& key = keys[ip->a];
+    const std::vector<std::uint32_t>& list =
+        rt.single_key ? rt.single.FindId(key[0]) : rt.multi.FindIds(key);
+    bool found = false;
+    for (std::uint32_t r : list) {
+      if (r < rt.limit) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) VM_JUMP(ip->t);
+    VM_NEXT();
+  }
+
+  VM_CASE(kEmit) {
+    emit_match();
+    VM_JUMP(ip->t);
+  }
+
+  VM_CASE(kJump) { VM_JUMP(ip->t); }
+
+  VM_CASE(kSeek) {
+    seek_open(ip->a);
+    VM_NEXT();
+  }
+
+  VM_CASE(kSeekNext) {
+    MwStepRt& mr = mrt[ip->a];
+    const MwStepDesc& ms = p.mw_steps[ip->a];
+    const std::vector<std::uint32_t>& iter = *mr.iter;
+    for (;;) {
+      if (mr.pos >= iter.size()) VM_JUMP(ip->t);
+      const std::uint32_t id = iter[mr.pos++];
+      ++local.tuples_scanned;
+      if (!seek_accept(mr, ms, id)) continue;
+      slots[ms.slot] = id;
+      break;
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoopEmitAll) {
+    const StepRt& rt = srt[ip->a];
+    if (!rt.dead) {
+      ++local.index_lookups;
+      const std::vector<std::uint32_t>& key = keys[ip->a];
+      const std::size_t limit = rt.limit;
+      const std::size_t num_keys = rt.key_ptrs.size();
+      local.tuples_scanned += limit;  // every row below the limit is scanned
+      for (std::size_t r = 0; r < limit; ++r) {
+        bool ok = true;
+        for (std::size_t k = 0; k < num_keys; ++k) {
+          if (rt.key_ptrs[k][r] != key[k]) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        for (const auto& [first, repeat] : rt.check_ptrs) {
+          if (first[r] != repeat[r]) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        for (const auto& [col, slot] : rt.write_ptrs) slots[slot] = col[r];
+        emit_match();
+      }
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kProbeEmitAll) {
+    const StepRt& rt = srt[ip->a];
+    if (!rt.dead && rt.has_view) {
+      ++local.index_lookups;
+      const std::vector<std::uint32_t>& key = keys[ip->a];
+      const std::vector<std::uint32_t>& list =
+          rt.single_key ? rt.single.FindId(key[0]) : rt.multi.FindIds(key);
+      const bool old_only = rt.old_only;
+      const std::size_t limit = rt.limit;
+      if (!old_only) local.tuples_scanned += list.size();
+      for (std::uint32_t r : list) {
+        if (old_only) {
+          if (r >= limit) continue;
+          ++local.tuples_scanned;
+        }
+        bool ok = true;
+        for (const auto& [first, repeat] : rt.check_ptrs) {
+          if (first[r] != repeat[r]) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        for (const auto& [col, slot] : rt.write_ptrs) slots[slot] = col[r];
+        emit_match();
+      }
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kSeekEmitAll) {
+    seek_open(ip->a);
+    MwStepRt& mr = mrt[ip->a];
+    const MwStepDesc& ms = p.mw_steps[ip->a];
+    for (std::uint32_t id : *mr.iter) {
+      ++local.tuples_scanned;
+      if (!seek_accept(mr, ms, id)) continue;
+      slots[ms.slot] = id;
+      emit_match();
+    }
+    VM_NEXT();
+  }
+
+#if !DATALOG_BYTECODE_COMPUTED_GOTO
+    case Op::kNumOps:
+    default:
+      goto vm_done;  // validated programs never reach this
+  }
+#endif
+
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_JUMP
+#if DATALOG_BYTECODE_COMPUTED_GOTO
+#undef VM_DISPATCH
+#endif
+
+vm_done:
+  // Reject derived ids the dictionary has never issued before anything
+  // resolves them (possible only for hand-written programs reading
+  // never-written slots; lowered programs bind every emitted slot).
+  for (std::uint32_t id : derived) {
+    if (id >= dict_size) return false;
+  }
+  Relation& head_rel = out->MutableRelation(head_pred);
+  if (head_rel.columnar()) head_rel.ReserveRows(derived_count);
+  std::size_t added = 0;
+  std::vector<std::uint32_t> row(head_arity);
+  for (std::size_t r = 0; r < derived_count; ++r) {
+    const std::uint32_t* base = derived.data() + r * head_arity;
+    row.assign(base, base + head_arity);
+    if (head_rel.InsertIds(row)) ++added;
+  }
+  *new_facts = added;
+  if (stats != nullptr) stats->Add(local);
+  return true;
+}
+
+}  // namespace
+
+bool Run(const Program& program, const Database& full, const Database* delta,
+         const OldLimits* old_limits, Database* out, MatchStats* stats,
+         std::size_t* new_facts, DispatchCounts* dispatch) {
+  if (dispatch != nullptr) {
+    dispatch->fill(0);
+    return RunImpl<true>(program, full, delta, old_limits, out, stats,
+                         new_facts, dispatch);
+  }
+  return RunImpl<false>(program, full, delta, old_limits, out, stats,
+                        new_facts, nullptr);
+}
+
+}  // namespace bytecode
+}  // namespace datalog

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/interning.h"
 
 namespace datalog {
@@ -195,6 +196,10 @@ void CompiledRule::BuildSchedules(const Database& full,
       }
     }
   }
+  // Lower the finished schedules to bytecode (empty when the plan does
+  // not qualify for id-space execution). Replan lands here too, so the
+  // program always mirrors the current struct schedules.
+  bc_ = bytecode::Lower(*this);
   compiled_ = true;
 }
 
@@ -887,6 +892,27 @@ bool CompiledRule::ApplyMultiway(const Database& full, const Database* delta,
 std::size_t CompiledRule::Apply(const Database& full, const Database* delta,
                                 const OldLimits* old_limits, Database* out,
                                 MatchStats* stats) const {
+  // Bytecode fast path: the lowered program run by the computed-goto VM,
+  // covering both plan shapes. Run returns false -- before bumping any
+  // counter or inserting anything -- when a live relation is not
+  // columnar, in which case the struct executors below re-resolve and
+  // take over (they re-check the same condition). The knob is consulted
+  // per Apply rather than snapshotted into the plan, so flipping it
+  // never replans.
+  if (!bc_.empty() && BytecodeExecutionEnabled() && ColumnarStorageEnabled()) {
+    std::size_t vm_facts = 0;
+    if (MetricsRegistry::Get().enabled()) {
+      bytecode::DispatchCounts counts;
+      if (bytecode::Run(bc_, full, delta, old_limits, out, stats, &vm_facts,
+                        &counts)) {
+        bytecode::PublishDispatchCounts(counts);
+        return vm_facts;
+      }
+    } else if (bytecode::Run(bc_, full, delta, old_limits, out, stats,
+                             &vm_facts)) {
+      return vm_facts;
+    }
+  }
   // Multiway plan shape: the worst-case-optimal intersection executor.
   // Derives the same fact set and the same substitution count as the
   // left-deep executors (assignments, not row visits, are what both

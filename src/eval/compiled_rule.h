@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ast/rule.h"
+#include "eval/bytecode/bytecode.h"
 #include "eval/database.h"
 #include "eval/hypergraph.h"
 #include "eval/rule_matcher.h"
@@ -275,6 +276,14 @@ class CompiledRule {
     return mw_steps_;
   }
 
+  /// The plan lowered to register-based bytecode (empty when the plan
+  /// does not qualify for id-space execution). Rebuilt by every
+  /// BuildSchedules, so Replan keeps it in sync with the struct
+  /// schedules. Apply executes it -- via the computed-goto VM in
+  /// eval/bytecode -- when the bytecode and columnar knobs are on; see
+  /// docs/bytecode_vm.md.
+  const bytecode::Program& bytecode_program() const { return bc_; }
+
   /// True if every negated literal is absent from `full` under the frame.
   bool NegationHolds(const Database& full, const MatchFrame& frame,
                      Tuple* scratch) const;
@@ -283,6 +292,7 @@ class CompiledRule {
 
  private:
   friend struct MatchFrame;
+  friend bytecode::Program bytecode::Lower(const CompiledRule& plan);
 
   void BuildSchedules(const Database& full, const Database* delta);
 
@@ -447,6 +457,7 @@ class CompiledRule {
   // True when every head/negated term is a constant or a bound slot, so
   // the batch executor can run without the unbound-variable throw path.
   bool batch_ok_ = false;
+  bytecode::Program bc_;  // rebuilt by BuildSchedules; empty if unlowered
   std::vector<PlannedAtom> atoms_;  // original order; Replan re-sorts
   std::vector<CompiledAtomStep> steps_;
   int num_slots_ = 0;

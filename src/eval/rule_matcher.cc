@@ -12,6 +12,7 @@ bool greedy_join_ordering_enabled = true;
 bool index_lookups_enabled = true;
 bool compiled_rule_plans_enabled = true;
 bool multiway_joins_enabled = true;
+bool bytecode_execution_enabled = true;
 const JoinOrderHints* join_order_hints = nullptr;
 std::uint64_t join_order_hints_version = 0;
 }  // namespace
@@ -28,6 +29,10 @@ void SetCompiledRulePlans(bool enabled) {
 bool CompiledRulePlansEnabled() { return compiled_rule_plans_enabled; }
 void SetMultiwayJoins(bool enabled) { multiway_joins_enabled = enabled; }
 bool MultiwayJoinsEnabled() { return multiway_joins_enabled; }
+void SetBytecodeExecution(bool enabled) {
+  bytecode_execution_enabled = enabled;
+}
+bool BytecodeExecutionEnabled() { return bytecode_execution_enabled; }
 
 void SetJoinOrderHints(const JoinOrderHints* hints) {
   join_order_hints = hints;

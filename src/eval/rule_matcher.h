@@ -77,6 +77,17 @@ bool CompiledRulePlansEnabled();
 void SetMultiwayJoins(bool enabled);
 bool MultiwayJoinsEnabled();
 
+/// SetBytecodeExecution selects how compiled plans execute: lowered to
+/// the register-based bytecode run by the computed-goto VM (default; see
+/// eval/bytecode/bytecode.h and docs/bytecode_vm.md), or the struct
+/// interpreters ApplyBatch/ApplyMultiway. Checked per Apply, not
+/// snapshotted into the plan, so flipping it never triggers a replan and
+/// replanning semantics (cardinality drift, hint-version bumps) are
+/// unchanged. Bit-for-bit neutral on results, MatchStats, and frontier
+/// emission order.
+void SetBytecodeExecution(bool enabled);
+bool BytecodeExecutionEnabled();
+
 /// Join-order hints produced by the analyzer's binding pass (see
 /// src/analysis/binding_pass.cc): for a body whose predicate-id sequence
 /// hashes to the key, the preferred visit order as a permutation of

@@ -35,6 +35,7 @@ struct KnobMatrixGuard {
     SetCompiledRulePlans(true);
     SetColumnarStorage(true);
     SetMultiwayJoins(true);
+    SetBytecodeExecution(true);
   }
 };
 
@@ -300,6 +301,116 @@ TEST_P(DifferentialEngineTest, CompiledPlansAgreeAcrossKnobMatrix) {
   }
 }
 
+TEST_P(DifferentialEngineTest, BytecodeVmAgreesAcrossKnobMatrix) {
+  // The bytecode-VM axis: flipping SetBytecodeExecution must be invisible
+  // -- not just the same fixpoint but bit-identical MatchStats (the VM
+  // replicates the struct interpreters' counter bumps operation for
+  // operation), across columnar on/off and for both sequential semi-naive
+  // and the parallel engine at 4 threads. On the row store the VM
+  // declines and falls through, so that leg checks the fallback is clean.
+  KnobMatrixGuard guard;
+  const std::uint64_t seed = GetParam();
+
+  for (bool columnar : {true, false}) {
+    SetColumnarStorage(columnar);
+    GeneratedCase c = MakeCase(seed);
+
+    struct RunResult {
+      Database db;
+      EvalStats seq;
+      EvalStats par;
+    };
+    auto run_both = [&](bool bytecode) {
+      SetBytecodeExecution(bytecode);
+      Database seq_db = c.edb;
+      Result<EvalStats> seq = EvaluateSemiNaive(c.program, &seq_db);
+      EXPECT_TRUE(seq.ok()) << seq.status().ToString();
+      Database par_db = c.edb;
+      Result<EvalStats> par =
+          EvaluateSemiNaiveParallel(c.program, &par_db, 4);
+      EXPECT_TRUE(par.ok()) << par.status().ToString();
+      EXPECT_EQ(par_db, seq_db);
+      return RunResult{std::move(seq_db), *seq, *par};
+    };
+
+    RunResult vm = run_both(true);
+    RunResult structs = run_both(false);
+    const std::string config = std::string("columnar=") +
+                               (columnar ? "1" : "0") +
+                               " seed=" + std::to_string(seed);
+    EXPECT_EQ(vm.db, structs.db) << "bytecode fixpoint diverges, " << config;
+    EXPECT_EQ(vm.seq.match.substitutions, structs.seq.match.substitutions)
+        << config;
+    EXPECT_EQ(vm.seq.match.index_lookups, structs.seq.match.index_lookups)
+        << config;
+    EXPECT_EQ(vm.seq.match.tuples_scanned, structs.seq.match.tuples_scanned)
+        << config;
+    EXPECT_EQ(vm.par.match.substitutions, structs.par.match.substitutions)
+        << "parallel, " << config;
+    EXPECT_EQ(vm.par.match.index_lookups, structs.par.match.index_lookups)
+        << "parallel, " << config;
+    EXPECT_EQ(vm.par.match.tuples_scanned, structs.par.match.tuples_scanned)
+        << "parallel, " << config;
+  }
+}
+
+TEST_P(DifferentialEngineTest, BytecodeVmAgreesOnIncrementalCommits) {
+  // The incremental commit path (three-part delta joins through the
+  // CompiledRuleCache) with the VM on vs off over the same transaction
+  // script: every snapshot must be identical.
+  KnobMatrixGuard guard;
+  const std::uint64_t seed = GetParam();
+
+  auto run_script = [&](bool bytecode) {
+    SetBytecodeExecution(bytecode);
+    GeneratedCase c = MakeCase(seed);
+    IncrOptions options;
+    options.num_threads = seed % 2 == 0 ? 1 : 2;
+    Result<MaterializedView> view =
+        MaterializedView::Create(c.program, c.edb, options);
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+    const std::size_t num_extensional = 1 + seed % 3;
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 29);
+    std::vector<Database> snapshots;
+    for (int batch = 0; batch < 8; ++batch) {
+      Transaction txn = view->Begin();
+      const int num_ops = 1 + static_cast<int>(rng() % 4);
+      for (int op = 0; op < num_ops; ++op) {
+        PredicateId pred =
+            c.symbols
+                ->LookupPredicate("e" +
+                                  std::to_string(rng() % num_extensional))
+                .value();
+        const bool insert = rng() % 2 == 0;
+        const auto& rows = view->base().relation(pred).rows();
+        if (!insert && !rows.empty() && rng() % 4 != 0) {
+          EXPECT_TRUE(txn.Retract(pred, rows[rng() % rows.size()]).ok());
+          continue;
+        }
+        Tuple tuple = {Value::Int(static_cast<std::int64_t>(rng() % 12)),
+                       Value::Int(static_cast<std::int64_t>(rng() % 12))};
+        EXPECT_TRUE((insert ? txn.Insert(pred, std::move(tuple))
+                            : txn.Retract(pred, std::move(tuple)))
+                        .ok());
+      }
+      Result<CommitStats> stats = txn.Commit();
+      EXPECT_TRUE(stats.ok()) << "seed " << seed << " batch " << batch
+                              << ": " << stats.status().ToString();
+      snapshots.push_back(view->db());
+    }
+    return snapshots;
+  };
+
+  const std::vector<Database> vm = run_script(true);
+  const std::vector<Database> structs = run_script(false);
+  ASSERT_EQ(vm.size(), structs.size());
+  for (std::size_t i = 0; i < vm.size(); ++i) {
+    EXPECT_EQ(vm[i], structs[i])
+        << "bytecode incremental commit path diverges on seed " << seed
+        << ", batch " << i;
+  }
+}
+
 TEST_P(DifferentialEngineTest, CompiledPlansAgreeOnIncrementalCommits) {
   // The incremental commit path (delta joins + DRed re-derivation) run
   // over the same transaction script under every (matcher, storage
@@ -556,6 +667,123 @@ TEST_P(DifferentialEngineMultiwayTest, MultiwayIncrementalCommitScriptsAgree) {
       EXPECT_EQ(got[i], reference[i])
           << "incremental commit path (" << v.name << ") diverges on seed "
           << seed << ", batch " << i;
+    }
+  }
+}
+
+TEST_P(DifferentialEngineMultiwayTest, BytecodeVmAgreesAcrossPlanShapes) {
+  // The bytecode axis crossed with plan shape: the VM lowers both the
+  // left-deep batch schedule and the leapfrog multiway schedule, and on
+  // each it must be invisible -- same fixpoint, bit-identical MatchStats
+  // -- against the struct interpreter under the same knobs, sequentially
+  // and at 4 threads, on both storage backends.
+  KnobMatrixGuard guard;
+  const std::uint64_t seed = GetParam();
+
+  for (bool columnar : {true, false}) {
+    SetColumnarStorage(columnar);
+    CyclicCase c = MakeCyclicCase(seed);
+    for (bool multiway : {true, false}) {
+      SetMultiwayJoins(multiway);
+
+      struct RunResult {
+        Database db;
+        EvalStats seq;
+        EvalStats par;
+      };
+      auto run_both = [&](bool bytecode) {
+        SetBytecodeExecution(bytecode);
+        Database seq_db = c.edb;
+        Result<EvalStats> seq = EvaluateSemiNaive(c.program, &seq_db);
+        EXPECT_TRUE(seq.ok()) << seq.status().ToString();
+        Database par_db = c.edb;
+        Result<EvalStats> par =
+            EvaluateSemiNaiveParallel(c.program, &par_db, 4);
+        EXPECT_TRUE(par.ok()) << par.status().ToString();
+        EXPECT_EQ(par_db, seq_db);
+        return RunResult{std::move(seq_db), *seq, *par};
+      };
+
+      RunResult vm = run_both(true);
+      RunResult structs = run_both(false);
+      const std::string config =
+          std::string("multiway=") + (multiway ? "1" : "0") +
+          " columnar=" + (columnar ? "1" : "0") +
+          " seed=" + std::to_string(seed);
+      EXPECT_EQ(vm.db, structs.db)
+          << "bytecode fixpoint diverges, " << config;
+      EXPECT_EQ(vm.seq.match.substitutions, structs.seq.match.substitutions)
+          << config;
+      EXPECT_EQ(vm.seq.match.index_lookups, structs.seq.match.index_lookups)
+          << config;
+      EXPECT_EQ(vm.seq.match.tuples_scanned,
+                structs.seq.match.tuples_scanned)
+          << config;
+      EXPECT_EQ(vm.par.match.substitutions, structs.par.match.substitutions)
+          << "parallel, " << config;
+      EXPECT_EQ(vm.par.match.index_lookups, structs.par.match.index_lookups)
+          << "parallel, " << config;
+      EXPECT_EQ(vm.par.match.tuples_scanned,
+                structs.par.match.tuples_scanned)
+          << "parallel, " << config;
+    }
+  }
+}
+
+TEST_P(DifferentialEngineMultiwayTest,
+       BytecodeIncrementalCommitScriptsAgree) {
+  // The same random commit script replayed with the VM on vs off, under
+  // both plan shapes: identical snapshots after every commit.
+  KnobMatrixGuard guard;
+  const std::uint64_t seed = GetParam();
+
+  auto run_script = [&](bool bytecode, bool multiway) {
+    SetBytecodeExecution(bytecode);
+    SetMultiwayJoins(multiway);
+    CyclicCase c = MakeCyclicCase(seed);
+    IncrOptions options;
+    options.num_threads = seed % 2 == 0 ? 1 : 4;
+    Result<MaterializedView> view =
+        MaterializedView::Create(c.program, c.edb, options);
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 31);
+    std::vector<Database> snapshots;
+    for (int batch = 0; batch < 8; ++batch) {
+      Transaction txn = view->Begin();
+      const int num_ops = 1 + static_cast<int>(rng() % 4);
+      for (int op = 0; op < num_ops; ++op) {
+        PredicateId pred =
+            c.symbols
+                ->LookupPredicate(c.edb_preds[rng() % c.edb_preds.size()])
+                .value();
+        const bool insert = rng() % 2 == 0;
+        const auto& rows = view->base().relation(pred).rows();
+        if (!insert && !rows.empty() && rng() % 4 != 0) {
+          EXPECT_TRUE(txn.Retract(pred, rows[rng() % rows.size()]).ok());
+          continue;
+        }
+        Tuple tuple = {Value::Int(static_cast<std::int64_t>(rng() % 16)),
+                       Value::Int(static_cast<std::int64_t>(rng() % 16))};
+        EXPECT_TRUE((insert ? txn.Insert(pred, std::move(tuple))
+                            : txn.Retract(pred, std::move(tuple)))
+                        .ok());
+      }
+      Result<CommitStats> stats = txn.Commit();
+      EXPECT_TRUE(stats.ok()) << "seed " << seed << " batch " << batch
+                              << ": " << stats.status().ToString();
+      snapshots.push_back(view->db());
+    }
+    return snapshots;
+  };
+
+  for (bool multiway : {true, false}) {
+    const std::vector<Database> vm = run_script(true, multiway);
+    const std::vector<Database> structs = run_script(false, multiway);
+    ASSERT_EQ(vm.size(), structs.size());
+    for (std::size_t i = 0; i < vm.size(); ++i) {
+      EXPECT_EQ(vm[i], structs[i])
+          << "bytecode incremental commit path diverges on seed " << seed
+          << ", multiway=" << multiway << ", batch " << i;
     }
   }
 }
